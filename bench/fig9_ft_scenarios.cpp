@@ -1,0 +1,99 @@
+//===- bench/fig9_ft_scenarios.cpp - Paper Fig. 8/9/10, Section 7.3 --------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The fault-tolerant computation scenarios of Section 7.3: logical GHZ
+/// preparation over three Steane blocks (Fig. 9), the logical CNOT with
+/// propagated errors (Fig. 10), errors inside the correction step and
+/// multi-cycle memory — the scenario matrix of Fig. 8 / Table 4.
+///
+//===----------------------------------------------------------------------===//
+
+#include "qec/Codes.h"
+#include "verifier/Verifier.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace veriqec;
+
+namespace {
+
+void verifyOrSkip(benchmark::State &State, const Scenario &S) {
+  VerificationResult R = verifyScenario(S);
+  if (!R.StructuralOk || !R.Verified) {
+    State.SkipWithError(("failed: " + S.Name + " " + R.Error).c_str());
+    return;
+  }
+  State.counters["qubits"] = static_cast<double>(S.NumQubits);
+  State.counters["goals"] = static_cast<double>(R.NumGoals);
+  State.counters["conflicts"] = static_cast<double>(R.Stats.Conflicts);
+}
+
+} // namespace
+
+static void BM_Fig9_GhzPreparation(benchmark::State &State) {
+  StabilizerCode Code = makeSteaneCode();
+  LogicalBasis Basis = State.range(0) ? LogicalBasis::X : LogicalBasis::Z;
+  Scenario S = makeGhzScenario(Code, PauliKind::Y, Basis, 1);
+  for (auto _ : State)
+    verifyOrSkip(State, S);
+}
+
+static void BM_Fig10_LogicalCnot(benchmark::State &State) {
+  StabilizerCode Code = makeSteaneCode();
+  LogicalBasis Basis = State.range(0) ? LogicalBasis::X : LogicalBasis::Z;
+  Scenario S = makeLogicalCnotScenario(Code, PauliKind::Y, Basis, 1);
+  for (auto _ : State)
+    verifyOrSkip(State, S);
+}
+
+static void BM_Fig8_CorrectionStepError(benchmark::State &State) {
+  StabilizerCode Code = makeSteaneCode();
+  Scenario S = makeCorrectionStepErrorScenario(Code, PauliKind::X,
+                                               LogicalBasis::Z, 1);
+  for (auto _ : State)
+    verifyOrSkip(State, S);
+}
+
+static void BM_Fig8_MultiCycle(benchmark::State &State) {
+  StabilizerCode Code = makeSteaneCode();
+  Scenario S = makeMultiCycleScenario(
+      Code, PauliKind::X, LogicalBasis::Z,
+      static_cast<size_t>(State.range(0)), 1);
+  for (auto _ : State)
+    verifyOrSkip(State, S);
+}
+
+static void BM_Fig8_OneCycleLogicalH(benchmark::State &State) {
+  StabilizerCode Code = makeSteaneCode();
+  Scenario S = makeLogicalHScenario(Code, PauliKind::Y, LogicalBasis::X, 1);
+  for (auto _ : State)
+    verifyOrSkip(State, S);
+}
+
+BENCHMARK(BM_Fig9_GhzPreparation)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_Fig10_LogicalCnot)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_Fig8_CorrectionStepError)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_Fig8_MultiCycle)
+    ->Arg(2)
+    ->Arg(3)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_Fig8_OneCycleLogicalH)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

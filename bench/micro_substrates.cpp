@@ -1,0 +1,116 @@
+//===- bench/micro_substrates.cpp - Substrate micro-benchmarks -------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Throughput of the substrates everything else is built on: Pauli
+/// multiplication and Clifford conjugation, tableau measurement rounds
+/// (the Stim-role engine), GF(2) elimination and the CDCL solver on a
+/// pigeonhole family.
+///
+//===----------------------------------------------------------------------===//
+
+#include "gf2/BitMatrix.h"
+#include "pauli/Tableau.h"
+#include "sat/Solver.h"
+#include "support/Rng.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace veriqec;
+
+static void BM_Micro_PauliMultiply(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  Rng R(1);
+  Pauli A(N), B(N);
+  for (size_t Q = 0; Q != N; ++Q) {
+    A.setKind(Q, static_cast<PauliKind>(R.nextBelow(4)));
+    B.setKind(Q, static_cast<PauliKind>(R.nextBelow(4)));
+  }
+  for (auto _ : State)
+    benchmark::DoNotOptimize(A * B);
+}
+
+static void BM_Micro_CliffordConjugation(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  Rng R(2);
+  Pauli P(N);
+  for (size_t Q = 0; Q != N; ++Q)
+    P.setKind(Q, static_cast<PauliKind>(R.nextBelow(4)));
+  for (auto _ : State) {
+    P.conjugate(GateKind::CNOT, 0, N / 2);
+    P.conjugate(GateKind::H, N / 3);
+    benchmark::DoNotOptimize(P);
+  }
+}
+
+static void BM_Micro_TableauMeasurementRound(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  Rng R(3);
+  Tableau T(N);
+  for (size_t Q = 0; Q + 1 < N; ++Q)
+    T.applyGate(GateKind::CNOT, Q, Q + 1);
+  Pauli ZZ(N);
+  ZZ.setKind(0, PauliKind::Z);
+  ZZ.setKind(N - 1, PauliKind::Z);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(T.measure(ZZ, R));
+}
+
+static void BM_Micro_Gf2Solve(benchmark::State &State) {
+  size_t N = static_cast<size_t>(State.range(0));
+  Rng R(4);
+  BitMatrix A(N, N);
+  for (size_t I = 0; I != N; ++I)
+    for (size_t J = 0; J != N; ++J)
+      if (R.nextBool())
+        A.set(I, J);
+  BitVector X(N);
+  for (size_t I = 0; I != N; ++I)
+    if (R.nextBool())
+      X.set(I);
+  BitVector B = A.multiply(X);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(A.solve(B));
+}
+
+static void BM_Micro_SatPigeonhole(benchmark::State &State) {
+  int Holes = static_cast<int>(State.range(0));
+  for (auto _ : State) {
+    sat::Solver S;
+    std::vector<std::vector<sat::Var>> P(Holes + 1,
+                                         std::vector<sat::Var>(Holes));
+    for (int I = 0; I <= Holes; ++I)
+      for (int J = 0; J != Holes; ++J)
+        P[I][J] = S.newVar();
+    for (int I = 0; I <= Holes; ++I) {
+      std::vector<sat::Lit> C;
+      for (int J = 0; J != Holes; ++J)
+        C.push_back(sat::mkLit(P[I][J]));
+      S.addClause(C);
+    }
+    for (int J = 0; J != Holes; ++J)
+      for (int I1 = 0; I1 <= Holes; ++I1)
+        for (int I2 = I1 + 1; I2 <= Holes; ++I2)
+          S.addClause(~sat::mkLit(P[I1][J]), ~sat::mkLit(P[I2][J]));
+    if (S.solve() != sat::SolveResult::Unsat) {
+      State.SkipWithError("pigeonhole must be UNSAT");
+      return;
+    }
+    State.counters["conflicts"] =
+        static_cast<double>(S.stats().Conflicts);
+  }
+}
+
+BENCHMARK(BM_Micro_PauliMultiply)->Arg(64)->Arg(361)->Arg(1024);
+BENCHMARK(BM_Micro_CliffordConjugation)->Arg(64)->Arg(361);
+BENCHMARK(BM_Micro_TableauMeasurementRound)->Arg(49)->Arg(121)->Arg(361);
+BENCHMARK(BM_Micro_Gf2Solve)->Arg(128)->Arg(512);
+BENCHMARK(BM_Micro_SatPigeonhole)
+    ->Arg(6)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,74 @@
+//===- bench/table4_vs_sampling.cpp - Paper Table 4 / Section 7.2 ----------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table 4 / Section 7.2's comparison with simulation-based testing (the
+/// role Stim plays): sampling throughput on the stabilizer tableau with a
+/// concrete decoder vs the verifier's one-shot exhaustive guarantee. The
+/// `certainty_samples` counter reports how many samples exhaustive
+/// testing would need (the paper's 19^18 ~ 2^76 argument: at d = 19 with
+/// both constraints this exceeds any testing budget, while verification
+/// finishes).
+///
+//===----------------------------------------------------------------------===//
+
+#include "decoder/Decoder.h"
+#include "qec/Codes.h"
+#include "sim/SamplingTester.h"
+#include "verifier/Verifier.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace veriqec;
+
+static void BM_Table4_SamplingThroughput(benchmark::State &State) {
+  size_t D = static_cast<size_t>(State.range(0));
+  StabilizerCode Code = makeRotatedSurfaceCode(D);
+  LookupDecoder Dec(Code, (D - 1) / 2);
+  Rng R(42);
+  uint64_t Failures = 0, Samples = 0;
+  for (auto _ : State) {
+    SamplingReport Report =
+        sampleMemoryCorrection(Code, Dec, (D - 1) / 2, 200, R);
+    Failures += Report.Failures;
+    Samples += Report.Samples;
+  }
+  State.counters["samples_per_s"] = benchmark::Counter(
+      static_cast<double>(Samples), benchmark::Counter::kIsRate);
+  State.counters["failures"] = static_cast<double>(Failures);
+  State.counters["certainty_samples"] = static_cast<double>(
+      errorConfigurationCount(Code.NumQubits, (D - 1) / 2));
+}
+
+static void BM_Table4_VerifierExhaustive(benchmark::State &State) {
+  size_t D = static_cast<size_t>(State.range(0));
+  StabilizerCode Code = makeRotatedSurfaceCode(D);
+  Scenario S = makeMemoryScenario(Code, PauliKind::Y, LogicalBasis::Z,
+                                  static_cast<uint32_t>((D - 1) / 2));
+  VerifyOptions O;
+  O.Parallel = true;
+  for (auto _ : State) {
+    VerificationResult R = verifyScenario(S, O);
+    if (!R.Verified) {
+      State.SkipWithError("verification failed");
+      return;
+    }
+    State.counters["configs_covered"] = static_cast<double>(
+        errorConfigurationCount(Code.NumQubits, (D - 1) / 2));
+  }
+}
+
+BENCHMARK(BM_Table4_SamplingThroughput)
+    ->Arg(3)
+    ->Arg(5)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Table4_VerifierExhaustive)
+    ->Arg(3)
+    ->Arg(5)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+BENCHMARK_MAIN();

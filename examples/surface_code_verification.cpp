@@ -1,0 +1,82 @@
+//===- examples/surface_code_verification.cpp - Section 7.1/7.2 demo ------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// General verification of rotated surface codes (accurate correction,
+/// Eqn. (14), and precise detection, Eqn. (15)) across distances, plus
+/// verification under user-provided error constraints (locality and
+/// discreteness, Section 7.2) — the workloads behind Fig. 4, Fig. 6 and
+/// Fig. 7 at example scale.
+///
+//===----------------------------------------------------------------------===//
+
+#include "qec/Codes.h"
+#include "verifier/Verifier.h"
+
+#include <cstdio>
+
+using namespace veriqec;
+
+int main() {
+  for (size_t D : {3, 5}) {
+    StabilizerCode Code = makeRotatedSurfaceCode(D);
+    uint32_t T = static_cast<uint32_t>((D - 1) / 2);
+
+    Scenario S = makeMemoryScenario(Code, PauliKind::Y, LogicalBasis::Z, T);
+    VerifyOptions Par;
+    Par.Parallel = true;
+    VerificationResult R = verifyScenario(S, Par);
+    std::printf("surface d=%zu correction (t=%u): %s  %.2fs  cubes=%llu\n",
+                D, T, R.Verified ? "VERIFIED" : "FAILED", R.Seconds,
+                static_cast<unsigned long long>(R.NumCubes));
+
+    DetectionResult Det = verifyDetection(Code, D - 1);
+    std::printf("surface d=%zu detection  (w<%zu): %s  %.2fs\n", D, D,
+                Det.Detects ? "VERIFIED" : "FAILED", Det.Seconds);
+    DetectionResult Beyond = verifyDetection(Code, D);
+    std::printf("surface d=%zu detection  (w<=%zu): %s", D, D,
+                Beyond.Detects ? "holds (unexpected)" : "fails, witness ");
+    if (Beyond.CounterExample)
+      std::printf("%s", Beyond.CounterExample->toString().c_str());
+    std::printf("\n");
+  }
+
+  // User-provided constraints (the Fig. 7 idea) prune the search space
+  // at the same error budget, speeding the proof up: discreteness — at
+  // most one error per row of the d=5 lattice — keeps the verified
+  // property while cutting solver work.
+  StabilizerCode Code = makeRotatedSurfaceCode(5);
+  Scenario S = makeMemoryScenario(Code, PauliKind::X, LogicalBasis::Z, 2);
+  VerificationResult Plain = verifyScenario(S);
+  VerifyOptions O;
+  O.ExtraConstraint = [&](smt::BoolContext &Ctx) {
+    std::vector<smt::ExprRef> Rows;
+    for (size_t Row = 0; Row != 5; ++Row) {
+      std::vector<smt::ExprRef> RowVars;
+      for (size_t Col = 0; Col != 5; ++Col)
+        RowVars.push_back(Ctx.mkVar(S.ErrorVars[Row * 5 + Col]));
+      Rows.push_back(Ctx.mkAtMost(std::move(RowVars), 1));
+    }
+    return Ctx.mkAnd(std::move(Rows));
+  };
+  VerificationResult Constrained = verifyScenario(S, O);
+  std::printf("d=5 t=2 unconstrained:             %s  conflicts=%llu\n",
+              Plain.Verified ? "VERIFIED" : "FAILED",
+              static_cast<unsigned long long>(Plain.Stats.Conflicts));
+  std::printf("d=5 t=2 with discreteness pruning: %s  conflicts=%llu\n",
+              Constrained.Verified ? "VERIFIED" : "FAILED",
+              static_cast<unsigned long long>(Constrained.Stats.Conflicts));
+
+  // Constraints do NOT extend the correction radius: allowing up to 5
+  // spread-out errors is genuinely uncorrectable and the verifier shows
+  // a concrete witness.
+  Scenario Wide = makeMemoryScenario(Code, PauliKind::X, LogicalBasis::Z, 5);
+  VerificationResult Over = verifyScenario(Wide, O);
+  std::printf("d=5, <=5 errors (1 per row):       %s\n",
+              Over.Verified ? "VERIFIED (unexpected)"
+                            : "counterexample, as theory demands");
+  return Plain.Verified && Constrained.Verified ? 0 : 1;
+}

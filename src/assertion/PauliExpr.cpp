@@ -1,0 +1,193 @@
+//===- assertion/PauliExpr.cpp - Pauli expressions (Eqn. (4)) --------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "assertion/PauliExpr.h"
+
+#include "support/Assert.h"
+
+using namespace veriqec;
+
+PauliExpr::PauliExpr(const Pauli &P) : N(P.numQubits()) {
+  assert(P.isHermitian() && "PExp terms are Hermitian");
+  Sqrt2Ring C(P.signBit() ? -1 : 1);
+  addTerm(P.abs(), C);
+}
+
+void PauliExpr::addTerm(const Pauli &P, const Sqrt2Ring &C) {
+  if (C.isZero())
+    return;
+  assert(P.isHermitian() && !P.signBit() && "terms carry + sign");
+  Key K{P.xBits(), P.zBits()};
+  auto [It, Inserted] = Terms.try_emplace(std::move(K), C);
+  if (!Inserted) {
+    It->second = It->second + C;
+    if (It->second.isZero())
+      Terms.erase(It);
+  }
+}
+
+bool PauliExpr::isSinglePauli() const {
+  if (Terms.size() != 1)
+    return false;
+  const Sqrt2Ring &C = Terms.begin()->second;
+  return C == Sqrt2Ring(1) || C == Sqrt2Ring(-1);
+}
+
+std::vector<std::pair<Pauli, Sqrt2Ring>> PauliExpr::terms() const {
+  std::vector<std::pair<Pauli, Sqrt2Ring>> Out;
+  for (const auto &[K, C] : Terms) {
+    Pauli P(N);
+    for (size_t Q = 0; Q != N; ++Q) {
+      bool X = K.X.get(Q), Z = K.Z.get(Q);
+      if (X && Z)
+        P.setKind(Q, PauliKind::Y);
+      else if (X)
+        P.setKind(Q, PauliKind::X);
+      else if (Z)
+        P.setKind(Q, PauliKind::Z);
+    }
+    Out.emplace_back(P.abs(), C);
+  }
+  return Out;
+}
+
+PauliExpr PauliExpr::operator+(const PauliExpr &O) const {
+  assert((isZero() || O.isZero() || N == O.N) && "qubit count mismatch");
+  PauliExpr Out = *this;
+  if (Out.N == 0)
+    Out.N = O.N;
+  for (const auto &[P, C] : O.terms())
+    Out.addTerm(P, C);
+  return Out;
+}
+
+PauliExpr PauliExpr::operator-() const { return scaled(Sqrt2Ring(-1)); }
+
+PauliExpr PauliExpr::scaled(const Sqrt2Ring &C) const {
+  PauliExpr Out;
+  Out.N = N;
+  if (C.isZero())
+    return Out;
+  for (const auto &[K, Coef] : Terms)
+    Out.Terms.emplace(K, Coef * C);
+  return Out;
+}
+
+PauliExpr PauliExpr::operator*(const PauliExpr &O) const {
+  assert(N == O.N && "qubit count mismatch");
+  PauliExpr Out;
+  Out.N = N;
+  // Individual term products may pick up an i factor (anticommuting
+  // letters); those imaginary parts must cancel in the full sum for the
+  // result to stay inside the real algebra PExp. Track them separately
+  // and insist on cancellation.
+  PauliExpr Imag;
+  Imag.N = N;
+  for (const auto &[PA, CA] : terms())
+    for (const auto &[PB, CB] : O.terms()) {
+      Pauli Prod = PA * PB;
+      Pauli Abs = Prod.abs();
+      unsigned Rel = (Prod.phaseExp() + 4u - Abs.phaseExp()) & 3u;
+      Sqrt2Ring C = CA * CB;
+      switch (Rel) {
+      case 0:
+        Out.addTerm(Abs, C);
+        break;
+      case 2:
+        Out.addTerm(Abs, C * Sqrt2Ring(-1));
+        break;
+      case 1:
+        Imag.addTerm(Abs, C);
+        break;
+      case 3:
+        Imag.addTerm(Abs, C * Sqrt2Ring(-1));
+        break;
+      }
+    }
+  assert(Imag.isZero() &&
+         "PExp products must stay real (imaginary parts must cancel)");
+  return Out;
+}
+
+void PauliExpr::conjugateByT(size_t Q, bool Dagger) {
+  // (U-T): T^dagger X T = (X - Y)/sqrt2, T^dagger Y T = (X + Y)/sqrt2;
+  // for Tdg the Y signs swap. Z and I letters are unchanged.
+  std::map<Key, Sqrt2Ring> Old = std::move(Terms);
+  Terms.clear();
+  Sqrt2Ring Inv = Sqrt2Ring::invSqrt2();
+  for (auto &[K, C] : Old) {
+    bool X = K.X.get(Q), Z = K.Z.get(Q);
+    Pauli P(N);
+    for (size_t I = 0; I != N; ++I) {
+      bool Xb = K.X.get(I), Zb = K.Z.get(I);
+      if (Xb && Zb)
+        P.setKind(I, PauliKind::Y);
+      else if (Xb)
+        P.setKind(I, PauliKind::X);
+      else if (Zb)
+        P.setKind(I, PauliKind::Z);
+    }
+    P = P.abs();
+    if (!X) {
+      addTerm(P, C); // I or Z at q: unchanged
+      continue;
+    }
+    bool IsY = X && Z;
+    // Letter X: -> (X -+ Y)/sqrt2; letter Y: -> (+-X + Y)/sqrt2.
+    Pauli WithX = P, WithY = P;
+    WithX.setKind(Q, PauliKind::X);
+    WithY.setKind(Q, PauliKind::Y);
+    WithX = WithX.abs();
+    WithY = WithY.abs();
+    Sqrt2Ring CI = C * Inv;
+    if (!IsY) {
+      addTerm(WithX, CI);
+      addTerm(WithY, Dagger ? CI : CI * Sqrt2Ring(-1));
+    } else {
+      addTerm(WithY, CI);
+      addTerm(WithX, Dagger ? CI * Sqrt2Ring(-1) : CI);
+    }
+  }
+}
+
+void PauliExpr::conjugateInverse(GateKind Kind, size_t Q0, size_t Q1) {
+  if (Kind == GateKind::T || Kind == GateKind::Tdg) {
+    conjugateByT(Q0, Kind == GateKind::Tdg);
+    return;
+  }
+  // Clifford: conjugate each term, folding signs into coefficients.
+  std::vector<std::pair<Pauli, Sqrt2Ring>> Old = terms();
+  Terms.clear();
+  for (auto &[P, C] : Old) {
+    P.conjugateInverse(Kind, Q0, Q1);
+    assert(P.isHermitian());
+    if (P.signBit()) {
+      P.negate();
+      C = C * Sqrt2Ring(-1);
+    }
+    addTerm(P, C);
+  }
+}
+
+void PauliExpr::conjugate(GateKind Kind, size_t Q0, size_t Q1) {
+  conjugateInverse(inverseGate(Kind), Q0, Q1);
+}
+
+bool PauliExpr::operator==(const PauliExpr &O) const {
+  return N == O.N && Terms == O.Terms;
+}
+
+std::string PauliExpr::toString() const {
+  if (Terms.empty())
+    return "0";
+  std::string S;
+  for (const auto &[P, C] : terms()) {
+    if (!S.empty())
+      S += " + ";
+    S += C.toString() + "*" + P.toString();
+  }
+  return S;
+}

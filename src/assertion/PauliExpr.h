@@ -1,0 +1,97 @@
+//===- assertion/PauliExpr.h - Pauli expressions (Eqn. (4)) -----*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Pauli-expression language PExp of Section 3.1: real linear
+/// combinations of Pauli operators with coefficients in Z[1/sqrt2]
+/// (SExp). Closed under conjugation by the whole Clifford+T gate set —
+/// the content of Theorem 3.1, which tests/pauliexpr_test.cpp verifies
+/// against dense matrices. This is the exact algebra behind the
+/// "tainted" generators of the VC engine: a T-tainted generator is the
+/// PauliExpr T_q g T_q^dagger, e.g. (1/sqrt2) X1 X3 (X5 - Y5) X7 in the
+/// paper's Section 5.2.2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_ASSERTION_PAULIEXPR_H
+#define VERIQEC_ASSERTION_PAULIEXPR_H
+
+#include "pauli/Pauli.h"
+#include "ring/Sqrt2Ring.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace veriqec {
+
+/// A finite sum  sum_i c_i * P_i  with c_i in Z[1/sqrt2] and P_i
+/// Hermitian Pauli operators with + sign (the sign lives in c_i).
+class PauliExpr {
+public:
+  PauliExpr() = default;
+
+  /// The expression consisting of the single (signed, Hermitian) Pauli.
+  explicit PauliExpr(const Pauli &P);
+
+  /// Number of qubits (0 for the empty expression).
+  size_t numQubits() const { return N; }
+
+  bool isZero() const { return Terms.empty(); }
+
+  /// True if the expression is a single Pauli with coefficient +-1.
+  bool isSinglePauli() const;
+
+  /// The terms, deterministically ordered.
+  std::vector<std::pair<Pauli, Sqrt2Ring>> terms() const;
+
+  PauliExpr operator+(const PauliExpr &O) const;
+  PauliExpr operator-() const;
+  PauliExpr operator-(const PauliExpr &O) const { return *this + (-O); }
+
+  /// Operator product (bilinear extension of Pauli multiplication; terms
+  /// whose product carries an imaginary phase are rejected by assertion —
+  /// PExp is a real algebra, and Clifford+T conjugation never leaves it).
+  PauliExpr operator*(const PauliExpr &O) const;
+
+  /// Scalar multiple.
+  PauliExpr scaled(const Sqrt2Ring &C) const;
+
+  /// Conjugation this <- U^dagger * this * U (the Fig. 3 substitution
+  /// direction), for the full gate set including T/Tdg. For T on qubit q:
+  /// X_q -> (X_q - Y_q)/sqrt2, Y_q -> (X_q + Y_q)/sqrt2 (rule (U-T)).
+  void conjugateInverse(GateKind Kind, size_t Q0, size_t Q1 = ~size_t{0});
+
+  /// Forward conjugation this <- U * this * U^dagger.
+  void conjugate(GateKind Kind, size_t Q0, size_t Q1 = ~size_t{0});
+
+  bool operator==(const PauliExpr &O) const;
+
+  /// e.g. "(1 + 0*sqrt2)/2^1... X1X3X5X7 - ..." (deterministic order).
+  std::string toString() const;
+
+private:
+  /// Key: the letters (x/z rows) of a Hermitian +-signed Pauli.
+  struct Key {
+    BitVector X, Z;
+    bool operator<(const Key &O) const {
+      if (!(X == O.X))
+        return X < O.X;
+      return Z < O.Z;
+    }
+    bool operator==(const Key &O) const { return X == O.X && Z == O.Z; }
+  };
+
+  void addTerm(const Pauli &P, const Sqrt2Ring &C);
+  void conjugateByT(size_t Q, bool Dagger);
+
+  size_t N = 0;
+  std::map<Key, Sqrt2Ring> Terms;
+};
+
+} // namespace veriqec
+
+#endif // VERIQEC_ASSERTION_PAULIEXPR_H

@@ -1,0 +1,101 @@
+//===- decoder/Decoder.cpp - Syndrome decoders ------------------------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "decoder/Decoder.h"
+
+#include "smt/BoolExpr.h"
+#include "smt/CubeSolver.h"
+#include "support/Assert.h"
+
+using namespace veriqec;
+
+Decoder::~Decoder() = default;
+
+LookupDecoder::LookupDecoder(const StabilizerCode &Code, size_t MaxWeight) {
+  size_t N = Code.NumQubits;
+  // Enumerate error supports of increasing weight so the first entry per
+  // syndrome is minimum-weight.
+  Table.emplace(BitVector(Code.Generators.size()), Pauli(N));
+
+  std::vector<size_t> Support;
+  const PauliKind Kinds[3] = {PauliKind::X, PauliKind::Y, PauliKind::Z};
+
+  // Recursive enumeration of supports and letters.
+  auto enumerate = [&](auto &&Self, size_t Start, size_t Remaining,
+                       Pauli &Error) -> void {
+    if (Remaining == 0) {
+      BitVector Syn = Code.syndromeOf(Error);
+      Table.emplace(Syn, Error); // keeps the earlier (lighter) entry
+      return;
+    }
+    for (size_t Q = Start; Q + Remaining <= N + 1 && Q != N; ++Q) {
+      for (PauliKind K : Kinds) {
+        Error.setKind(Q, K);
+        Self(Self, Q + 1, Remaining - 1, Error);
+      }
+      Error.setKind(Q, PauliKind::I);
+    }
+  };
+  for (size_t W = 1; W <= MaxWeight; ++W) {
+    Pauli Error(N);
+    enumerate(enumerate, 0, W, Error);
+  }
+}
+
+std::optional<Pauli> LookupDecoder::decode(const BitVector &Syndrome) {
+  auto It = Table.find(Syndrome);
+  if (It == Table.end())
+    return std::nullopt;
+  return It->second.abs();
+}
+
+std::optional<Pauli> SatDecoder::decode(const BitVector &Syndrome) {
+  using namespace smt;
+  assert(Syndrome.size() == Code.Generators.size() && "syndrome size");
+  size_t N = Code.NumQubits;
+  BoolContext Ctx;
+  std::vector<ExprRef> XVars, ZVars, SupportVars;
+  for (size_t Q = 0; Q != N; ++Q) {
+    XVars.push_back(Ctx.mkVar("x" + std::to_string(Q)));
+    ZVars.push_back(Ctx.mkVar("z" + std::to_string(Q)));
+    SupportVars.push_back(Ctx.mkOr(XVars[Q], ZVars[Q]));
+  }
+  std::vector<ExprRef> Constraints;
+  for (size_t G = 0; G != Code.Generators.size(); ++G) {
+    const Pauli &Gen = Code.Generators[G];
+    std::vector<ExprRef> Parity;
+    for (size_t Q = 0; Q != N; ++Q) {
+      if (Gen.zBits().get(Q))
+        Parity.push_back(XVars[Q]);
+      if (Gen.xBits().get(Q))
+        Parity.push_back(ZVars[Q]);
+    }
+    ExprRef P = Parity.empty() ? Ctx.mkFalse() : Ctx.mkXor(std::move(Parity));
+    Constraints.push_back(Syndrome.get(G) ? P : Ctx.mkNot(P));
+  }
+  ExprRef Base = Ctx.mkAnd(Constraints);
+
+  for (size_t W = 0; W <= N; ++W) {
+    ExprRef Root =
+        Ctx.mkAnd(Base, Ctx.mkAtMost(SupportVars, static_cast<uint32_t>(W)));
+    SolveOutcome Out = solveExpr(Ctx, Root);
+    if (Out.Result != sat::SolveResult::Sat)
+      continue;
+    Pauli Correction(N);
+    for (size_t Q = 0; Q != N; ++Q) {
+      bool X = Out.Model.at("x" + std::to_string(Q));
+      bool Z = Out.Model.at("z" + std::to_string(Q));
+      if (X && Z)
+        Correction.setKind(Q, PauliKind::Y);
+      else if (X)
+        Correction.setKind(Q, PauliKind::X);
+      else if (Z)
+        Correction.setKind(Q, PauliKind::Z);
+    }
+    return Correction.abs();
+  }
+  return std::nullopt;
+}

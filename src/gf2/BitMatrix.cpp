@@ -1,0 +1,158 @@
+//===- gf2/BitMatrix.cpp - Dense GF(2) matrix algebra ---------------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gf2/BitMatrix.h"
+
+#include "support/Assert.h"
+
+using namespace veriqec;
+
+BitMatrix BitMatrix::fromRows(std::vector<BitVector> RowsIn) {
+  BitMatrix M;
+  if (!RowsIn.empty()) {
+    M.NumCols = RowsIn.front().size();
+    for ([[maybe_unused]] const BitVector &R : RowsIn)
+      assert(R.size() == M.NumCols && "rows must share a width");
+  }
+  M.Rows = std::move(RowsIn);
+  return M;
+}
+
+BitMatrix BitMatrix::identity(size_t N) {
+  BitMatrix M(N, N);
+  for (size_t I = 0; I != N; ++I)
+    M.set(I, I);
+  return M;
+}
+
+void BitMatrix::appendRow(BitVector Row) {
+  if (Rows.empty() && NumCols == 0)
+    NumCols = Row.size();
+  assert(Row.size() == NumCols && "row width mismatch");
+  Rows.push_back(std::move(Row));
+}
+
+BitMatrix BitMatrix::transposed() const {
+  BitMatrix T(NumCols, Rows.size());
+  for (size_t R = 0, RE = Rows.size(); R != RE; ++R)
+    for (size_t C = Rows[R].findFirst(); C < NumCols;
+         C = Rows[R].findNext(C + 1))
+      T.set(C, R);
+  return T;
+}
+
+BitVector BitMatrix::multiply(const BitVector &V) const {
+  assert(V.size() == NumCols && "vector width mismatch");
+  BitVector Out(Rows.size());
+  for (size_t R = 0, RE = Rows.size(); R != RE; ++R)
+    if (Rows[R].dotParity(V))
+      Out.set(R);
+  return Out;
+}
+
+BitMatrix BitMatrix::multiply(const BitMatrix &Other) const {
+  assert(NumCols == Other.numRows() && "dimension mismatch");
+  BitMatrix Out(Rows.size(), Other.numCols());
+  for (size_t R = 0, RE = Rows.size(); R != RE; ++R) {
+    BitVector &OutRow = Out.row(R);
+    const BitVector &InRow = Rows[R];
+    for (size_t K = InRow.findFirst(); K < NumCols; K = InRow.findNext(K + 1))
+      OutRow ^= Other.row(K);
+  }
+  return Out;
+}
+
+std::vector<size_t> BitMatrix::rowReduce() {
+  std::vector<size_t> Pivots;
+  size_t PivotRow = 0;
+  for (size_t Col = 0; Col != NumCols && PivotRow != Rows.size(); ++Col) {
+    // Find a row with a 1 in this column at or below PivotRow.
+    size_t Found = Rows.size();
+    for (size_t R = PivotRow; R != Rows.size(); ++R)
+      if (Rows[R].get(Col)) {
+        Found = R;
+        break;
+      }
+    if (Found == Rows.size())
+      continue;
+    swapRows(PivotRow, Found);
+    // Eliminate this column from every other row (reduced form).
+    for (size_t R = 0; R != Rows.size(); ++R)
+      if (R != PivotRow && Rows[R].get(Col))
+        Rows[R] ^= Rows[PivotRow];
+    Pivots.push_back(Col);
+    ++PivotRow;
+  }
+  return Pivots;
+}
+
+size_t BitMatrix::rank() const {
+  BitMatrix Copy = *this;
+  return Copy.rowReduce().size();
+}
+
+std::optional<BitVector> BitMatrix::solve(const BitVector &B) const {
+  assert(B.size() == Rows.size() && "rhs height mismatch");
+  // Row-reduce the augmented matrix [A | b].
+  BitMatrix Aug(Rows.size(), NumCols + 1);
+  for (size_t R = 0; R != Rows.size(); ++R) {
+    const BitVector &Src = Rows[R];
+    BitVector &Dst = Aug.row(R);
+    for (size_t C = Src.findFirst(); C < NumCols; C = Src.findNext(C + 1))
+      Dst.set(C);
+    if (B.get(R))
+      Dst.set(NumCols);
+  }
+  std::vector<size_t> Pivots = Aug.rowReduce();
+  // Inconsistent iff some pivot landed in the augmented column.
+  if (!Pivots.empty() && Pivots.back() == NumCols)
+    return std::nullopt;
+  BitVector X(NumCols);
+  for (size_t R = 0; R != Pivots.size(); ++R)
+    if (Aug.get(R, NumCols))
+      X.set(Pivots[R]);
+  return X;
+}
+
+std::vector<BitVector> BitMatrix::nullspaceBasis() const {
+  BitMatrix Reduced = *this;
+  std::vector<size_t> Pivots = Reduced.rowReduce();
+  // Mark pivot columns; every other column is free.
+  BitVector IsPivot(NumCols);
+  for (size_t P : Pivots)
+    IsPivot.set(P);
+
+  std::vector<BitVector> Basis;
+  for (size_t Free = 0; Free != NumCols; ++Free) {
+    if (IsPivot.get(Free))
+      continue;
+    BitVector V(NumCols);
+    V.set(Free);
+    // Back-substitute: pivot variable of row R equals the row's entry in
+    // the free column (RREF has exactly one pivot per reduced row).
+    for (size_t R = 0; R != Pivots.size(); ++R)
+      if (Reduced.get(R, Free))
+        V.set(Pivots[R]);
+    Basis.push_back(std::move(V));
+  }
+  return Basis;
+}
+
+std::optional<BitVector>
+BitMatrix::expressInRowSpace(const BitVector &Target) const {
+  assert(Target.size() == NumCols && "target width mismatch");
+  // c^T A = t  <=>  A^T c = t.
+  return transposed().solve(Target);
+}
+
+std::string BitMatrix::toString() const {
+  std::string S;
+  for (const BitVector &R : Rows) {
+    S += R.toString();
+    S += '\n';
+  }
+  return S;
+}

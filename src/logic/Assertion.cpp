@@ -1,0 +1,156 @@
+//===- logic/Assertion.cpp - The assertion language of Section 3 -----------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/Assertion.h"
+
+#include "support/Assert.h"
+
+using namespace veriqec;
+
+namespace {
+std::shared_ptr<Assertion> makeNode(AssertKind K) {
+  auto A = std::make_shared<Assertion>();
+  A->Kind = K;
+  return A;
+}
+} // namespace
+
+AssertPtr Assertion::boolAtom(CExprPtr B) {
+  auto A = makeNode(AssertKind::BoolAtom);
+  A->Bool = std::move(B);
+  return A;
+}
+
+AssertPtr Assertion::pauliAtom(Pauli Base, CExprPtr PhaseBit) {
+  auto A = makeNode(AssertKind::PauliAtom);
+  // Fold an explicit sign into the phase bit.
+  if (Base.signBit()) {
+    Base.negate();
+    PhaseBit = PhaseBit ? ClassicalExpr::logicalNot(std::move(PhaseBit))
+                        : ClassicalExpr::boolean(true);
+  }
+  A->Base = std::move(Base);
+  A->PhaseBit = std::move(PhaseBit);
+  return A;
+}
+
+AssertPtr Assertion::logicalNot(AssertPtr A) {
+  auto N = makeNode(AssertKind::Not);
+  N->Kids = {std::move(A)};
+  return N;
+}
+
+AssertPtr Assertion::conj(AssertPtr A, AssertPtr B) {
+  auto N = makeNode(AssertKind::And);
+  N->Kids = {std::move(A), std::move(B)};
+  return N;
+}
+
+AssertPtr Assertion::conj(std::vector<AssertPtr> Kids) {
+  assert(!Kids.empty() && "empty conjunction");
+  AssertPtr Acc = Kids.front();
+  for (size_t I = 1; I != Kids.size(); ++I)
+    Acc = conj(Acc, Kids[I]);
+  return Acc;
+}
+
+AssertPtr Assertion::disj(AssertPtr A, AssertPtr B) {
+  auto N = makeNode(AssertKind::Or);
+  N->Kids = {std::move(A), std::move(B)};
+  return N;
+}
+
+AssertPtr Assertion::implies(AssertPtr A, AssertPtr B) {
+  auto N = makeNode(AssertKind::Implies);
+  N->Kids = {std::move(A), std::move(B)};
+  return N;
+}
+
+DenseSubspace Assertion::evaluate(const CMem &Mem, size_t NumQubits) const {
+  switch (Kind) {
+  case AssertKind::BoolAtom:
+    return Bool->evaluateBool(Mem) ? DenseSubspace::full(NumQubits)
+                                   : DenseSubspace::zero(NumQubits);
+  case AssertKind::PauliAtom: {
+    bool Sign = PhaseBit && PhaseBit->evaluateBool(Mem);
+    return DenseSubspace::eigenspaceOf(Base, Sign);
+  }
+  case AssertKind::Not:
+    return Kids[0]->evaluate(Mem, NumQubits).complement();
+  case AssertKind::And:
+    return Kids[0]->evaluate(Mem, NumQubits)
+        .meet(Kids[1]->evaluate(Mem, NumQubits));
+  case AssertKind::Or:
+    return Kids[0]->evaluate(Mem, NumQubits)
+        .join(Kids[1]->evaluate(Mem, NumQubits));
+  case AssertKind::Implies:
+    return Kids[0]->evaluate(Mem, NumQubits)
+        .sasakiImplies(Kids[1]->evaluate(Mem, NumQubits));
+  }
+  unreachable("unknown AssertKind");
+}
+
+AssertPtr Assertion::substituteClassical(const AssertPtr &A,
+                                         const std::string &Var,
+                                         const CExprPtr &Replacement) {
+  auto Copy = std::make_shared<Assertion>(*A);
+  Copy->Bool = ClassicalExpr::substitute(A->Bool, Var, Replacement);
+  Copy->PhaseBit = ClassicalExpr::substitute(A->PhaseBit, Var, Replacement);
+  for (AssertPtr &Kid : Copy->Kids)
+    Kid = substituteClassical(Kid, Var, Replacement);
+  return Copy;
+}
+
+AssertPtr Assertion::conjugateInverse(const AssertPtr &A, GateKind Kind,
+                                      size_t Q0, size_t Q1) {
+  auto Copy = std::make_shared<Assertion>(*A);
+  if (A->Kind == AssertKind::PauliAtom) {
+    Copy->Base.conjugateInverse(Kind, Q0, Q1);
+    if (Copy->Base.signBit()) {
+      Copy->Base.negate();
+      Copy->PhaseBit = Copy->PhaseBit
+                           ? ClassicalExpr::logicalNot(Copy->PhaseBit)
+                           : ClassicalExpr::boolean(true);
+    }
+  }
+  for (AssertPtr &Kid : Copy->Kids)
+    Kid = conjugateInverse(Kid, Kind, Q0, Q1);
+  return Copy;
+}
+
+std::string Assertion::toString() const {
+  switch (Kind) {
+  case AssertKind::BoolAtom:
+    return Bool->toString();
+  case AssertKind::PauliAtom: {
+    std::string S;
+    if (PhaseBit)
+      S += "(-1)^(" + PhaseBit->toString() + ")";
+    return S + Base.toString();
+  }
+  case AssertKind::Not:
+    return "!(" + Kids[0]->toString() + ")";
+  case AssertKind::And:
+    return "(" + Kids[0]->toString() + " /\\ " + Kids[1]->toString() + ")";
+  case AssertKind::Or:
+    return "(" + Kids[0]->toString() + " \\/ " + Kids[1]->toString() + ")";
+  case AssertKind::Implies:
+    return "(" + Kids[0]->toString() + " => " + Kids[1]->toString() + ")";
+  }
+  unreachable("unknown AssertKind");
+}
+
+bool veriqec::satisfies(const std::vector<DenseBranch> &Branches,
+                        const AssertPtr &A, size_t NumQubits) {
+  for (const DenseBranch &B : Branches) {
+    if (B.State.isZero())
+      continue;
+    DenseSubspace S = A->evaluate(B.Mem, NumQubits);
+    if (!S.contains(B.State, 1e-7))
+      return false;
+  }
+  return true;
+}

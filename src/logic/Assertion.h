@@ -1,0 +1,87 @@
+//===- logic/Assertion.h - The assertion language of Section 3 --*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The hybrid classical-quantum assertion language of Definition 3.2:
+///   A ::= b | P | !A | A && A | A || A | A => A
+/// with Boolean atoms over the classical memory and Pauli atoms
+/// interpreted as +1-eigenspaces, connectives interpreted in Birkhoff-
+/// von Neumann quantum logic (meet / join / orthocomplement / Sasaki
+/// implication). The dense evaluator realizes J A K_m : CMem -> S(H) and
+/// the satisfaction relation of Definition 3.4, the ground truth used by
+/// the soundness harness.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_LOGIC_ASSERTION_H
+#define VERIQEC_LOGIC_ASSERTION_H
+
+#include "pauli/Pauli.h"
+#include "prog/ClassicalExpr.h"
+#include "sem/DenseSubspace.h"
+#include "sem/Interpreter.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace veriqec {
+
+enum class AssertKind : uint8_t {
+  BoolAtom,
+  PauliAtom, ///< (-1)^PhaseBit * Base, interpreted as its +1 eigenspace
+  Not,
+  And,
+  Or,
+  Implies, ///< Sasaki implication
+};
+
+class Assertion;
+using AssertPtr = std::shared_ptr<const Assertion>;
+
+/// Immutable assertion tree.
+class Assertion {
+public:
+  AssertKind Kind;
+  CExprPtr Bool;     ///< BoolAtom
+  Pauli Base;        ///< PauliAtom letters (+ sign)
+  CExprPtr PhaseBit; ///< PauliAtom sign: (-1)^PhaseBit (null = +)
+  std::vector<AssertPtr> Kids;
+
+  static AssertPtr boolAtom(CExprPtr B);
+  static AssertPtr pauliAtom(Pauli Base, CExprPtr PhaseBit = nullptr);
+  static AssertPtr logicalNot(AssertPtr A);
+  static AssertPtr conj(AssertPtr A, AssertPtr B);
+  static AssertPtr conj(std::vector<AssertPtr> Kids);
+  static AssertPtr disj(AssertPtr A, AssertPtr B);
+  static AssertPtr implies(AssertPtr A, AssertPtr B);
+
+  /// J A K_m as a subspace of the NumQubits-qubit space.
+  DenseSubspace evaluate(const CMem &Mem, size_t NumQubits) const;
+
+  /// Substitutes a classical expression for a variable in every Boolean
+  /// atom and phase bit (rule (Assign)).
+  static AssertPtr substituteClassical(const AssertPtr &A,
+                                       const std::string &Var,
+                                       const CExprPtr &Replacement);
+
+  /// Conjugates every Pauli atom in place: Base <- U^dagger Base U
+  /// (the unitary substitution rules of Fig. 3). Clifford gates only.
+  static AssertPtr conjugateInverse(const AssertPtr &A, GateKind Kind,
+                                    size_t Q0, size_t Q1 = ~size_t{0});
+
+  std::string toString() const;
+};
+
+/// Satisfaction (Definition 3.4) of an ensemble of program branches:
+/// groups branches by classical memory and checks that every branch
+/// state lies in J A K_m.
+bool satisfies(const std::vector<DenseBranch> &Branches, const AssertPtr &A,
+               size_t NumQubits);
+
+} // namespace veriqec
+
+#endif // VERIQEC_LOGIC_ASSERTION_H

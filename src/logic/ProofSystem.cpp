@@ -1,0 +1,246 @@
+//===- logic/ProofSystem.cpp - Hilbert-style assertion proofs --------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/ProofSystem.h"
+
+#include "support/Assert.h"
+
+using namespace veriqec;
+
+namespace {
+
+/// Structural equality of assertion trees (pointer-free).
+bool sameAssertion(const AssertPtr &A, const AssertPtr &B) {
+  if (A == B)
+    return true;
+  if (!A || !B || A->Kind != B->Kind)
+    return false;
+  switch (A->Kind) {
+  case AssertKind::BoolAtom:
+    return A->Bool->toString() == B->Bool->toString();
+  case AssertKind::PauliAtom: {
+    if (!(A->Base == B->Base))
+      return false;
+    bool HasA = A->PhaseBit != nullptr, HasB = B->PhaseBit != nullptr;
+    if (HasA != HasB)
+      return false;
+    return !HasA || A->PhaseBit->toString() == B->PhaseBit->toString();
+  }
+  default:
+    if (A->Kids.size() != B->Kids.size())
+      return false;
+    for (size_t I = 0; I != A->Kids.size(); ++I)
+      if (!sameAssertion(A->Kids[I], B->Kids[I]))
+        return false;
+    return true;
+  }
+}
+
+} // namespace
+
+bool Derivation::structurallyValid(const ProofStep &Step) {
+  auto premise = [&](size_t I) -> const Sequent & {
+    return Steps[Step.Premises[I]].Result;
+  };
+  auto needPremises = [&](size_t Count) {
+    if (Step.Premises.size() != Count) {
+      LastError = "wrong premise count";
+      return false;
+    }
+    for (size_t P : Step.Premises)
+      if (P >= Steps.size()) {
+        LastError = "premise index out of range";
+        return false;
+      }
+    return true;
+  };
+
+  const Sequent &R = Step.Result;
+  switch (Step.Rule) {
+  case ProofRule::DoubleNegation:
+    // !!A |- A.
+    if (!needPremises(0))
+      return false;
+    if (R.Gamma->Kind != AssertKind::Not ||
+        R.Gamma->Kids[0]->Kind != AssertKind::Not ||
+        !sameAssertion(R.Gamma->Kids[0]->Kids[0], R.Conclusion)) {
+      LastError = "double-negation shape mismatch";
+      return false;
+    }
+    return true;
+  case ProofRule::Identity:
+    if (!needPremises(0))
+      return false;
+    if (!sameAssertion(R.Gamma, R.Conclusion)) {
+      LastError = "identity requires Gamma == A";
+      return false;
+    }
+    return true;
+  case ProofRule::TrueIntro:
+    if (!needPremises(0))
+      return false;
+    if (R.Conclusion->Kind != AssertKind::BoolAtom ||
+        !R.Conclusion->Bool->evaluateBool(CMem{})) {
+      LastError = "conclusion must be the true atom";
+      return false;
+    }
+    return true;
+  case ProofRule::FalseElim:
+    if (!needPremises(0))
+      return false;
+    if (R.Gamma->Kind != AssertKind::BoolAtom ||
+        R.Gamma->Bool->evaluateBool(CMem{})) {
+      LastError = "context must be the false atom";
+      return false;
+    }
+    return true;
+  case ProofRule::AndIntro: {
+    if (!needPremises(2))
+      return false;
+    const Sequent &P0 = premise(0), &P1 = premise(1);
+    if (!sameAssertion(P0.Gamma, R.Gamma) ||
+        !sameAssertion(P1.Gamma, R.Gamma) ||
+        R.Conclusion->Kind != AssertKind::And ||
+        !sameAssertion(R.Conclusion->Kids[0], P0.Conclusion) ||
+        !sameAssertion(R.Conclusion->Kids[1], P1.Conclusion)) {
+      LastError = "and-intro shape mismatch";
+      return false;
+    }
+    return true;
+  }
+  case ProofRule::AndElim: {
+    if (!needPremises(1))
+      return false;
+    const Sequent &P = premise(0);
+    if (P.Conclusion->Kind != AssertKind::And ||
+        !sameAssertion(P.Gamma, R.Gamma) ||
+        !sameAssertion(P.Conclusion->Kids[Step.Which ? 1 : 0],
+                       R.Conclusion)) {
+      LastError = "and-elim shape mismatch";
+      return false;
+    }
+    return true;
+  }
+  case ProofRule::Weaken: {
+    // From A |- B derive (G && A) |- B.
+    if (!needPremises(1))
+      return false;
+    const Sequent &P = premise(0);
+    if (R.Gamma->Kind != AssertKind::And ||
+        !sameAssertion(R.Gamma->Kids[1], P.Gamma) ||
+        !sameAssertion(R.Conclusion, P.Conclusion)) {
+      LastError = "weaken shape mismatch";
+      return false;
+    }
+    return true;
+  }
+  case ProofRule::OrElim: {
+    if (!needPremises(2))
+      return false;
+    const Sequent &P0 = premise(0), &P1 = premise(1);
+    if (R.Gamma->Kind != AssertKind::Or ||
+        !sameAssertion(R.Gamma->Kids[0], P0.Gamma) ||
+        !sameAssertion(R.Gamma->Kids[1], P1.Gamma) ||
+        !sameAssertion(P0.Conclusion, R.Conclusion) ||
+        !sameAssertion(P1.Conclusion, R.Conclusion)) {
+      LastError = "or-elim shape mismatch";
+      return false;
+    }
+    return true;
+  }
+  case ProofRule::OrIntro: {
+    if (!needPremises(1))
+      return false;
+    const Sequent &P = premise(0);
+    if (R.Conclusion->Kind != AssertKind::Or ||
+        !sameAssertion(P.Gamma, R.Gamma) ||
+        !sameAssertion(R.Conclusion->Kids[Step.Which ? 1 : 0],
+                       P.Conclusion)) {
+      LastError = "or-intro shape mismatch";
+      return false;
+    }
+    return true;
+  }
+  case ProofRule::ModusPonens: {
+    // From A |- B => C and A |- B conclude A |- C.
+    if (!needPremises(2))
+      return false;
+    const Sequent &Imp = premise(0), &Arg = premise(1);
+    if (Imp.Conclusion->Kind != AssertKind::Implies ||
+        !sameAssertion(Imp.Gamma, R.Gamma) ||
+        !sameAssertion(Arg.Gamma, R.Gamma) ||
+        !sameAssertion(Imp.Conclusion->Kids[0], Arg.Conclusion) ||
+        !sameAssertion(Imp.Conclusion->Kids[1], R.Conclusion)) {
+      LastError = "modus-ponens shape mismatch";
+      return false;
+    }
+    return true;
+  }
+  case ProofRule::SasakiIntro: {
+    // From (A && B) |- C, with A C B, conclude A |- B => C. The
+    // commutativity side condition is discharged by checkSemantics.
+    if (!needPremises(1))
+      return false;
+    const Sequent &P = premise(0);
+    if (P.Gamma->Kind != AssertKind::And ||
+        R.Conclusion->Kind != AssertKind::Implies ||
+        !sameAssertion(P.Gamma->Kids[0], R.Gamma) ||
+        !sameAssertion(P.Gamma->Kids[1], R.Conclusion->Kids[0]) ||
+        !sameAssertion(P.Conclusion, R.Conclusion->Kids[1])) {
+      LastError = "sasaki-intro shape mismatch";
+      return false;
+    }
+    return true;
+  }
+  }
+  unreachable("unknown ProofRule");
+}
+
+std::optional<size_t> Derivation::addStep(ProofStep Step) {
+  if (!structurallyValid(Step))
+    return std::nullopt;
+  Steps.push_back(std::move(Step));
+  return Steps.size() - 1;
+}
+
+std::optional<size_t>
+Derivation::checkSemantics(const std::vector<CMem> &Mems) const {
+  for (size_t I = 0; I != Steps.size(); ++I) {
+    const ProofStep &S = Steps[I];
+    if (!entailsSemantically(S.Result.Gamma, S.Result.Conclusion, Mems, N))
+      return I;
+    if (S.Rule == ProofRule::SasakiIntro) {
+      const Sequent &P = Steps[S.Premises[0]].Result;
+      if (!commuteSemantically(P.Gamma->Kids[0], P.Gamma->Kids[1], Mems, N))
+        return I;
+    }
+  }
+  return std::nullopt;
+}
+
+bool veriqec::entailsSemantically(const AssertPtr &A, const AssertPtr &B,
+                                  const std::vector<CMem> &Mems,
+                                  size_t NumQubits) {
+  for (const CMem &M : Mems)
+    if (!A->evaluate(M, NumQubits).isSubspaceOf(B->evaluate(M, NumQubits)))
+      return false;
+  return true;
+}
+
+bool veriqec::commuteSemantically(const AssertPtr &A, const AssertPtr &B,
+                                  const std::vector<CMem> &Mems,
+                                  size_t NumQubits) {
+  for (const CMem &M : Mems) {
+    DenseSubspace SA = A->evaluate(M, NumQubits);
+    DenseSubspace SB = B->evaluate(M, NumQubits);
+    // S commutes with T iff S = (S ^ T) v (S ^ T^perp).
+    DenseSubspace Rebuilt =
+        SA.meet(SB).join(SA.meet(SB.complement()));
+    if (!Rebuilt.equals(SA))
+      return false;
+  }
+  return true;
+}

@@ -1,0 +1,98 @@
+//===- logic/ProofSystem.h - Hilbert-style assertion proofs -----*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Hilbert-style proof system for the assertion logic (Fig. 11 /
+/// Appendix A.4): a checked derivation format for entailments
+/// Gamma |- A between assertions. Each inference is validated
+/// structurally when the derivation is built; the whole system is also
+/// validated against the dense quantum-logic semantics in the tests
+/// (rule-by-rule soundness on random instances). Rule 11 requires a
+/// commutativity side condition (A C B), discharged semantically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_LOGIC_PROOFSYSTEM_H
+#define VERIQEC_LOGIC_PROOFSYSTEM_H
+
+#include "logic/Assertion.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace veriqec {
+
+/// The eleven rules of Fig. 11.
+enum class ProofRule : uint8_t {
+  DoubleNegation, // 1.  !!A |- A
+  Identity,       // 2.  A |- A
+  TrueIntro,      // 3.  A |- true
+  FalseElim,      // 4.  false |- A
+  AndIntro,       // 5.  G|-A, G|-B  =>  G |- A && B
+  AndElim,        // 6.  G |- A1 && A2  =>  G |- Ai
+  Weaken,         // 7.  A |- B  =>  G && A |- B
+  OrElim,         // 8.  G|-A, G'|-A  =>  G || G' |- A
+  OrIntro,        // 9.  G |- Ai  =>  G |- A1 || A2
+  ModusPonens,    // 10. A |- B => C, A |- B  =>  A |- C
+  SasakiIntro,    // 11. A && B |- C, A C B  =>  A |- B => C
+};
+
+/// A sequent Gamma |- A (Gamma is a single assertion; conjunctions model
+/// multi-premise contexts, matching the paper's presentation).
+struct Sequent {
+  AssertPtr Gamma;
+  AssertPtr Conclusion;
+};
+
+/// One derivation step referencing earlier steps by index.
+struct ProofStep {
+  ProofRule Rule;
+  std::vector<size_t> Premises; ///< indices of earlier steps
+  Sequent Result;
+  /// For AndElim / OrIntro: which disjunct/conjunct (0 or 1).
+  int Which = 0;
+};
+
+/// A checked derivation. Steps are appended through rule constructors
+/// that validate the inference shape; check() additionally validates
+/// every step semantically on a list of classical memories.
+class Derivation {
+public:
+  explicit Derivation(size_t NumQubits) : N(NumQubits) {}
+
+  /// Appends a step; returns its index or nullopt (with LastError set)
+  /// if the inference is malformed.
+  std::optional<size_t> addStep(ProofStep Step);
+
+  size_t size() const { return Steps.size(); }
+  const ProofStep &step(size_t I) const { return Steps[I]; }
+  const std::string &lastError() const { return LastError; }
+
+  /// Semantic validation: for every step and memory, J Gamma K_m is
+  /// contained in J Conclusion K_m. \returns the first failing step.
+  std::optional<size_t> checkSemantics(const std::vector<CMem> &Mems) const;
+
+private:
+  bool structurallyValid(const ProofStep &Step);
+
+  size_t N;
+  std::vector<ProofStep> Steps;
+  std::string LastError;
+};
+
+/// Helper: semantic entailment J A K_m <= J B K_m for every memory.
+bool entailsSemantically(const AssertPtr &A, const AssertPtr &B,
+                         const std::vector<CMem> &Mems, size_t NumQubits);
+
+/// Helper: do A and B commute (as subspaces) on every memory? This is
+/// the side condition of rule 11.
+bool commuteSemantically(const AssertPtr &A, const AssertPtr &B,
+                         const std::vector<CMem> &Mems, size_t NumQubits);
+
+} // namespace veriqec
+
+#endif // VERIQEC_LOGIC_PROOFSYSTEM_H

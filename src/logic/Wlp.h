@@ -1,0 +1,42 @@
+//===- logic/Wlp.h - Backward proof-system rules of Fig. 3 ------*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The literal backward weakest-liberal-precondition transformer of the
+/// paper's proof system (Fig. 3): (Skip), (Init), (Assign), (Meas), the
+/// unitary substitution rules (U-X ... U-iSWAP), (Seq), (If) and the
+/// derived rules for guarded Pauli errors. Every rule except (While) and
+/// (Con) computes the exact wlp (Theorem A.11); soundness is
+/// machine-checked against the dense semantics by tests/soundness_test.cpp
+/// — the bounded-instance substitute for the paper's Coq development.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_LOGIC_WLP_H
+#define VERIQEC_LOGIC_WLP_H
+
+#include "logic/Assertion.h"
+#include "prog/Ast.h"
+
+#include <optional>
+#include <string>
+
+namespace veriqec {
+
+/// Result of a wlp computation: the precondition or the reason a
+/// construct is unsupported (T gates, while loops, decoder calls).
+struct WlpResult {
+  AssertPtr Pre;
+  std::string Error;
+  bool ok() const { return Pre != nullptr; }
+};
+
+/// Computes wlp.S.Post for a flattened program (Clifford fragment).
+WlpResult wlp(const StmtPtr &S, const AssertPtr &Post, size_t NumQubits);
+
+} // namespace veriqec
+
+#endif // VERIQEC_LOGIC_WLP_H

@@ -1,0 +1,107 @@
+//===- pauli/Gates.h - The paper's gate set ---------------------*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The unitary gate set of the paper's programming language (Section 4.1):
+/// single-qubit {X, Y, Z, H, S, T} and two-qubit {CNOT, CZ, iSWAP},
+/// extended with the inverses needed internally (Sdg, Tdg, iSWAPdg).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_PAULI_GATES_H
+#define VERIQEC_PAULI_GATES_H
+
+#include <cstdint>
+
+namespace veriqec {
+
+/// Gate identifiers for the Clifford+T set of the paper.
+enum class GateKind : uint8_t {
+  X,
+  Y,
+  Z,
+  H,
+  S,
+  Sdg,
+  T,
+  Tdg,
+  CNOT,
+  CZ,
+  ISWAP,
+  ISWAPdg,
+};
+
+/// True for two-qubit gates.
+inline bool isTwoQubitGate(GateKind K) {
+  return K == GateKind::CNOT || K == GateKind::CZ || K == GateKind::ISWAP ||
+         K == GateKind::ISWAPdg;
+}
+
+/// True for gates in the Clifford group (everything except T/Tdg).
+inline bool isCliffordGate(GateKind K) {
+  return K != GateKind::T && K != GateKind::Tdg;
+}
+
+/// The inverse gate.
+inline GateKind inverseGate(GateKind K) {
+  switch (K) {
+  case GateKind::S:
+    return GateKind::Sdg;
+  case GateKind::Sdg:
+    return GateKind::S;
+  case GateKind::T:
+    return GateKind::Tdg;
+  case GateKind::Tdg:
+    return GateKind::T;
+  case GateKind::ISWAP:
+    return GateKind::ISWAPdg;
+  case GateKind::ISWAPdg:
+    return GateKind::ISWAP;
+  case GateKind::X:
+  case GateKind::Y:
+  case GateKind::Z:
+  case GateKind::H:
+  case GateKind::CNOT:
+  case GateKind::CZ:
+    return K; // self-inverse
+  }
+  return K;
+}
+
+/// Printable mnemonic.
+inline const char *gateName(GateKind K) {
+  switch (K) {
+  case GateKind::X:
+    return "X";
+  case GateKind::Y:
+    return "Y";
+  case GateKind::Z:
+    return "Z";
+  case GateKind::H:
+    return "H";
+  case GateKind::S:
+    return "S";
+  case GateKind::Sdg:
+    return "Sdg";
+  case GateKind::T:
+    return "T";
+  case GateKind::Tdg:
+    return "Tdg";
+  case GateKind::CNOT:
+    return "CNOT";
+  case GateKind::CZ:
+    return "CZ";
+  case GateKind::ISWAP:
+    return "iSWAP";
+  case GateKind::ISWAPdg:
+    return "iSWAPdg";
+  }
+  return "?";
+}
+
+} // namespace veriqec
+
+#endif // VERIQEC_PAULI_GATES_H

@@ -1,0 +1,238 @@
+//===- pauli/Pauli.cpp - n-qubit Pauli operators --------------------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pauli/Pauli.h"
+
+#include "support/Assert.h"
+
+using namespace veriqec;
+
+Pauli Pauli::single(size_t NumQubits, size_t Qubit, PauliKind Kind) {
+  assert(Qubit < NumQubits && "qubit index out of range");
+  Pauli P(NumQubits);
+  P.setKind(Qubit, Kind);
+  if (Kind == PauliKind::Y)
+    P.PhaseExp = 1; // Y = i X Z
+  return P;
+}
+
+void Pauli::setKind(size_t Qubit, PauliKind Kind) {
+  X.set(Qubit, Kind == PauliKind::X || Kind == PauliKind::Y);
+  Z.set(Qubit, Kind == PauliKind::Z || Kind == PauliKind::Y);
+}
+
+std::optional<Pauli> Pauli::fromString(const std::string &Str) {
+  size_t Pos = 0;
+  uint8_t Phase = 0;
+  // Optional sign prefix: +, -, i, -i, +i.
+  if (Pos < Str.size() && (Str[Pos] == '+' || Str[Pos] == '-')) {
+    if (Str[Pos] == '-')
+      Phase = 2;
+    ++Pos;
+  }
+  if (Pos < Str.size() && Str[Pos] == 'i') {
+    Phase = (Phase + 1) & 3;
+    ++Pos;
+  }
+  std::string Letters = Str.substr(Pos);
+  Pauli P(Letters.size());
+  size_t NumY = 0;
+  for (size_t I = 0; I != Letters.size(); ++I) {
+    switch (Letters[I]) {
+    case 'I':
+      break;
+    case 'X':
+      P.setKind(I, PauliKind::X);
+      break;
+    case 'Y':
+      P.setKind(I, PauliKind::Y);
+      ++NumY;
+      break;
+    case 'Z':
+      P.setKind(I, PauliKind::Z);
+      break;
+    default:
+      return std::nullopt;
+    }
+  }
+  // The string denotes the literal letter product (each Y carries its own
+  // i), so the stored phase is the prefix plus one i per Y.
+  P.PhaseExp = static_cast<uint8_t>((Phase + NumY) & 3);
+  return P;
+}
+
+Pauli Pauli::operator*(const Pauli &Other) const {
+  assert(numQubits() == Other.numQubits() && "qubit count mismatch");
+  Pauli R(numQubits());
+  // Moving Other's X letters left past this operator's Z letters
+  // contributes (-1) per crossing: i^{2 * |Z1 & X2|}.
+  unsigned Cross = Z.dotParity(Other.X) ? 2u : 0u;
+  R.X = X ^ Other.X;
+  R.Z = Z ^ Other.Z;
+  R.PhaseExp = static_cast<uint8_t>((PhaseExp + Other.PhaseExp + Cross) & 3);
+  return R;
+}
+
+namespace {
+
+/// Image of one single-qubit generator (X_q or Z_q) under conjugation by a
+/// gate: letters on the (at most two) involved qubits plus a sign.
+struct LocalImage {
+  PauliKind OnQ0;
+  PauliKind OnQ1;
+  bool Negate;
+};
+
+/// Forward conjugation images F(P) = U P U^dagger for generators on the
+/// gate's qubits. Order of entries: X_{q0}, Z_{q0}, X_{q1}, Z_{q1}.
+/// Pauli gates (X/Y/Z) are handled separately (sign flips only).
+void forwardImages(GateKind K, LocalImage Images[4]) {
+  using PK = PauliKind;
+  auto set = [&](int Idx, PK A, PK B, bool Neg) {
+    Images[Idx] = {A, B, Neg};
+  };
+  switch (K) {
+  case GateKind::H:
+    set(0, PK::Z, PK::I, false); // X -> Z
+    set(1, PK::X, PK::I, false); // Z -> X
+    break;
+  case GateKind::S:
+    set(0, PK::Y, PK::I, false); // X -> Y
+    set(1, PK::Z, PK::I, false); // Z -> Z
+    break;
+  case GateKind::Sdg:
+    set(0, PK::Y, PK::I, true); // X -> -Y
+    set(1, PK::Z, PK::I, false);
+    break;
+  case GateKind::CNOT:
+    set(0, PK::X, PK::X, false); // Xc -> Xc Xt
+    set(1, PK::Z, PK::I, false); // Zc -> Zc
+    set(2, PK::I, PK::X, false); // Xt -> Xt
+    set(3, PK::Z, PK::Z, false); // Zt -> Zc Zt
+    break;
+  case GateKind::CZ:
+    set(0, PK::X, PK::Z, false); // Xa -> Xa Zb
+    set(1, PK::Z, PK::I, false);
+    set(2, PK::Z, PK::X, false); // Xb -> Za Xb
+    set(3, PK::I, PK::Z, false);
+    break;
+  case GateKind::ISWAP:
+    // Derived from the paper's (U-iSWAP) substitution rule by inversion;
+    // validated against dense matrices in tests/pauli_test.cpp.
+    set(0, PK::Z, PK::Y, true);  // Xa -> -Za Yb
+    set(1, PK::I, PK::Z, false); // Za -> Zb
+    set(2, PK::Y, PK::Z, true);  // Xb -> -Ya Zb
+    set(3, PK::Z, PK::I, false); // Zb -> Za
+    break;
+  case GateKind::ISWAPdg:
+    // The paper's backward substitution for iSWAP, used forward for the
+    // inverse gate.
+    set(0, PK::Z, PK::Y, false); // Xa -> Za Yb
+    set(1, PK::I, PK::Z, false); // Za -> Zb
+    set(2, PK::Y, PK::Z, false); // Xb -> Ya Zb
+    set(3, PK::Z, PK::I, false); // Zb -> Za
+    break;
+  default:
+    unreachable("forwardImages: not a non-Pauli Clifford gate");
+  }
+}
+
+} // namespace
+
+void Pauli::conjugate(GateKind Kind, size_t Q0, size_t Q1) {
+  assert(isCliffordGate(Kind) && "T-gate conjugation is not Pauli-closed");
+  assert(Q0 < numQubits() && "qubit out of range");
+  assert((!isTwoQubitGate(Kind) || (Q1 < numQubits() && Q1 != Q0)) &&
+         "two-qubit gate needs two distinct qubits");
+
+  // Pauli gates only flip signs of anticommuting letters.
+  if (Kind == GateKind::X || Kind == GateKind::Y || Kind == GateKind::Z) {
+    bool Xb = X.get(Q0), Zb = Z.get(Q0);
+    bool Anti = false;
+    if (Kind == GateKind::X)
+      Anti = Zb;
+    else if (Kind == GateKind::Z)
+      Anti = Xb;
+    else
+      Anti = Xb ^ Zb;
+    if (Anti)
+      negate();
+    return;
+  }
+
+  LocalImage Images[4];
+  forwardImages(Kind, Images);
+  bool TwoQubit = isTwoQubitGate(Kind);
+
+  // Factor out the local part: P = i^ph * Rest * Xq0^xa Zq0^za Xq1^xb Zq1^zb.
+  bool Xa = X.get(Q0), Za = Z.get(Q0);
+  bool Xb = TwoQubit && X.get(Q1), Zb = TwoQubit && Z.get(Q1);
+  X.set(Q0, false);
+  Z.set(Q0, false);
+  if (TwoQubit) {
+    X.set(Q1, false);
+    Z.set(Q1, false);
+  }
+
+  auto multiplyImage = [&](const LocalImage &Img) {
+    Pauli Im(numQubits());
+    if (Img.OnQ0 != PauliKind::I)
+      Im *= Pauli::single(numQubits(), Q0, Img.OnQ0);
+    if (TwoQubit && Img.OnQ1 != PauliKind::I)
+      Im *= Pauli::single(numQubits(), Q1, Img.OnQ1);
+    if (Img.Negate)
+      Im.negate();
+    *this *= Im;
+  };
+
+  if (Xa)
+    multiplyImage(Images[0]);
+  if (Za)
+    multiplyImage(Images[1]);
+  if (Xb)
+    multiplyImage(Images[2]);
+  if (Zb)
+    multiplyImage(Images[3]);
+}
+
+void Pauli::conjugateInverse(GateKind Kind, size_t Q0, size_t Q1) {
+  conjugate(inverseGate(Kind), Q0, Q1);
+}
+
+std::string Pauli::toString() const {
+  unsigned Rel = (PhaseExp + 4u - (yCount() & 3u)) & 3u;
+  std::string S;
+  switch (Rel) {
+  case 0:
+    break;
+  case 1:
+    S = "i";
+    break;
+  case 2:
+    S = "-";
+    break;
+  case 3:
+    S = "-i";
+    break;
+  }
+  for (size_t Q = 0, E = numQubits(); Q != E; ++Q) {
+    switch (kindAt(Q)) {
+    case PauliKind::I:
+      S.push_back('I');
+      break;
+    case PauliKind::X:
+      S.push_back('X');
+      break;
+    case PauliKind::Y:
+      S.push_back('Y');
+      break;
+    case PauliKind::Z:
+      S.push_back('Z');
+      break;
+    }
+  }
+  return S;
+}

@@ -1,0 +1,151 @@
+//===- pauli/Pauli.h - n-qubit Pauli operators ------------------*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// n-qubit Pauli strings in the symplectic (X/Z bit-row) representation
+/// with an i^k global phase, plus exact Clifford conjugation. This is the
+/// algebraic core shared by the assertion logic, the tableau simulator and
+/// the QEC code library.
+///
+/// Convention: a Pauli is  i^Phase * prod_q X_q^{x_q} Z_q^{z_q}.
+/// A single-qubit Y is stored as x=z=1, Phase=1 (Y = i X Z).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_PAULI_PAULI_H
+#define VERIQEC_PAULI_PAULI_H
+
+#include "pauli/Gates.h"
+#include "support/BitVector.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace veriqec {
+
+/// The four single-qubit Pauli letters.
+enum class PauliKind : uint8_t { I, X, Y, Z };
+
+/// An n-qubit Pauli operator with exact i^k phase tracking.
+class Pauli {
+public:
+  Pauli() = default;
+
+  /// The identity on \p NumQubits qubits.
+  explicit Pauli(size_t NumQubits)
+      : X(NumQubits), Z(NumQubits), PhaseExp(0) {}
+
+  /// A single Pauli letter \p Kind on qubit \p Qubit of an
+  /// \p NumQubits-qubit system.
+  static Pauli single(size_t NumQubits, size_t Qubit, PauliKind Kind);
+
+  /// Parses strings like "XIYZ" or "-XZZX" or "+iXY" (index 0 leftmost).
+  /// \returns nullopt on malformed input.
+  static std::optional<Pauli> fromString(const std::string &Str);
+
+  size_t numQubits() const { return X.size(); }
+
+  /// The Pauli letter on \p Qubit, ignoring the global phase.
+  PauliKind kindAt(size_t Qubit) const {
+    bool Xb = X.get(Qubit), Zb = Z.get(Qubit);
+    if (Xb && Zb)
+      return PauliKind::Y;
+    if (Xb)
+      return PauliKind::X;
+    if (Zb)
+      return PauliKind::Z;
+    return PauliKind::I;
+  }
+
+  /// Sets the letter on \p Qubit (adjusting only the x/z bits; the global
+  /// phase convention Y = iXZ is maintained through hermitian accessors).
+  void setKind(size_t Qubit, PauliKind Kind);
+
+  const BitVector &xBits() const { return X; }
+  const BitVector &zBits() const { return Z; }
+  uint8_t phaseExp() const { return PhaseExp; }
+
+  /// Number of qubits acted on non-trivially (the Hamming weight).
+  size_t weight() const { return (X | Z).count(); }
+
+  /// True if the operator is the identity up to phase.
+  bool isIdentityUpToPhase() const { return X.none() && Z.none(); }
+
+  /// True if the operator is exactly +I.
+  bool isIdentity() const { return isIdentityUpToPhase() && PhaseExp == 0; }
+
+  /// True if this operator is Hermitian (phase is +/-1 after accounting
+  /// for the i per Y letter).
+  bool isHermitian() const { return ((PhaseExp - yCount()) & 1) == 0; }
+
+  /// For a Hermitian Pauli: 0 if the sign is +, 1 if it is -.
+  bool signBit() const {
+    assert(isHermitian() && "sign of a non-Hermitian Pauli");
+    return ((PhaseExp - yCount()) & 3) == 2;
+  }
+
+  /// Flips the overall sign.
+  void negate() { PhaseExp = (PhaseExp + 2) & 3; }
+
+  /// The same letters with a + sign (Hermitian representative).
+  Pauli abs() const {
+    Pauli P = *this;
+    P.PhaseExp = static_cast<uint8_t>(P.yCount() & 3);
+    return P;
+  }
+
+  /// True if the two operators commute (phases are irrelevant).
+  bool commutesWith(const Pauli &Other) const {
+    return !(X.dotParity(Other.Z) ^ Z.dotParity(Other.X));
+  }
+
+  /// Operator product with exact phase tracking.
+  Pauli operator*(const Pauli &Other) const;
+  Pauli &operator*=(const Pauli &Other) {
+    *this = *this * Other;
+    return *this;
+  }
+
+  /// Letters-only equality (ignores the phase).
+  bool sameLetters(const Pauli &Other) const {
+    return X == Other.X && Z == Other.Z;
+  }
+
+  bool operator==(const Pauli &Other) const {
+    return sameLetters(Other) && PhaseExp == Other.PhaseExp;
+  }
+  bool operator!=(const Pauli &Other) const { return !(*this == Other); }
+
+  /// Conjugates in place by the Clifford gate \p Kind on \p Q0 (and \p Q1
+  /// for two-qubit gates): this <- U * this * U^dagger. \p Kind must be a
+  /// Clifford gate (not T); the assertion layer handles T separately.
+  void conjugate(GateKind Kind, size_t Q0, size_t Q1 = ~size_t{0});
+
+  /// Conjugates by the inverse gate: this <- U^dagger * this * U. This is
+  /// the substitution direction used by the backward wlp rules of Fig. 3.
+  void conjugateInverse(GateKind Kind, size_t Q0, size_t Q1 = ~size_t{0});
+
+  /// Renders e.g. "-XIYZ" ("+i"/"-i" prefixes appear for non-Hermitian
+  /// phases).
+  std::string toString() const;
+
+  /// Stable hash over letters and phase.
+  size_t hash() const {
+    return X.hash() * 31 + Z.hash() * 7 + PhaseExp;
+  }
+
+private:
+  size_t yCount() const { return X.andCount(Z); }
+
+  BitVector X;
+  BitVector Z;
+  uint8_t PhaseExp = 0; // exponent of i, mod 4
+};
+
+} // namespace veriqec
+
+#endif // VERIQEC_PAULI_PAULI_H

@@ -1,0 +1,99 @@
+//===- pauli/Tableau.cpp - Stabilizer tableau simulator -------------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pauli/Tableau.h"
+
+#include "support/Assert.h"
+
+using namespace veriqec;
+
+Tableau::Tableau(size_t NumQubits) : N(NumQubits) {
+  Stabs.reserve(N);
+  Destabs.reserve(N);
+  for (size_t Q = 0; Q != N; ++Q) {
+    Stabs.push_back(Pauli::single(N, Q, PauliKind::Z));
+    Destabs.push_back(Pauli::single(N, Q, PauliKind::X));
+  }
+}
+
+void Tableau::applyGate(GateKind Kind, size_t Q0, size_t Q1) {
+  assert(isCliffordGate(Kind) && "tableau cannot apply T");
+  for (Pauli &P : Stabs)
+    P.conjugate(Kind, Q0, Q1);
+  for (Pauli &P : Destabs)
+    P.conjugate(Kind, Q0, Q1);
+}
+
+void Tableau::applyPauli(const Pauli &P) {
+  assert(P.numQubits() == N && "qubit count mismatch");
+  for (Pauli &S : Stabs)
+    if (!S.commutesWith(P))
+      S.negate();
+  for (Pauli &D : Destabs)
+    if (!D.commutesWith(P))
+      D.negate();
+}
+
+std::optional<bool> Tableau::deterministicOutcome(const Pauli &P) const {
+  assert(P.numQubits() == N && "qubit count mismatch");
+  assert(P.isHermitian() && "measured Pauli must be Hermitian");
+  for (const Pauli &S : Stabs)
+    if (!S.commutesWith(P))
+      return std::nullopt;
+  // P commutes with the whole group: P = +/- product of the stabilizers
+  // whose destabilizer partners anticommute with P.
+  Pauli Acc(N);
+  for (size_t I = 0; I != N; ++I)
+    if (!Destabs[I].commutesWith(P))
+      Acc *= Stabs[I];
+  assert(Acc.sameLetters(P.abs()) || Acc.sameLetters(P) ||
+         (Acc.xBits() == P.xBits() && Acc.zBits() == P.zBits()));
+  assert(Acc.isHermitian());
+  return Acc.signBit() != P.signBit();
+}
+
+bool Tableau::measure(const Pauli &P, Rng &R, std::optional<bool> Forced) {
+  assert(P.numQubits() == N && "qubit count mismatch");
+  assert(P.isHermitian() && "measured Pauli must be Hermitian");
+
+  // Deterministic case.
+  if (std::optional<bool> Det = deterministicOutcome(P)) {
+    assert((!Forced || *Forced == *Det) &&
+           "postselected branch has probability zero");
+    return *Det;
+  }
+
+  // Random case: some stabilizer anticommutes with P.
+  size_t Anchor = N;
+  for (size_t I = 0; I != N; ++I)
+    if (!Stabs[I].commutesWith(P)) {
+      Anchor = I;
+      break;
+    }
+  assert(Anchor != N && "non-deterministic measurement needs an anchor");
+
+  Pauli OldStab = Stabs[Anchor];
+  // Every other anticommuting row absorbs the anchor stabilizer so it
+  // commutes with P afterwards.
+  for (size_t I = 0; I != N; ++I) {
+    if (I != Anchor && !Stabs[I].commutesWith(P))
+      Stabs[I] *= OldStab;
+    if (!Destabs[I].commutesWith(P))
+      Destabs[I] *= OldStab;
+  }
+  bool Outcome = Forced ? *Forced : R.nextBool();
+  Destabs[Anchor] = OldStab;
+  Stabs[Anchor] = P;
+  if (Outcome)
+    Stabs[Anchor].negate();
+  return Outcome;
+}
+
+void Tableau::reset(size_t Q, Rng &R) {
+  bool Outcome = measure(Pauli::single(N, Q, PauliKind::Z), R);
+  if (Outcome)
+    applyPauli(Pauli::single(N, Q, PauliKind::X));
+}

@@ -1,0 +1,262 @@
+//===- prog/Ast.cpp - QEC program abstract syntax --------------------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "prog/Ast.h"
+
+#include "support/Assert.h"
+
+using namespace veriqec;
+
+Pauli ProgPauli::resolve(size_t NumQubits, const CMem &Mem) const {
+  Pauli P(NumQubits);
+  for (const Factor &F : Factors) {
+    int64_t Q = F.QubitIndex->evaluate(Mem);
+    assert(Q >= 0 && static_cast<size_t>(Q) < NumQubits &&
+           "qubit index out of range");
+    // Repeated letters on one qubit multiply; resolve() only supports the
+    // common disjoint-factor form used by programs.
+    assert(P.kindAt(static_cast<size_t>(Q)) == PauliKind::I &&
+           "duplicate qubit in measured Pauli");
+    P.setKind(static_cast<size_t>(Q), F.Kind);
+  }
+  return P.abs();
+}
+
+std::string ProgPauli::toString() const {
+  std::string S;
+  if (PhaseBit)
+    S += "(-1)^(" + PhaseBit->toString() + ") ";
+  for (const Factor &F : Factors) {
+    switch (F.Kind) {
+    case PauliKind::X:
+      S += "X";
+      break;
+    case PauliKind::Y:
+      S += "Y";
+      break;
+    case PauliKind::Z:
+      S += "Z";
+      break;
+    case PauliKind::I:
+      S += "I";
+      break;
+    }
+    S += "[" + F.QubitIndex->toString() + "]";
+  }
+  return S;
+}
+
+namespace {
+std::shared_ptr<Stmt> makeStmt(StmtKind K) {
+  auto S = std::make_shared<Stmt>();
+  S->Kind = K;
+  return S;
+}
+} // namespace
+
+StmtPtr Stmt::skip() { return makeStmt(StmtKind::Skip); }
+
+StmtPtr Stmt::init(CExprPtr Qubit) {
+  auto S = makeStmt(StmtKind::Init);
+  S->Qubit0 = std::move(Qubit);
+  return S;
+}
+
+StmtPtr Stmt::unitary1(GateKind G, CExprPtr Qubit) {
+  assert(!isTwoQubitGate(G) && "unitary1 needs a single-qubit gate");
+  auto S = makeStmt(StmtKind::Unitary);
+  S->Gate = G;
+  S->Qubit0 = std::move(Qubit);
+  return S;
+}
+
+StmtPtr Stmt::unitary2(GateKind G, CExprPtr Q0, CExprPtr Q1) {
+  assert(isTwoQubitGate(G) && "unitary2 needs a two-qubit gate");
+  auto S = makeStmt(StmtKind::Unitary);
+  S->Gate = G;
+  S->Qubit0 = std::move(Q0);
+  S->Qubit1 = std::move(Q1);
+  return S;
+}
+
+StmtPtr Stmt::guardedGate(CExprPtr Guard, GateKind G, CExprPtr Qubit) {
+  assert(!isTwoQubitGate(G) && "guarded gates are single-qubit");
+  auto S = makeStmt(StmtKind::GuardedGate);
+  S->Guard = std::move(Guard);
+  S->Gate = G;
+  S->Qubit0 = std::move(Qubit);
+  return S;
+}
+
+StmtPtr Stmt::assign(std::string Var, CExprPtr Value) {
+  auto S = makeStmt(StmtKind::Assign);
+  S->Targets = {std::move(Var)};
+  S->Value = std::move(Value);
+  return S;
+}
+
+StmtPtr Stmt::measure(std::string Var, ProgPauli P) {
+  auto S = makeStmt(StmtKind::Measure);
+  S->Targets = {std::move(Var)};
+  S->Measured = std::move(P);
+  return S;
+}
+
+StmtPtr Stmt::decoderCall(std::vector<std::string> Outs, std::string Func,
+                          std::vector<CExprPtr> Ins) {
+  auto S = makeStmt(StmtKind::DecoderCall);
+  S->Targets = std::move(Outs);
+  S->DecoderName = std::move(Func);
+  S->Arguments = std::move(Ins);
+  return S;
+}
+
+StmtPtr Stmt::seq(std::vector<StmtPtr> Stmts) {
+  if (Stmts.size() == 1)
+    return Stmts.front();
+  auto S = makeStmt(StmtKind::Seq);
+  // Flatten nested sequences for canonical form.
+  for (StmtPtr &Child : Stmts) {
+    if (Child->Kind == StmtKind::Seq)
+      S->Body.insert(S->Body.end(), Child->Body.begin(), Child->Body.end());
+    else if (Child->Kind != StmtKind::Skip)
+      S->Body.push_back(std::move(Child));
+  }
+  if (S->Body.empty())
+    return skip();
+  if (S->Body.size() == 1)
+    return S->Body.front();
+  return S;
+}
+
+StmtPtr Stmt::ifElse(CExprPtr Cond, StmtPtr Then, StmtPtr Else) {
+  auto S = makeStmt(StmtKind::If);
+  S->Cond = std::move(Cond);
+  S->Body = {std::move(Then), std::move(Else)};
+  return S;
+}
+
+StmtPtr Stmt::whileLoop(CExprPtr Cond, StmtPtr BodyStmt) {
+  auto S = makeStmt(StmtKind::While);
+  S->Cond = std::move(Cond);
+  S->Body = {std::move(BodyStmt)};
+  return S;
+}
+
+StmtPtr Stmt::forLoop(std::string Var, CExprPtr Lo, CExprPtr Hi,
+                      StmtPtr BodyStmt) {
+  auto S = makeStmt(StmtKind::For);
+  S->LoopVar = std::move(Var);
+  S->LoopLo = std::move(Lo);
+  S->LoopHi = std::move(Hi);
+  S->Body = {std::move(BodyStmt)};
+  return S;
+}
+
+StmtPtr Stmt::substituteVar(const StmtPtr &S, const std::string &Name,
+                            const CExprPtr &Replacement) {
+  auto Sub = [&](const CExprPtr &E) {
+    return ClassicalExpr::substitute(E, Name, Replacement);
+  };
+  auto Copy = std::make_shared<Stmt>(*S);
+  Copy->Qubit0 = Sub(S->Qubit0);
+  Copy->Qubit1 = Sub(S->Qubit1);
+  Copy->Guard = Sub(S->Guard);
+  Copy->Value = Sub(S->Value);
+  Copy->Cond = Sub(S->Cond);
+  Copy->LoopLo = Sub(S->LoopLo);
+  Copy->LoopHi = Sub(S->LoopHi);
+  for (auto &F : Copy->Measured.Factors)
+    F.QubitIndex = Sub(F.QubitIndex);
+  Copy->Measured.PhaseBit = Sub(S->Measured.PhaseBit);
+  for (auto &A : Copy->Arguments)
+    A = Sub(A);
+  // Loop variables shadow: do not substitute inside a For that rebinds.
+  if (S->Kind == StmtKind::For && S->LoopVar == Name)
+    return Copy;
+  for (auto &Child : Copy->Body)
+    Child = substituteVar(Child, Name, Replacement);
+  return Copy;
+}
+
+StmtPtr Stmt::flatten(const StmtPtr &S) {
+  switch (S->Kind) {
+  case StmtKind::For: {
+    CMem Empty;
+    // Loop bounds must be closed after outer unrolling.
+    int64_t Lo = S->LoopLo->evaluate(Empty);
+    int64_t Hi = S->LoopHi->evaluate(Empty);
+    std::vector<StmtPtr> Unrolled;
+    for (int64_t I = Lo; I <= Hi; ++I) {
+      StmtPtr Iter = substituteVar(S->Body[0], S->LoopVar,
+                                   ClassicalExpr::constant(I));
+      Unrolled.push_back(flatten(Iter));
+    }
+    return seq(std::move(Unrolled));
+  }
+  case StmtKind::Seq: {
+    std::vector<StmtPtr> Out;
+    for (const StmtPtr &Child : S->Body)
+      Out.push_back(flatten(Child));
+    return seq(std::move(Out));
+  }
+  case StmtKind::If:
+    return ifElse(S->Cond, flatten(S->Body[0]), flatten(S->Body[1]));
+  case StmtKind::While:
+    return whileLoop(S->Cond, flatten(S->Body[0]));
+  default:
+    return S;
+  }
+}
+
+std::string Stmt::toString(size_t Indent) const {
+  std::string Pad(Indent, ' ');
+  switch (Kind) {
+  case StmtKind::Skip:
+    return Pad + "skip";
+  case StmtKind::Init:
+    return Pad + "q[" + Qubit0->toString() + "] := |0>";
+  case StmtKind::Unitary:
+    if (Qubit1)
+      return Pad + "q[" + Qubit0->toString() + "], q[" + Qubit1->toString() +
+             "] *= " + gateName(Gate);
+    return Pad + "q[" + Qubit0->toString() + "] *= " + gateName(Gate);
+  case StmtKind::GuardedGate:
+    return Pad + "[" + Guard->toString() + "] q[" + Qubit0->toString() +
+           "] *= " + gateName(Gate);
+  case StmtKind::Assign:
+    return Pad + Targets[0] + " := " + Value->toString();
+  case StmtKind::Measure:
+    return Pad + Targets[0] + " := meas[" + Measured.toString() + "]";
+  case StmtKind::DecoderCall: {
+    std::string Out = Pad;
+    for (size_t I = 0; I != Targets.size(); ++I)
+      Out += (I ? ", " : "") + Targets[I];
+    Out += " := " + DecoderName + "(";
+    for (size_t I = 0; I != Arguments.size(); ++I)
+      Out += (I ? ", " : "") + Arguments[I]->toString();
+    return Out + ")";
+  }
+  case StmtKind::Seq: {
+    std::string Out;
+    for (size_t I = 0; I != Body.size(); ++I)
+      Out += (I ? " #\n" : "") + Body[I]->toString(Indent);
+    return Out;
+  }
+  case StmtKind::If:
+    return Pad + "if " + Cond->toString() + " then\n" +
+           Body[0]->toString(Indent + 2) + "\n" + Pad + "else\n" +
+           Body[1]->toString(Indent + 2) + "\n" + Pad + "end";
+  case StmtKind::While:
+    return Pad + "while " + Cond->toString() + " do\n" +
+           Body[0]->toString(Indent + 2) + "\n" + Pad + "end";
+  case StmtKind::For:
+    return Pad + "for " + LoopVar + " in " + LoopLo->toString() + ".." +
+           LoopHi->toString() + " do\n" + Body[0]->toString(Indent + 2) +
+           "\n" + Pad + "end";
+  }
+  unreachable("unknown StmtKind");
+}

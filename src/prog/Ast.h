@@ -1,0 +1,127 @@
+//===- prog/Ast.h - QEC program abstract syntax -----------------*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The program syntax of Section 4.1:
+///   S ::= skip | q[i] := |0> | q[i] *= U1 | q[i],q[j] *= U2
+///       | x := e | x := meas[P] | S # S
+///       | if b then S else S end | while b do S end
+/// plus the paper's sugar: `for i in a..b do S end` (Table 1) and the
+/// guarded error `[b] q[i] *= U` (Section 4.2), and a decoder-call form
+/// `x1,...,xn := f(e1,...,em)` used by the correction step. Qubit indices
+/// may be expressions; `flatten` resolves loops and indices to constants.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_PROG_AST_H
+#define VERIQEC_PROG_AST_H
+
+#include "pauli/Gates.h"
+#include "pauli/Pauli.h"
+#include "prog/ClassicalExpr.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace veriqec {
+
+/// A Pauli expression appearing in a program: a Pauli-letter product over
+/// expression-indexed qubits with an optional (-1)^phase prefix
+/// (syntactic form of meas[(-1)^b Z_i] etc.).
+struct ProgPauli {
+  struct Factor {
+    PauliKind Kind;
+    CExprPtr QubitIndex;
+  };
+  std::vector<Factor> Factors;
+  CExprPtr PhaseBit; ///< null = + sign; else (-1)^PhaseBit
+
+  /// Resolves to a concrete Pauli of \p NumQubits qubits under \p Mem
+  /// (indices must evaluate to valid 0-based qubits). The phase bit is
+  /// returned separately.
+  Pauli resolve(size_t NumQubits, const CMem &Mem) const;
+  bool phaseBitValue(const CMem &Mem) const {
+    return PhaseBit && PhaseBit->evaluateBool(Mem);
+  }
+  std::string toString() const;
+};
+
+/// Statement kinds.
+enum class StmtKind : uint8_t {
+  Skip,
+  Init,        ///< q[i] := |0>
+  Unitary,     ///< q[i] *= U1  or  q[i],q[j] *= U2
+  GuardedGate, ///< [b] q[i] *= U (error-injection sugar)
+  Assign,      ///< x := e
+  Measure,     ///< x := meas[P]
+  DecoderCall, ///< x1,..,xn := f(e1,..,em)
+  Seq,         ///< S1 # S2 # ...
+  If,          ///< if b then S1 else S0 end
+  While,       ///< while b do S end
+  For,         ///< for i in a..b do S end (sugar)
+};
+
+struct Stmt;
+using StmtPtr = std::shared_ptr<const Stmt>;
+
+/// Immutable program statement tree.
+struct Stmt {
+  StmtKind Kind;
+
+  // Init / Unitary / GuardedGate.
+  GateKind Gate = GateKind::X;
+  CExprPtr Qubit0, Qubit1;
+  CExprPtr Guard; ///< GuardedGate only
+
+  // Assign / Measure / DecoderCall.
+  std::vector<std::string> Targets; ///< assigned variables
+  CExprPtr Value;                   ///< Assign rhs
+  ProgPauli Measured;               ///< Measure operand
+  std::string DecoderName;          ///< DecoderCall callee
+  std::vector<CExprPtr> Arguments;  ///< DecoderCall inputs
+
+  // Structured statements.
+  std::vector<StmtPtr> Body; ///< Seq children; If: {Then, Else}; While/For: {Body}
+  CExprPtr Cond;             ///< If/While guard
+  std::string LoopVar;       ///< For variable
+  CExprPtr LoopLo, LoopHi;   ///< For bounds (inclusive)
+
+  // -- Constructors ---------------------------------------------------------
+  static StmtPtr skip();
+  static StmtPtr init(CExprPtr Qubit);
+  static StmtPtr unitary1(GateKind G, CExprPtr Qubit);
+  static StmtPtr unitary2(GateKind G, CExprPtr Q0, CExprPtr Q1);
+  static StmtPtr guardedGate(CExprPtr Guard, GateKind G, CExprPtr Qubit);
+  static StmtPtr assign(std::string Var, CExprPtr Value);
+  static StmtPtr measure(std::string Var, ProgPauli P);
+  static StmtPtr decoderCall(std::vector<std::string> Outs, std::string Func,
+                             std::vector<CExprPtr> Ins);
+  static StmtPtr seq(std::vector<StmtPtr> Stmts);
+  static StmtPtr ifElse(CExprPtr Cond, StmtPtr Then, StmtPtr Else);
+  static StmtPtr whileLoop(CExprPtr Cond, StmtPtr Body);
+  static StmtPtr forLoop(std::string Var, CExprPtr Lo, CExprPtr Hi,
+                         StmtPtr Body);
+
+  /// Expands `for` loops (bounds must be constant after outer-loop
+  /// substitution) and resolves loop variables, producing a program whose
+  /// only structured nodes are Seq/If/While. Qubit indices that mention
+  /// loop variables become constants.
+  static StmtPtr flatten(const StmtPtr &S);
+
+  /// Substitutes \p Replacement for variable \p Name in all expressions
+  /// (used by flatten for loop unrolling).
+  static StmtPtr substituteVar(const StmtPtr &S, const std::string &Name,
+                               const CExprPtr &Replacement);
+
+  /// Pretty-prints in the paper's concrete syntax.
+  std::string toString(size_t Indent = 0) const;
+};
+
+} // namespace veriqec
+
+#endif // VERIQEC_PROG_AST_H

@@ -1,0 +1,186 @@
+//===- prog/ClassicalExpr.cpp - Classical program expressions -------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "prog/ClassicalExpr.h"
+
+#include "support/Assert.h"
+
+#include <algorithm>
+
+using namespace veriqec;
+
+namespace veriqec {
+/// Internal factory with access to the private constructor.
+struct CExprFactory {
+  static std::shared_ptr<ClassicalExpr> make(CExprKind K) {
+    return std::shared_ptr<ClassicalExpr>(new ClassicalExpr(K));
+  }
+};
+} // namespace veriqec
+
+namespace {
+
+CExprPtr makeBinary(CExprKind K, CExprPtr A, CExprPtr B) {
+  auto N = CExprFactory::make(K);
+  N->Lhs = std::move(A);
+  N->Rhs = std::move(B);
+  return N;
+}
+
+CExprPtr makeUnary(CExprKind K, CExprPtr A) {
+  auto N = CExprFactory::make(K);
+  N->Lhs = std::move(A);
+  return N;
+}
+
+} // namespace
+
+CExprPtr ClassicalExpr::constant(int64_t V) {
+  auto N = CExprFactory::make(CExprKind::Const);
+  N->Value = V;
+  return N;
+}
+
+CExprPtr ClassicalExpr::var(std::string Name) {
+  auto N = CExprFactory::make(CExprKind::Var);
+  N->Name = std::move(Name);
+  return N;
+}
+
+CExprPtr ClassicalExpr::neg(CExprPtr A) {
+  return makeUnary(CExprKind::Neg, std::move(A));
+}
+CExprPtr ClassicalExpr::add(CExprPtr A, CExprPtr B) {
+  return makeBinary(CExprKind::Add, std::move(A), std::move(B));
+}
+CExprPtr ClassicalExpr::mul(CExprPtr A, CExprPtr B) {
+  return makeBinary(CExprKind::Mul, std::move(A), std::move(B));
+}
+CExprPtr ClassicalExpr::eq(CExprPtr A, CExprPtr B) {
+  return makeBinary(CExprKind::Eq, std::move(A), std::move(B));
+}
+CExprPtr ClassicalExpr::le(CExprPtr A, CExprPtr B) {
+  return makeBinary(CExprKind::Le, std::move(A), std::move(B));
+}
+CExprPtr ClassicalExpr::logicalNot(CExprPtr A) {
+  return makeUnary(CExprKind::Not, std::move(A));
+}
+CExprPtr ClassicalExpr::logicalAnd(CExprPtr A, CExprPtr B) {
+  return makeBinary(CExprKind::And, std::move(A), std::move(B));
+}
+CExprPtr ClassicalExpr::logicalOr(CExprPtr A, CExprPtr B) {
+  return makeBinary(CExprKind::Or, std::move(A), std::move(B));
+}
+CExprPtr ClassicalExpr::implies(CExprPtr A, CExprPtr B) {
+  return makeBinary(CExprKind::Imp, std::move(A), std::move(B));
+}
+CExprPtr ClassicalExpr::parityXor(CExprPtr A, CExprPtr B) {
+  return makeBinary(CExprKind::Xor, std::move(A), std::move(B));
+}
+
+CExprPtr ClassicalExpr::sum(const std::vector<CExprPtr> &Terms) {
+  if (Terms.empty())
+    return constant(0);
+  CExprPtr Acc = Terms.front();
+  for (size_t I = 1; I != Terms.size(); ++I)
+    Acc = add(Acc, Terms[I]);
+  return Acc;
+}
+
+int64_t ClassicalExpr::evaluate(const CMem &Mem) const {
+  switch (Kind) {
+  case CExprKind::Const:
+    return Value;
+  case CExprKind::Var: {
+    auto It = Mem.find(Name);
+    return It == Mem.end() ? 0 : It->second;
+  }
+  case CExprKind::Neg:
+    return -Lhs->evaluate(Mem);
+  case CExprKind::Add:
+    return Lhs->evaluate(Mem) + Rhs->evaluate(Mem);
+  case CExprKind::Mul:
+    return Lhs->evaluate(Mem) * Rhs->evaluate(Mem);
+  case CExprKind::Eq:
+    return Lhs->evaluate(Mem) == Rhs->evaluate(Mem);
+  case CExprKind::Le:
+    return Lhs->evaluate(Mem) <= Rhs->evaluate(Mem);
+  case CExprKind::Not:
+    return !Lhs->evaluateBool(Mem);
+  case CExprKind::And:
+    return Lhs->evaluateBool(Mem) && Rhs->evaluateBool(Mem);
+  case CExprKind::Or:
+    return Lhs->evaluateBool(Mem) || Rhs->evaluateBool(Mem);
+  case CExprKind::Imp:
+    return !Lhs->evaluateBool(Mem) || Rhs->evaluateBool(Mem);
+  case CExprKind::Xor:
+    return Lhs->evaluateBool(Mem) != Rhs->evaluateBool(Mem);
+  }
+  unreachable("unknown CExprKind");
+}
+
+CExprPtr ClassicalExpr::substitute(const CExprPtr &E, const std::string &Name,
+                                   const CExprPtr &Replacement) {
+  if (!E)
+    return E;
+  switch (E->Kind) {
+  case CExprKind::Const:
+    return E;
+  case CExprKind::Var:
+    return E->Name == Name ? Replacement : E;
+  default: {
+    CExprPtr NewL = substitute(E->Lhs, Name, Replacement);
+    CExprPtr NewR = substitute(E->Rhs, Name, Replacement);
+    if (NewL == E->Lhs && NewR == E->Rhs)
+      return E;
+    if (!NewR)
+      return makeUnary(E->Kind, std::move(NewL));
+    return makeBinary(E->Kind, std::move(NewL), std::move(NewR));
+  }
+  }
+}
+
+void ClassicalExpr::collectVars(std::vector<std::string> &Out) const {
+  if (Kind == CExprKind::Var) {
+    if (std::find(Out.begin(), Out.end(), Name) == Out.end())
+      Out.push_back(Name);
+    return;
+  }
+  if (Lhs)
+    Lhs->collectVars(Out);
+  if (Rhs)
+    Rhs->collectVars(Out);
+}
+
+std::string ClassicalExpr::toString() const {
+  switch (Kind) {
+  case CExprKind::Const:
+    return std::to_string(Value);
+  case CExprKind::Var:
+    return Name;
+  case CExprKind::Neg:
+    return "-" + Lhs->toString();
+  case CExprKind::Add:
+    return "(" + Lhs->toString() + " + " + Rhs->toString() + ")";
+  case CExprKind::Mul:
+    return "(" + Lhs->toString() + " * " + Rhs->toString() + ")";
+  case CExprKind::Eq:
+    return "(" + Lhs->toString() + " == " + Rhs->toString() + ")";
+  case CExprKind::Le:
+    return "(" + Lhs->toString() + " <= " + Rhs->toString() + ")";
+  case CExprKind::Not:
+    return "!" + Lhs->toString();
+  case CExprKind::And:
+    return "(" + Lhs->toString() + " && " + Rhs->toString() + ")";
+  case CExprKind::Or:
+    return "(" + Lhs->toString() + " || " + Rhs->toString() + ")";
+  case CExprKind::Imp:
+    return "(" + Lhs->toString() + " -> " + Rhs->toString() + ")";
+  case CExprKind::Xor:
+    return "(" + Lhs->toString() + " ^ " + Rhs->toString() + ")";
+  }
+  unreachable("unknown CExprKind");
+}

@@ -1,0 +1,98 @@
+//===- prog/ClassicalExpr.h - Classical program expressions -----*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The classical integer/Boolean expression language of Appendix A.1:
+/// IExp: n | x | -a | a+a | a*a;  BExp: true | false | x | a==a | a<=a |
+/// !b | b&&b | b||b | b->b, with bool<->int coercion (true=1, false=0).
+/// Expressions are immutable shared trees; evaluation happens against a
+/// classical memory (CMem), substitution supports the (Assign) wlp rule.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_PROG_CLASSICALEXPR_H
+#define VERIQEC_PROG_CLASSICALEXPR_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace veriqec {
+
+/// Classical memory: variable name -> integer value (bools are 0/1).
+using CMem = std::map<std::string, int64_t>;
+
+/// Expression node kinds (integer- and bool-valued share one tree type;
+/// bools are canonically 0/1 integers, per the paper's coercion).
+enum class CExprKind : uint8_t {
+  Const, ///< integer literal
+  Var,   ///< program variable
+  Neg,   ///< -a
+  Add,   ///< a + b
+  Mul,   ///< a * b
+  Eq,    ///< a == b  (bool)
+  Le,    ///< a <= b  (bool)
+  Not,   ///< !b
+  And,   ///< b && c
+  Or,    ///< b || c
+  Imp,   ///< b -> c
+  Xor,   ///< b ^ c (mod-2 sum; ubiquitous in syndrome arithmetic)
+};
+
+class ClassicalExpr;
+using CExprPtr = std::shared_ptr<const ClassicalExpr>;
+
+/// Immutable classical expression tree.
+class ClassicalExpr {
+public:
+  CExprKind Kind;
+  int64_t Value = 0;   ///< for Const
+  std::string Name;    ///< for Var
+  CExprPtr Lhs, Rhs;   ///< children (Rhs null for unary)
+
+  static CExprPtr constant(int64_t V);
+  static CExprPtr boolean(bool B) { return constant(B ? 1 : 0); }
+  static CExprPtr var(std::string Name);
+  static CExprPtr neg(CExprPtr A);
+  static CExprPtr add(CExprPtr A, CExprPtr B);
+  static CExprPtr mul(CExprPtr A, CExprPtr B);
+  static CExprPtr eq(CExprPtr A, CExprPtr B);
+  static CExprPtr le(CExprPtr A, CExprPtr B);
+  static CExprPtr logicalNot(CExprPtr A);
+  static CExprPtr logicalAnd(CExprPtr A, CExprPtr B);
+  static CExprPtr logicalOr(CExprPtr A, CExprPtr B);
+  static CExprPtr implies(CExprPtr A, CExprPtr B);
+  static CExprPtr parityXor(CExprPtr A, CExprPtr B);
+
+  /// Sum of a list of expressions (0 for empty).
+  static CExprPtr sum(const std::vector<CExprPtr> &Terms);
+
+  /// Evaluates under \p Mem; unbound variables evaluate to 0.
+  int64_t evaluate(const CMem &Mem) const;
+
+  /// Boolean view of evaluate(): nonzero = true.
+  bool evaluateBool(const CMem &Mem) const { return evaluate(Mem) != 0; }
+
+  /// Capture-free substitution of \p Replacement for variable \p Name
+  /// (the engine of the (Assign) rule's A[e/x]).
+  static CExprPtr substitute(const CExprPtr &E, const std::string &Name,
+                             const CExprPtr &Replacement);
+
+  /// Collects the free variables into \p Out.
+  void collectVars(std::vector<std::string> &Out) const;
+
+  std::string toString() const;
+
+private:
+  ClassicalExpr(CExprKind K) : Kind(K) {}
+  friend struct CExprFactory;
+};
+
+} // namespace veriqec
+
+#endif // VERIQEC_PROG_CLASSICALEXPR_H

@@ -1,0 +1,679 @@
+//===- prog/Parser.cpp - Concrete syntax parser -----------------------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "prog/Parser.h"
+
+#include "support/Assert.h"
+
+#include <cctype>
+
+using namespace veriqec;
+
+namespace {
+
+enum class TokKind : uint8_t {
+  End,
+  Ident,
+  Number,
+  KwSkip,
+  KwIf,
+  KwThen,
+  KwElse,
+  KwEnd,
+  KwWhile,
+  KwDo,
+  KwFor,
+  KwIn,
+  KwMeas,
+  KwTrue,
+  KwFalse,
+  Ket0,      // |0>
+  Assign,    // :=
+  MulAssign, // *=
+  LBracket,
+  RBracket,
+  LParen,
+  RParen,
+  Comma,
+  Hash, // statement separator (also ';')
+  DotDot,
+  Plus,
+  Minus,
+  Star,
+  Caret,
+  Bang,
+  AndAnd,
+  OrOr,
+  Arrow, // ->
+  EqEq,
+  Le,
+  PhasePrefix, // (-1)^
+};
+
+struct Token {
+  TokKind Kind;
+  std::string Text;
+  int64_t Number = 0;
+  size_t Line = 1, Column = 1;
+};
+
+/// Hand-written lexer producing the full token stream up front.
+class Lexer {
+public:
+  explicit Lexer(const std::string &Source) : Src(Source) {}
+
+  std::variant<std::vector<Token>, ParseError> run() {
+    std::vector<Token> Out;
+    while (true) {
+      skipSpace();
+      if (Pos >= Src.size()) {
+        Out.push_back({TokKind::End, "", 0, Line, Col});
+        return Out;
+      }
+      size_t TokLine = Line, TokCol = Col;
+      char C = Src[Pos];
+      auto push = [&](TokKind K, size_t Len) {
+        Out.push_back({K, Src.substr(Pos, Len), 0, TokLine, TokCol});
+        advance(Len);
+      };
+      if (std::isalpha(static_cast<unsigned char>(C)) || C == '_') {
+        size_t Start = Pos;
+        while (Pos < Src.size() &&
+               (std::isalnum(static_cast<unsigned char>(Src[Pos])) ||
+                Src[Pos] == '_'))
+          advance(1);
+        std::string Word = Src.substr(Start, Pos - Start);
+        TokKind K = keywordOf(Word);
+        Out.push_back({K, Word, 0, TokLine, TokCol});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(C))) {
+        size_t Start = Pos;
+        while (Pos < Src.size() &&
+               std::isdigit(static_cast<unsigned char>(Src[Pos])))
+          advance(1);
+        Token T{TokKind::Number, Src.substr(Start, Pos - Start), 0, TokLine,
+                TokCol};
+        T.Number = std::stoll(T.Text);
+        Out.push_back(T);
+        continue;
+      }
+      if (startsWith("(-1)^")) {
+        push(TokKind::PhasePrefix, 5);
+        continue;
+      }
+      if (startsWith("|0>")) {
+        push(TokKind::Ket0, 3);
+        continue;
+      }
+      if (startsWith(":=")) {
+        push(TokKind::Assign, 2);
+        continue;
+      }
+      if (startsWith("*=")) {
+        push(TokKind::MulAssign, 2);
+        continue;
+      }
+      if (startsWith("..")) {
+        push(TokKind::DotDot, 2);
+        continue;
+      }
+      if (startsWith("&&")) {
+        push(TokKind::AndAnd, 2);
+        continue;
+      }
+      if (startsWith("||")) {
+        push(TokKind::OrOr, 2);
+        continue;
+      }
+      if (startsWith("->")) {
+        push(TokKind::Arrow, 2);
+        continue;
+      }
+      if (startsWith("==")) {
+        push(TokKind::EqEq, 2);
+        continue;
+      }
+      if (startsWith("<=")) {
+        push(TokKind::Le, 2);
+        continue;
+      }
+      switch (C) {
+      case '[':
+        push(TokKind::LBracket, 1);
+        continue;
+      case ']':
+        push(TokKind::RBracket, 1);
+        continue;
+      case '(':
+        push(TokKind::LParen, 1);
+        continue;
+      case ')':
+        push(TokKind::RParen, 1);
+        continue;
+      case ',':
+        push(TokKind::Comma, 1);
+        continue;
+      case '#':
+      case ';':
+        push(TokKind::Hash, 1);
+        continue;
+      case '+':
+        push(TokKind::Plus, 1);
+        continue;
+      case '-':
+        push(TokKind::Minus, 1);
+        continue;
+      case '*':
+        push(TokKind::Star, 1);
+        continue;
+      case '^':
+        push(TokKind::Caret, 1);
+        continue;
+      case '!':
+        push(TokKind::Bang, 1);
+        continue;
+      default:
+        return ParseError{std::string("unexpected character '") + C + "'",
+                          TokLine, TokCol};
+      }
+    }
+  }
+
+private:
+  static TokKind keywordOf(const std::string &W) {
+    if (W == "skip")
+      return TokKind::KwSkip;
+    if (W == "if")
+      return TokKind::KwIf;
+    if (W == "then")
+      return TokKind::KwThen;
+    if (W == "else")
+      return TokKind::KwElse;
+    if (W == "end")
+      return TokKind::KwEnd;
+    if (W == "while")
+      return TokKind::KwWhile;
+    if (W == "do")
+      return TokKind::KwDo;
+    if (W == "for")
+      return TokKind::KwFor;
+    if (W == "in")
+      return TokKind::KwIn;
+    if (W == "meas")
+      return TokKind::KwMeas;
+    if (W == "true")
+      return TokKind::KwTrue;
+    if (W == "false")
+      return TokKind::KwFalse;
+    return TokKind::Ident;
+  }
+
+  bool startsWith(const char *S) const {
+    return Src.compare(Pos, std::string::traits_type::length(S), S) == 0;
+  }
+
+  void skipSpace() {
+    while (Pos < Src.size()) {
+      char C = Src[Pos];
+      if (C == '/' && Pos + 1 < Src.size() && Src[Pos + 1] == '/') {
+        while (Pos < Src.size() && Src[Pos] != '\n')
+          advance(1);
+        continue;
+      }
+      if (C != ' ' && C != '\t' && C != '\r' && C != '\n')
+        return;
+      advance(1);
+    }
+  }
+
+  void advance(size_t Len) {
+    for (size_t I = 0; I != Len && Pos < Src.size(); ++I, ++Pos) {
+      if (Src[Pos] == '\n') {
+        ++Line;
+        Col = 1;
+      } else {
+        ++Col;
+      }
+    }
+  }
+
+  const std::string &Src;
+  size_t Pos = 0;
+  size_t Line = 1, Col = 1;
+};
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+public:
+  explicit Parser(std::vector<Token> Tokens) : Toks(std::move(Tokens)) {}
+
+  ParseResult parseProgramTop() {
+    StmtPtr P = parseSequence();
+    if (Failed)
+      return Error;
+    if (!at(TokKind::End)) {
+      fail("trailing input after program");
+      return Error;
+    }
+    return P;
+  }
+
+  std::variant<CExprPtr, ParseError> parseExprTop() {
+    CExprPtr E = parseBoolExpr();
+    if (Failed)
+      return Error;
+    if (!at(TokKind::End)) {
+      fail("trailing input after expression");
+      return Error;
+    }
+    return E;
+  }
+
+private:
+  // -- Statements -----------------------------------------------------------
+
+  StmtPtr parseSequence(bool StopAtKeyword = false) {
+    std::vector<StmtPtr> Stmts;
+    while (!Failed) {
+      Stmts.push_back(parseStatement());
+      if (Failed)
+        break;
+      if (at(TokKind::Hash)) {
+        consume();
+        // Allow a trailing separator before a closing keyword.
+        if (at(TokKind::End) || at(TokKind::KwEnd) || at(TokKind::KwElse))
+          break;
+        continue;
+      }
+      break;
+    }
+    (void)StopAtKeyword;
+    if (Failed)
+      return Stmt::skip();
+    return Stmt::seq(std::move(Stmts));
+  }
+
+  StmtPtr parseStatement() {
+    if (at(TokKind::KwSkip)) {
+      consume();
+      return Stmt::skip();
+    }
+    if (at(TokKind::KwIf))
+      return parseIf();
+    if (at(TokKind::KwWhile))
+      return parseWhile();
+    if (at(TokKind::KwFor))
+      return parseFor();
+    if (at(TokKind::LBracket))
+      return parseGuardedGate();
+    if (at(TokKind::Ident) && peek().Text == "q")
+      return parseQubitStatement();
+    if (at(TokKind::Ident))
+      return parseAssignLike();
+    fail("expected a statement");
+    return Stmt::skip();
+  }
+
+  StmtPtr parseIf() {
+    expect(TokKind::KwIf, "if");
+    CExprPtr Cond = parseBoolExpr();
+    expect(TokKind::KwThen, "then");
+    StmtPtr Then = parseSequence();
+    expect(TokKind::KwElse, "else");
+    StmtPtr Else = parseSequence();
+    expect(TokKind::KwEnd, "end");
+    return Stmt::ifElse(std::move(Cond), std::move(Then), std::move(Else));
+  }
+
+  StmtPtr parseWhile() {
+    expect(TokKind::KwWhile, "while");
+    CExprPtr Cond = parseBoolExpr();
+    expect(TokKind::KwDo, "do");
+    StmtPtr Body = parseSequence();
+    expect(TokKind::KwEnd, "end");
+    return Stmt::whileLoop(std::move(Cond), std::move(Body));
+  }
+
+  StmtPtr parseFor() {
+    expect(TokKind::KwFor, "for");
+    std::string Var = expectIdent();
+    expect(TokKind::KwIn, "in");
+    CExprPtr Lo = parseIntExpr();
+    expect(TokKind::DotDot, "..");
+    CExprPtr Hi = parseIntExpr();
+    expect(TokKind::KwDo, "do");
+    StmtPtr Body = parseSequence();
+    expect(TokKind::KwEnd, "end");
+    return Stmt::forLoop(std::move(Var), std::move(Lo), std::move(Hi),
+                         std::move(Body));
+  }
+
+  StmtPtr parseGuardedGate() {
+    expect(TokKind::LBracket, "[");
+    CExprPtr Guard = parseBoolExpr();
+    expect(TokKind::RBracket, "]");
+    CExprPtr Q = parseQubitRef();
+    expect(TokKind::MulAssign, "*=");
+    GateKind G = parseGateName(false);
+    return Stmt::guardedGate(std::move(Guard), G, std::move(Q));
+  }
+
+  StmtPtr parseQubitStatement() {
+    CExprPtr Q0 = parseQubitRef();
+    if (at(TokKind::Comma)) {
+      consume();
+      CExprPtr Q1 = parseQubitRef();
+      expect(TokKind::MulAssign, "*=");
+      GateKind G = parseGateName(true);
+      return Stmt::unitary2(G, std::move(Q0), std::move(Q1));
+    }
+    if (at(TokKind::Assign)) {
+      consume();
+      expect(TokKind::Ket0, "|0>");
+      return Stmt::init(std::move(Q0));
+    }
+    expect(TokKind::MulAssign, "*=");
+    GateKind G = parseGateName(false);
+    return Stmt::unitary1(G, std::move(Q0));
+  }
+
+  StmtPtr parseAssignLike() {
+    std::vector<std::string> Targets{expectIdent()};
+    while (at(TokKind::Comma)) {
+      consume();
+      Targets.push_back(expectIdent());
+    }
+    expect(TokKind::Assign, ":=");
+    if (at(TokKind::KwMeas)) {
+      consume();
+      expect(TokKind::LBracket, "[");
+      ProgPauli P = parsePauli();
+      expect(TokKind::RBracket, "]");
+      if (Targets.size() != 1) {
+        fail("measurement assigns exactly one variable");
+        return Stmt::skip();
+      }
+      return Stmt::measure(Targets[0], std::move(P));
+    }
+    // Decoder call: ident '(' args ')'.
+    if (at(TokKind::Ident) && peekAhead(1).Kind == TokKind::LParen) {
+      std::string Func = expectIdent();
+      expect(TokKind::LParen, "(");
+      std::vector<CExprPtr> Args;
+      if (!at(TokKind::RParen)) {
+        Args.push_back(parseIntExpr());
+        while (at(TokKind::Comma)) {
+          consume();
+          Args.push_back(parseIntExpr());
+        }
+      }
+      expect(TokKind::RParen, ")");
+      return Stmt::decoderCall(std::move(Targets), std::move(Func),
+                               std::move(Args));
+    }
+    if (Targets.size() != 1) {
+      fail("plain assignment has exactly one target");
+      return Stmt::skip();
+    }
+    CExprPtr Value = parseBoolExpr();
+    return Stmt::assign(Targets[0], std::move(Value));
+  }
+
+  CExprPtr parseQubitRef() {
+    Token T = peek();
+    if (!(at(TokKind::Ident) && T.Text == "q")) {
+      fail("expected qubit reference q[...]");
+      return ClassicalExpr::constant(0);
+    }
+    consume();
+    expect(TokKind::LBracket, "[");
+    CExprPtr Idx = parseIntExpr();
+    expect(TokKind::RBracket, "]");
+    return Idx;
+  }
+
+  GateKind parseGateName(bool TwoQubit) {
+    std::string Name = expectIdent();
+    struct Entry {
+      const char *Name;
+      GateKind Kind;
+    };
+    static const Entry Table[] = {
+        {"X", GateKind::X},         {"Y", GateKind::Y},
+        {"Z", GateKind::Z},         {"H", GateKind::H},
+        {"S", GateKind::S},         {"Sdg", GateKind::Sdg},
+        {"T", GateKind::T},         {"Tdg", GateKind::Tdg},
+        {"CNOT", GateKind::CNOT},   {"CZ", GateKind::CZ},
+        {"iSWAP", GateKind::ISWAP}, {"iSWAPdg", GateKind::ISWAPdg},
+    };
+    for (const Entry &E : Table)
+      if (Name == E.Name) {
+        if (isTwoQubitGate(E.Kind) != TwoQubit) {
+          fail(std::string("gate ") + Name + " has the wrong arity here");
+          break;
+        }
+        return E.Kind;
+      }
+    if (!Failed)
+      fail("unknown gate '" + Name + "'");
+    // Arity-correct placeholder so recovery paths stay well-formed.
+    return TwoQubit ? GateKind::CNOT : GateKind::X;
+  }
+
+  ProgPauli parsePauli() {
+    ProgPauli P;
+    if (at(TokKind::PhasePrefix)) {
+      consume();
+      expect(TokKind::LParen, "(");
+      P.PhaseBit = parseBoolExpr();
+      expect(TokKind::RParen, ")");
+    }
+    while (at(TokKind::Ident) && !Failed) {
+      std::string L = peek().Text;
+      PauliKind K;
+      if (L == "X")
+        K = PauliKind::X;
+      else if (L == "Y")
+        K = PauliKind::Y;
+      else if (L == "Z")
+        K = PauliKind::Z;
+      else
+        break;
+      consume();
+      expect(TokKind::LBracket, "[");
+      CExprPtr Idx = parseIntExpr();
+      expect(TokKind::RBracket, "]");
+      P.Factors.push_back({K, std::move(Idx)});
+    }
+    if (P.Factors.empty())
+      fail("expected a Pauli expression");
+    return P;
+  }
+
+  // -- Expressions ----------------------------------------------------------
+  // bool := imp; imp := or ('->' imp)?; or := and ('||' and)*;
+  // and := xor ('&&' xor)*; xor := cmp ('^' cmp)*;
+  // cmp := int (('=='|'<=') int)?; int := term (('+'|'-') term)*;
+  // term := factor ('*' factor)*; factor := NUM | IDENT | '(' bool ')'
+  //       | '-' factor | '!' factor | 'true' | 'false'
+
+  CExprPtr parseBoolExpr() {
+    CExprPtr L = parseOr();
+    if (at(TokKind::Arrow)) {
+      consume();
+      CExprPtr R = parseBoolExpr();
+      return ClassicalExpr::implies(std::move(L), std::move(R));
+    }
+    return L;
+  }
+
+  CExprPtr parseOr() {
+    CExprPtr L = parseAnd();
+    while (at(TokKind::OrOr)) {
+      consume();
+      L = ClassicalExpr::logicalOr(std::move(L), parseAnd());
+    }
+    return L;
+  }
+
+  CExprPtr parseAnd() {
+    CExprPtr L = parseXor();
+    while (at(TokKind::AndAnd)) {
+      consume();
+      L = ClassicalExpr::logicalAnd(std::move(L), parseXor());
+    }
+    return L;
+  }
+
+  CExprPtr parseXor() {
+    CExprPtr L = parseCompare();
+    while (at(TokKind::Caret)) {
+      consume();
+      L = ClassicalExpr::parityXor(std::move(L), parseCompare());
+    }
+    return L;
+  }
+
+  CExprPtr parseCompare() {
+    CExprPtr L = parseIntExpr();
+    if (at(TokKind::EqEq)) {
+      consume();
+      return ClassicalExpr::eq(std::move(L), parseIntExpr());
+    }
+    if (at(TokKind::Le)) {
+      consume();
+      return ClassicalExpr::le(std::move(L), parseIntExpr());
+    }
+    return L;
+  }
+
+  CExprPtr parseIntExpr() {
+    CExprPtr L = parseTerm();
+    while (at(TokKind::Plus) || at(TokKind::Minus)) {
+      bool IsMinus = at(TokKind::Minus);
+      consume();
+      CExprPtr R = parseTerm();
+      if (IsMinus)
+        R = ClassicalExpr::neg(std::move(R));
+      L = ClassicalExpr::add(std::move(L), std::move(R));
+    }
+    return L;
+  }
+
+  CExprPtr parseTerm() {
+    CExprPtr L = parseFactor();
+    while (at(TokKind::Star)) {
+      consume();
+      L = ClassicalExpr::mul(std::move(L), parseFactor());
+    }
+    return L;
+  }
+
+  CExprPtr parseFactor() {
+    if (at(TokKind::Number)) {
+      int64_t V = peek().Number;
+      consume();
+      return ClassicalExpr::constant(V);
+    }
+    if (at(TokKind::KwTrue)) {
+      consume();
+      return ClassicalExpr::boolean(true);
+    }
+    if (at(TokKind::KwFalse)) {
+      consume();
+      return ClassicalExpr::boolean(false);
+    }
+    if (at(TokKind::Ident)) {
+      std::string Name = peek().Text;
+      consume();
+      return ClassicalExpr::var(std::move(Name));
+    }
+    if (at(TokKind::Minus)) {
+      consume();
+      return ClassicalExpr::neg(parseFactor());
+    }
+    if (at(TokKind::Bang)) {
+      consume();
+      return ClassicalExpr::logicalNot(parseFactor());
+    }
+    if (at(TokKind::LParen)) {
+      consume();
+      CExprPtr E = parseBoolExpr();
+      expect(TokKind::RParen, ")");
+      return E;
+    }
+    fail("expected an expression");
+    return ClassicalExpr::constant(0);
+  }
+
+  // -- Plumbing -------------------------------------------------------------
+
+  const Token &peek() const { return Toks[Idx]; }
+  const Token &peekAhead(size_t N) const {
+    return Toks[std::min(Idx + N, Toks.size() - 1)];
+  }
+  bool at(TokKind K) const { return peek().Kind == K; }
+  void consume() {
+    if (Idx + 1 < Toks.size())
+      ++Idx;
+  }
+
+  void expect(TokKind K, const char *What) {
+    if (Failed)
+      return;
+    if (!at(K)) {
+      fail(std::string("expected '") + What + "'");
+      return;
+    }
+    consume();
+  }
+
+  std::string expectIdent() {
+    if (Failed)
+      return "";
+    if (!at(TokKind::Ident)) {
+      fail("expected an identifier");
+      return "";
+    }
+    std::string Name = peek().Text;
+    consume();
+    return Name;
+  }
+
+  void fail(const std::string &Msg) {
+    if (Failed)
+      return;
+    Failed = true;
+    Error = {Msg, peek().Line, peek().Column};
+  }
+
+  std::vector<Token> Toks;
+  size_t Idx = 0;
+  bool Failed = false;
+  ParseError Error;
+};
+
+} // namespace
+
+ParseResult veriqec::parseProgram(const std::string &Source) {
+  Lexer L(Source);
+  auto Tokens = L.run();
+  if (auto *Err = std::get_if<ParseError>(&Tokens))
+    return *Err;
+  Parser P(std::move(std::get<std::vector<Token>>(Tokens)));
+  return P.parseProgramTop();
+}
+
+std::variant<CExprPtr, ParseError>
+veriqec::parseClassicalExpr(const std::string &Source) {
+  Lexer L(Source);
+  auto Tokens = L.run();
+  if (auto *Err = std::get_if<ParseError>(&Tokens))
+    return *Err;
+  Parser P(std::move(std::get<std::vector<Token>>(Tokens)));
+  return P.parseExprTop();
+}

@@ -1,0 +1,61 @@
+//===- prog/Parser.h - Concrete syntax parser -------------------*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the paper's concrete program syntax (the
+/// role Lark plays in the original Veri-QEC, Appendix D.2). Grammar:
+///
+///   program  := stmt (('#' | ';') stmt)*
+///   stmt     := 'skip'
+///             | 'q' '[' iexp ']' ':=' '|0>'
+///             | 'q' '[' iexp ']' (',' 'q' '[' iexp ']')? '*=' GATE
+///             | '[' bexp ']' 'q' '[' iexp ']' '*=' GATE
+///             | IDENT (',' IDENT)* ':=' 'meas' '[' pauli ']'
+///                                    | IDENT '(' iexp,* ')'  | iexp
+///             | 'if' bexp 'then' program 'else' program 'end'
+///             | 'while' bexp 'do' program 'end'
+///             | 'for' IDENT 'in' iexp '..' iexp 'do' program 'end'
+///   pauli    := ('(-1)^(' bexp ')')? (('X'|'Y'|'Z') '[' iexp ']')+
+///
+/// Expressions use C-like precedence; `^` is the mod-2 sum.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_PROG_PARSER_H
+#define VERIQEC_PROG_PARSER_H
+
+#include "prog/Ast.h"
+
+#include <string>
+#include <variant>
+
+namespace veriqec {
+
+/// Parse failure: message plus 1-based source position.
+struct ParseError {
+  std::string Message;
+  size_t Line = 0;
+  size_t Column = 0;
+
+  std::string render() const {
+    return "parse error at " + std::to_string(Line) + ":" +
+           std::to_string(Column) + ": " + Message;
+  }
+};
+
+/// Result of parsing: a program or an error.
+using ParseResult = std::variant<StmtPtr, ParseError>;
+
+/// Parses a full program.
+ParseResult parseProgram(const std::string &Source);
+
+/// Parses a standalone classical (Boolean/integer) expression.
+std::variant<CExprPtr, ParseError> parseClassicalExpr(
+    const std::string &Source);
+
+} // namespace veriqec
+
+#endif // VERIQEC_PROG_PARSER_H

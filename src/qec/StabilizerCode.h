@@ -1,0 +1,106 @@
+//===- qec/StabilizerCode.h - Stabilizer code representation ----*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The [[n,k,d]] stabilizer code abstraction (Section 2.1 of the paper):
+/// a minimal generating set of n-k commuting Pauli generators plus k pairs
+/// of logical operators. Codes can be built from explicit generators or,
+/// for CSS codes, from X/Z parity-check matrices; logical operators are
+/// derived automatically by symplectic elimination. A SAT-based distance
+/// estimator implements the paper's "estimation given by our tool"
+/// (Table 3 caption).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_QEC_STABILIZERCODE_H
+#define VERIQEC_QEC_STABILIZERCODE_H
+
+#include "gf2/BitMatrix.h"
+#include "pauli/Pauli.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace veriqec {
+
+/// An [[n,k,d]] stabilizer code.
+class StabilizerCode {
+public:
+  std::string Name;
+  size_t NumQubits = 0;      ///< n
+  size_t NumLogical = 0;     ///< k
+  size_t Distance = 0;       ///< declared distance (0 = unknown)
+  bool DistanceIsEstimate = false;
+
+  /// n-k independent, commuting, Hermitian generators with + signs.
+  std::vector<Pauli> Generators;
+  /// k logical X operators; LogicalX[i] anticommutes exactly with
+  /// LogicalZ[i] among the logicals and commutes with all generators.
+  std::vector<Pauli> LogicalX;
+  /// k logical Z operators.
+  std::vector<Pauli> LogicalZ;
+
+  /// Builds a code from explicit generators, deriving logical operators
+  /// via symplectic elimination. Aborts on inconsistent input.
+  static StabilizerCode fromGenerators(std::string Name,
+                                       std::vector<Pauli> Generators,
+                                       size_t Distance = 0);
+
+  /// Builds a CSS code from X- and Z-type parity check matrices (rows of
+  /// \p Hx become X-type generators). Dependent rows are dropped. Logical
+  /// operators are pure X / pure Z.
+  static StabilizerCode fromCss(std::string Name, const BitMatrix &Hx,
+                                const BitMatrix &Hz, size_t Distance = 0);
+
+  /// True if every generator is purely X-type or purely Z-type.
+  bool isCss() const;
+
+  /// X-type parity check matrix (rows = supports of X-type generators).
+  BitMatrix xCheckMatrix() const;
+  /// Z-type parity check matrix.
+  BitMatrix zCheckMatrix() const;
+
+  /// The (n-k) x 2n symplectic matrix [X | Z] of the generators.
+  BitMatrix symplecticMatrix() const;
+
+  /// Syndrome of a Pauli error: bit i is 1 iff the error anticommutes
+  /// with generator i.
+  BitVector syndromeOf(const Pauli &Error) const;
+
+  /// True if \p P is a member of the stabilizer group up to sign.
+  bool inStabilizerGroup(const Pauli &P) const;
+
+  /// True if \p P commutes with every generator but acts non-trivially on
+  /// the logical qubits (i.e. is an undetectable logical error).
+  bool isLogicalOperator(const Pauli &P) const;
+
+  /// Structural validation: commutation, independence, logical pairing.
+  /// \returns nullopt on success, else a description of the violation.
+  std::optional<std::string> validate() const;
+
+  /// Applies a Clifford gate to the code definition (conjugates all
+  /// generators and logicals); used e.g. to derive XZZX codes from CSS
+  /// surface codes by local Hadamards.
+  void conjugateBy(GateKind Kind, size_t Q0, size_t Q1 = ~size_t{0});
+
+private:
+  void deriveLogicals();
+};
+
+/// Minimum weight of an undetectable logical operator, found by iterative
+/// SAT queries (weight w = 1, 2, ... up to \p MaxWeight). \returns 0 if no
+/// logical operator of weight <= MaxWeight exists.
+size_t estimateDistance(const StabilizerCode &Code, size_t MaxWeight);
+
+/// Minimum weight of a pure-X-type (or pure-Z-type) logical, for CSS
+/// distance splits (d_x / d_z).
+size_t estimateDistanceOfType(const StabilizerCode &Code, bool XType,
+                              size_t MaxWeight);
+
+} // namespace veriqec
+
+#endif // VERIQEC_QEC_STABILIZERCODE_H

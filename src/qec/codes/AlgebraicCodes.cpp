@@ -1,0 +1,140 @@
+//===- qec/codes/AlgebraicCodes.cpp - RM / Gottesman / cyclic codes -------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "qec/Codes.h"
+
+#include "support/Assert.h"
+
+using namespace veriqec;
+
+StabilizerCode veriqec::makeReedMullerCode(size_t R) {
+  assert(R >= 3 && R <= 10 && "quantum Reed-Muller needs 3 <= r <= 10");
+  size_t N = (size_t{1} << R) - 1; // nonzero points of F_2^r
+
+  // X checks: degree-1 monomials (coordinate functions) on nonzero points.
+  BitMatrix Hx(0, N);
+  for (size_t Bit = 0; Bit != R; ++Bit) {
+    BitVector Row(N);
+    for (size_t P = 1; P <= N; ++P)
+      if ((P >> Bit) & 1)
+        Row.set(P - 1);
+    Hx.appendRow(std::move(Row));
+  }
+  // Z checks: all monomials of degree 1..r-2 (products of coordinate
+  // subsets); this yields n - 1 - r independent Z rows and k = 1 overall.
+  BitMatrix Hz(0, N);
+  for (size_t Mask = 1; Mask <= N; ++Mask) {
+    size_t Deg = static_cast<size_t>(std::popcount(Mask));
+    if (Deg == 0 || Deg > R - 2)
+      continue;
+    BitVector Row(N);
+    for (size_t P = 1; P <= N; ++P)
+      if ((P & Mask) == Mask)
+        Row.set(P - 1);
+    Hz.appendRow(std::move(Row));
+  }
+
+  StabilizerCode Code = StabilizerCode::fromCss(
+      "reed-muller-r" + std::to_string(R), Hx, Hz, /*Distance=*/3);
+  assert(Code.NumLogical == 1 && "quantum RM code must have k = 1");
+  return Code;
+}
+
+namespace {
+
+/// Multiplication by the primitive element alpha = x in GF(2^r), as an
+/// action on field elements in polynomial-basis representation.
+size_t gf2rTimesAlpha(size_t K, size_t R) {
+  static const uint32_t PrimitivePoly[] = {
+      0,       0,      0b111,      0b1011,      0b10011,
+      0b100101, 0b1000011, 0b10000011, 0b100011011, 0b1000010001,
+      0b10000001001};
+  K <<= 1;
+  if (K >> R)
+    K ^= PrimitivePoly[R];
+  return K & ((size_t{1} << R) - 1);
+}
+
+} // namespace
+
+StabilizerCode veriqec::makeGottesmanCode(size_t R) {
+  assert(R >= 3 && R <= 10 && "Gottesman code needs 3 <= r <= 10");
+  size_t N = size_t{1} << R;
+
+  std::vector<Pauli> Gens;
+  // All-X and all-Z.
+  {
+    Pauli AllX(N), AllZ(N);
+    for (size_t Q = 0; Q != N; ++Q) {
+      AllX.setKind(Q, PauliKind::X);
+      AllZ.setKind(Q, PauliKind::Z);
+    }
+    Gens.push_back(AllX);
+    Gens.push_back(AllZ);
+  }
+  // Mixed generators: on qubit k, generator i has z-support bit_i(k) and
+  // x-support bit_i(alpha * k). Single-qubit syndromes are then the
+  // injective maps k, alpha*k and (alpha+1)*k, giving distance 3.
+  for (size_t Bit = 0; Bit != R; ++Bit) {
+    Pauli G(N);
+    for (size_t K = 0; K != N; ++K) {
+      bool ZPart = (K >> Bit) & 1;
+      bool XPart = (gf2rTimesAlpha(K, R) >> Bit) & 1;
+      if (XPart && ZPart)
+        G.setKind(K, PauliKind::Y);
+      else if (XPart)
+        G.setKind(K, PauliKind::X);
+      else if (ZPart)
+        G.setKind(K, PauliKind::Z);
+    }
+    Gens.push_back(G.abs());
+  }
+
+  StabilizerCode Code = StabilizerCode::fromGenerators(
+      "gottesman-r" + std::to_string(R), std::move(Gens), /*Distance=*/3);
+  assert(Code.NumLogical == N - R - 2 && "Gottesman code k mismatch");
+  return Code;
+}
+
+StabilizerCode veriqec::makeCyclicCode(std::string Name,
+                                       const std::string &Pattern,
+                                       size_t Distance) {
+  size_t N = Pattern.size();
+  std::vector<Pauli> Gens;
+  for (size_t Shift = 0; Shift != N; ++Shift) {
+    std::string Rotated(N, 'I');
+    for (size_t I = 0; I != N; ++I)
+      Rotated[(I + Shift) % N] = Pattern[I];
+    auto P = Pauli::fromString(Rotated);
+    assert(P.has_value() && "bad cyclic pattern");
+    Gens.push_back(P->abs());
+  }
+  // fromGenerators drops the dependent shifts.
+  return StabilizerCode::fromGenerators(std::move(Name), std::move(Gens),
+                                        Distance);
+}
+
+StabilizerCode veriqec::makeDodecacodeSubstitute() {
+  // The XYYX pattern on an 11-ring: shifts commute pairwise and span a
+  // 10-dimensional stabilizer. An exhaustive search over cyclic patterns
+  // (and a hill-climb over general [[11,1,k]] codes) topped out at d = 3,
+  // so this row ships as a tool-measured [[11,1,3]] standing in for the
+  // dodecacode's [[11,1,5]] (substitution note in DESIGN.md; the paper
+  // itself reports bracketed tool estimates when d is unknown).
+  StabilizerCode Code = makeCyclicCode("dodecacode-sub", "XYYXIIIIIII", 3);
+  Code.DistanceIsEstimate = true;
+  return Code;
+}
+
+StabilizerCode veriqec::makeHoneycombSubstitute() {
+  // A weight-4 cyclic pattern on a 19-ring found by the seeded offline
+  // search; the tool verifies d = 5, matching the [[19,1,5]] honeycomb
+  // color code row it stands in for.
+  StabilizerCode Code =
+      makeCyclicCode("honeycomb-sub", "XIYYIXIIIIIIIIIIIII", 5);
+  Code.DistanceIsEstimate = true;
+  return Code;
+}

@@ -1,0 +1,60 @@
+//===- qec/codes/BasicCodes.cpp - Repetition/Steane/5-qubit codes ---------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "qec/Codes.h"
+
+#include "support/Assert.h"
+
+using namespace veriqec;
+
+StabilizerCode veriqec::makeRepetitionCode(size_t N) {
+  assert(N >= 2 && "repetition code needs >= 2 qubits");
+  std::vector<Pauli> Gens;
+  for (size_t I = 0; I + 1 != N; ++I) {
+    Pauli G(N);
+    G.setKind(I, PauliKind::Z);
+    G.setKind(I + 1, PauliKind::Z);
+    Gens.push_back(G);
+  }
+  // Bit-flip distance is N; the overall distance is 1 (a single Z is a
+  // logical), which is the standard caveat for repetition codes.
+  StabilizerCode Code =
+      StabilizerCode::fromGenerators("repetition-" + std::to_string(N),
+                                     std::move(Gens), /*Distance=*/N);
+  Code.DistanceIsEstimate = false;
+  return Code;
+}
+
+StabilizerCode veriqec::makeSteaneCode() {
+  const char *GenStrings[6] = {
+      "XIXIXIX", "IXXIIXX", "IIIXXXX", // g1..g3 of Section 2.2
+      "ZIZIZIZ", "IZZIIZZ", "IIIZZZZ", // g4..g6
+  };
+  std::vector<Pauli> Gens;
+  for (const char *S : GenStrings)
+    Gens.push_back(*Pauli::fromString(S));
+  return StabilizerCode::fromGenerators("steane", std::move(Gens), 3);
+}
+
+StabilizerCode veriqec::makeFiveQubitCode() {
+  const char *GenStrings[4] = {"XZZXI", "IXZZX", "XIXZZ", "ZXIXZ"};
+  std::vector<Pauli> Gens;
+  for (const char *S : GenStrings)
+    Gens.push_back(*Pauli::fromString(S));
+  return StabilizerCode::fromGenerators("five-qubit", std::move(Gens), 3);
+}
+
+StabilizerCode veriqec::makeSixQubitCode() {
+  // The five-qubit code padded with one ancilla pinned by Z6. Same
+  // [[6,1,3]] parameters as the six-qubit code of Calderbank et al.;
+  // substitution documented in DESIGN.md.
+  const char *GenStrings[5] = {"XZZXII", "IXZZXI", "XIXZZI", "ZXIXZI",
+                               "IIIIIZ"};
+  std::vector<Pauli> Gens;
+  for (const char *S : GenStrings)
+    Gens.push_back(*Pauli::fromString(S));
+  return StabilizerCode::fromGenerators("six-qubit", std::move(Gens), 3);
+}

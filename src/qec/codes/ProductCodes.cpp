@@ -1,0 +1,225 @@
+//===- qec/codes/ProductCodes.cpp - HGP and detection codes ---------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "qec/Codes.h"
+
+#include "support/Assert.h"
+
+using namespace veriqec;
+
+namespace {
+
+/// Circulant n x n matrix whose first row is the coefficient vector of
+/// \p Poly (bit i = coefficient of x^i).
+BitMatrix circulant(size_t N, uint64_t Poly) {
+  BitMatrix M(N, N);
+  for (size_t R = 0; R != N; ++R)
+    for (size_t I = 0; I != N; ++I)
+      if ((Poly >> I) & 1)
+        M.set(R, (R + I) % N);
+  return M;
+}
+
+/// Kronecker product of GF(2) matrices.
+BitMatrix kronecker(const BitMatrix &A, const BitMatrix &B) {
+  BitMatrix Out(A.numRows() * B.numRows(), A.numCols() * B.numCols());
+  for (size_t AR = 0; AR != A.numRows(); ++AR)
+    for (size_t AC = 0; AC != A.numCols(); ++AC) {
+      if (!A.get(AR, AC))
+        continue;
+      for (size_t BR = 0; BR != B.numRows(); ++BR)
+        for (size_t BC = 0; BC != B.numCols(); ++BC)
+          if (B.get(BR, BC))
+            Out.set(AR * B.numRows() + BR, AC * B.numCols() + BC);
+    }
+  return Out;
+}
+
+/// Horizontal concatenation [A | B].
+BitMatrix hconcat(const BitMatrix &A, const BitMatrix &B) {
+  assert(A.numRows() == B.numRows() && "row count mismatch");
+  BitMatrix Out(A.numRows(), A.numCols() + B.numCols());
+  for (size_t R = 0; R != A.numRows(); ++R) {
+    for (size_t C = 0; C != A.numCols(); ++C)
+      if (A.get(R, C))
+        Out.set(R, C);
+    for (size_t C = 0; C != B.numCols(); ++C)
+      if (B.get(R, C))
+        Out.set(R, A.numCols() + C);
+  }
+  return Out;
+}
+
+} // namespace
+
+StabilizerCode veriqec::makeHypergraphProductCode(std::string Name,
+                                                  const BitMatrix &H1,
+                                                  const BitMatrix &H2,
+                                                  size_t Distance) {
+  size_t N1 = H1.numCols(), M1 = H1.numRows();
+  size_t N2 = H2.numCols(), M2 = H2.numRows();
+  // Hx = [H1 (x) I_n2 | I_m1 (x) H2^T]; Hz = [I_n1 (x) H2 | H1^T (x) I_m2].
+  BitMatrix Hx = hconcat(kronecker(H1, BitMatrix::identity(N2)),
+                         kronecker(BitMatrix::identity(M1), H2.transposed()));
+  BitMatrix Hz = hconcat(kronecker(BitMatrix::identity(N1), H2),
+                         kronecker(H1.transposed(), BitMatrix::identity(M2)));
+  StabilizerCode Code =
+      StabilizerCode::fromCss(std::move(Name), Hx, Hz, Distance);
+  Code.DistanceIsEstimate = Distance == 0;
+  return Code;
+}
+
+StabilizerCode veriqec::makeHgp98() {
+  // 7x7 circulant of the Hamming polynomial 1 + x + x^3 (rank 4; kernel is
+  // the [7,3,4] simplex code), giving [[98,18,4]].
+  BitMatrix H = circulant(7, 0b1011);
+  return makeHypergraphProductCode("hgp-98", H, H, /*Distance=*/4);
+}
+
+StabilizerCode veriqec::makeTannerISubstitute() {
+  // Mixed product of the circulant Hamming [7] matrix and the circulant
+  // cyclic [15] matrix of 1 + x + x^4 -> [[210,24,4]]; stands in for the
+  // Tanner code I row (large-block LDPC detection target).
+  BitMatrix H7 = circulant(7, 0b1011);
+  BitMatrix H15 = circulant(15, 0b10011);
+  StabilizerCode Code =
+      makeHypergraphProductCode("tanner-i-sub", H7, H15, /*Distance=*/4);
+  return Code;
+}
+
+StabilizerCode veriqec::makeTannerIISubstitute() {
+  // Self-product of the [8,4,4] extended Hamming parity-check matrix ->
+  // [[80,16,4]]; stands in for the Tanner code II row (high-rate
+  // detection target).
+  BitMatrix H(4, 8);
+  const uint8_t Rows[4] = {0b11111111, 0b00001111, 0b00110011, 0b01010101};
+  for (size_t R = 0; R != 4; ++R)
+    for (size_t C = 0; C != 8; ++C)
+      if ((Rows[R] >> (7 - C)) & 1)
+        H.set(R, C);
+  return makeHypergraphProductCode("tanner-ii-sub", H, H, /*Distance=*/4);
+}
+
+StabilizerCode veriqec::makeCube832() {
+  // Qubits on the cube's vertices, indexed by their coordinate bits
+  // (x + 2y + 4z). One global X stabilizer and four independent Z faces.
+  BitMatrix Hx(1, 8);
+  for (size_t Q = 0; Q != 8; ++Q)
+    Hx.set(0, Q);
+  auto face = [](int Axis, int Value) {
+    BitVector Row(8);
+    for (size_t Q = 0; Q != 8; ++Q)
+      if (((Q >> Axis) & 1) == static_cast<size_t>(Value))
+        Row.set(Q);
+    return Row;
+  };
+  BitMatrix Hz(0, 8);
+  Hz.appendRow(face(0, 0));
+  Hz.appendRow(face(0, 1));
+  Hz.appendRow(face(1, 0));
+  Hz.appendRow(face(2, 0));
+  StabilizerCode Code = StabilizerCode::fromCss("cube-832", Hx, Hz, 2);
+  assert(Code.NumLogical == 3 && "cube code must have k = 3");
+  return Code;
+}
+
+StabilizerCode veriqec::makeCarbonSubstitute() {
+  // CSS(RM(2,4), RM(1,4)) = the [[16,6,4]] color code: X checks from the
+  // generator matrix of RM(1,4) (degree <= 1 on all 16 points), Z checks
+  // identical (the code is self-dual).
+  size_t N = 16;
+  BitMatrix G(0, N);
+  BitVector Ones(N, true);
+  G.appendRow(Ones);
+  for (size_t Bit = 0; Bit != 4; ++Bit) {
+    BitVector Row(N);
+    for (size_t P = 0; P != N; ++P)
+      if ((P >> Bit) & 1)
+        Row.set(P);
+    G.appendRow(std::move(Row));
+  }
+  return StabilizerCode::fromCss("carbon-sub-1664", G, G, /*Distance=*/4);
+}
+
+StabilizerCode veriqec::makeTriorthogonalSubstitute(size_t K) {
+  // Iceberg [[n, n-2, 2]] on n = 3k+8 qubits, cut down to k logicals by a
+  // Z-chain of 2k+6 weight-2 checks.
+  size_t N = 3 * K + 8;
+  assert(N % 2 == 0 && "needs even n (even k)");
+  BitMatrix Hx(1, N);
+  for (size_t Q = 0; Q != N; ++Q)
+    Hx.set(0, Q);
+  BitMatrix Hz(0, N);
+  BitVector AllZ(N, true);
+  Hz.appendRow(AllZ);
+  for (size_t I = 0; I != 2 * K + 6; ++I) {
+    BitVector Row(N);
+    Row.set(I);
+    Row.set(I + 1);
+    Hz.appendRow(std::move(Row));
+  }
+  StabilizerCode Code = StabilizerCode::fromCss(
+      "triorthogonal-sub-k" + std::to_string(K), Hx, Hz, 2);
+  assert(Code.NumLogical == K && "triorthogonal substitute k mismatch");
+  return Code;
+}
+
+StabilizerCode veriqec::makeCampbellHowardSubstitute(size_t K) {
+  // Iceberg on n = 6k+2 qubits with a Z-chain of 3k checks -> [[6k+2,3k,2]].
+  size_t N = 6 * K + 2;
+  BitMatrix Hx(1, N);
+  for (size_t Q = 0; Q != N; ++Q)
+    Hx.set(0, Q);
+  BitMatrix Hz(0, N);
+  BitVector AllZ(N, true);
+  Hz.appendRow(AllZ);
+  for (size_t I = 0; I != 3 * K; ++I) {
+    BitVector Row(N);
+    Row.set(I);
+    Row.set(I + 1);
+    Hz.appendRow(std::move(Row));
+  }
+  StabilizerCode Code = StabilizerCode::fromCss(
+      "campbell-howard-sub-k" + std::to_string(K), Hx, Hz, 2);
+  assert(Code.NumLogical == 3 * K && "Campbell-Howard substitute k mismatch");
+  return Code;
+}
+
+std::vector<BenchmarkCodeEntry> veriqec::makeBenchmarkSuite(bool Small) {
+  std::vector<BenchmarkCodeEntry> Suite;
+  auto add = [&](StabilizerCode Code, BenchmarkTarget Target,
+                 std::string PaperParams) {
+    Suite.push_back({std::move(Code), Target, std::move(PaperParams)});
+  };
+  using BT = BenchmarkTarget;
+  // Accurate-correction targets (Table 3, first block). The paper runs
+  // surface d=11 / RM r=8 / XZZX 9x11 / Gottesman r=8 on a 256-core
+  // server; Small scales those rows to this repo's solver budget.
+  add(makeSteaneCode(), BT::AccurateCorrection, "[[7,1,3]]");
+  add(makeRotatedSurfaceCode(Small ? 5 : 11), BT::AccurateCorrection,
+      "[[d^2,1,d]] (d=11)");
+  add(makeSixQubitCode(), BT::AccurateCorrection, "[[6,1,3]]");
+  add(makeDodecacodeSubstitute(), BT::AccurateCorrection, "[[11,1,5]]");
+  add(makeReedMullerCode(Small ? 4 : 8), BT::AccurateCorrection,
+      "[[2^r-1,1,3]] (r=8)");
+  add(makeXzzxSurfaceCode(Small ? 3 : 9, Small ? 5 : 11),
+      BT::AccurateCorrection, "[[dx*dz,1,min]] (9x11)");
+  add(makeGottesmanCode(Small ? 4 : 8), BT::AccurateCorrection,
+      "[[2^r,2^r-r-2,3]] (r=8)");
+  add(makeHoneycombSubstitute(), BT::AccurateCorrection, "[[19,1,5]]");
+  // Detection targets.
+  add(makeTannerISubstitute(), BT::Detection, "[[343,31,>=4]]");
+  add(makeTannerIISubstitute(), BT::Detection, "[[125,53,4]]");
+  add(makeHgp98(), BT::Detection, "[[98,18,4]]");
+  // Error-detection codes (d=2 family, post-selection).
+  add(makeCube832(), BT::ErrorDetection, "[[8,3,2]]");
+  add(makeTriorthogonalSubstitute(Small ? 8 : 64), BT::ErrorDetection,
+      "[[3k+8,k,2]] (k=64)");
+  add(makeCarbonSubstitute(), BT::ErrorDetection, "[[12,2,4]]");
+  add(makeCampbellHowardSubstitute(2), BT::ErrorDetection,
+      "[[6k+2,3k,2]] (k=2)");
+  return Suite;
+}

@@ -1,0 +1,92 @@
+//===- qec/codes/SurfaceCodes.cpp - Rotated surface and XZZX codes --------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The rotated surface code of the paper's Fig. 5 and the XZZX variant.
+/// Construction (for a Rows x Cols grid of data qubits, both odd):
+///   * bulk faces (r, c), 0 <= r <= Rows-2, 0 <= c <= Cols-2, acting on
+///     the four corners {(r,c),(r,c+1),(r+1,c),(r+1,c+1)}: X-type when
+///     (r+c) is odd, Z-type when even;
+///   * weight-2 X checks on the top edge at even columns and on the
+///     bottom edge at columns with the opposite parity;
+///   * weight-2 Z checks on the left edge at odd rows and on the right
+///     edge at even rows.
+/// The logical X is the left column, the logical Z the bottom row.
+///
+//===----------------------------------------------------------------------===//
+
+#include "qec/Codes.h"
+
+#include "support/Assert.h"
+
+using namespace veriqec;
+
+StabilizerCode veriqec::makeRotatedSurfaceCode(size_t Rows, size_t Cols) {
+  assert(Rows >= 2 && Cols >= 2 && (Rows % 2) == 1 && (Cols % 2) == 1 &&
+         "rotated surface code needs odd dimensions");
+  size_t N = Rows * Cols;
+  auto qubit = [&](size_t R, size_t C) { return R * Cols + C; };
+
+  std::vector<Pauli> Gens;
+  // Bulk plaquettes.
+  for (size_t R = 0; R + 1 != Rows; ++R)
+    for (size_t C = 0; C + 1 != Cols; ++C) {
+      PauliKind Kind = ((R + C) % 2 == 1) ? PauliKind::X : PauliKind::Z;
+      Pauli G(N);
+      G.setKind(qubit(R, C), Kind);
+      G.setKind(qubit(R, C + 1), Kind);
+      G.setKind(qubit(R + 1, C), Kind);
+      G.setKind(qubit(R + 1, C + 1), Kind);
+      Gens.push_back(G);
+    }
+  // Top/bottom boundary X checks. A top check at column c needs its
+  // neighbouring bulk faces (0, c-1) and (0, c+1) to be X-type, i.e. c
+  // even; on the bottom row the parity flips with Rows odd.
+  for (size_t C = 0; C + 1 != Cols; C += 2) {
+    Pauli G(N);
+    G.setKind(qubit(0, C), PauliKind::X);
+    G.setKind(qubit(0, C + 1), PauliKind::X);
+    Gens.push_back(G);
+  }
+  for (size_t C = 1; C + 1 < Cols; C += 2) {
+    Pauli G(N);
+    G.setKind(qubit(Rows - 1, C), PauliKind::X);
+    G.setKind(qubit(Rows - 1, C + 1), PauliKind::X);
+    Gens.push_back(G);
+  }
+  // Left/right boundary Z checks (left at odd rows, right at even rows).
+  for (size_t R = 1; R + 1 < Rows; R += 2) {
+    Pauli G(N);
+    G.setKind(qubit(R, 0), PauliKind::Z);
+    G.setKind(qubit(R + 1, 0), PauliKind::Z);
+    Gens.push_back(G);
+  }
+  for (size_t R = 0; R + 1 != Rows; R += 2) {
+    Pauli G(N);
+    G.setKind(qubit(R, Cols - 1), PauliKind::Z);
+    G.setKind(qubit(R + 1, Cols - 1), PauliKind::Z);
+    Gens.push_back(G);
+  }
+
+  std::string Name = "surface-" + std::to_string(Rows) + "x" +
+                     std::to_string(Cols);
+  StabilizerCode Code = StabilizerCode::fromGenerators(
+      std::move(Name), std::move(Gens), std::min(Rows, Cols));
+  assert(Code.NumLogical == 1 && "rotated surface code must have k = 1");
+  return Code;
+}
+
+StabilizerCode veriqec::makeXzzxSurfaceCode(size_t Dx, size_t Dz) {
+  StabilizerCode Code = makeRotatedSurfaceCode(Dx, Dz);
+  // Hadamard the odd checkerboard sublattice: every bulk face becomes an
+  // XZZX check (the defining property of the XZZX code).
+  for (size_t R = 0; R != Dx; ++R)
+    for (size_t C = 0; C != Dz; ++C)
+      if ((R + C) % 2 == 1)
+        Code.conjugateBy(GateKind::H, R * Dz + C);
+  Code.Name = "xzzx-" + std::to_string(Dx) + "x" + std::to_string(Dz);
+  return Code;
+}

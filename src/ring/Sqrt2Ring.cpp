@@ -1,0 +1,55 @@
+//===- ring/Sqrt2Ring.cpp - Exact arithmetic in Z[1/sqrt(2)] ---------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ring/Sqrt2Ring.h"
+
+#include <cmath>
+
+using namespace veriqec;
+
+void Sqrt2Ring::normalize() {
+  // (X + Y sqrt2)/2^T with both X, Y even can drop one power of 2 via
+  // (2a + 2b sqrt2)/2^T = (2b + a sqrt2) * sqrt2 / 2^T = ... use the
+  // sqrt2 factorization: dividing by sqrt2 maps (X, Y) -> (Y, X/2)... we
+  // reduce by 2 directly: both even -> (X/2 + (Y/2) sqrt2)/2^(T-1).
+  while (T > 0 && (X % 2 == 0) && (Y % 2 == 0)) {
+    X /= 2;
+    Y /= 2;
+    --T;
+  }
+  if (X == 0 && Y == 0)
+    T = 0;
+}
+
+Sqrt2Ring Sqrt2Ring::operator+(const Sqrt2Ring &O) const {
+  // Bring to the common denominator 2^max(T, O.T).
+  uint32_t MaxT = T > O.T ? T : O.T;
+  int64_t AX = X << (MaxT - T), AY = Y << (MaxT - T);
+  int64_t BX = O.X << (MaxT - O.T), BY = O.Y << (MaxT - O.T);
+  return Sqrt2Ring(AX + BX, AY + BY, MaxT);
+}
+
+Sqrt2Ring Sqrt2Ring::operator*(const Sqrt2Ring &O) const {
+  // (x1 + y1 s)(x2 + y2 s) = (x1 x2 + 2 y1 y2) + (x1 y2 + x2 y1) s.
+  int64_t NX = X * O.X + 2 * Y * O.Y;
+  int64_t NY = X * O.Y + Y * O.X;
+  return Sqrt2Ring(NX, NY, T + O.T);
+}
+
+double Sqrt2Ring::toDouble() const {
+  return (static_cast<double>(X) + static_cast<double>(Y) * std::sqrt(2.0)) /
+         std::ldexp(1.0, static_cast<int>(T));
+}
+
+std::string Sqrt2Ring::toString() const {
+  std::string S = "(" + std::to_string(X);
+  if (Y != 0)
+    S += (Y > 0 ? " + " : " - ") + std::to_string(Y < 0 ? -Y : Y) + "*sqrt2";
+  S += ")";
+  if (T)
+    S += "/2^" + std::to_string(T);
+  return S;
+}

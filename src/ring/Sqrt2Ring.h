@@ -1,0 +1,70 @@
+//===- ring/Sqrt2Ring.h - Exact arithmetic in Z[1/sqrt(2)] ------*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scalar ring Z[1/sqrt2] = { (x + y*sqrt2) / 2^t } of the paper's
+/// SExp syntax (Eqn. (3)), which makes Pauli expressions closed under the
+/// T gate (Theorem 3.1): T^dagger X T = (X - Y)/sqrt2 needs exactly these
+/// factors. Values are kept in the canonical form (X + Y*sqrt2) / 2^T
+/// with minimal T.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_RING_SQRT2RING_H
+#define VERIQEC_RING_SQRT2RING_H
+
+#include <cstdint>
+#include <string>
+
+namespace veriqec {
+
+/// An element (X + Y*sqrt2) / 2^T of Z[1/sqrt2], canonicalized so that
+/// T = 0 or X, Y are not both even.
+class Sqrt2Ring {
+public:
+  Sqrt2Ring() = default;
+  Sqrt2Ring(int64_t Integer) : X(Integer) { normalize(); }
+  Sqrt2Ring(int64_t X, int64_t Y, uint32_t T) : X(X), Y(Y), T(T) {
+    normalize();
+  }
+
+  /// sqrt(2).
+  static Sqrt2Ring sqrt2() { return Sqrt2Ring(0, 1, 0); }
+  /// 1/sqrt(2) = sqrt2 / 2.
+  static Sqrt2Ring invSqrt2() { return Sqrt2Ring(0, 1, 1); }
+
+  int64_t intPart() const { return X; }
+  int64_t sqrt2Part() const { return Y; }
+  uint32_t denomLog2() const { return T; }
+
+  bool isZero() const { return X == 0 && Y == 0; }
+
+  Sqrt2Ring operator+(const Sqrt2Ring &O) const;
+  Sqrt2Ring operator-() const { return Sqrt2Ring(-X, -Y, T); }
+  Sqrt2Ring operator-(const Sqrt2Ring &O) const { return *this + (-O); }
+  Sqrt2Ring operator*(const Sqrt2Ring &O) const;
+
+  bool operator==(const Sqrt2Ring &O) const {
+    return X == O.X && Y == O.Y && T == O.T;
+  }
+  bool operator!=(const Sqrt2Ring &O) const { return !(*this == O); }
+
+  /// Numeric value (for cross-checks against floating point).
+  double toDouble() const;
+
+  std::string toString() const;
+
+private:
+  void normalize();
+
+  int64_t X = 0;
+  int64_t Y = 0;
+  uint32_t T = 0;
+};
+
+} // namespace veriqec
+
+#endif // VERIQEC_RING_SQRT2RING_H

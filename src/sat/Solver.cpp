@@ -1,0 +1,501 @@
+//===- sat/Solver.cpp - CDCL SAT solver -----------------------------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sat/Solver.h"
+
+#include "support/Assert.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+using namespace veriqec;
+using namespace veriqec::sat;
+
+uint64_t veriqec::sat::lubySequence(uint64_t I) {
+  assert(I >= 1 && "luby sequence is 1-based");
+  // MiniSat's formulation over the 0-based index X.
+  uint64_t X = I - 1;
+  uint64_t Size = 1, Seq = 0;
+  while (Size < X + 1) {
+    Size = 2 * Size + 1;
+    ++Seq;
+  }
+  while (Size - 1 != X) {
+    Size = (Size - 1) / 2;
+    --Seq;
+    X %= Size;
+  }
+  return 1ull << Seq;
+}
+
+Solver::Solver() = default;
+
+Var Solver::newVar() {
+  Var V = static_cast<Var>(Assigns.size());
+  Assigns.push_back(LBool::Undef);
+  Model.push_back(LBool::Undef);
+  SavedPhase.push_back(false);
+  Reason.push_back(NoReason);
+  Level.push_back(0);
+  Activity.push_back(0.0);
+  Seen.push_back(0);
+  Watches.emplace_back();
+  Watches.emplace_back();
+  HeapPos.push_back(-1);
+  heapInsert(V);
+  return V;
+}
+
+bool Solver::addClause(std::vector<Lit> Lits) {
+  assert(decisionLevel() == 0 && "clauses must be added at the root level");
+  if (!OkState)
+    return false;
+
+  std::sort(Lits.begin(), Lits.end());
+  std::vector<Lit> Out;
+  Lit Prev = Lit::undef();
+  for (Lit L : Lits) {
+    assert(L.var() >= 0 && static_cast<size_t>(L.var()) < numVars() &&
+           "literal over unknown variable");
+    if (L == Prev)
+      continue; // duplicate
+    if (!Prev.isUndef() && L == ~Prev)
+      return true; // tautology
+    LBool V = valueOf(L);
+    if (V == LBool::True)
+      return true; // already satisfied at root
+    if (V == LBool::False)
+      continue; // dead literal
+    Out.push_back(L);
+    Prev = L;
+  }
+
+  if (Out.empty()) {
+    OkState = false;
+    return false;
+  }
+  if (Out.size() == 1) {
+    enqueue(Out[0], NoReason);
+    if (propagate() != NoReason)
+      OkState = false;
+    return OkState;
+  }
+
+  Clause C;
+  C.Lits = std::move(Out);
+  Clauses.push_back(std::move(C));
+  attachClause(static_cast<ClauseRef>(Clauses.size() - 1));
+  return true;
+}
+
+void Solver::attachClause(ClauseRef Ref) {
+  const Clause &C = Clauses[Ref];
+  assert(C.size() >= 2 && "attaching a short clause");
+  Watches[(~C[0]).Code].push_back({Ref, C[1]});
+  Watches[(~C[1]).Code].push_back({Ref, C[0]});
+}
+
+void Solver::enqueue(Lit L, ClauseRef From) {
+  assert(valueOf(L) == LBool::Undef && "enqueueing an assigned literal");
+  Assigns[L.var()] = lboolOf(!L.negated());
+  Reason[L.var()] = From;
+  Level[L.var()] = decisionLevel();
+  Trail.push_back(L);
+}
+
+Solver::ClauseRef Solver::propagate() {
+  while (PropagateHead < Trail.size()) {
+    Lit P = Trail[PropagateHead++];
+    ++Stats.Propagations;
+    std::vector<Watcher> &WatchList = Watches[P.Code];
+    size_t KeepIdx = 0;
+    for (size_t I = 0; I != WatchList.size(); ++I) {
+      Watcher W = WatchList[I];
+      // Fast path: the blocker literal already satisfies the clause.
+      if (valueOf(W.Blocker) == LBool::True) {
+        WatchList[KeepIdx++] = W;
+        continue;
+      }
+      Clause &C = Clauses[W.Ref];
+      if (C.Deleted)
+        continue; // dropped by reduceDB; unhook lazily
+      // Normalize so that the false literal ~P is at position 1.
+      Lit NotP = ~P;
+      if (C[0] == NotP)
+        std::swap(C.Lits[0], C.Lits[1]);
+      assert(C[1] == NotP && "watch invariant broken");
+      // If the other watched literal is true, keep watching.
+      if (valueOf(C[0]) == LBool::True) {
+        WatchList[KeepIdx++] = {W.Ref, C[0]};
+        continue;
+      }
+      // Look for a new literal to watch.
+      bool FoundWatch = false;
+      for (size_t K = 2; K != C.size(); ++K) {
+        if (valueOf(C[K]) != LBool::False) {
+          std::swap(C.Lits[1], C.Lits[K]);
+          Watches[(~C[1]).Code].push_back({W.Ref, C[0]});
+          FoundWatch = true;
+          break;
+        }
+      }
+      if (FoundWatch)
+        continue;
+      // Clause is unit or conflicting.
+      WatchList[KeepIdx++] = W;
+      if (valueOf(C[0]) == LBool::False) {
+        // Conflict: restore the remaining watchers and report.
+        for (size_t J = I + 1; J != WatchList.size(); ++J)
+          WatchList[KeepIdx++] = WatchList[J];
+        WatchList.resize(KeepIdx);
+        PropagateHead = Trail.size();
+        return W.Ref;
+      }
+      enqueue(C[0], W.Ref);
+    }
+    WatchList.resize(KeepIdx);
+  }
+  return NoReason;
+}
+
+void Solver::bumpVar(Var V) {
+  Activity[V] += VarInc;
+  if (Activity[V] > 1e100) {
+    for (double &A : Activity)
+      A *= 1e-100;
+    VarInc *= 1e-100;
+  }
+  if (HeapPos[V] >= 0)
+    heapUpdate(V);
+}
+
+void Solver::bumpClause(Clause &C) {
+  C.Activity += ClauseInc;
+  if (C.Activity > 1e20) {
+    for (Clause &Cl : Clauses)
+      Cl.Activity *= 1e-20;
+    ClauseInc *= 1e-20;
+  }
+}
+
+void Solver::decayActivities() {
+  VarInc /= VarDecay;
+  ClauseInc /= ClauseDecay;
+}
+
+void Solver::analyze(ClauseRef Confl, std::vector<Lit> &Learnt,
+                     int32_t &BtLevel) {
+  Learnt.clear();
+  Learnt.push_back(Lit::undef()); // slot for the asserting literal
+  int PathCount = 0;
+  Lit P = Lit::undef();
+  size_t TrailIdx = Trail.size();
+
+  do {
+    assert(Confl != NoReason && "analysis needs a reason");
+    Clause &C = Clauses[Confl];
+    if (C.Learned)
+      bumpClause(C);
+    for (size_t I = (P.isUndef() ? 0 : 1); I != C.size(); ++I) {
+      Lit Q = C[I];
+      if (Seen[Q.var()] || Level[Q.var()] == 0)
+        continue;
+      Seen[Q.var()] = 1;
+      bumpVar(Q.var());
+      if (Level[Q.var()] >= decisionLevel())
+        ++PathCount;
+      else
+        Learnt.push_back(Q);
+    }
+    // Walk back to the most recent seen literal on the trail.
+    while (!Seen[Trail[TrailIdx - 1].var()])
+      --TrailIdx;
+    P = Trail[--TrailIdx];
+    Confl = Reason[P.var()];
+    Seen[P.var()] = 0;
+    --PathCount;
+  } while (PathCount > 0);
+  Learnt[0] = ~P;
+
+  // Clause minimization: drop literals implied by the rest of the clause.
+  // Remember every marked literal so the marks can be cleared even for
+  // literals that minimization removes from the clause.
+  std::vector<Lit> Marked(Learnt.begin() + 1, Learnt.end());
+  uint32_t AbstractLevels = 0;
+  for (size_t I = 1; I != Learnt.size(); ++I)
+    AbstractLevels |= 1u << (Level[Learnt[I].var()] & 31);
+  size_t KeepIdx = 1;
+  for (size_t I = 1; I != Learnt.size(); ++I)
+    if (Reason[Learnt[I].var()] == NoReason ||
+        !litRedundant(Learnt[I], AbstractLevels))
+      Learnt[KeepIdx++] = Learnt[I];
+  Learnt.resize(KeepIdx);
+
+  // Find the backtrack level: the second-highest level in the clause.
+  BtLevel = 0;
+  if (Learnt.size() > 1) {
+    size_t MaxIdx = 1;
+    for (size_t I = 2; I != Learnt.size(); ++I)
+      if (Level[Learnt[I].var()] > Level[Learnt[MaxIdx].var()])
+        MaxIdx = I;
+    std::swap(Learnt[1], Learnt[MaxIdx]);
+    BtLevel = Level[Learnt[1].var()];
+  }
+
+  // Clear the seen marks we still own (including minimized-away ones).
+  Seen[Learnt[0].var()] = 0;
+  for (Lit L : Marked)
+    Seen[L.var()] = 0;
+}
+
+bool Solver::litRedundant(Lit L, uint32_t AbstractLevels) {
+  // DFS over the implication graph: L is redundant if every path to a
+  // decision passes through already-seen literals.
+  std::vector<Lit> Stack = {L};
+  std::vector<Var> ToClear;
+  while (!Stack.empty()) {
+    Lit Cur = Stack.back();
+    Stack.pop_back();
+    assert(Reason[Cur.var()] != NoReason);
+    const Clause &C = Clauses[Reason[Cur.var()]];
+    for (size_t I = 1; I != C.size(); ++I) {
+      Lit Q = C[I];
+      if (Seen[Q.var()] || Level[Q.var()] == 0)
+        continue;
+      if (Reason[Q.var()] == NoReason ||
+          ((1u << (Level[Q.var()] & 31)) & AbstractLevels) == 0) {
+        for (Var V : ToClear)
+          Seen[V] = 0;
+        return false;
+      }
+      Seen[Q.var()] = 1;
+      ToClear.push_back(Q.var());
+      Stack.push_back(Q);
+    }
+  }
+  // Keep the marks: they stand for "known redundant" during this analyze()
+  // call and are cleared with the learnt clause's marks... except these
+  // variables are not in the clause, so clear them here but remember the
+  // redundancy result.
+  for (Var V : ToClear)
+    Seen[V] = 0;
+  return true;
+}
+
+void Solver::backtrack(int32_t ToLevel) {
+  if (decisionLevel() <= ToLevel)
+    return;
+  size_t Bound = static_cast<size_t>(TrailLim[ToLevel]);
+  for (size_t I = Trail.size(); I-- > Bound;) {
+    Var V = Trail[I].var();
+    SavedPhase[V] = Assigns[V] == LBool::True;
+    Assigns[V] = LBool::Undef;
+    Reason[V] = NoReason;
+    if (HeapPos[V] < 0)
+      heapInsert(V);
+  }
+  Trail.resize(Bound);
+  TrailLim.resize(ToLevel);
+  PropagateHead = Trail.size();
+}
+
+Lit Solver::pickBranchLit() {
+  while (!Heap.empty()) {
+    Var V = heapPop();
+    if (Assigns[V] == LBool::Undef)
+      return Lit(V, !SavedPhase[V]);
+  }
+  return Lit::undef();
+}
+
+Solver::ClauseRef Solver::learnClause(std::vector<Lit> Lits) {
+  if (Lits.size() == 1)
+    return NoReason; // handled by caller via enqueue at level 0
+  Clause C;
+  C.Lits = std::move(Lits);
+  C.Learned = true;
+  C.Activity = ClauseInc;
+  Clauses.push_back(std::move(C));
+  ClauseRef Ref = static_cast<ClauseRef>(Clauses.size() - 1);
+  attachClause(Ref);
+  ++Stats.LearnedClauses;
+  return Ref;
+}
+
+void Solver::reduceDB() {
+  // Collect learned, non-reason clauses and drop the less active half.
+  std::unordered_set<ClauseRef> Locked;
+  for (Lit L : Trail)
+    if (Reason[L.var()] != NoReason)
+      Locked.insert(Reason[L.var()]);
+
+  std::vector<ClauseRef> Candidates;
+  for (size_t I = 0; I != Clauses.size(); ++I)
+    if (Clauses[I].Learned && !Clauses[I].Deleted && !Locked.count(I))
+      Candidates.push_back(static_cast<ClauseRef>(I));
+  if (Candidates.size() < MaxLearned)
+    return;
+
+  std::sort(Candidates.begin(), Candidates.end(),
+            [&](ClauseRef A, ClauseRef B) {
+              return Clauses[A].Activity < Clauses[B].Activity;
+            });
+  for (size_t I = 0; I != Candidates.size() / 2; ++I)
+    Clauses[Candidates[I]].Deleted = true;
+
+  // Rebuild the watch lists without the deleted clauses.
+  for (auto &WL : Watches)
+    WL.clear();
+  for (size_t I = 0; I != Clauses.size(); ++I)
+    if (!Clauses[I].Deleted)
+      attachClause(static_cast<ClauseRef>(I));
+}
+
+SolveResult Solver::solve(const std::vector<Lit> &Assumptions) {
+  if (!OkState)
+    return SolveResult::Unsat;
+  backtrack(0);
+
+  uint64_t RestartIdx = 1;
+  uint64_t ConflictsUntilRestart = 100 * lubySequence(RestartIdx);
+  uint64_t ConflictsAtStart = Stats.Conflicts;
+  std::vector<Lit> Learnt;
+
+  while (true) {
+    if (AbortFlag && AbortFlag->load(std::memory_order_relaxed))
+      return SolveResult::Aborted;
+
+    ClauseRef Confl = propagate();
+    if (Confl != NoReason) {
+      ++Stats.Conflicts;
+      if (decisionLevel() == 0)
+        return SolveResult::Unsat;
+      // A conflict inside the assumption prefix means UNSAT under the
+      // assumptions: check whether analysis would force us above it.
+      int32_t BtLevel = 0;
+      analyze(Confl, Learnt, BtLevel);
+      int32_t AssumptionLevel =
+          static_cast<int32_t>(std::min<size_t>(Assumptions.size(),
+                                                TrailLim.size()));
+      if (BtLevel < AssumptionLevel) {
+        // Re-deciding an assumption is not allowed; treat as UNSAT under
+        // assumptions unless the learnt clause is reusable at level 0.
+        if (Learnt.size() == 1) {
+          backtrack(0);
+          if (valueOf(Learnt[0]) == LBool::False)
+            return SolveResult::Unsat;
+          if (valueOf(Learnt[0]) == LBool::Undef)
+            enqueue(Learnt[0], NoReason);
+          continue;
+        }
+        return SolveResult::Unsat;
+      }
+      backtrack(BtLevel);
+      if (Learnt.size() == 1) {
+        if (valueOf(Learnt[0]) == LBool::Undef)
+          enqueue(Learnt[0], NoReason);
+      } else {
+        ClauseRef Ref = learnClause(std::move(Learnt));
+        enqueue(Clauses[Ref][0], Ref);
+        Learnt = {};
+      }
+      decayActivities();
+
+      if (ConflictBudget &&
+          Stats.Conflicts - ConflictsAtStart >= ConflictBudget)
+        return SolveResult::Aborted;
+      if (Stats.Conflicts - ConflictsAtStart >= ConflictsUntilRestart) {
+        ++Stats.Restarts;
+        ++RestartIdx;
+        ConflictsUntilRestart =
+            Stats.Conflicts - ConflictsAtStart + 100 * lubySequence(RestartIdx);
+        backtrack(static_cast<int32_t>(
+            std::min<size_t>(Assumptions.size(), TrailLim.size())));
+        reduceDB();
+      }
+      continue;
+    }
+
+    // No conflict: extend with assumptions first, then decisions.
+    if (static_cast<size_t>(decisionLevel()) < Assumptions.size()) {
+      Lit A = Assumptions[decisionLevel()];
+      LBool V = valueOf(A);
+      if (V == LBool::False)
+        return SolveResult::Unsat;
+      TrailLim.push_back(static_cast<int32_t>(Trail.size()));
+      if (V == LBool::Undef)
+        enqueue(A, NoReason);
+      continue;
+    }
+
+    Lit Next = pickBranchLit();
+    if (Next.isUndef()) {
+      // Full model found.
+      Model = Assigns;
+      backtrack(0);
+      return SolveResult::Sat;
+    }
+    ++Stats.Decisions;
+    TrailLim.push_back(static_cast<int32_t>(Trail.size()));
+    enqueue(Next, NoReason);
+  }
+}
+
+// -- Binary max-heap keyed by VSIDS activity --------------------------------
+
+void Solver::heapInsert(Var V) {
+  HeapPos[V] = static_cast<int32_t>(Heap.size());
+  Heap.push_back(V);
+  heapSiftUp(Heap.size() - 1);
+}
+
+void Solver::heapUpdate(Var V) {
+  heapSiftUp(static_cast<size_t>(HeapPos[V]));
+}
+
+Var Solver::heapPop() {
+  Var Top = Heap[0];
+  HeapPos[Top] = -1;
+  Heap[0] = Heap.back();
+  Heap.pop_back();
+  if (!Heap.empty()) {
+    HeapPos[Heap[0]] = 0;
+    heapSiftDown(0);
+  }
+  return Top;
+}
+
+void Solver::heapSiftUp(size_t Idx) {
+  Var V = Heap[Idx];
+  while (Idx > 0) {
+    size_t Parent = (Idx - 1) / 2;
+    if (!heapLess(V, Heap[Parent]))
+      break;
+    Heap[Idx] = Heap[Parent];
+    HeapPos[Heap[Idx]] = static_cast<int32_t>(Idx);
+    Idx = Parent;
+  }
+  Heap[Idx] = V;
+  HeapPos[V] = static_cast<int32_t>(Idx);
+}
+
+void Solver::heapSiftDown(size_t Idx) {
+  Var V = Heap[Idx];
+  while (true) {
+    size_t Child = 2 * Idx + 1;
+    if (Child >= Heap.size())
+      break;
+    if (Child + 1 < Heap.size() && heapLess(Heap[Child + 1], Heap[Child]))
+      ++Child;
+    if (!heapLess(Heap[Child], V))
+      break;
+    Heap[Idx] = Heap[Child];
+    HeapPos[Heap[Idx]] = static_cast<int32_t>(Idx);
+    Idx = Child;
+  }
+  Heap[Idx] = V;
+  HeapPos[V] = static_cast<int32_t>(Idx);
+}

@@ -1,0 +1,163 @@
+//===- sat/Solver.h - CDCL SAT solver ---------------------------*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A conflict-driven clause-learning SAT solver in the MiniSat lineage:
+/// two-watched-literal propagation, first-UIP learning with clause
+/// minimization, VSIDS branching with phase saving, Luby restarts and
+/// activity-based learned-clause deletion. It is the decision engine that
+/// replaces Z3/CVC5 in this reproduction (see DESIGN.md, substitutions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_SAT_SOLVER_H
+#define VERIQEC_SAT_SOLVER_H
+
+#include "sat/SatTypes.h"
+
+#include <atomic>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace veriqec::sat {
+
+/// Result of a solve() call.
+enum class SolveResult { Sat, Unsat, Aborted };
+
+/// Aggregate statistics for benchmarking and diagnostics.
+struct SolverStats {
+  uint64_t Decisions = 0;
+  uint64_t Propagations = 0;
+  uint64_t Conflicts = 0;
+  uint64_t LearnedClauses = 0;
+  uint64_t Restarts = 0;
+};
+
+/// CDCL SAT solver. Typical usage:
+/// \code
+///   Solver S;
+///   Var A = S.newVar(), B = S.newVar();
+///   S.addClause({mkLit(A), mkLit(B)});
+///   if (S.solve() == SolveResult::Sat) bool VA = S.modelValue(A);
+/// \endcode
+class Solver {
+public:
+  Solver();
+
+  /// Creates a fresh variable and returns its index.
+  Var newVar();
+
+  /// Number of variables created so far.
+  size_t numVars() const { return Assigns.size(); }
+
+  /// Adds a clause. Returns false if the formula became trivially
+  /// unsatisfiable (empty clause after simplification at level 0).
+  bool addClause(std::vector<Lit> Lits);
+
+  /// Convenience overloads.
+  bool addClause(Lit A) { return addClause(std::vector<Lit>{A}); }
+  bool addClause(Lit A, Lit B) { return addClause(std::vector<Lit>{A, B}); }
+  bool addClause(Lit A, Lit B, Lit C) {
+    return addClause(std::vector<Lit>{A, B, C});
+  }
+
+  /// Solves under the given assumptions (checked before any decision).
+  SolveResult solve(const std::vector<Lit> &Assumptions = {});
+
+  /// After Sat: the value of \p V in the found model.
+  bool modelValue(Var V) const { return Model[V] == LBool::True; }
+
+  /// Limits the search to approximately \p MaxConflicts conflicts;
+  /// 0 means unlimited. Exceeding the budget returns Aborted.
+  void setConflictBudget(uint64_t MaxConflicts) {
+    ConflictBudget = MaxConflicts;
+  }
+
+  /// Installs an external cancellation flag polled during search (used by
+  /// the parallel driver to stop siblings once an answer is known).
+  void setAbortFlag(const std::atomic<bool> *Flag) { AbortFlag = Flag; }
+
+  const SolverStats &stats() const { return Stats; }
+
+private:
+  // -- Internal state ------------------------------------------------------
+  using ClauseRef = int32_t;
+  static constexpr ClauseRef NoReason = -1;
+
+  struct Watcher {
+    ClauseRef Ref;
+    Lit Blocker;
+  };
+
+  std::vector<Clause> Clauses;
+  std::vector<std::vector<Watcher>> Watches; // indexed by Lit.Code
+  std::vector<LBool> Assigns;                // indexed by Var
+  std::vector<LBool> Model;
+  std::vector<bool> SavedPhase;
+  std::vector<ClauseRef> Reason;
+  std::vector<int32_t> Level;
+  std::vector<Lit> Trail;
+  std::vector<int32_t> TrailLim;
+  size_t PropagateHead = 0;
+
+  // VSIDS.
+  std::vector<double> Activity;
+  double VarInc = 1.0;
+  double VarDecay = 0.95;
+  std::vector<Var> Heap; // binary max-heap of variables by activity
+  std::vector<int32_t> HeapPos;
+
+  double ClauseInc = 1.0;
+  double ClauseDecay = 0.999;
+  size_t MaxLearned = 8192;
+
+  bool OkState = true;
+  uint64_t ConflictBudget = 0;
+  const std::atomic<bool> *AbortFlag = nullptr;
+  SolverStats Stats;
+
+  // Scratch used by conflict analysis.
+  std::vector<uint8_t> Seen;
+
+  // -- Core algorithms -----------------------------------------------------
+  LBool valueOf(Lit L) const {
+    LBool V = Assigns[L.var()];
+    return L.negated() ? negate(V) : V;
+  }
+  int32_t decisionLevel() const {
+    return static_cast<int32_t>(TrailLim.size());
+  }
+
+  void enqueue(Lit L, ClauseRef From);
+  ClauseRef propagate();
+  void analyze(ClauseRef Confl, std::vector<Lit> &Learnt, int32_t &BtLevel);
+  bool litRedundant(Lit L, uint32_t AbstractLevels);
+  void backtrack(int32_t ToLevel);
+  Lit pickBranchLit();
+  void attachClause(ClauseRef Ref);
+  ClauseRef learnClause(std::vector<Lit> Lits);
+  void reduceDB();
+
+  // Heap helpers.
+  void heapInsert(Var V);
+  void heapUpdate(Var V);
+  Var heapPop();
+  void heapSiftUp(size_t Idx);
+  void heapSiftDown(size_t Idx);
+  bool heapLess(Var A, Var B) const { return Activity[A] > Activity[B]; }
+
+  void bumpVar(Var V);
+  void bumpClause(Clause &C);
+  void decayActivities();
+};
+
+/// Luby restart sequence value (1-based index), used for restart pacing.
+uint64_t lubySequence(uint64_t I);
+
+} // namespace veriqec::sat
+
+#endif // VERIQEC_SAT_SOLVER_H

@@ -1,0 +1,226 @@
+//===- sem/DenseState.cpp - Dense state-vector simulation ------------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sem/DenseState.h"
+
+#include "support/Assert.h"
+
+#include <cmath>
+
+using namespace veriqec;
+
+namespace {
+
+using Cplx = std::complex<double>;
+constexpr Cplx IU{0.0, 1.0};
+
+/// 2x2 matrix of a single-qubit gate.
+void singleGateMatrix(GateKind K, Cplx M[2][2]) {
+  const double S2 = 1.0 / std::sqrt(2.0);
+  switch (K) {
+  case GateKind::X:
+    M[0][0] = 0;
+    M[0][1] = 1;
+    M[1][0] = 1;
+    M[1][1] = 0;
+    return;
+  case GateKind::Y:
+    M[0][0] = 0;
+    M[0][1] = -IU;
+    M[1][0] = IU;
+    M[1][1] = 0;
+    return;
+  case GateKind::Z:
+    M[0][0] = 1;
+    M[0][1] = 0;
+    M[1][0] = 0;
+    M[1][1] = -1;
+    return;
+  case GateKind::H:
+    M[0][0] = S2;
+    M[0][1] = S2;
+    M[1][0] = S2;
+    M[1][1] = -S2;
+    return;
+  case GateKind::S:
+    M[0][0] = 1;
+    M[0][1] = 0;
+    M[1][0] = 0;
+    M[1][1] = IU;
+    return;
+  case GateKind::Sdg:
+    M[0][0] = 1;
+    M[0][1] = 0;
+    M[1][0] = 0;
+    M[1][1] = -IU;
+    return;
+  case GateKind::T:
+    M[0][0] = 1;
+    M[0][1] = 0;
+    M[1][0] = 0;
+    M[1][1] = std::exp(IU * (M_PI / 4.0));
+    return;
+  case GateKind::Tdg:
+    M[0][0] = 1;
+    M[0][1] = 0;
+    M[1][0] = 0;
+    M[1][1] = std::exp(-IU * (M_PI / 4.0));
+    return;
+  default:
+    unreachable("not a single-qubit gate");
+  }
+}
+
+/// 4x4 matrix of a two-qubit gate (basis order |q0 q1> = 00,01,10,11).
+void doubleGateMatrix(GateKind K, Cplx M[4][4]) {
+  for (int I = 0; I != 4; ++I)
+    for (int J = 0; J != 4; ++J)
+      M[I][J] = 0;
+  switch (K) {
+  case GateKind::CNOT:
+    M[0][0] = M[1][1] = 1;
+    M[2][3] = M[3][2] = 1;
+    return;
+  case GateKind::CZ:
+    M[0][0] = M[1][1] = M[2][2] = 1;
+    M[3][3] = -1;
+    return;
+  case GateKind::ISWAP:
+    M[0][0] = M[3][3] = 1;
+    M[1][2] = M[2][1] = -IU;
+    return;
+  case GateKind::ISWAPdg:
+    M[0][0] = M[3][3] = 1;
+    M[1][2] = M[2][1] = IU;
+    return;
+  default:
+    unreachable("not a two-qubit gate");
+  }
+}
+
+} // namespace
+
+DenseState::DenseState(size_t NumQubits)
+    : N(NumQubits), Amp(size_t{1} << NumQubits, Cplx{0, 0}) {
+  assert(NumQubits <= 20 && "dense simulation limited to small systems");
+  Amp[0] = 1;
+}
+
+double DenseState::normSquared() const {
+  double S = 0;
+  for (const Cplx &A : Amp)
+    S += std::norm(A);
+  return S;
+}
+
+void DenseState::normalize() {
+  double Norm = std::sqrt(normSquared());
+  assert(Norm > 1e-300 && "normalizing the zero state");
+  for (Cplx &A : Amp)
+    A /= Norm;
+}
+
+void DenseState::applyGate(GateKind Kind, size_t Q0, size_t Q1) {
+  assert(Q0 < N && "qubit out of range");
+  if (!isTwoQubitGate(Kind)) {
+    Cplx M[2][2];
+    singleGateMatrix(Kind, M);
+    size_t Stride = size_t{1} << (N - 1 - Q0);
+    for (size_t Base = 0; Base != Amp.size(); ++Base) {
+      if (Base & Stride)
+        continue;
+      Cplx A0 = Amp[Base], A1 = Amp[Base | Stride];
+      Amp[Base] = M[0][0] * A0 + M[0][1] * A1;
+      Amp[Base | Stride] = M[1][0] * A0 + M[1][1] * A1;
+    }
+    return;
+  }
+  assert(Q1 < N && Q1 != Q0 && "two-qubit gate needs distinct qubits");
+  Cplx M[4][4];
+  doubleGateMatrix(Kind, M);
+  size_t S0 = size_t{1} << (N - 1 - Q0);
+  size_t S1 = size_t{1} << (N - 1 - Q1);
+  for (size_t Base = 0; Base != Amp.size(); ++Base) {
+    if ((Base & S0) || (Base & S1))
+      continue;
+    size_t Idx[4] = {Base, Base | S1, Base | S0, Base | S0 | S1};
+    Cplx In[4];
+    for (int I = 0; I != 4; ++I)
+      In[I] = Amp[Idx[I]];
+    for (int I = 0; I != 4; ++I) {
+      Cplx Out = 0;
+      for (int J = 0; J != 4; ++J)
+        Out += M[I][J] * In[J];
+      Amp[Idx[I]] = Out;
+    }
+  }
+}
+
+void DenseState::applyPauli(const Pauli &P) {
+  assert(P.numQubits() == N && "Pauli size mismatch");
+  // P = i^ph * prod X^x Z^z: on |b>, Z gives (-1)^{z.b}, X maps b -> b^x.
+  size_t XMask = 0, ZMask = 0;
+  for (size_t Q = 0; Q != N; ++Q) {
+    if (P.xBits().get(Q))
+      XMask |= size_t{1} << (N - 1 - Q);
+    if (P.zBits().get(Q))
+      ZMask |= size_t{1} << (N - 1 - Q);
+  }
+  Cplx Phase = 1;
+  for (unsigned I = 0; I != P.phaseExp(); ++I)
+    Phase *= IU;
+  std::vector<Cplx> Out(Amp.size(), Cplx{0, 0});
+  for (size_t B = 0; B != Amp.size(); ++B) {
+    double Sign = (std::popcount(B & ZMask) & 1) ? -1.0 : 1.0;
+    Out[B ^ XMask] = Phase * Sign * Amp[B];
+  }
+  Amp = std::move(Out);
+}
+
+void DenseState::projectPauli(const Pauli &P, bool Sign) {
+  assert(P.isHermitian() && "projector needs a Hermitian Pauli");
+  DenseState Rotated = *this;
+  Rotated.applyPauli(P);
+  double Factor = Sign ? -0.5 : 0.5;
+  for (size_t B = 0; B != Amp.size(); ++B)
+    Amp[B] = 0.5 * Amp[B] + Factor * Rotated.Amp[B];
+}
+
+std::pair<DenseState, DenseState> DenseState::resetBranches(size_t Q) const {
+  // Branch A: |0><0| (keep amplitude where the bit is 0).
+  // Branch B: |0><1| (move amplitude from bit = 1 down to bit = 0).
+  size_t Stride = size_t{1} << (N - 1 - Q);
+  DenseState KeepZero = *this;
+  DenseState MoveOne(N);
+  MoveOne.Amp[0] = 0;
+  for (size_t B = 0; B != Amp.size(); ++B) {
+    if ((B & Stride) == 0)
+      continue;
+    KeepZero.Amp[B] = 0;
+    MoveOne.Amp[B ^ Stride] = Amp[B];
+  }
+  return {KeepZero, MoveOne};
+}
+
+DenseState::Cplx DenseState::innerProduct(const DenseState &Other) const {
+  assert(Other.N == N && "size mismatch");
+  Cplx S = 0;
+  for (size_t B = 0; B != Amp.size(); ++B)
+    S += std::conj(Amp[B]) * Other.Amp[B];
+  return S;
+}
+
+bool DenseState::approxEqualUpToPhase(const DenseState &Other,
+                                      double Eps) const {
+  double NA = normSquared(), NB = Other.normSquared();
+  if (std::abs(NA - NB) > Eps)
+    return false;
+  if (NA < Eps)
+    return true;
+  // |<a|b>| == |a||b| iff parallel.
+  Cplx IP = innerProduct(Other);
+  return std::abs(std::abs(IP) - std::sqrt(NA * NB)) < Eps;
+}

@@ -1,0 +1,81 @@
+//===- sem/DenseState.h - Dense state-vector simulation ---------*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense complex state vector over n qubits (n small) with exact gate
+/// application and Pauli projector arithmetic. This is the ground-truth
+/// semantics backend: the soundness test harness checks the proof system
+/// of Fig. 3 against it, playing the role of the paper's Coq development
+/// on bounded instances (see DESIGN.md substitutions).
+///
+/// Basis convention: qubit 0 is the most significant bit of the basis
+/// index, matching |q0 q1 ... q_{n-1}>.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_SEM_DENSESTATE_H
+#define VERIQEC_SEM_DENSESTATE_H
+
+#include "pauli/Gates.h"
+#include "pauli/Pauli.h"
+
+#include <complex>
+#include <vector>
+
+namespace veriqec {
+
+/// Dense (possibly unnormalized) pure state of n qubits.
+class DenseState {
+public:
+  using Cplx = std::complex<double>;
+
+  /// |0...0> on \p NumQubits qubits.
+  explicit DenseState(size_t NumQubits);
+
+  size_t numQubits() const { return N; }
+  size_t dim() const { return Amp.size(); }
+
+  Cplx &amp(size_t Index) { return Amp[Index]; }
+  const Cplx &amp(size_t Index) const { return Amp[Index]; }
+
+  /// Squared norm (branch probability weight for unnormalized states).
+  double normSquared() const;
+
+  /// True if the squared norm is below \p Eps.
+  bool isZero(double Eps = 1e-12) const { return normSquared() < Eps; }
+
+  void normalize();
+
+  /// Applies a gate (any of the Clifford+T set) on \p Q0 (and \p Q1).
+  void applyGate(GateKind Kind, size_t Q0, size_t Q1 = ~size_t{0});
+
+  /// Applies a Pauli operator (including its phase).
+  void applyPauli(const Pauli &P);
+
+  /// Projects onto the (-1)^Sign eigenspace of the Hermitian Pauli \p P:
+  /// state <- (I + (-1)^Sign P)/2 * state (unnormalized).
+  void projectPauli(const Pauli &P, bool Sign);
+
+  /// Resets qubit \p Q to |0>, producing the two Kraus branches
+  /// |0><0| and |0><1|; \returns both (unnormalized, possibly zero).
+  std::pair<DenseState, DenseState> resetBranches(size_t Q) const;
+
+  /// <this|Other> inner product.
+  Cplx innerProduct(const DenseState &Other) const;
+
+  /// Fidelity-style comparison of unnormalized states up to global phase.
+  bool approxEqualUpToPhase(const DenseState &Other, double Eps = 1e-9) const;
+
+private:
+  size_t bitOf(size_t Index, size_t Q) const { return (Index >> (N - 1 - Q)) & 1; }
+
+  size_t N;
+  std::vector<Cplx> Amp;
+};
+
+} // namespace veriqec
+
+#endif // VERIQEC_SEM_DENSESTATE_H

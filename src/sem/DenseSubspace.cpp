@@ -1,0 +1,144 @@
+//===- sem/DenseSubspace.cpp - Subspace arithmetic --------------------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sem/DenseSubspace.h"
+
+#include "support/Assert.h"
+
+#include <cmath>
+
+using namespace veriqec;
+
+namespace {
+
+/// Gram-Schmidt: orthonormalizes \p Vectors against \p Basis, appending
+/// the independent remainder to Basis.
+void absorb(std::vector<DenseState> &Basis,
+            const std::vector<DenseState> &Vectors, size_t NumQubits) {
+  for (const DenseState &VIn : Vectors) {
+    DenseState V = VIn;
+    for (const DenseState &B : Basis) {
+      DenseState::Cplx Coef = B.innerProduct(V);
+      for (size_t I = 0; I != V.dim(); ++I)
+        V.amp(I) -= Coef * B.amp(I);
+    }
+    // Re-orthogonalize once for numerical hygiene.
+    for (const DenseState &B : Basis) {
+      DenseState::Cplx Coef = B.innerProduct(V);
+      for (size_t I = 0; I != V.dim(); ++I)
+        V.amp(I) -= Coef * B.amp(I);
+    }
+    if (V.normSquared() > 1e-16) {
+      V.normalize();
+      Basis.push_back(std::move(V));
+    }
+  }
+  (void)NumQubits;
+}
+
+} // namespace
+
+DenseSubspace DenseSubspace::zero(size_t NumQubits) {
+  return DenseSubspace(NumQubits);
+}
+
+DenseSubspace DenseSubspace::full(size_t NumQubits) {
+  DenseSubspace S(NumQubits);
+  size_t Dim = size_t{1} << NumQubits;
+  for (size_t I = 0; I != Dim; ++I) {
+    DenseState V(NumQubits);
+    V.amp(0) = 0;
+    V.amp(I) = 1;
+    S.Basis.push_back(std::move(V));
+  }
+  return S;
+}
+
+DenseSubspace DenseSubspace::eigenspaceOf(const Pauli &P, bool Sign) {
+  assert(P.isHermitian() && "eigenspace of a non-Hermitian Pauli");
+  size_t N = P.numQubits();
+  DenseSubspace S(N);
+  size_t Dim = size_t{1} << N;
+  // Columns of the projector (I + (-1)^Sign P)/2 span the eigenspace.
+  std::vector<DenseState> Columns;
+  for (size_t C = 0; C != Dim; ++C) {
+    DenseState V(N);
+    V.amp(0) = 0;
+    V.amp(C) = 1;
+    V.projectPauli(P, Sign);
+    Columns.push_back(std::move(V));
+  }
+  absorb(S.Basis, Columns, N);
+  return S;
+}
+
+DenseSubspace DenseSubspace::span(size_t NumQubits,
+                                  const std::vector<DenseState> &Vectors) {
+  DenseSubspace S(NumQubits);
+  absorb(S.Basis, Vectors, NumQubits);
+  return S;
+}
+
+DenseState DenseSubspace::project(const DenseState &V) const {
+  DenseState Out(N);
+  Out.amp(0) = 0;
+  for (const DenseState &B : Basis) {
+    DenseState::Cplx Coef = B.innerProduct(V);
+    for (size_t I = 0; I != Out.dim(); ++I)
+      Out.amp(I) += Coef * B.amp(I);
+  }
+  return Out;
+}
+
+bool DenseSubspace::contains(const DenseState &V, double Eps) const {
+  DenseState P = project(V);
+  double Dist = 0;
+  for (size_t I = 0; I != P.dim(); ++I)
+    Dist += std::norm(P.amp(I) - V.amp(I));
+  return Dist < Eps * Eps;
+}
+
+bool DenseSubspace::isSubspaceOf(const DenseSubspace &Other,
+                                 double Eps) const {
+  for (const DenseState &B : Basis)
+    if (!Other.contains(B, Eps))
+      return false;
+  return true;
+}
+
+DenseSubspace DenseSubspace::complement() const {
+  // Extend the basis with the standard basis and keep the remainder.
+  std::vector<DenseState> Extended = Basis;
+  size_t Dim = size_t{1} << N;
+  std::vector<DenseState> Std;
+  for (size_t I = 0; I != Dim; ++I) {
+    DenseState V(N);
+    V.amp(0) = 0;
+    V.amp(I) = 1;
+    Std.push_back(std::move(V));
+  }
+  size_t Before = Extended.size();
+  absorb(Extended, Std, N);
+  DenseSubspace Out(N);
+  Out.Basis.assign(Extended.begin() + Before, Extended.end());
+  return Out;
+}
+
+DenseSubspace DenseSubspace::join(const DenseSubspace &Other) const {
+  assert(N == Other.N && "qubit count mismatch");
+  DenseSubspace Out(N);
+  Out.Basis = Basis;
+  absorb(Out.Basis, Other.Basis, N);
+  return Out;
+}
+
+DenseSubspace DenseSubspace::meet(const DenseSubspace &Other) const {
+  return complement().join(Other.complement()).complement();
+}
+
+DenseSubspace DenseSubspace::sasakiImplies(const DenseSubspace &Other) const {
+  return complement().join(meet(Other));
+}

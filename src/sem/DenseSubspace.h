@@ -1,0 +1,80 @@
+//===- sem/DenseSubspace.h - Subspace arithmetic ----------------*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Subspaces of the n-qubit Hilbert space with the Birkhoff-von Neumann
+/// quantum-logic operations the assertion semantics of Section 3.2 needs:
+/// meet (intersection), join (span of union), orthocomplement and Sasaki
+/// implication. Represented by an orthonormal basis; n is small (this is
+/// the ground-truth backend for testing the logic, not a production
+/// simulator).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_SEM_DENSESUBSPACE_H
+#define VERIQEC_SEM_DENSESUBSPACE_H
+
+#include "sem/DenseState.h"
+
+#include <vector>
+
+namespace veriqec {
+
+/// A subspace of C^(2^n), stored as an orthonormal basis.
+class DenseSubspace {
+public:
+  /// The zero subspace of an n-qubit space.
+  static DenseSubspace zero(size_t NumQubits);
+
+  /// The full space.
+  static DenseSubspace full(size_t NumQubits);
+
+  /// The (-1)^Sign eigenspace of a Hermitian Pauli (the semantics of a
+  /// Pauli-expression atom).
+  static DenseSubspace eigenspaceOf(const Pauli &P, bool Sign);
+
+  /// Span of arbitrary (possibly dependent) vectors.
+  static DenseSubspace span(size_t NumQubits,
+                            const std::vector<DenseState> &Vectors);
+
+  size_t numQubits() const { return N; }
+  size_t dimension() const { return Basis.size(); }
+
+  /// Membership: || proj(V) - V || < Eps (V may be unnormalized).
+  bool contains(const DenseState &V, double Eps = 1e-8) const;
+
+  /// Subspace inclusion.
+  bool isSubspaceOf(const DenseSubspace &Other, double Eps = 1e-8) const;
+
+  bool equals(const DenseSubspace &Other, double Eps = 1e-8) const {
+    return isSubspaceOf(Other, Eps) && Other.isSubspaceOf(*this, Eps);
+  }
+
+  /// Orthocomplement.
+  DenseSubspace complement() const;
+
+  /// Join: span of the union.
+  DenseSubspace join(const DenseSubspace &Other) const;
+
+  /// Meet: intersection, computed as (A^perp v B^perp)^perp.
+  DenseSubspace meet(const DenseSubspace &Other) const;
+
+  /// Sasaki implication A ~> B = A^perp v (A ^ B).
+  DenseSubspace sasakiImplies(const DenseSubspace &Other) const;
+
+  /// Projection of \p V onto this subspace.
+  DenseState project(const DenseState &V) const;
+
+private:
+  explicit DenseSubspace(size_t NumQubits) : N(NumQubits) {}
+
+  size_t N = 0;
+  std::vector<DenseState> Basis; ///< orthonormal
+};
+
+} // namespace veriqec
+
+#endif // VERIQEC_SEM_DENSESUBSPACE_H

@@ -1,0 +1,251 @@
+//===- sem/Interpreter.cpp - Program semantics executors --------------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sem/Interpreter.h"
+
+#include "support/Assert.h"
+
+using namespace veriqec;
+
+std::vector<int64_t> DecoderRegistry::call(
+    const std::string &Name, const std::vector<int64_t> &Args) const {
+  auto It = Table.find(Name);
+  if (It == Table.end())
+    fatalError("undefined decoder function: " + Name);
+  return It->second(Args);
+}
+
+namespace {
+
+/// Executes one statement on a branch set (dense backend).
+void stepDense(const StmtPtr &S, std::vector<DenseBranch> &Branches,
+               const DecoderRegistry &Decoders, size_t Fuel);
+
+void runSeqDense(const std::vector<StmtPtr> &Stmts,
+                 std::vector<DenseBranch> &Branches,
+                 const DecoderRegistry &Decoders, size_t Fuel) {
+  for (const StmtPtr &S : Stmts)
+    stepDense(S, Branches, Decoders, Fuel);
+}
+
+void stepDense(const StmtPtr &S, std::vector<DenseBranch> &Branches,
+               const DecoderRegistry &Decoders, size_t Fuel) {
+  switch (S->Kind) {
+  case StmtKind::Skip:
+    return;
+  case StmtKind::Init: {
+    std::vector<DenseBranch> Out;
+    for (DenseBranch &B : Branches) {
+      size_t Q = static_cast<size_t>(S->Qubit0->evaluate(B.Mem));
+      auto [Zero, One] = B.State.resetBranches(Q);
+      if (!Zero.isZero())
+        Out.push_back({B.Mem, std::move(Zero)});
+      if (!One.isZero())
+        Out.push_back({B.Mem, std::move(One)});
+    }
+    Branches = std::move(Out);
+    return;
+  }
+  case StmtKind::Unitary:
+    for (DenseBranch &B : Branches) {
+      size_t Q0 = static_cast<size_t>(S->Qubit0->evaluate(B.Mem));
+      if (S->Qubit1) {
+        size_t Q1 = static_cast<size_t>(S->Qubit1->evaluate(B.Mem));
+        B.State.applyGate(S->Gate, Q0, Q1);
+      } else {
+        B.State.applyGate(S->Gate, Q0);
+      }
+    }
+    return;
+  case StmtKind::GuardedGate:
+    for (DenseBranch &B : Branches) {
+      if (!S->Guard->evaluateBool(B.Mem))
+        continue;
+      size_t Q = static_cast<size_t>(S->Qubit0->evaluate(B.Mem));
+      B.State.applyGate(S->Gate, Q);
+    }
+    return;
+  case StmtKind::Assign:
+    for (DenseBranch &B : Branches)
+      B.Mem[S->Targets[0]] = S->Value->evaluate(B.Mem);
+    return;
+  case StmtKind::Measure: {
+    std::vector<DenseBranch> Out;
+    for (DenseBranch &B : Branches) {
+      Pauli P = S->Measured.resolve(B.State.numQubits(), B.Mem);
+      bool Phase = S->Measured.phaseBitValue(B.Mem);
+      if (Phase)
+        P.negate();
+      for (int Outcome = 0; Outcome != 2; ++Outcome) {
+        DenseBranch NB = B;
+        // Outcome 0 projects onto the +1 eigenspace (paper convention).
+        NB.State.projectPauli(P, /*Sign=*/Outcome == 1);
+        if (NB.State.isZero())
+          continue;
+        NB.Mem[S->Targets[0]] = Outcome;
+        Out.push_back(std::move(NB));
+      }
+    }
+    Branches = std::move(Out);
+    return;
+  }
+  case StmtKind::DecoderCall:
+    for (DenseBranch &B : Branches) {
+      std::vector<int64_t> Args;
+      for (const CExprPtr &A : S->Arguments)
+        Args.push_back(A->evaluate(B.Mem));
+      std::vector<int64_t> Outs = Decoders.call(S->DecoderName, Args);
+      assert(Outs.size() == S->Targets.size() &&
+             "decoder arity mismatch");
+      for (size_t I = 0; I != Outs.size(); ++I)
+        B.Mem[S->Targets[I]] = Outs[I];
+    }
+    return;
+  case StmtKind::Seq:
+    runSeqDense(S->Body, Branches, Decoders, Fuel);
+    return;
+  case StmtKind::If: {
+    std::vector<DenseBranch> Then, Else;
+    for (DenseBranch &B : Branches)
+      (S->Cond->evaluateBool(B.Mem) ? Then : Else).push_back(std::move(B));
+    stepDense(S->Body[0], Then, Decoders, Fuel);
+    stepDense(S->Body[1], Else, Decoders, Fuel);
+    Branches = std::move(Then);
+    for (DenseBranch &B : Else)
+      Branches.push_back(std::move(B));
+    return;
+  }
+  case StmtKind::While: {
+    std::vector<DenseBranch> Done;
+    std::vector<DenseBranch> Active = std::move(Branches);
+    size_t Rounds = 0;
+    while (!Active.empty()) {
+      if (++Rounds > Fuel)
+        fatalError("while loop exceeded the dense-interpreter fuel bound");
+      std::vector<DenseBranch> Continue;
+      for (DenseBranch &B : Active)
+        (S->Cond->evaluateBool(B.Mem) ? Continue : Done)
+            .push_back(std::move(B));
+      stepDense(S->Body[0], Continue, Decoders, Fuel);
+      Active = std::move(Continue);
+    }
+    Branches = std::move(Done);
+    return;
+  }
+  case StmtKind::For:
+    fatalError("for-loops must be flattened before interpretation");
+  }
+}
+
+} // namespace
+
+std::vector<DenseBranch> veriqec::runDense(const StmtPtr &Program,
+                                           DenseBranch Initial,
+                                           const DecoderRegistry &Decoders,
+                                           size_t Fuel) {
+  std::vector<DenseBranch> Branches;
+  Branches.push_back(std::move(Initial));
+  stepDense(Program, Branches, Decoders, Fuel);
+  return Branches;
+}
+
+namespace {
+
+void stepStabilizer(const StmtPtr &S, StabilizerRun &Run,
+                    const DecoderRegistry &Decoders, Rng &R, size_t &Fuel) {
+  switch (S->Kind) {
+  case StmtKind::Skip:
+    return;
+  case StmtKind::Init:
+    Run.State.reset(static_cast<size_t>(S->Qubit0->evaluate(Run.Mem)), R);
+    return;
+  case StmtKind::Unitary: {
+    assert(isCliffordGate(S->Gate) &&
+           "stabilizer interpreter cannot run T gates");
+    size_t Q0 = static_cast<size_t>(S->Qubit0->evaluate(Run.Mem));
+    if (S->Qubit1)
+      Run.State.applyGate(S->Gate, Q0,
+                          static_cast<size_t>(S->Qubit1->evaluate(Run.Mem)));
+    else
+      Run.State.applyGate(S->Gate, Q0);
+    return;
+  }
+  case StmtKind::GuardedGate: {
+    if (!S->Guard->evaluateBool(Run.Mem))
+      return;
+    assert(isCliffordGate(S->Gate) && "guarded T gates are not Clifford");
+    size_t Q = static_cast<size_t>(S->Qubit0->evaluate(Run.Mem));
+    switch (S->Gate) {
+    case GateKind::X:
+    case GateKind::Y:
+    case GateKind::Z:
+      Run.State.applyPauli(Pauli::single(Run.State.numQubits(), Q,
+                                         S->Gate == GateKind::X ? PauliKind::X
+                                         : S->Gate == GateKind::Y
+                                             ? PauliKind::Y
+                                             : PauliKind::Z));
+      return;
+    default:
+      Run.State.applyGate(S->Gate, Q);
+      return;
+    }
+  }
+  case StmtKind::Assign:
+    Run.Mem[S->Targets[0]] = S->Value->evaluate(Run.Mem);
+    return;
+  case StmtKind::Measure: {
+    Pauli P = S->Measured.resolve(Run.State.numQubits(), Run.Mem);
+    if (S->Measured.phaseBitValue(Run.Mem))
+      P.negate();
+    Run.Mem[S->Targets[0]] = Run.State.measure(P, R) ? 1 : 0;
+    return;
+  }
+  case StmtKind::DecoderCall: {
+    std::vector<int64_t> Args;
+    for (const CExprPtr &A : S->Arguments)
+      Args.push_back(A->evaluate(Run.Mem));
+    std::vector<int64_t> Outs = Decoders.call(S->DecoderName, Args);
+    assert(Outs.size() == S->Targets.size() && "decoder arity mismatch");
+    for (size_t I = 0; I != Outs.size(); ++I)
+      Run.Mem[S->Targets[I]] = Outs[I];
+    return;
+  }
+  case StmtKind::Seq:
+    for (const StmtPtr &Child : S->Body)
+      stepStabilizer(Child, Run, Decoders, R, Fuel);
+    return;
+  case StmtKind::If:
+    stepStabilizer(S->Cond->evaluateBool(Run.Mem) ? S->Body[0] : S->Body[1],
+                   Run, Decoders, R, Fuel);
+    return;
+  case StmtKind::While:
+    while (S->Cond->evaluateBool(Run.Mem)) {
+      if (Fuel-- == 0)
+        fatalError("while loop exceeded the stabilizer-interpreter fuel");
+      stepStabilizer(S->Body[0], Run, Decoders, R, Fuel);
+    }
+    return;
+  case StmtKind::For:
+    fatalError("for-loops must be flattened before interpretation");
+  }
+}
+
+} // namespace
+
+StabilizerRun veriqec::runStabilizer(const StmtPtr &Program, size_t NumQubits,
+                                     CMem InitialMem,
+                                     const DecoderRegistry &Decoders, Rng &R,
+                                     size_t Fuel) {
+  StabilizerRun Run{std::move(InitialMem), Tableau(NumQubits)};
+  stepStabilizer(Program, Run, Decoders, R, Fuel);
+  return Run;
+}
+
+void veriqec::runStabilizerFrom(const StmtPtr &Program, StabilizerRun &Run,
+                                const DecoderRegistry &Decoders, Rng &R,
+                                size_t Fuel) {
+  stepStabilizer(Program, Run, Decoders, R, Fuel);
+}

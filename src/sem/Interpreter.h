@@ -1,0 +1,84 @@
+//===- sem/Interpreter.h - Program semantics executors ----------*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executable semantics for QEC programs (Fig. 2 of the paper):
+///  * DenseInterpreter: exhaustive branch semantics on a dense state
+///    vector — the classical-quantum state Delta : CMem -> D(H) realized
+///    as an ensemble of (CMem, unnormalized pure state) branches. Exact;
+///    used as ground truth (small n).
+///  * StabilizerInterpreter: single random trajectory on a tableau —
+///    scales to hundreds of qubits; the engine behind the Stim-like
+///    sampling baseline.
+/// Decoder calls resolve through a DecoderRegistry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_SEM_INTERPRETER_H
+#define VERIQEC_SEM_INTERPRETER_H
+
+#include "pauli/Tableau.h"
+#include "prog/Ast.h"
+#include "sem/DenseState.h"
+#include "support/Rng.h"
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace veriqec {
+
+/// Named classical decoder functions callable from programs.
+class DecoderRegistry {
+public:
+  using Fn = std::function<std::vector<int64_t>(const std::vector<int64_t> &)>;
+
+  void define(std::string Name, Fn Function) {
+    Table[std::move(Name)] = std::move(Function);
+  }
+  bool contains(const std::string &Name) const { return Table.count(Name); }
+
+  std::vector<int64_t> call(const std::string &Name,
+                            const std::vector<int64_t> &Args) const;
+
+private:
+  std::map<std::string, Fn> Table;
+};
+
+/// One branch of the classical-quantum state.
+struct DenseBranch {
+  CMem Mem;
+  DenseState State; ///< unnormalized; squared norm = branch weight
+};
+
+/// Runs a flattened program on every measurement branch. While loops are
+/// bounded by \p Fuel iterations per branch (exceeding aborts).
+std::vector<DenseBranch> runDense(const StmtPtr &Program, DenseBranch Initial,
+                                  const DecoderRegistry &Decoders,
+                                  size_t Fuel = 64);
+
+/// Result of a stabilizer trajectory.
+struct StabilizerRun {
+  CMem Mem;
+  Tableau State;
+};
+
+/// Runs one random trajectory of a flattened Clifford program (T gates
+/// are rejected) from |0...0>.
+StabilizerRun runStabilizer(const StmtPtr &Program, size_t NumQubits,
+                            CMem InitialMem, const DecoderRegistry &Decoders,
+                            Rng &R, size_t Fuel = 1 << 16);
+
+/// Same, but continuing from an existing (memory, tableau) configuration
+/// in place — e.g. from a prepared logical state.
+void runStabilizerFrom(const StmtPtr &Program, StabilizerRun &Run,
+                       const DecoderRegistry &Decoders, Rng &R,
+                       size_t Fuel = 1 << 16);
+
+} // namespace veriqec
+
+#endif // VERIQEC_SEM_INTERPRETER_H

@@ -1,0 +1,87 @@
+//===- sim/SamplingTester.cpp - Stim-style sampling baseline ---------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/SamplingTester.h"
+
+#include "pauli/Tableau.h"
+#include "support/Timer.h"
+
+#include <unordered_set>
+
+using namespace veriqec;
+
+uint64_t veriqec::errorConfigurationCount(size_t NumQubits,
+                                          size_t MaxWeight) {
+  // sum_{w=0..t} C(n, w) * 3^w with saturation.
+  long double Total = 0;
+  long double Choose = 1; // C(n, 0)
+  long double Pow3 = 1;
+  for (size_t W = 0; W <= MaxWeight && W <= NumQubits; ++W) {
+    Total += Choose * Pow3;
+    Choose = Choose * static_cast<long double>(NumQubits - W) /
+             static_cast<long double>(W + 1);
+    Pow3 *= 3;
+  }
+  if (Total > static_cast<long double>(UINT64_MAX))
+    return UINT64_MAX;
+  return static_cast<uint64_t>(Total);
+}
+
+SamplingReport veriqec::sampleMemoryCorrection(const StabilizerCode &Code,
+                                               Decoder &Dec, size_t MaxWeight,
+                                               uint64_t Samples, Rng &R) {
+  SamplingReport Report;
+  Timer Clock;
+  size_t N = Code.NumQubits;
+  std::unordered_set<size_t> Seen;
+
+  for (uint64_t Trial = 0; Trial != Samples; ++Trial) {
+    // Random error of weight <= MaxWeight.
+    Pauli Error(N);
+    size_t W = R.nextBelow(MaxWeight + 1);
+    for (size_t I = 0; I != W; ++I)
+      Error.setKind(R.nextBelow(N),
+                    static_cast<PauliKind>(1 + R.nextBelow(3)));
+    Error = Error.abs();
+    Seen.insert(Error.hash());
+
+    // Tableau run: prepare a code state by measuring all generators and
+    // logical Zs (forcing outcome 0 = the logical all-zero family).
+    Tableau State(N);
+    for (size_t Q = 0; Q != N; ++Q)
+      State.applyGate(GateKind::H, Q);
+    for (const Pauli &G : Code.Generators)
+      State.measure(G, R, /*Forced=*/false);
+    for (const Pauli &LZ : Code.LogicalZ)
+      State.measure(LZ, R, /*Forced=*/false);
+
+    State.applyPauli(Error);
+
+    // Syndrome extraction + decode + correct.
+    BitVector Syndrome(Code.Generators.size());
+    for (size_t I = 0; I != Code.Generators.size(); ++I)
+      if (State.measure(Code.Generators[I], R))
+        Syndrome.set(I);
+    bool Failed = false;
+    if (std::optional<Pauli> Corr = Dec.decode(Syndrome)) {
+      State.applyPauli(*Corr);
+      // Logical error iff some logical operator's value flipped.
+      for (const Pauli &LZ : Code.LogicalZ)
+        if (!State.isStabilizedBy(LZ))
+          Failed = true;
+      for (const Pauli &G : Code.Generators)
+        if (!State.isStabilizedBy(G))
+          Failed = true;
+    } else {
+      Failed = true; // decoder has no answer for this syndrome
+    }
+    Report.Failures += Failed;
+    ++Report.Samples;
+  }
+  Report.DistinctPatterns = Seen.size();
+  Report.Seconds = Clock.seconds();
+  return Report;
+}

@@ -1,0 +1,56 @@
+//===- sim/SamplingTester.h - Stim-style sampling baseline ------*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The simulation-based testing baseline of the paper's Section 7.2 /
+/// Table 4 comparison (the role Stim plays): draw random error patterns
+/// within the weight budget, run the error-correction cycle on the
+/// stabilizer tableau with a concrete decoder, and check the logical
+/// state. Sampling can only certify the configurations it visits — the
+/// bench harness contrasts its throughput with the verifier's exhaustive
+/// guarantee (the paper's 19^18 ~ 2^76 sample argument).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_SIM_SAMPLINGTESTER_H
+#define VERIQEC_SIM_SAMPLINGTESTER_H
+
+#include "decoder/Decoder.h"
+#include "qec/StabilizerCode.h"
+#include "support/Rng.h"
+
+#include <cstdint>
+
+namespace veriqec {
+
+/// Aggregate result of a sampling campaign.
+struct SamplingReport {
+  uint64_t Samples = 0;
+  uint64_t Failures = 0;       ///< runs ending in a logical error
+  uint64_t DistinctPatterns = 0; ///< distinct error patterns visited
+  double Seconds = 0;
+
+  double samplesPerSecond() const {
+    return Seconds > 0 ? static_cast<double>(Samples) / Seconds : 0;
+  }
+};
+
+/// Number of error configurations with weight <= t over n qubits and 3
+/// Pauli kinds (the exhaustive-testing workload the paper contrasts
+/// against), saturating at UINT64_MAX.
+uint64_t errorConfigurationCount(size_t NumQubits, size_t MaxWeight);
+
+/// Runs \p Samples random memory-correction trials on \p Code: inject a
+/// random Pauli error of weight <= MaxWeight, measure syndromes on the
+/// tableau, decode with \p Dec, correct, and test whether the logical
+/// operators are preserved.
+SamplingReport sampleMemoryCorrection(const StabilizerCode &Code,
+                                      Decoder &Dec, size_t MaxWeight,
+                                      uint64_t Samples, Rng &R);
+
+} // namespace veriqec
+
+#endif // VERIQEC_SIM_SAMPLINGTESTER_H

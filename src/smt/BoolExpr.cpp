@@ -1,0 +1,334 @@
+//===- smt/BoolExpr.cpp - Boolean expression DAG ---------------------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/BoolExpr.h"
+
+#include <algorithm>
+
+using namespace veriqec;
+using namespace veriqec::smt;
+
+BoolContext::BoolContext() {
+  BoolNode T;
+  T.Kind = BoolKind::Const;
+  T.ConstVal = true;
+  TrueRef = intern(std::move(T));
+  BoolNode F;
+  F.Kind = BoolKind::Const;
+  F.ConstVal = false;
+  FalseRef = intern(std::move(F));
+}
+
+uint64_t BoolContext::hashNode(const BoolNode &N) const {
+  uint64_t H = static_cast<uint64_t>(N.Kind) * 0x9e3779b97f4a7c15ull;
+  H ^= N.ConstVal ? 0x1234567ull : 0;
+  H = H * 31 + N.VarId;
+  H = H * 31 + N.K;
+  for (ExprRef K : N.Kids)
+    H = H * 1099511628211ull + K;
+  return H;
+}
+
+ExprRef BoolContext::intern(BoolNode N) {
+  uint64_t H = hashNode(N);
+  auto &Bucket = Interned[H];
+  for (ExprRef R : Bucket) {
+    const BoolNode &Existing = Nodes[R];
+    if (Existing.Kind == N.Kind && Existing.ConstVal == N.ConstVal &&
+        Existing.VarId == N.VarId && Existing.K == N.K &&
+        Existing.Kids == N.Kids)
+      return R;
+  }
+  Nodes.push_back(std::move(N));
+  ExprRef R = static_cast<ExprRef>(Nodes.size() - 1);
+  Bucket.push_back(R);
+  return R;
+}
+
+ExprRef BoolContext::mkVar(const std::string &Name) {
+  auto It = VarByName.find(Name);
+  if (It != VarByName.end())
+    return VarRefs[It->second];
+  uint32_t Id = static_cast<uint32_t>(VarNames.size());
+  VarNames.push_back(Name);
+  VarByName.emplace(Name, Id);
+  BoolNode N;
+  N.Kind = BoolKind::Var;
+  N.VarId = Id;
+  ExprRef R = intern(std::move(N));
+  VarRefs.push_back(R);
+  return R;
+}
+
+ExprRef BoolContext::mkNot(ExprRef A) {
+  const BoolNode &N = Nodes[A];
+  if (N.Kind == BoolKind::Const)
+    return mkConst(!N.ConstVal);
+  if (N.Kind == BoolKind::Not)
+    return N.Kids[0];
+  BoolNode Out;
+  Out.Kind = BoolKind::Not;
+  Out.Kids = {A};
+  return intern(std::move(Out));
+}
+
+ExprRef BoolContext::mkAnd(std::vector<ExprRef> Kids) {
+  std::vector<ExprRef> Flat;
+  for (ExprRef K : Kids) {
+    const BoolNode &N = Nodes[K];
+    if (N.Kind == BoolKind::Const) {
+      if (!N.ConstVal)
+        return FalseRef;
+      continue;
+    }
+    if (N.Kind == BoolKind::And) {
+      Flat.insert(Flat.end(), N.Kids.begin(), N.Kids.end());
+      continue;
+    }
+    Flat.push_back(K);
+  }
+  std::sort(Flat.begin(), Flat.end());
+  Flat.erase(std::unique(Flat.begin(), Flat.end()), Flat.end());
+  // x AND NOT x == false.
+  for (ExprRef K : Flat)
+    if (Nodes[K].Kind == BoolKind::Not &&
+        std::binary_search(Flat.begin(), Flat.end(), Nodes[K].Kids[0]))
+      return FalseRef;
+  if (Flat.empty())
+    return TrueRef;
+  if (Flat.size() == 1)
+    return Flat[0];
+  BoolNode Out;
+  Out.Kind = BoolKind::And;
+  Out.Kids = std::move(Flat);
+  return intern(std::move(Out));
+}
+
+ExprRef BoolContext::mkOr(std::vector<ExprRef> Kids) {
+  std::vector<ExprRef> Flat;
+  for (ExprRef K : Kids) {
+    const BoolNode &N = Nodes[K];
+    if (N.Kind == BoolKind::Const) {
+      if (N.ConstVal)
+        return TrueRef;
+      continue;
+    }
+    if (N.Kind == BoolKind::Or) {
+      Flat.insert(Flat.end(), N.Kids.begin(), N.Kids.end());
+      continue;
+    }
+    Flat.push_back(K);
+  }
+  std::sort(Flat.begin(), Flat.end());
+  Flat.erase(std::unique(Flat.begin(), Flat.end()), Flat.end());
+  for (ExprRef K : Flat)
+    if (Nodes[K].Kind == BoolKind::Not &&
+        std::binary_search(Flat.begin(), Flat.end(), Nodes[K].Kids[0]))
+      return TrueRef;
+  if (Flat.empty())
+    return FalseRef;
+  if (Flat.size() == 1)
+    return Flat[0];
+  BoolNode Out;
+  Out.Kind = BoolKind::Or;
+  Out.Kids = std::move(Flat);
+  return intern(std::move(Out));
+}
+
+ExprRef BoolContext::mkXor(std::vector<ExprRef> Kids) {
+  // Constants fold into a parity flip; identical pairs cancel.
+  bool Flip = false;
+  std::vector<ExprRef> Flat;
+  for (ExprRef K : Kids) {
+    const BoolNode &N = Nodes[K];
+    if (N.Kind == BoolKind::Const) {
+      Flip ^= N.ConstVal;
+      continue;
+    }
+    if (N.Kind == BoolKind::Xor) {
+      Flat.insert(Flat.end(), N.Kids.begin(), N.Kids.end());
+      continue;
+    }
+    if (N.Kind == BoolKind::Not) {
+      Flip = !Flip;
+      Flat.push_back(N.Kids[0]);
+      continue;
+    }
+    Flat.push_back(K);
+  }
+  std::sort(Flat.begin(), Flat.end());
+  // Cancel equal pairs.
+  std::vector<ExprRef> Reduced;
+  for (size_t I = 0; I < Flat.size();) {
+    if (I + 1 < Flat.size() && Flat[I] == Flat[I + 1]) {
+      I += 2;
+      continue;
+    }
+    Reduced.push_back(Flat[I]);
+    ++I;
+  }
+  ExprRef Core;
+  if (Reduced.empty())
+    Core = FalseRef;
+  else if (Reduced.size() == 1)
+    Core = Reduced[0];
+  else {
+    BoolNode Out;
+    Out.Kind = BoolKind::Xor;
+    Out.Kids = std::move(Reduced);
+    Core = intern(std::move(Out));
+  }
+  return Flip ? mkNot(Core) : Core;
+}
+
+ExprRef BoolContext::mkAtMost(std::vector<ExprRef> Kids, uint32_t K) {
+  // Peel off constant kids.
+  std::vector<ExprRef> Flat;
+  for (ExprRef Kid : Kids) {
+    const BoolNode &N = Nodes[Kid];
+    if (N.Kind == BoolKind::Const) {
+      if (N.ConstVal) {
+        if (K == 0)
+          return FalseRef;
+        --K;
+      }
+      continue;
+    }
+    Flat.push_back(Kid);
+  }
+  if (Flat.size() <= K)
+    return TrueRef;
+  if (K == 0) {
+    // All kids must be false.
+    std::vector<ExprRef> Negs;
+    Negs.reserve(Flat.size());
+    for (ExprRef Kid : Flat)
+      Negs.push_back(mkNot(Kid));
+    return mkAnd(std::move(Negs));
+  }
+  std::sort(Flat.begin(), Flat.end());
+  BoolNode Out;
+  Out.Kind = BoolKind::AtMost;
+  Out.K = K;
+  Out.Kids = std::move(Flat);
+  return intern(std::move(Out));
+}
+
+ExprRef BoolContext::mkAtLeast(std::vector<ExprRef> Kids, uint32_t K) {
+  std::vector<ExprRef> Flat;
+  for (ExprRef Kid : Kids) {
+    const BoolNode &N = Nodes[Kid];
+    if (N.Kind == BoolKind::Const) {
+      if (N.ConstVal && K > 0)
+        --K;
+      continue;
+    }
+    Flat.push_back(Kid);
+  }
+  if (K == 0)
+    return TrueRef;
+  if (Flat.size() < K)
+    return FalseRef;
+  if (K == 1)
+    return mkOr(std::move(Flat));
+  std::sort(Flat.begin(), Flat.end());
+  BoolNode Out;
+  Out.Kind = BoolKind::AtLeast;
+  Out.K = K;
+  Out.Kids = std::move(Flat);
+  return intern(std::move(Out));
+}
+
+ExprRef BoolContext::mkSumLeqSum(std::vector<ExprRef> A,
+                                 std::vector<ExprRef> B) {
+  if (A.empty())
+    return TrueRef;
+  BoolNode Out;
+  Out.Kind = BoolKind::SumLeqSum;
+  Out.K = static_cast<uint32_t>(A.size());
+  Out.Kids = std::move(A);
+  Out.Kids.insert(Out.Kids.end(), B.begin(), B.end());
+  return intern(std::move(Out));
+}
+
+bool BoolContext::evaluate(ExprRef R, const std::vector<bool> &VarValues) const {
+  const BoolNode &N = Nodes[R];
+  auto sumKids = [&](size_t Begin, size_t End) {
+    size_t Count = 0;
+    for (size_t I = Begin; I != End; ++I)
+      Count += evaluate(N.Kids[I], VarValues) ? 1 : 0;
+    return Count;
+  };
+  switch (N.Kind) {
+  case BoolKind::Const:
+    return N.ConstVal;
+  case BoolKind::Var:
+    assert(N.VarId < VarValues.size() && "assignment misses a variable");
+    return VarValues[N.VarId];
+  case BoolKind::Not:
+    return !evaluate(N.Kids[0], VarValues);
+  case BoolKind::And:
+    for (ExprRef K : N.Kids)
+      if (!evaluate(K, VarValues))
+        return false;
+    return true;
+  case BoolKind::Or:
+    for (ExprRef K : N.Kids)
+      if (evaluate(K, VarValues))
+        return true;
+    return false;
+  case BoolKind::Xor: {
+    bool Acc = false;
+    for (ExprRef K : N.Kids)
+      Acc ^= evaluate(K, VarValues);
+    return Acc;
+  }
+  case BoolKind::AtMost:
+    return sumKids(0, N.Kids.size()) <= N.K;
+  case BoolKind::AtLeast:
+    return sumKids(0, N.Kids.size()) >= N.K;
+  case BoolKind::SumLeqSum:
+    return sumKids(0, N.K) <= sumKids(N.K, N.Kids.size());
+  }
+  unreachable("unknown BoolKind");
+}
+
+std::string BoolContext::toString(ExprRef R) const {
+  const BoolNode &N = Nodes[R];
+  auto joinKids = [&](const char *Sep, size_t Begin, size_t End) {
+    std::string S;
+    for (size_t I = Begin; I != End; ++I) {
+      if (I != Begin)
+        S += Sep;
+      S += toString(N.Kids[I]);
+    }
+    return S;
+  };
+  switch (N.Kind) {
+  case BoolKind::Const:
+    return N.ConstVal ? "true" : "false";
+  case BoolKind::Var:
+    return VarNames[N.VarId];
+  case BoolKind::Not:
+    return "!" + toString(N.Kids[0]);
+  case BoolKind::And:
+    return "(" + joinKids(" & ", 0, N.Kids.size()) + ")";
+  case BoolKind::Or:
+    return "(" + joinKids(" | ", 0, N.Kids.size()) + ")";
+  case BoolKind::Xor:
+    return "(" + joinKids(" ^ ", 0, N.Kids.size()) + ")";
+  case BoolKind::AtMost:
+    return "atmost<" + std::to_string(N.K) + ">(" +
+           joinKids(", ", 0, N.Kids.size()) + ")";
+  case BoolKind::AtLeast:
+    return "atleast<" + std::to_string(N.K) + ">(" +
+           joinKids(", ", 0, N.Kids.size()) + ")";
+  case BoolKind::SumLeqSum:
+    return "sum(" + joinKids(", ", 0, N.K) + ") <= sum(" +
+           joinKids(", ", N.K, N.Kids.size()) + ")";
+  }
+  unreachable("unknown BoolKind");
+}

@@ -1,0 +1,234 @@
+//===- smt/CnfEncoder.cpp - Tseitin CNF encoding ---------------------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "smt/CnfEncoder.h"
+
+#include "support/Assert.h"
+
+#include <algorithm>
+
+using namespace veriqec;
+using namespace veriqec::smt;
+using sat::Lit;
+using sat::Var;
+
+Lit CnfEncoder::trueLit() {
+  if (CachedTrue.isUndef()) {
+    Var V = Out.newVar();
+    CachedTrue = sat::mkLit(V);
+    Out.add({CachedTrue});
+  }
+  return CachedTrue;
+}
+
+Var CnfEncoder::satVarOf(uint32_t BoolVarId) {
+  auto It = Out.VarOfBoolVar.find(BoolVarId);
+  if (It != Out.VarOfBoolVar.end())
+    return It->second;
+  Var V = Out.newVar();
+  Out.VarOfBoolVar.emplace(BoolVarId, V);
+  return V;
+}
+
+Lit CnfEncoder::mkAndLits(const std::vector<Lit> &Lits) {
+  assert(!Lits.empty());
+  if (Lits.size() == 1)
+    return Lits[0];
+  Lit Y = sat::mkLit(Out.newVar());
+  std::vector<Lit> Long{Y};
+  for (Lit L : Lits) {
+    Out.add({~Y, L});
+    Long.push_back(~L);
+  }
+  Out.add(std::move(Long));
+  return Y;
+}
+
+Lit CnfEncoder::mkOrLits(const std::vector<Lit> &Lits) {
+  assert(!Lits.empty());
+  if (Lits.size() == 1)
+    return Lits[0];
+  Lit Y = sat::mkLit(Out.newVar());
+  std::vector<Lit> Long{~Y};
+  for (Lit L : Lits) {
+    Out.add({Y, ~L});
+    Long.push_back(L);
+  }
+  Out.add(std::move(Long));
+  return Y;
+}
+
+Lit CnfEncoder::mkXorLits(Lit A, Lit B) {
+  Lit Y = sat::mkLit(Out.newVar());
+  Out.add({~Y, A, B});
+  Out.add({~Y, ~A, ~B});
+  Out.add({Y, ~A, B});
+  Out.add({Y, A, ~B});
+  return Y;
+}
+
+const std::vector<Lit> &
+CnfEncoder::unaryCounter(const std::vector<Lit> &Inputs, size_t MaxJ) {
+  MaxJ = std::min(MaxJ, Inputs.size());
+  std::vector<int32_t> Key;
+  Key.reserve(Inputs.size());
+  for (Lit L : Inputs)
+    Key.push_back(L.Code);
+
+  auto It = CounterCache.find(Key);
+  if (It != CounterCache.end() && It->second.size() >= MaxJ)
+    return It->second;
+  // (Re)build the full counter once; further thresholds reuse it.
+  MaxJ = Inputs.size();
+
+  // Registers: Prev[j-1] <=> (first i inputs have >= j ones).
+  Lit True = trueLit();
+  Lit False = ~True;
+  std::vector<Lit> Prev; // i = 0: empty prefix has >= j ones only for j = 0
+  for (size_t I = 0; I != Inputs.size(); ++I) {
+    std::vector<Lit> Next(MaxJ, False);
+    size_t Cap = std::min(MaxJ, I + 1);
+    for (size_t J = 1; J <= Cap; ++J) {
+      Lit GePrevJ = (J <= Prev.size() && J <= I) ? Prev[J - 1] : False;
+      Lit GePrevJm1 = (J == 1) ? True : ((J - 1 <= I) ? Prev[J - 2] : False);
+      // Next[j] <=> GePrevJ | (x_i & GePrevJm1)
+      Lit Carry;
+      if (GePrevJm1 == True)
+        Carry = Inputs[I];
+      else if (GePrevJm1 == False)
+        Carry = False;
+      else
+        Carry = mkAndLits({Inputs[I], GePrevJm1});
+      if (GePrevJ == False)
+        Next[J - 1] = Carry;
+      else if (Carry == False)
+        Next[J - 1] = GePrevJ;
+      else
+        Next[J - 1] = mkOrLits({GePrevJ, Carry});
+    }
+    Prev = std::move(Next);
+  }
+  auto [Slot, Inserted] = CounterCache.insert_or_assign(Key, std::move(Prev));
+  (void)Inserted;
+  return Slot->second;
+}
+
+Lit CnfEncoder::encodeCardinalityGE(const std::vector<Lit> &Inputs,
+                                    uint32_t K) {
+  if (K == 0)
+    return trueLit();
+  if (K > Inputs.size())
+    return ~trueLit();
+
+  if (CardEnc == CardinalityEncoding::PairwiseNaive) {
+    // sum >= K  <=>  OR over all K-subsets of (AND of the subset).
+    // Exponential; used only in the ablation benchmark for tiny K.
+    std::vector<Lit> Disjuncts;
+    std::vector<size_t> Idx(K);
+    for (size_t I = 0; I != K; ++I)
+      Idx[I] = I;
+    while (true) {
+      std::vector<Lit> Conj;
+      for (size_t I : Idx)
+        Conj.push_back(Inputs[I]);
+      Disjuncts.push_back(mkAndLits(Conj));
+      // Next combination.
+      size_t P = K;
+      while (P > 0 && Idx[P - 1] == Inputs.size() - (K - P) - 1)
+        --P;
+      if (P == 0)
+        break;
+      ++Idx[P - 1];
+      for (size_t I = P; I != K; ++I)
+        Idx[I] = Idx[I - 1] + 1;
+    }
+    return mkOrLits(Disjuncts);
+  }
+
+  const std::vector<Lit> &Counter = unaryCounter(Inputs, K);
+  return Counter[K - 1];
+}
+
+Lit CnfEncoder::encode(ExprRef R) {
+  auto It = Memo.find(R);
+  if (It != Memo.end())
+    return It->second;
+
+  const BoolNode &N = Ctx.node(R);
+  Lit Result;
+  switch (N.Kind) {
+  case BoolKind::Const:
+    Result = N.ConstVal ? trueLit() : ~trueLit();
+    break;
+  case BoolKind::Var:
+    Result = sat::mkLit(satVarOf(N.VarId));
+    break;
+  case BoolKind::Not:
+    Result = ~encode(N.Kids[0]);
+    break;
+  case BoolKind::And: {
+    std::vector<Lit> Lits;
+    Lits.reserve(N.Kids.size());
+    for (ExprRef K : N.Kids)
+      Lits.push_back(encode(K));
+    Result = mkAndLits(Lits);
+    break;
+  }
+  case BoolKind::Or: {
+    std::vector<Lit> Lits;
+    Lits.reserve(N.Kids.size());
+    for (ExprRef K : N.Kids)
+      Lits.push_back(encode(K));
+    Result = mkOrLits(Lits);
+    break;
+  }
+  case BoolKind::Xor: {
+    Lit Acc = encode(N.Kids[0]);
+    for (size_t I = 1; I != N.Kids.size(); ++I)
+      Acc = mkXorLits(Acc, encode(N.Kids[I]));
+    Result = Acc;
+    break;
+  }
+  case BoolKind::AtMost: {
+    std::vector<Lit> Lits;
+    for (ExprRef K : N.Kids)
+      Lits.push_back(encode(K));
+    Result = ~encodeCardinalityGE(Lits, N.K + 1);
+    break;
+  }
+  case BoolKind::AtLeast: {
+    std::vector<Lit> Lits;
+    for (ExprRef K : N.Kids)
+      Lits.push_back(encode(K));
+    Result = encodeCardinalityGE(Lits, N.K);
+    break;
+  }
+  case BoolKind::SumLeqSum: {
+    std::vector<Lit> A, B;
+    for (size_t I = 0; I != N.K; ++I)
+      A.push_back(encode(N.Kids[I]));
+    for (size_t I = N.K; I != N.Kids.size(); ++I)
+      B.push_back(encode(N.Kids[I]));
+    // sum(A) <= sum(B)  <=>  for every threshold j: sum(A) >= j implies
+    // sum(B) >= j.
+    const std::vector<Lit> &CA = unaryCounter(A, A.size());
+    std::vector<Lit> Imps;
+    for (size_t J = 1; J <= A.size(); ++J) {
+      Lit GeA = CA[J - 1];
+      Lit GeB;
+      if (J > B.size())
+        GeB = ~trueLit();
+      else
+        GeB = unaryCounter(B, B.size())[J - 1];
+      Imps.push_back(mkOrLits({~GeA, GeB}));
+    }
+    Result = mkAndLits(Imps);
+    break;
+  }
+  }
+  Memo.emplace(R, Result);
+  return Result;
+}

@@ -1,0 +1,90 @@
+//===- smt/CnfEncoder.h - Tseitin CNF encoding ------------------*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Translates BoolContext expressions into CNF: plain Tseitin for the
+/// logical connectives, XOR chains for parities, and sequential-counter
+/// unary sums for cardinality and pseudo-Boolean comparison atoms. The
+/// output CnfFormula is solver-neutral so the parallel driver can hand the
+/// same clause set to many Solver instances.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_SMT_CNFENCODER_H
+#define VERIQEC_SMT_CNFENCODER_H
+
+#include "sat/SatTypes.h"
+#include "smt/BoolExpr.h"
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+namespace veriqec::smt {
+
+/// A CNF instance decoupled from any Solver, plus the mapping from
+/// BoolContext variables to CNF variables (needed for model read-back and
+/// cube assumptions).
+struct CnfFormula {
+  size_t NumVars = 0;
+  std::vector<std::vector<sat::Lit>> Clauses;
+  std::unordered_map<uint32_t, sat::Var> VarOfBoolVar;
+
+  sat::Var newVar() { return static_cast<sat::Var>(NumVars++); }
+  void add(std::vector<sat::Lit> C) { Clauses.push_back(std::move(C)); }
+};
+
+/// Available cardinality encodings (the ablation benchmark compares them).
+enum class CardinalityEncoding {
+  SequentialCounter, ///< O(n*k) auxiliary counter registers (default)
+  PairwiseNaive,     ///< O(n^{k+1}) direct clauses; only sane for tiny k
+};
+
+/// Encoder: one per (context, formula) pair; memoizes node literals and
+/// unary counters so shared sub-sums are built once.
+class CnfEncoder {
+public:
+  CnfEncoder(const BoolContext &Ctx, CnfFormula &Out,
+             CardinalityEncoding CardEnc =
+                 CardinalityEncoding::SequentialCounter)
+      : Ctx(Ctx), Out(Out), CardEnc(CardEnc) {}
+
+  /// Returns a literal equivalent to the expression (defining auxiliary
+  /// clauses as needed).
+  sat::Lit encode(ExprRef R);
+
+  /// Asserts the expression as a top-level fact.
+  void assertTrue(ExprRef R) { Out.add({encode(R)}); }
+
+  /// CNF variable carrying the named BoolContext variable, creating the
+  /// mapping if needed.
+  sat::Var satVarOf(uint32_t BoolVarId);
+
+private:
+  sat::Lit trueLit();
+  sat::Lit mkAndLits(const std::vector<sat::Lit> &Lits);
+  sat::Lit mkOrLits(const std::vector<sat::Lit> &Lits);
+  sat::Lit mkXorLits(sat::Lit A, sat::Lit B);
+
+  /// Unary counter over \p Inputs: result[j-1] <=> (sum >= j), for
+  /// j = 1..MaxJ. Cached per input list.
+  const std::vector<sat::Lit> &unaryCounter(const std::vector<sat::Lit> &Inputs,
+                                            size_t MaxJ);
+
+  sat::Lit encodeCardinalityGE(const std::vector<sat::Lit> &Inputs,
+                               uint32_t K);
+
+  const BoolContext &Ctx;
+  CnfFormula &Out;
+  CardinalityEncoding CardEnc;
+  std::unordered_map<ExprRef, sat::Lit> Memo;
+  std::map<std::vector<int32_t>, std::vector<sat::Lit>> CounterCache;
+  sat::Lit CachedTrue = sat::Lit::undef();
+};
+
+} // namespace veriqec::smt
+
+#endif // VERIQEC_SMT_CNFENCODER_H

@@ -1,0 +1,70 @@
+//===- smt/CubeSolver.h - Sequential & parallel solving ---------*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The solving facade used by the verifier: a sequential entry point and a
+/// cube-and-conquer parallel driver reproducing the paper's
+/// parallelization (Section 7.1 / Appendix D.4): selected error variables
+/// are enumerated until the heuristic ET = 2d*N(ones) + N(bits) exceeds a
+/// threshold; each resulting cube is an independent SAT call; a SAT cube
+/// aborts the siblings and surfaces its counterexample model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_SMT_CUBESOLVER_H
+#define VERIQEC_SMT_CUBESOLVER_H
+
+#include "sat/Solver.h"
+#include "smt/BoolExpr.h"
+#include "smt/CnfEncoder.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace veriqec::smt {
+
+/// Outcome of a (possibly parallel) solve.
+struct SolveOutcome {
+  sat::SolveResult Result = sat::SolveResult::Aborted;
+  /// For Sat: values of the named BoolContext variables.
+  std::unordered_map<std::string, bool> Model;
+  /// Aggregate statistics (summed over workers in the parallel case).
+  sat::SolverStats Stats;
+  /// Number of cubes dispatched (1 for sequential solving).
+  uint64_t NumCubes = 1;
+};
+
+/// Options shared by the sequential and parallel drivers.
+struct SolveOptions {
+  CardinalityEncoding CardEnc = CardinalityEncoding::SequentialCounter;
+  uint64_t ConflictBudget = 0; ///< 0 = unlimited
+
+  // Parallel-only knobs.
+  size_t NumThreads = 0; ///< 0 = hardware concurrency
+  /// Variables to enumerate (typically the error indicators e_i).
+  std::vector<std::string> SplitVars;
+  /// The d in ET = 2d*N(ones) + N(bits); usually the code distance.
+  uint32_t DistanceHint = 3;
+  /// Enumeration stops once ET exceeds this (the paper uses n, the number
+  /// of qubits). 0 disables splitting (one cube).
+  uint32_t SplitThreshold = 0;
+  /// Cubes whose enumerated ones-count exceeds this are pruned as
+  /// infeasible (weight constraint); ~0 disables pruning.
+  uint32_t MaxOnes = ~uint32_t{0};
+};
+
+/// Solves \p Root (checking satisfiability) on one thread.
+SolveOutcome solveExpr(const BoolContext &Ctx, ExprRef Root,
+                       const SolveOptions &Opts = {});
+
+/// Cube-and-conquer parallel solve of \p Root.
+SolveOutcome solveExprParallel(const BoolContext &Ctx, ExprRef Root,
+                               const SolveOptions &Opts);
+
+} // namespace veriqec::smt
+
+#endif // VERIQEC_SMT_CUBESOLVER_H

@@ -1,0 +1,41 @@
+//===- support/Assert.h - Fatal errors and assertion helpers ---*- C++ -*-===//
+//
+// Part of the veriqec project: a C++ reproduction of "Efficient Formal
+// Verification of Quantum Error Correcting Programs" (PLDI 2025).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Program-invariant checking utilities. Library code never throws; broken
+/// invariants abort with a message, mirroring llvm_unreachable/report_fatal.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_SUPPORT_ASSERT_H
+#define VERIQEC_SUPPORT_ASSERT_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace veriqec {
+
+/// Aborts the process with \p Msg. Use for conditions that indicate a bug in
+/// this library (not user input); user-input errors are reported through
+/// result types instead.
+[[noreturn]] inline void fatalError(const std::string &Msg) {
+  std::fprintf(stderr, "veriqec fatal error: %s\n", Msg.c_str());
+  std::abort();
+}
+
+/// Marks a point in the control flow that must be unreachable if the
+/// program's invariants hold.
+[[noreturn]] inline void unreachable(const char *Msg) {
+  std::fprintf(stderr, "veriqec unreachable: %s\n", Msg);
+  std::abort();
+}
+
+} // namespace veriqec
+
+#endif // VERIQEC_SUPPORT_ASSERT_H

@@ -1,0 +1,213 @@
+//===- support/BitVector.h - Dense dynamic bit vector ----------*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dense, word-packed bit vector used throughout the Pauli/GF(2)
+/// subsystems. Supports the bulk operations stabilizer algebra needs:
+/// XOR/AND accumulation, popcount, and parity of pairwise AND (the
+/// symplectic building block).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_SUPPORT_BITVECTOR_H
+#define VERIQEC_SUPPORT_BITVECTOR_H
+
+#include "support/Assert.h"
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace veriqec {
+
+/// Dense bit vector of fixed (but resizable) length.
+class BitVector {
+public:
+  BitVector() = default;
+
+  /// Creates a vector of \p NumBits bits, all zero (or all one if \p Value).
+  explicit BitVector(size_t NumBits, bool Value = false)
+      : NumBits(NumBits), Words(numWords(NumBits), Value ? ~uint64_t{0} : 0) {
+    clearUnusedBits();
+  }
+
+  size_t size() const { return NumBits; }
+  bool empty() const { return NumBits == 0; }
+
+  bool get(size_t Idx) const {
+    assert(Idx < NumBits && "bit index out of range");
+    return (Words[Idx / 64] >> (Idx % 64)) & 1;
+  }
+  bool operator[](size_t Idx) const { return get(Idx); }
+
+  void set(size_t Idx, bool Value = true) {
+    assert(Idx < NumBits && "bit index out of range");
+    uint64_t Mask = uint64_t{1} << (Idx % 64);
+    if (Value)
+      Words[Idx / 64] |= Mask;
+    else
+      Words[Idx / 64] &= ~Mask;
+  }
+
+  void flip(size_t Idx) {
+    assert(Idx < NumBits && "bit index out of range");
+    Words[Idx / 64] ^= uint64_t{1} << (Idx % 64);
+  }
+
+  /// Sets every bit to zero without changing the size.
+  void reset() {
+    for (uint64_t &W : Words)
+      W = 0;
+  }
+
+  /// Grows or shrinks to \p NewSize bits; new bits are zero.
+  void resize(size_t NewSize) {
+    Words.resize(numWords(NewSize), 0);
+    NumBits = NewSize;
+    clearUnusedBits();
+  }
+
+  /// Number of set bits.
+  size_t count() const {
+    size_t Total = 0;
+    for (uint64_t W : Words)
+      Total += static_cast<size_t>(std::popcount(W));
+    return Total;
+  }
+
+  /// True if any bit is set.
+  bool any() const {
+    for (uint64_t W : Words)
+      if (W)
+        return true;
+    return false;
+  }
+  bool none() const { return !any(); }
+
+  /// Index of the first set bit, or size() if none.
+  size_t findFirst() const {
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      if (Words[I])
+        return I * 64 + static_cast<size_t>(std::countr_zero(Words[I]));
+    return NumBits;
+  }
+
+  /// Index of the first set bit at or after \p From, or size() if none.
+  size_t findNext(size_t From) const {
+    if (From >= NumBits)
+      return NumBits;
+    size_t WordIdx = From / 64;
+    uint64_t W = Words[WordIdx] & (~uint64_t{0} << (From % 64));
+    while (true) {
+      if (W)
+        return WordIdx * 64 + static_cast<size_t>(std::countr_zero(W));
+      if (++WordIdx == Words.size())
+        return NumBits;
+      W = Words[WordIdx];
+    }
+  }
+
+  /// In-place bitwise XOR with \p Other (same size required).
+  BitVector &operator^=(const BitVector &Other) {
+    assert(NumBits == Other.NumBits && "size mismatch");
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      Words[I] ^= Other.Words[I];
+    return *this;
+  }
+
+  /// In-place bitwise AND with \p Other (same size required).
+  BitVector &operator&=(const BitVector &Other) {
+    assert(NumBits == Other.NumBits && "size mismatch");
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      Words[I] &= Other.Words[I];
+    return *this;
+  }
+
+  /// In-place bitwise OR with \p Other (same size required).
+  BitVector &operator|=(const BitVector &Other) {
+    assert(NumBits == Other.NumBits && "size mismatch");
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      Words[I] |= Other.Words[I];
+    return *this;
+  }
+
+  friend BitVector operator^(BitVector A, const BitVector &B) { return A ^= B; }
+  friend BitVector operator&(BitVector A, const BitVector &B) { return A &= B; }
+  friend BitVector operator|(BitVector A, const BitVector &B) { return A |= B; }
+
+  /// Parity (mod 2) of the number of positions where both vectors are set.
+  /// This is the GF(2) inner product, the symplectic-form building block.
+  bool dotParity(const BitVector &Other) const {
+    assert(NumBits == Other.NumBits && "size mismatch");
+    uint64_t Acc = 0;
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      Acc ^= Words[I] & Other.Words[I];
+    return std::popcount(Acc) & 1;
+  }
+
+  /// Number of positions where both vectors are set.
+  size_t andCount(const BitVector &Other) const {
+    assert(NumBits == Other.NumBits && "size mismatch");
+    size_t Total = 0;
+    for (size_t I = 0, E = Words.size(); I != E; ++I)
+      Total += static_cast<size_t>(std::popcount(Words[I] & Other.Words[I]));
+    return Total;
+  }
+
+  bool operator==(const BitVector &Other) const {
+    return NumBits == Other.NumBits && Words == Other.Words;
+  }
+  bool operator!=(const BitVector &Other) const { return !(*this == Other); }
+
+  /// Lexicographic comparison for deterministic ordering in containers.
+  bool operator<(const BitVector &Other) const {
+    if (NumBits != Other.NumBits)
+      return NumBits < Other.NumBits;
+    return Words < Other.Words;
+  }
+
+  /// Renders the vector as a 0/1 string, index 0 first.
+  std::string toString() const {
+    std::string S;
+    S.reserve(NumBits);
+    for (size_t I = 0; I != NumBits; ++I)
+      S.push_back(get(I) ? '1' : '0');
+    return S;
+  }
+
+  /// FNV-style hash usable as a map key.
+  size_t hash() const {
+    uint64_t H = 1469598103934665603ull;
+    for (uint64_t W : Words) {
+      H ^= W;
+      H *= 1099511628211ull;
+    }
+    return static_cast<size_t>(H ^ NumBits);
+  }
+
+private:
+  static size_t numWords(size_t Bits) { return (Bits + 63) / 64; }
+
+  void clearUnusedBits() {
+    if (NumBits % 64 != 0 && !Words.empty())
+      Words.back() &= (~uint64_t{0} >> (64 - NumBits % 64));
+  }
+
+  size_t NumBits = 0;
+  std::vector<uint64_t> Words;
+};
+
+} // namespace veriqec
+
+/// std::hash support so BitVector can key unordered containers.
+template <> struct std::hash<veriqec::BitVector> {
+  size_t operator()(const veriqec::BitVector &V) const { return V.hash(); }
+};
+
+#endif // VERIQEC_SUPPORT_BITVECTOR_H

@@ -1,0 +1,68 @@
+//===- support/Rng.h - Deterministic pseudo random numbers -----*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small xoshiro256** generator. Deterministic across platforms so tests
+/// and benchmarks are reproducible (std::mt19937 distributions are not
+/// guaranteed to be portable).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_SUPPORT_RNG_H
+#define VERIQEC_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace veriqec {
+
+/// xoshiro256** pseudo random generator with convenience helpers.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 seeding, the reference initialization for xoshiro.
+    uint64_t X = Seed;
+    for (uint64_t &SI : S) {
+      X += 0x9e3779b97f4a7c15ull;
+      uint64_t Z = X;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebull;
+      SI = Z ^ (Z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t next() {
+    uint64_t Result = rotl(S[1] * 5, 7) * 9;
+    uint64_t T = S[1] << 17;
+    S[2] ^= S[0];
+    S[3] ^= S[1];
+    S[1] ^= S[2];
+    S[0] ^= S[3];
+    S[2] ^= T;
+    S[3] = rotl(S[3], 45);
+    return Result;
+  }
+
+  /// Uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) { return next() % Bound; }
+
+  /// Fair coin.
+  bool nextBool() { return next() & 1; }
+
+  /// Uniform double in [0, 1).
+  double nextDouble() { return (next() >> 11) * 0x1.0p-53; }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t S[4];
+};
+
+} // namespace veriqec
+
+#endif // VERIQEC_SUPPORT_RNG_H

@@ -1,0 +1,42 @@
+//===- support/Timer.h - Wall-clock timing ---------------------*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Minimal wall-clock stopwatch used by the verification drivers and the
+/// experiment harnesses.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_SUPPORT_TIMER_H
+#define VERIQEC_SUPPORT_TIMER_H
+
+#include <chrono>
+
+namespace veriqec {
+
+/// Wall-clock stopwatch started at construction.
+class Timer {
+public:
+  Timer() : Start(Clock::now()) {}
+
+  /// Seconds elapsed since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - Start).count();
+  }
+
+  /// Milliseconds elapsed.
+  double millis() const { return seconds() * 1e3; }
+
+  void restart() { Start = Clock::now(); }
+
+private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point Start;
+};
+
+} // namespace veriqec
+
+#endif // VERIQEC_SUPPORT_TIMER_H

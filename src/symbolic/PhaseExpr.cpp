@@ -1,0 +1,57 @@
+//===- symbolic/PhaseExpr.cpp - GF(2)-affine phase expressions -------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "symbolic/PhaseExpr.h"
+
+#include <algorithm>
+
+using namespace veriqec;
+
+void PhaseExpr::xorWith(const PhaseExpr &Other) {
+  Constant ^= Other.Constant;
+  // Symmetric difference of sorted variable lists.
+  std::vector<uint32_t> Merged;
+  Merged.reserve(Vars.size() + Other.Vars.size());
+  std::set_symmetric_difference(Vars.begin(), Vars.end(), Other.Vars.begin(),
+                                Other.Vars.end(), std::back_inserter(Merged));
+  Vars = std::move(Merged);
+}
+
+bool PhaseExpr::evaluate(const std::function<bool(uint32_t)> &Value) const {
+  bool Acc = Constant;
+  for (uint32_t V : Vars)
+    Acc ^= Value(V);
+  return Acc;
+}
+
+smt::ExprRef PhaseExpr::toBoolExpr(smt::BoolContext &Ctx,
+                                   const VarTable &Table) const {
+  std::vector<smt::ExprRef> Terms;
+  Terms.push_back(Ctx.mkConst(Constant));
+  for (uint32_t V : Vars)
+    Terms.push_back(Ctx.mkVar(Table.name(V)));
+  return Ctx.mkXor(std::move(Terms));
+}
+
+void PhaseExpr::substitute(uint32_t Id, const PhaseExpr &Replacement) {
+  auto It = std::lower_bound(Vars.begin(), Vars.end(), Id);
+  if (It == Vars.end() || *It != Id)
+    return;
+  Vars.erase(It);
+  xorWith(Replacement);
+}
+
+std::string PhaseExpr::toString(const VarTable &Table) const {
+  if (isConstant())
+    return Constant ? "1" : "0";
+  std::string S = Constant ? "1" : "";
+  for (uint32_t V : Vars) {
+    if (!S.empty())
+      S += "+";
+    S += Table.name(V);
+  }
+  return S;
+}

@@ -1,0 +1,103 @@
+//===- symbolic/PhaseExpr.h - GF(2)-affine phase expressions ----*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Symbolic phases of stabilizer generators: GF(2)-affine expressions
+/// (constant + XOR of named program bits e_i, x_i, z_i, s_i, b, ...).
+/// Every phase the paper's Eqn. (8) manipulates — r_i(s) + h_i(e) — lives
+/// in this form; a VarTable interns the names.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_SYMBOLIC_PHASEEXPR_H
+#define VERIQEC_SYMBOLIC_PHASEEXPR_H
+
+#include "smt/BoolExpr.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace veriqec {
+
+/// Interning table for symbolic bit variables.
+class VarTable {
+public:
+  /// Id of \p Name, creating it on first use.
+  uint32_t id(const std::string &Name) {
+    auto It = Ids.find(Name);
+    if (It != Ids.end())
+      return It->second;
+    uint32_t NewId = static_cast<uint32_t>(Names.size());
+    Names.push_back(Name);
+    Ids.emplace(Name, NewId);
+    return NewId;
+  }
+
+  const std::string &name(uint32_t Id) const { return Names[Id]; }
+  size_t size() const { return Names.size(); }
+
+private:
+  std::vector<std::string> Names;
+  std::unordered_map<std::string, uint32_t> Ids;
+};
+
+/// A GF(2)-affine expression: Constant XOR (sum of the variables in Vars).
+class PhaseExpr {
+public:
+  PhaseExpr() = default;
+  explicit PhaseExpr(bool Constant) : Constant(Constant) {}
+
+  /// The expression consisting of the single variable \p Id.
+  static PhaseExpr variable(uint32_t Id) {
+    PhaseExpr E;
+    E.Vars.push_back(Id);
+    return E;
+  }
+
+  bool isConstant() const { return Vars.empty(); }
+  bool constantValue() const { return Constant; }
+  const std::vector<uint32_t> &variables() const { return Vars; }
+
+  /// Flips the constant part (multiplication by -1).
+  void flip() { Constant = !Constant; }
+
+  /// XOR-accumulates \p Other into this expression.
+  void xorWith(const PhaseExpr &Other);
+
+  /// XOR with a single variable.
+  void xorVar(uint32_t Id) { xorWith(variable(Id)); }
+
+  friend PhaseExpr operator^(PhaseExpr A, const PhaseExpr &B) {
+    A.xorWith(B);
+    return A;
+  }
+
+  bool operator==(const PhaseExpr &Other) const {
+    return Constant == Other.Constant && Vars == Other.Vars;
+  }
+
+  /// Evaluates under an assignment function id -> bool.
+  bool evaluate(const std::function<bool(uint32_t)> &Value) const;
+
+  /// Lowers to a BoolContext expression (an XOR chain over mkVar names).
+  smt::ExprRef toBoolExpr(smt::BoolContext &Ctx, const VarTable &Table) const;
+
+  /// Substitutes \p Replacement for variable \p Id.
+  void substitute(uint32_t Id, const PhaseExpr &Replacement);
+
+  std::string toString(const VarTable &Table) const;
+
+private:
+  bool Constant = false;
+  std::vector<uint32_t> Vars; ///< sorted, unique
+};
+
+} // namespace veriqec
+
+#endif // VERIQEC_SYMBOLIC_PHASEEXPR_H

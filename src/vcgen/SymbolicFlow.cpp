@@ -1,0 +1,385 @@
+//===- vcgen/SymbolicFlow.cpp - Symbolic stabilizer execution --------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vcgen/SymbolicFlow.h"
+
+#include "support/Assert.h"
+
+using namespace veriqec;
+
+namespace {
+
+/// Symplectic row [x | z] of a Pauli.
+BitVector rowOf(const Pauli &P) {
+  size_t N = P.numQubits();
+  BitVector Row(2 * N);
+  for (size_t Q = P.xBits().findFirst(); Q < N; Q = P.xBits().findNext(Q + 1))
+    Row.set(Q);
+  for (size_t Q = P.zBits().findFirst(); Q < N; Q = P.zBits().findNext(Q + 1))
+    Row.set(N + Q);
+  return Row;
+}
+
+/// True if the taint is transparent to \p P: P acts as I or as the taint
+/// axis on the tainted qubit, so U^dagger P U = P for the pi/4 rotation U.
+bool taintTransparent(const Pauli &P, int TaintQubit, PauliKind Axis) {
+  if (TaintQubit < 0)
+    return true;
+  PauliKind K = P.kindAt(static_cast<size_t>(TaintQubit));
+  return K == PauliKind::I || K == Axis;
+}
+
+} // namespace
+
+void SymbolicFlow::addInitialGenerator(Pauli Base, PhaseExpr Phase) {
+  assert(Base.numQubits() == N && "generator size mismatch");
+  assert(Base.isHermitian() && !Base.signBit() && "expect +1 Hermitian base");
+  Gens.push_back({std::move(Base), std::move(Phase), -1});
+}
+
+uint32_t SymbolicFlow::freshBit(const std::string &Name) {
+  uint32_t Version = VersionOf[Name]++;
+  std::string Unique =
+      Version == 0 ? Name : Name + "#" + std::to_string(Version);
+  uint32_t Id = Vars.id(Unique);
+  Env[Name] = PhaseExpr::variable(Id);
+  return Id;
+}
+
+std::optional<PhaseExpr> SymbolicFlow::toPhase(const CExprPtr &E) {
+  if (!E)
+    return PhaseExpr(false);
+  switch (E->Kind) {
+  case CExprKind::Const:
+    return PhaseExpr((E->Value & 1) != 0);
+  case CExprKind::Var: {
+    auto It = Env.find(E->Name);
+    if (It != Env.end())
+      return It->second;
+    // First reference introduces the symbolic bit.
+    uint32_t Id = Vars.id(E->Name);
+    Env[E->Name] = PhaseExpr::variable(Id);
+    VersionOf.emplace(E->Name, 1);
+    return Env[E->Name];
+  }
+  case CExprKind::Xor: {
+    auto L = toPhase(E->Lhs), R = toPhase(E->Rhs);
+    if (!L || !R)
+      return std::nullopt;
+    L->xorWith(*R);
+    return L;
+  }
+  case CExprKind::Not: {
+    auto L = toPhase(E->Lhs);
+    if (!L)
+      return std::nullopt;
+    L->flip();
+    return L;
+  }
+  case CExprKind::Eq: {
+    // b == 0 / b == 1 patterns reduce to affine form.
+    auto L = toPhase(E->Lhs), R = toPhase(E->Rhs);
+    if (!L || !R)
+      return std::nullopt;
+    L->xorWith(*R);
+    L->flip(); // equality is the complement of XOR on bits
+    return L;
+  }
+  default:
+    return std::nullopt;
+  }
+}
+
+void SymbolicFlow::conjugateAll(GateKind Kind, size_t Q0, size_t Q1) {
+  for (SymGen &G : Gens) {
+    bool TouchesTaint =
+        G.TaintQubit >= 0 &&
+        (Q0 == static_cast<size_t>(G.TaintQubit) ||
+         (isTwoQubitGate(Kind) && Q1 == static_cast<size_t>(G.TaintQubit)));
+    if (TouchesTaint) {
+      // C (U g U^dag) C^dag = (C U C^dag)(C g C^dag)(C U C^dag)^dag: for
+      // a single-qubit Clifford C the rotation axis follows C; a
+      // two-qubit gate would smear the taint and is unsupported.
+      if (isTwoQubitGate(Kind))
+        fatalError("two-qubit gate applied to a tainted qubit");
+      Pauli Axis = Pauli::single(G.Base.numQubits(),
+                                 static_cast<size_t>(G.TaintQubit),
+                                 G.TaintAxis);
+      Axis.conjugate(Kind, Q0, Q1);
+      G.TaintAxis = Axis.kindAt(static_cast<size_t>(G.TaintQubit));
+    }
+    G.Base.conjugate(Kind, Q0, Q1);
+    if (G.Base.signBit()) {
+      G.Base.negate();
+      G.Phase.flip();
+    }
+  }
+}
+
+void SymbolicFlow::flipAnticommuting(const Pauli &ErrorOp,
+                                     const PhaseExpr &Guard) {
+  for (SymGen &G : Gens) {
+    // For tainted generators the commutation test applies to the base;
+    // Pauli errors on the taint qubit itself are rejected upstream.
+    if (!G.Base.commutesWith(ErrorOp))
+      G.Phase.xorWith(Guard);
+  }
+}
+
+void SymbolicFlow::applyTaint(size_t Qubit) {
+  for (SymGen &G : Gens) {
+    PauliKind K = G.Base.kindAt(Qubit);
+    if (K == PauliKind::X || K == PauliKind::Y) {
+      if (G.TaintQubit >= 0) {
+        fatalError("multiple taints on one generator are unsupported");
+      }
+      G.TaintQubit = static_cast<int>(Qubit);
+    }
+  }
+}
+
+bool SymbolicFlow::applyGuardedGate(const StmtPtr &S) {
+  std::optional<PhaseExpr> Guard = toPhase(S->Guard);
+  if (!Guard) {
+    Error = "guard is not a GF(2)-affine expression";
+    return false;
+  }
+  CMem Empty;
+  size_t Q = static_cast<size_t>(S->Qubit0->evaluate(Empty));
+
+  // Pauli errors support fully symbolic guards: only phases move.
+  if (S->Gate == GateKind::X || S->Gate == GateKind::Y ||
+      S->Gate == GateKind::Z) {
+    PauliKind K = S->Gate == GateKind::X   ? PauliKind::X
+                  : S->Gate == GateKind::Y ? PauliKind::Y
+                                           : PauliKind::Z;
+    for (const SymGen &G : Gens)
+      if (G.TaintQubit == static_cast<int>(Q) && K != G.TaintAxis) {
+        Error = "Pauli error on a tainted qubit is unsupported";
+        return false;
+      }
+    flipAnticommuting(Pauli::single(N, Q, K), *Guard);
+    return true;
+  }
+
+  // Non-Pauli errors need a constant guard (the verifier enumerates
+  // error locations, mirroring the paper's Section 5.2.2 treatment).
+  if (!Guard->isConstant()) {
+    Error = "non-Pauli error guards must be constant (enumerate locations)";
+    return false;
+  }
+  if (!Guard->constantValue())
+    return true; // error absent
+  if (S->Gate == GateKind::T || S->Gate == GateKind::Tdg) {
+    applyTaint(Q);
+    return true;
+  }
+  // Clifford error (e.g. H): ordinary conjugation.
+  conjugateAll(S->Gate, Q, ~size_t{0});
+  return true;
+}
+
+bool SymbolicFlow::execMeasure(const StmtPtr &S) {
+  CMem Empty;
+  Pauli P = S->Measured.resolve(N, Empty);
+  std::optional<PhaseExpr> PhaseBit = toPhase(S->Measured.PhaseBit);
+  if (!PhaseBit) {
+    Error = "measurement phase bit is not GF(2)-affine";
+    return false;
+  }
+
+  // 1. Try a deterministic binding: P expressible over untainted bases.
+  BitMatrix Untainted(0, 2 * N);
+  std::vector<size_t> UntaintedIdx;
+  for (size_t I = 0; I != Gens.size(); ++I)
+    if (Gens[I].TaintQubit < 0) {
+      Untainted.appendRow(rowOf(Gens[I].Base));
+      UntaintedIdx.push_back(I);
+    }
+  if (std::optional<BitVector> Sel = Untainted.expressInRowSpace(rowOf(P))) {
+    Pauli Product(N);
+    PhaseExpr Phase = *PhaseBit;
+    for (size_t R = Sel->findFirst(); R < Sel->size();
+         R = Sel->findNext(R + 1)) {
+      Product *= Gens[UntaintedIdx[R]].Base;
+      Phase.xorWith(Gens[UntaintedIdx[R]].Phase);
+    }
+    assert(Product.sameLetters(P) && "selector must rebuild the letters");
+    if (Product.signBit())
+      Phase.flip();
+    uint32_t SVar = freshBit(S->Targets[0]);
+    Defs.push_back({SVar, std::move(Phase)});
+    return true;
+  }
+
+  // 2. Random outcome. First handle untainted anticommuting generators by
+  // the standard anchor update.
+  size_t Anchor = Gens.size();
+  for (size_t I = 0; I != Gens.size(); ++I)
+    if (Gens[I].TaintQubit < 0 && !Gens[I].Base.commutesWith(P)) {
+      Anchor = I;
+      break;
+    }
+  uint32_t SVar = freshBit(S->Targets[0]);
+  FreeVars.push_back(SVar);
+  PhaseExpr NewPhase = PhaseExpr::variable(SVar);
+  NewPhase.xorWith(*PhaseBit);
+
+  if (Anchor != Gens.size()) {
+    // All taints must be transparent to P here; a taint hit is resolved
+    // by the pivot path below instead.
+    for (const SymGen &G : Gens)
+      if (!taintTransparent(P, G.TaintQubit, G.TaintAxis)) {
+        Error = "measurement mixes an anticommuting Pauli with a taint";
+        return false;
+      }
+    const SymGen AnchorGen = Gens[Anchor];
+    for (size_t I = 0; I != Gens.size(); ++I) {
+      if (I == Anchor || Gens[I].Base.commutesWith(P))
+        continue;
+      Pauli NewBase = Gens[I].Base * AnchorGen.Base;
+      PhaseExpr Phase = Gens[I].Phase;
+      Phase.xorWith(AnchorGen.Phase);
+      if (NewBase.signBit()) {
+        NewBase.negate();
+        Phase.flip();
+      }
+      Gens[I].Base = std::move(NewBase);
+      Gens[I].Phase = std::move(Phase);
+      // Taint survives the multiplication (the anchor is I/Z on the
+      // taint qubit by the untainted invariant).
+    }
+    Gens[Anchor] = {P, std::move(NewPhase), -1};
+    return true;
+  }
+
+  // 3. Taint pivot path: P needs a tainted generator. Multiply sibling
+  // taints into the pivot's cosets so the pivot is the unique taint, then
+  // collapse the pivot to (-1)^s P.
+  size_t Pivot = Gens.size();
+  for (size_t I = 0; I != Gens.size(); ++I) {
+    if (Gens[I].TaintQubit < 0)
+      continue;
+    BitMatrix Extended = Untainted;
+    Extended.appendRow(rowOf(Gens[I].Base));
+    if (Extended.rowSpaceContains(rowOf(P))) {
+      Pivot = I;
+      break;
+    }
+  }
+  if (Pivot == Gens.size()) {
+    Error = "measured operator is independent of the tracked group";
+    return false;
+  }
+  const SymGen PivotGen = Gens[Pivot];
+  for (size_t I = 0; I != Gens.size(); ++I) {
+    if (I == Pivot || Gens[I].TaintQubit != PivotGen.TaintQubit ||
+        Gens[I].TaintQubit < 0)
+      continue;
+    if (Gens[I].TaintAxis != PivotGen.TaintAxis) {
+      Error = "sibling taints with mismatched axes are unsupported";
+      return false;
+    }
+    // Both tainted at the same qubit with non-axis letters: the product
+    // acts as I or the axis there and the taint cancels
+    // (U (ab) U^dagger = ab).
+    Pauli NewBase = Gens[I].Base * PivotGen.Base;
+    PhaseExpr Phase = Gens[I].Phase;
+    Phase.xorWith(PivotGen.Phase);
+    if (NewBase.signBit()) {
+      NewBase.negate();
+      Phase.flip();
+    }
+    assert(taintTransparent(NewBase, PivotGen.TaintQubit,
+                            PivotGen.TaintAxis) &&
+           "sibling taint must cancel against the pivot");
+    Gens[I] = {std::move(NewBase), std::move(Phase), -1};
+    if (!Gens[I].Base.commutesWith(P)) {
+      Error = "untainted residue anticommutes with the measured operator";
+      return false;
+    }
+  }
+  Gens[Pivot] = {P, std::move(NewPhase), -1};
+  return true;
+}
+
+bool SymbolicFlow::exec(const StmtPtr &S) {
+  CMem Empty;
+  switch (S->Kind) {
+  case StmtKind::Skip:
+    return true;
+  case StmtKind::Seq:
+    for (const StmtPtr &Child : S->Body)
+      if (!exec(Child))
+        return false;
+    return true;
+  case StmtKind::Unitary: {
+    if (!isCliffordGate(S->Gate)) {
+      Error = "plain T gates are unsupported in the symbolic flow (use "
+              "guarded T errors)";
+      return false;
+    }
+    size_t Q0 = static_cast<size_t>(S->Qubit0->evaluate(Empty));
+    size_t Q1 =
+        S->Qubit1 ? static_cast<size_t>(S->Qubit1->evaluate(Empty)) : ~size_t{0};
+    conjugateAll(S->Gate, Q0, Q1);
+    return true;
+  }
+  case StmtKind::GuardedGate:
+    return applyGuardedGate(S);
+  case StmtKind::Assign: {
+    std::optional<PhaseExpr> Value = toPhase(S->Value);
+    if (!Value) {
+      Error = "assignment rhs is not GF(2)-affine";
+      return false;
+    }
+    Env[S->Targets[0]] = *Value;
+    VersionOf[S->Targets[0]]++;
+    return true;
+  }
+  case StmtKind::Measure:
+    return execMeasure(S);
+  case StmtKind::DecoderCall:
+    // Decoder outputs are adversarial bits constrained only by the
+    // contract P_f, which the verifier adds to the VC.
+    for (const std::string &Out : S->Targets)
+      freshBit(Out);
+    return true;
+  case StmtKind::If: {
+    std::optional<PhaseExpr> Cond = toPhase(S->Cond);
+    if (!Cond || !Cond->isConstant()) {
+      Error = "if-guards must be constant in the symbolic flow (use "
+              "guarded gates for conditional corrections)";
+      return false;
+    }
+    return exec(Cond->constantValue() ? S->Body[0] : S->Body[1]);
+  }
+  case StmtKind::Init:
+    Error = "qubit initialization inside verified fragments is unsupported";
+    return false;
+  case StmtKind::While:
+    Error = "while loops are unsupported in the symbolic flow";
+    return false;
+  case StmtKind::For:
+    Error = "programs must be flattened before symbolic execution";
+    return false;
+  }
+  unreachable("unknown StmtKind");
+}
+
+FlowResult SymbolicFlow::run(const StmtPtr &Flat) {
+  FlowResult Result;
+  assert(Gens.size() == N && "precondition must be a full-rank group");
+  if (!exec(Flat)) {
+    Result.Error = Error;
+    return Result;
+  }
+  Result.Ok = true;
+  Result.Generators = Gens;
+  Result.SyndromeDefs = Defs;
+  Result.FreeOutcomeVars = FreeVars;
+  return Result;
+}

@@ -1,0 +1,116 @@
+//===- vcgen/SymbolicFlow.h - Symbolic stabilizer execution -----*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The verification-condition engine. A QEC program acting on a stabilizer
+/// precondition is executed symbolically: the tracked state is a full
+/// generating set (code generators plus signed logical operators) whose
+/// phases are GF(2)-affine expressions over the program's error /
+/// correction / syndrome bits. This computes exactly the Eqn. (8) data of
+/// the paper — r_i(s) + h_i(e) phase polynomials plus syndrome
+/// definitions — as the forward dual of the backward wlp pass (the literal
+/// backward rules live in logic/ and are cross-validated against this
+/// engine and the dense semantics by the test suite).
+///
+/// Non-Pauli T errors are handled by per-generator taint: a generator
+/// marked tainted at qubit q stands for T_q * Base * T_q^dagger (a sum of
+/// Paulis). The paper's Section 5.1 case-3 heuristic — localize the taint
+/// by generator multiplication, then eliminate via (P^Q)v(~P^Q)=Q — is
+/// realized operationally when a syndrome measurement hits the taint: the
+/// pivot is replaced by the measured Pauli with a *free* outcome variable,
+/// and sibling taints are multiplied away.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_VCGEN_SYMBOLICFLOW_H
+#define VERIQEC_VCGEN_SYMBOLICFLOW_H
+
+#include "prog/Ast.h"
+#include "qec/StabilizerCode.h"
+#include "symbolic/PhaseExpr.h"
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace veriqec {
+
+/// One symbolically tracked stabilizer generator.
+struct SymGen {
+  Pauli Base;      ///< Hermitian, + sign; the symbolic phase lives in Phase
+  PhaseExpr Phase; ///< the operator is (-1)^Phase * (taint-transform of Base)
+  /// >= 0: the operator is U_q Base U_q^dagger for a non-Clifford
+  /// pi/4-rotation U about TaintAxis on TaintQubit (Z for a T error; the
+  /// axis follows Clifford conjugation, e.g. H turns it into X).
+  int TaintQubit = -1;
+  PauliKind TaintAxis = PauliKind::Z;
+};
+
+/// A recorded syndrome definition s = Def (only for deterministic
+/// outcomes; genuinely random outcomes stay as free variables).
+struct SyndromeDef {
+  uint32_t Var;
+  PhaseExpr Def;
+};
+
+/// Outcome of running the flow.
+struct FlowResult {
+  bool Ok = false;
+  std::string Error;
+  std::vector<SymGen> Generators; ///< final state (rank n)
+  std::vector<SyndromeDef> SyndromeDefs;
+  std::vector<uint32_t> FreeOutcomeVars; ///< genuinely random measurements
+};
+
+/// Forward symbolic executor over a flattened (loop-free) program.
+class SymbolicFlow {
+public:
+  explicit SymbolicFlow(size_t NumQubits) : N(NumQubits) {}
+
+  VarTable &vars() { return Vars; }
+
+  /// Installs the precondition: a full-rank generating set of the initial
+  /// state (n-k code generators with phase 0 plus k signed logicals,
+  /// typically with symbolic phase bits b_k).
+  void addInitialGenerator(Pauli Base, PhaseExpr Phase);
+
+  /// Runs a flattened program. Supported statements: Clifford unitaries,
+  /// guarded Pauli errors (symbolic guards), guarded Clifford/T errors
+  /// with *constant* guards, assignments over GF(2)-affine expressions,
+  /// Pauli measurements, decoder calls (outputs become fresh symbolic
+  /// bits), if-statements with constant guards, skip and seq.
+  FlowResult run(const StmtPtr &Flat);
+
+private:
+  bool exec(const StmtPtr &S);
+  bool execMeasure(const StmtPtr &S);
+  bool applyGuardedGate(const StmtPtr &S);
+  void conjugateAll(GateKind Kind, size_t Q0, size_t Q1);
+  void flipAnticommuting(const Pauli &ErrorOp, const PhaseExpr &Guard);
+  void applyTaint(size_t Qubit);
+
+  /// Converts a classical guard/assignment expression to a GF(2)-affine
+  /// phase expression (resolving prior assignments through Env).
+  std::optional<PhaseExpr> toPhase(const CExprPtr &E);
+
+  /// Fresh symbolic bit carrying the *current* value of program variable
+  /// \p Name (versioned so re-assignment works).
+  uint32_t freshBit(const std::string &Name);
+
+  size_t N;
+  VarTable Vars;
+  std::vector<SymGen> Gens;
+  std::vector<SyndromeDef> Defs;
+  std::vector<uint32_t> FreeVars;
+  std::unordered_map<std::string, PhaseExpr> Env; ///< classical bindings
+  std::unordered_map<std::string, uint32_t> VersionOf;
+  std::string Error;
+};
+
+} // namespace veriqec
+
+#endif // VERIQEC_VCGEN_SYMBOLICFLOW_H

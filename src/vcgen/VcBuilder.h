@@ -1,0 +1,89 @@
+//===- vcgen/VcBuilder.h - VC assembly and reduction ------------*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Turns the output of the symbolic flow into a classical verification
+/// condition (Section 5.1): every postcondition generator is re-expressed
+/// over the final generating set by GF(2) symplectic elimination
+/// (Proposition 5.2) yielding one phase equation per generator; the
+/// negated VC — assumptions (error bound, syndrome definitions, decoder
+/// contract P_f, user constraints) plus the violation of some phase
+/// equation — goes to the SAT layer. UNSAT means verified; a model is a
+/// concrete counterexample error pattern.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_VCGEN_VCBUILDER_H
+#define VERIQEC_VCGEN_VCBUILDER_H
+
+#include "smt/BoolExpr.h"
+#include "vcgen/SymbolicFlow.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace veriqec {
+
+/// Postcondition generator: the state must be stabilized by
+/// (-1)^Phase * Base.
+struct TargetGen {
+  Pauli Base;
+  PhaseExpr Phase;
+};
+
+/// Sum of Terms (mod 2) must equal the bit variable EqualsVar — the
+/// "corrections reproduce the syndrome" half of the decoder contract P_f.
+struct ParityConstraint {
+  std::vector<std::string> Terms;
+  std::string EqualsVar;
+};
+
+/// sum(Lhs) + sum(a|b over LhsPairs) <= sum(Rhs) over bit variables —
+/// the minimum-weight half of the decoder contract (sum of corrections
+/// <= sum of errors). Pairs express per-qubit Pauli support |x_q or z_q|
+/// for non-CSS decoders.
+struct WeightConstraint {
+  std::vector<std::string> Lhs;
+  std::vector<std::pair<std::string, std::string>> LhsPairs;
+  std::vector<std::string> Rhs;
+  /// When UseConstant is set, the bound is the constant RhsConstant
+  /// instead of sum(Rhs) (used by fixed-error scenarios).
+  bool UseConstant = false;
+  uint32_t RhsConstant = 0;
+};
+
+/// Full specification of one verification condition.
+struct VcSpec {
+  const VarTable *Vars = nullptr;
+  FlowResult Flow;
+  std::vector<TargetGen> Targets;
+
+  std::vector<std::string> ErrorVars; ///< all error indicator bits
+  uint32_t MaxTotalErrors = ~uint32_t{0}; ///< sum(ErrorVars) <= bound
+
+  std::vector<ParityConstraint> ParityConstraints;
+  std::vector<WeightConstraint> WeightConstraints;
+
+  /// Optional extra user constraint (the Section 7.2 locality /
+  /// discreteness style restrictions), built against the VC's context.
+  std::function<smt::ExprRef(smt::BoolContext &)> ExtraConstraint;
+};
+
+/// Assembled (negated) VC ready for the SAT layer.
+struct BuiltVc {
+  bool Ok = false;
+  std::string Error;
+  smt::ExprRef NegatedVc = 0; ///< SAT = counterexample, UNSAT = verified
+  size_t NumGoals = 0;
+};
+
+/// Builds the negated VC into \p Ctx.
+BuiltVc buildVc(smt::BoolContext &Ctx, const VcSpec &Spec);
+
+} // namespace veriqec
+
+#endif // VERIQEC_VCGEN_VCBUILDER_H

@@ -1,0 +1,437 @@
+//===- verifier/Scenarios.cpp - Fault-tolerant scenario builders -----------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verifier/Scenarios.h"
+
+#include "support/Assert.h"
+
+using namespace veriqec;
+
+namespace {
+
+CExprPtr num(int64_t V) { return ClassicalExpr::constant(V); }
+CExprPtr var(const std::string &Name) { return ClassicalExpr::var(Name); }
+
+/// Embeds a block-local Pauli at qubit offset \p Offset of a
+/// \p Total-qubit system.
+Pauli embed(const Pauli &P, size_t Offset, size_t Total) {
+  Pauli Out(Total);
+  for (size_t Q = 0; Q != P.numQubits(); ++Q)
+    Out.setKind(Offset + Q, P.kindAt(Q));
+  Out = Out.abs();
+  if (P.signBit())
+    Out.negate();
+  return Out;
+}
+
+/// Program Pauli (constant indices) from a concrete Pauli.
+ProgPauli progPauliOf(const Pauli &P) {
+  ProgPauli Out;
+  for (size_t Q = 0; Q != P.numQubits(); ++Q) {
+    PauliKind K = P.kindAt(Q);
+    if (K != PauliKind::I)
+      Out.Factors.push_back({K, num(static_cast<int64_t>(Q))});
+  }
+  return Out;
+}
+
+/// One error-injection sweep: [Prefix_q] q *= Kind for every qubit of the
+/// block. Appends the created variable names to \p ErrorVars.
+void appendErrorSweep(std::vector<StmtPtr> &Stmts, PauliKind Kind,
+                      size_t Offset, size_t Count, const std::string &Prefix,
+                      std::vector<std::string> &ErrorVars) {
+  GateKind G = Kind == PauliKind::X   ? GateKind::X
+               : Kind == PauliKind::Y ? GateKind::Y
+                                      : GateKind::Z;
+  for (size_t Q = 0; Q != Count; ++Q) {
+    std::string Name = Prefix + std::to_string(Q);
+    ErrorVars.push_back(Name);
+    Stmts.push_back(Stmt::guardedGate(var(Name), G,
+                                      num(static_cast<int64_t>(Offset + Q))));
+  }
+}
+
+/// The syndrome-measure / decode / correct cycle of Table 1, for one code
+/// block at \p Offset inside a \p Total-qubit system. Variable names are
+/// tag-qualified so multiple rounds and blocks coexist.
+struct RoundParts {
+  std::vector<StmtPtr> Stmts;
+  std::vector<ParityConstraint> Parity;
+  std::vector<std::string> XCorrVars; ///< X-correction bits (fix Z checks)
+  std::vector<std::string> ZCorrVars;
+};
+
+RoundParts makeRound(const StabilizerCode &Code, size_t Offset, size_t Total,
+                     const std::string &Tag) {
+  RoundParts Out;
+  size_t N = Code.NumQubits;
+  std::vector<std::string> SyndromeVars;
+
+  // Syndrome measurements s<tag><i> := meas[g_i].
+  for (size_t I = 0; I != Code.Generators.size(); ++I) {
+    std::string SVar = "s" + Tag + "_" + std::to_string(I);
+    SyndromeVars.push_back(SVar);
+    Out.Stmts.push_back(Stmt::measure(
+        SVar, progPauliOf(embed(Code.Generators[I], Offset, Total))));
+  }
+
+  // Decoder call(s): outputs are the correction bits.
+  std::vector<std::string> XCorr, ZCorr;
+  for (size_t Q = 0; Q != N; ++Q) {
+    XCorr.push_back("x" + Tag + "_" + std::to_string(Q));
+    ZCorr.push_back("z" + Tag + "_" + std::to_string(Q));
+  }
+  std::vector<CExprPtr> AllSyndromes;
+  for (const std::string &S : SyndromeVars)
+    AllSyndromes.push_back(var(S));
+  Out.Stmts.push_back(Stmt::decoderCall(XCorr, "decode_x" + Tag,
+                                        AllSyndromes));
+  Out.Stmts.push_back(Stmt::decoderCall(ZCorr, "decode_z" + Tag,
+                                        AllSyndromes));
+
+  // Correction sweeps: [x_q] q *= X; [z_q] q *= Z.
+  for (size_t Q = 0; Q != N; ++Q)
+    Out.Stmts.push_back(Stmt::guardedGate(
+        var(XCorr[Q]), GateKind::X, num(static_cast<int64_t>(Offset + Q))));
+  for (size_t Q = 0; Q != N; ++Q)
+    Out.Stmts.push_back(Stmt::guardedGate(
+        var(ZCorr[Q]), GateKind::Z, num(static_cast<int64_t>(Offset + Q))));
+
+  // Contract, part 1 (syndrome match): for generator g_i, the corrections
+  // anticommuting with it must reproduce s_i.
+  for (size_t I = 0; I != Code.Generators.size(); ++I) {
+    const Pauli &G = Code.Generators[I];
+    ParityConstraint P;
+    for (size_t Q = 0; Q != N; ++Q) {
+      PauliKind K = G.kindAt(Q);
+      if (K == PauliKind::Z || K == PauliKind::Y)
+        P.Terms.push_back(XCorr[Q]); // X corrections flip Z/Y checks
+      if (K == PauliKind::X || K == PauliKind::Y)
+        P.Terms.push_back(ZCorr[Q]);
+    }
+    P.EqualsVar = SyndromeVars[I];
+    if (!P.Terms.empty())
+      Out.Parity.push_back(std::move(P));
+  }
+
+  Out.XCorrVars = std::move(XCorr);
+  Out.ZCorrVars = std::move(ZCorr);
+  return Out;
+}
+
+/// Minimum-weight contract for one round against the given error bits.
+void appendWeights(std::vector<WeightConstraint> &Weights,
+                   const StabilizerCode &Code, const RoundParts &Round,
+                   const std::vector<std::string> &ErrorVars) {
+  if (Code.isCss()) {
+    Weights.push_back({Round.XCorrVars, {}, ErrorVars});
+    Weights.push_back({Round.ZCorrVars, {}, ErrorVars});
+    return;
+  }
+  // Non-CSS: bound the Pauli support |x_q or z_q|.
+  WeightConstraint W;
+  for (size_t Q = 0; Q != Round.XCorrVars.size(); ++Q)
+    W.LhsPairs.emplace_back(Round.XCorrVars[Q], Round.ZCorrVars[Q]);
+  W.Rhs = ErrorVars;
+  Weights.push_back(std::move(W));
+}
+
+/// Pre/postcondition: the code generators (phase 0) plus the logical
+/// operators of the chosen basis with symbolic phase bits b<j>.
+std::vector<GenSpec> codeStateSpec(const StabilizerCode &Code, size_t Offset,
+                                   size_t Total, LogicalBasis Basis,
+                                   const std::string &PhasePrefix) {
+  std::vector<GenSpec> Out;
+  for (const Pauli &G : Code.Generators)
+    Out.push_back({embed(G, Offset, Total), "", false});
+  const std::vector<Pauli> &Logicals =
+      Basis == LogicalBasis::Z ? Code.LogicalZ : Code.LogicalX;
+  for (size_t J = 0; J != Logicals.size(); ++J)
+    Out.push_back({embed(Logicals[J], Offset, Total),
+                   PhasePrefix + std::to_string(J), false});
+  return Out;
+}
+
+/// Applies a physical circuit (list of gates) to a GenSpec list,
+/// conjugating the bases and folding signs into the constant phase.
+struct PhysGate {
+  GateKind Kind;
+  size_t Q0;
+  size_t Q1 = ~size_t{0};
+};
+
+std::vector<GenSpec> conjugateSpecs(std::vector<GenSpec> Specs,
+                                    const std::vector<PhysGate> &Circuit) {
+  for (GenSpec &S : Specs) {
+    for (const PhysGate &G : Circuit)
+      S.Base.conjugate(G.Kind, G.Q0, G.Q1);
+    if (S.Base.signBit()) {
+      S.Base.negate();
+      S.PhaseConstant = !S.PhaseConstant;
+    }
+  }
+  return Specs;
+}
+
+} // namespace
+
+Scenario veriqec::makeMemoryScenario(const StabilizerCode &Code,
+                                     PauliKind ErrorKind, LogicalBasis Basis,
+                                     uint32_t MaxErrors) {
+  size_t N = Code.NumQubits;
+  Scenario S;
+  S.Name = Code.Name + "-memory";
+  S.NumQubits = N;
+
+  std::vector<StmtPtr> Stmts;
+  appendErrorSweep(Stmts, ErrorKind, 0, N, "e", S.ErrorVars);
+  RoundParts Round = makeRound(Code, 0, N, "");
+  Stmts.insert(Stmts.end(), Round.Stmts.begin(), Round.Stmts.end());
+  S.Program = Stmt::flatten(Stmt::seq(std::move(Stmts)));
+
+  S.Pre = codeStateSpec(Code, 0, N, Basis, "b");
+  S.Post = S.Pre;
+  S.MaxErrors = MaxErrors;
+  S.Parity = Round.Parity;
+  appendWeights(S.Weights, Code, Round, S.ErrorVars);
+  return S;
+}
+
+Scenario veriqec::makeLogicalHScenario(const StabilizerCode &Code,
+                                       PauliKind ErrorKind,
+                                       LogicalBasis Basis,
+                                       uint32_t MaxErrors) {
+  size_t N = Code.NumQubits;
+  Scenario S;
+  S.Name = Code.Name + "-logical-H";
+  S.NumQubits = N;
+
+  std::vector<StmtPtr> Stmts;
+  std::vector<PhysGate> Transversal;
+  appendErrorSweep(Stmts, ErrorKind, 0, N, "ep", S.ErrorVars);
+  for (size_t Q = 0; Q != N; ++Q) {
+    Stmts.push_back(Stmt::unitary1(GateKind::H, num(static_cast<int64_t>(Q))));
+    Transversal.push_back({GateKind::H, Q});
+  }
+  appendErrorSweep(Stmts, ErrorKind, 0, N, "e", S.ErrorVars);
+  RoundParts Round = makeRound(Code, 0, N, "");
+  Stmts.insert(Stmts.end(), Round.Stmts.begin(), Round.Stmts.end());
+  S.Program = Stmt::flatten(Stmt::seq(std::move(Stmts)));
+
+  S.Pre = codeStateSpec(Code, 0, N, Basis, "b");
+  S.Post = conjugateSpecs(S.Pre, Transversal);
+  S.MaxErrors = MaxErrors;
+  S.Parity = Round.Parity;
+  appendWeights(S.Weights, Code, Round, S.ErrorVars);
+  return S;
+}
+
+Scenario veriqec::makeNonPauliErrorScenario(const StabilizerCode &Code,
+                                            GateKind Error, size_t Location,
+                                            LogicalBasis Basis) {
+  assert((Error == GateKind::T || Error == GateKind::H ||
+          Error == GateKind::S) &&
+         "non-Pauli error scenario expects a non-Pauli gate");
+  size_t N = Code.NumQubits;
+  Scenario S;
+  S.Name = Code.Name + "-" + gateName(Error) + "-error-at-" +
+           std::to_string(Location);
+  S.NumQubits = N;
+
+  std::vector<StmtPtr> Stmts;
+  std::vector<PhysGate> Transversal;
+  // The propagated non-Pauli error at a fixed location (guard = true),
+  // mirroring the paper's e_p5 = 1 case study.
+  Stmts.push_back(Stmt::guardedGate(ClassicalExpr::boolean(true), Error,
+                                    num(static_cast<int64_t>(Location))));
+  for (size_t Q = 0; Q != N; ++Q) {
+    Stmts.push_back(Stmt::unitary1(GateKind::H, num(static_cast<int64_t>(Q))));
+    Transversal.push_back({GateKind::H, Q});
+  }
+  RoundParts Round = makeRound(Code, 0, N, "");
+  Stmts.insert(Stmts.end(), Round.Stmts.begin(), Round.Stmts.end());
+  S.Program = Stmt::flatten(Stmt::seq(std::move(Stmts)));
+
+  S.Pre = codeStateSpec(Code, 0, N, Basis, "b");
+  S.Post = conjugateSpecs(S.Pre, Transversal);
+  S.Parity = Round.Parity;
+  // Minimum-weight: corrections bounded by the single injected error.
+  if (Code.isCss()) {
+    WeightConstraint WX;
+    WX.Lhs = Round.XCorrVars;
+    WX.UseConstant = true;
+    WX.RhsConstant = 1;
+    WeightConstraint WZ;
+    WZ.Lhs = Round.ZCorrVars;
+    WZ.UseConstant = true;
+    WZ.RhsConstant = 1;
+    S.Weights.push_back(std::move(WX));
+    S.Weights.push_back(std::move(WZ));
+  } else {
+    WeightConstraint W;
+    for (size_t Q = 0; Q != N; ++Q)
+      W.LhsPairs.emplace_back(Round.XCorrVars[Q], Round.ZCorrVars[Q]);
+    W.UseConstant = true;
+    W.RhsConstant = 1;
+    S.Weights.push_back(std::move(W));
+  }
+  S.MaxErrors = ~uint32_t{0}; // no symbolic error indicators in this scenario
+  return S;
+}
+
+Scenario veriqec::makeMultiCycleScenario(const StabilizerCode &Code,
+                                         PauliKind ErrorKind,
+                                         LogicalBasis Basis, size_t Cycles,
+                                         uint32_t MaxErrors) {
+  size_t N = Code.NumQubits;
+  Scenario S;
+  S.Name = Code.Name + "-" + std::to_string(Cycles) + "cycles";
+  S.NumQubits = N;
+
+  std::vector<StmtPtr> Stmts;
+  for (size_t C = 0; C != Cycles; ++C) {
+    std::string Tag = "c" + std::to_string(C);
+    appendErrorSweep(Stmts, ErrorKind, 0, N, "e" + Tag + "_", S.ErrorVars);
+    RoundParts Round = makeRound(Code, 0, N, Tag);
+    Stmts.insert(Stmts.end(), Round.Stmts.begin(), Round.Stmts.end());
+    S.Parity.insert(S.Parity.end(), Round.Parity.begin(), Round.Parity.end());
+    appendWeights(S.Weights, Code, Round, S.ErrorVars);
+  }
+  S.Program = Stmt::flatten(Stmt::seq(std::move(Stmts)));
+  S.Pre = codeStateSpec(Code, 0, N, Basis, "b");
+  S.Post = S.Pre;
+  S.MaxErrors = MaxErrors;
+  return S;
+}
+
+Scenario veriqec::makeCorrectionStepErrorScenario(const StabilizerCode &Code,
+                                                  PauliKind ErrorKind,
+                                                  LogicalBasis Basis,
+                                                  uint32_t MaxErrors) {
+  size_t N = Code.NumQubits;
+  Scenario S;
+  S.Name = Code.Name + "-correction-step-error";
+  S.NumQubits = N;
+
+  std::vector<StmtPtr> Stmts;
+  appendErrorSweep(Stmts, ErrorKind, 0, N, "e", S.ErrorVars);
+  std::vector<std::string> FirstRoundErrors = S.ErrorVars;
+
+  // Round a, but with errors injected between measurement and correction:
+  // build the round, then splice the extra error sweep before the
+  // correction statements (the first Generators.size() + 2 statements are
+  // measurement + the two decoder calls).
+  RoundParts RoundA = makeRound(Code, 0, N, "a");
+  size_t SpliceAt = Code.Generators.size() + 2;
+  std::vector<StmtPtr> RoundAStmts(RoundA.Stmts.begin(),
+                                   RoundA.Stmts.begin() + SpliceAt);
+  std::vector<std::string> MidErrors;
+  appendErrorSweep(RoundAStmts, ErrorKind, 0, N, "f", MidErrors);
+  RoundAStmts.insert(RoundAStmts.end(), RoundA.Stmts.begin() + SpliceAt,
+                     RoundA.Stmts.end());
+  Stmts.insert(Stmts.end(), RoundAStmts.begin(), RoundAStmts.end());
+
+  // Round b cleans up the residual.
+  RoundParts RoundB = makeRound(Code, 0, N, "b");
+  Stmts.insert(Stmts.end(), RoundB.Stmts.begin(), RoundB.Stmts.end());
+
+  S.Program = Stmt::flatten(Stmt::seq(std::move(Stmts)));
+  S.Pre = codeStateSpec(Code, 0, N, Basis, "b");
+  S.Post = S.Pre;
+
+  S.Parity = RoundA.Parity;
+  S.Parity.insert(S.Parity.end(), RoundB.Parity.begin(), RoundB.Parity.end());
+  // Round a's decoder sees only the pre-measurement errors; round b's may
+  // respond to everything.
+  appendWeights(S.Weights, Code, RoundA, FirstRoundErrors);
+  S.ErrorVars.insert(S.ErrorVars.end(), MidErrors.begin(), MidErrors.end());
+  appendWeights(S.Weights, Code, RoundB, S.ErrorVars);
+  S.MaxErrors = MaxErrors;
+  return S;
+}
+
+namespace {
+
+/// Shared skeleton for the multi-block logical-circuit scenarios.
+Scenario makeBlockCircuitScenario(const StabilizerCode &Code,
+                                  size_t NumBlocks,
+                                  const std::vector<PhysGate> &LogicalCircuit,
+                                  PauliKind ErrorKind, LogicalBasis Basis,
+                                  uint32_t MaxErrors, std::string Name,
+                                  bool PropagationErrorsOnBlock0) {
+  size_t N = Code.NumQubits;
+  size_t Total = N * NumBlocks;
+  Scenario S;
+  S.Name = std::move(Name);
+  S.NumQubits = Total;
+
+  std::vector<StmtPtr> Stmts;
+  if (PropagationErrorsOnBlock0)
+    appendErrorSweep(Stmts, ErrorKind, 0, N, "ep", S.ErrorVars);
+  for (const PhysGate &G : LogicalCircuit) {
+    if (isTwoQubitGate(G.Kind))
+      Stmts.push_back(Stmt::unitary2(G.Kind, num(static_cast<int64_t>(G.Q0)),
+                                     num(static_cast<int64_t>(G.Q1))));
+    else
+      Stmts.push_back(
+          Stmt::unitary1(G.Kind, num(static_cast<int64_t>(G.Q0))));
+  }
+  for (size_t B = 0; B != NumBlocks; ++B)
+    appendErrorSweep(Stmts, ErrorKind, B * N, N,
+                     "e" + std::to_string(B) + "_", S.ErrorVars);
+
+  S.Pre.clear();
+  for (size_t B = 0; B != NumBlocks; ++B) {
+    std::vector<GenSpec> BlockSpec = codeStateSpec(
+        Code, B * N, Total, Basis, "b" + std::to_string(B) + "_");
+    S.Pre.insert(S.Pre.end(), BlockSpec.begin(), BlockSpec.end());
+  }
+  S.Post = conjugateSpecs(S.Pre, LogicalCircuit);
+
+  for (size_t B = 0; B != NumBlocks; ++B) {
+    RoundParts Round = makeRound(Code, B * N, Total, "b" + std::to_string(B));
+    Stmts.insert(Stmts.end(), Round.Stmts.begin(), Round.Stmts.end());
+    S.Parity.insert(S.Parity.end(), Round.Parity.begin(), Round.Parity.end());
+    appendWeights(S.Weights, Code, Round, S.ErrorVars);
+  }
+
+  S.Program = Stmt::flatten(Stmt::seq(std::move(Stmts)));
+  S.MaxErrors = MaxErrors;
+  return S;
+}
+
+} // namespace
+
+Scenario veriqec::makeGhzScenario(const StabilizerCode &Code,
+                                  PauliKind ErrorKind, LogicalBasis Basis,
+                                  uint32_t MaxErrors) {
+  size_t N = Code.NumQubits;
+  // Logical circuit of Fig. 9: H on block 0, CNOT 0->1, CNOT 1->2,
+  // implemented transversally.
+  std::vector<PhysGate> Circuit;
+  for (size_t Q = 0; Q != N; ++Q)
+    Circuit.push_back({GateKind::H, Q});
+  for (size_t Q = 0; Q != N; ++Q)
+    Circuit.push_back({GateKind::CNOT, Q, N + Q});
+  for (size_t Q = 0; Q != N; ++Q)
+    Circuit.push_back({GateKind::CNOT, N + Q, 2 * N + Q});
+  return makeBlockCircuitScenario(Code, 3, Circuit, ErrorKind, Basis,
+                                  MaxErrors, Code.Name + "-ghz",
+                                  /*PropagationErrorsOnBlock0=*/false);
+}
+
+Scenario veriqec::makeLogicalCnotScenario(const StabilizerCode &Code,
+                                          PauliKind ErrorKind,
+                                          LogicalBasis Basis,
+                                          uint32_t MaxErrors) {
+  size_t N = Code.NumQubits;
+  std::vector<PhysGate> Circuit;
+  for (size_t Q = 0; Q != N; ++Q)
+    Circuit.push_back({GateKind::CNOT, Q, N + Q});
+  return makeBlockCircuitScenario(Code, 2, Circuit, ErrorKind, Basis,
+                                  MaxErrors, Code.Name + "-logical-cnot",
+                                  /*PropagationErrorsOnBlock0=*/true);
+}

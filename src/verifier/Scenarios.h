@@ -1,0 +1,107 @@
+//===- verifier/Scenarios.h - Fault-tolerant scenario builders --*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builders for the verification scenarios of the paper (Table 1, Fig. 8,
+/// Fig. 9, Fig. 10 and Table 4's scenario rows): one error-correction
+/// cycle with injected errors (logical-free, E M C), logical transversal
+/// operations with standard and propagated errors (one cycle,
+/// E L E M C), multi-cycle memory, fault-tolerant GHZ preparation and the
+/// logical CNOT with propagated errors. Each builder produces the program
+/// (Table 1 style), the pre/postcondition generator specs and the decoder
+/// contract pieces.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_VERIFIER_SCENARIOS_H
+#define VERIQEC_VERIFIER_SCENARIOS_H
+
+#include "prog/Ast.h"
+#include "qec/StabilizerCode.h"
+#include "vcgen/VcBuilder.h"
+
+#include <string>
+#include <vector>
+
+namespace veriqec {
+
+/// A pre/postcondition generator: (-1)^(PhaseConstant + PhaseVar) * Base.
+struct GenSpec {
+  Pauli Base;
+  std::string PhaseVar;      ///< empty = no symbolic part
+  bool PhaseConstant = false;
+};
+
+/// A complete verification scenario (one Hoare triple + contract).
+struct Scenario {
+  std::string Name;
+  size_t NumQubits = 0;
+  StmtPtr Program; ///< flattened
+  std::vector<GenSpec> Pre;
+  std::vector<GenSpec> Post;
+  std::vector<std::string> ErrorVars;
+  uint32_t MaxErrors = 0;
+  std::vector<ParityConstraint> Parity;
+  std::vector<WeightConstraint> Weights;
+};
+
+/// Which logical basis family a scenario verifies (footnote 1 of the
+/// paper: correctness on the (-1)^b Z-family and (-1)^b X-family of
+/// predicates suffices by the adequacy theorem).
+enum class LogicalBasis { Z, X };
+
+/// One error-correction cycle with errors: for i: [e_i] q_i *= E; then
+/// syndrome measurement, decoding and correction (Table 1, right column,
+/// without the logical operation). Verifies that any <= MaxErrors errors
+/// are corrected.
+Scenario makeMemoryScenario(const StabilizerCode &Code, PauliKind ErrorKind,
+                            LogicalBasis Basis, uint32_t MaxErrors);
+
+/// Table 1's Steane(E, H): propagation errors, transversal logical H,
+/// standard errors, then one correction cycle. Requires a self-dual CSS
+/// code (transversal H implements logical H). The postcondition applies
+/// the logical Hadamard to the logical operators (Eqn. (2)).
+Scenario makeLogicalHScenario(const StabilizerCode &Code, PauliKind ErrorKind,
+                              LogicalBasis Basis, uint32_t MaxErrors);
+
+/// A single non-Pauli error (H or T) at qubit \p Location injected before
+/// the logical-H cycle of Table 1 (the paper's Section 5.2.2 case). The
+/// T case exercises the case-3 taint machinery.
+Scenario makeNonPauliErrorScenario(const StabilizerCode &Code, GateKind Error,
+                                   size_t Location, LogicalBasis Basis);
+
+/// Multi-cycle memory: \p Cycles rounds of (errors; measure; decode;
+/// correct) with a global error budget (the E L E M C E M C ... row of
+/// Table 4).
+Scenario makeMultiCycleScenario(const StabilizerCode &Code,
+                                PauliKind ErrorKind, LogicalBasis Basis,
+                                size_t Cycles, uint32_t MaxErrors);
+
+/// Errors injected *between* syndrome measurement and correction (the
+/// error-in-correction-step scenario, L M C_E): a trailing verification
+/// cycle shows the residual is still corrected.
+Scenario makeCorrectionStepErrorScenario(const StabilizerCode &Code,
+                                         PauliKind ErrorKind,
+                                         LogicalBasis Basis,
+                                         uint32_t MaxErrors);
+
+/// Fault-tolerant GHZ preparation on three code blocks (Fig. 9):
+/// transversal H on block 0, CNOT 0->1, CNOT 1->2, with one correction
+/// cycle per block and injected errors. Precondition: logical |000>
+/// family; postcondition: the conjugated logical operators.
+Scenario makeGhzScenario(const StabilizerCode &Code, PauliKind ErrorKind,
+                         LogicalBasis Basis, uint32_t MaxErrors);
+
+/// Logical CNOT with propagated errors (Fig. 10): errors left over from a
+/// previous cycle on the control block propagate through the transversal
+/// CNOT; one correction cycle per block afterwards.
+Scenario makeLogicalCnotScenario(const StabilizerCode &Code,
+                                 PauliKind ErrorKind, LogicalBasis Basis,
+                                 uint32_t MaxErrors);
+
+} // namespace veriqec
+
+#endif // VERIQEC_VERIFIER_SCENARIOS_H

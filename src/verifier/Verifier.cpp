@@ -1,0 +1,166 @@
+//===- verifier/Verifier.cpp - Veri-QEC style verification driver ----------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "verifier/Verifier.h"
+
+#include "support/Assert.h"
+#include "support/Timer.h"
+#include "vcgen/SymbolicFlow.h"
+
+using namespace veriqec;
+using namespace veriqec::smt;
+
+VerificationResult veriqec::verifyScenario(const Scenario &S,
+                                           const VerifyOptions &Opts) {
+  VerificationResult Result;
+  Timer Clock;
+
+  // 1. Symbolic execution from the precondition.
+  SymbolicFlow Flow(S.NumQubits);
+  for (const GenSpec &G : S.Pre) {
+    PhaseExpr Phase(G.PhaseConstant);
+    if (!G.PhaseVar.empty())
+      Phase.xorVar(Flow.vars().id(G.PhaseVar));
+    Flow.addInitialGenerator(G.Base, Phase);
+  }
+  FlowResult FR = Flow.run(S.Program);
+  if (!FR.Ok) {
+    Result.Error = "symbolic flow: " + FR.Error;
+    Result.Seconds = Clock.seconds();
+    return Result;
+  }
+
+  // 2. VC assembly.
+  VcSpec Spec;
+  Spec.Vars = &Flow.vars();
+  Spec.Flow = std::move(FR);
+  for (const GenSpec &G : S.Post) {
+    PhaseExpr Phase(G.PhaseConstant);
+    if (!G.PhaseVar.empty())
+      Phase.xorVar(Flow.vars().id(G.PhaseVar));
+    Spec.Targets.push_back({G.Base, std::move(Phase)});
+  }
+  Spec.ErrorVars = S.ErrorVars;
+  Spec.MaxTotalErrors = S.MaxErrors;
+  Spec.ParityConstraints = S.Parity;
+  Spec.WeightConstraints = S.Weights;
+  Spec.ExtraConstraint = Opts.ExtraConstraint;
+
+  BoolContext Ctx;
+  BuiltVc Vc = buildVc(Ctx, Spec);
+  if (!Vc.Ok) {
+    Result.Error = "vc assembly: " + Vc.Error;
+    Result.Seconds = Clock.seconds();
+    return Result;
+  }
+  Result.StructuralOk = true;
+  Result.NumGoals = Vc.NumGoals;
+
+  // 3. Discharge.
+  SolveOptions SO;
+  SO.CardEnc = Opts.CardEnc;
+  SO.ConflictBudget = Opts.ConflictBudget;
+  SolveOutcome Outcome;
+  if (Opts.Parallel && !S.ErrorVars.empty()) {
+    SO.NumThreads = Opts.Threads;
+    SO.SplitVars = S.ErrorVars;
+    SO.DistanceHint = std::max<uint32_t>(
+        2, S.MaxErrors == ~uint32_t{0} ? 2 : 2 * S.MaxErrors + 1);
+    SO.SplitThreshold = Opts.SplitThreshold
+                            ? Opts.SplitThreshold
+                            : static_cast<uint32_t>(S.NumQubits);
+    SO.MaxOnes = S.MaxErrors;
+    Outcome = solveExprParallel(Ctx, Vc.NegatedVc, SO);
+  } else {
+    Outcome = solveExpr(Ctx, Vc.NegatedVc, SO);
+  }
+
+  Result.Stats = Outcome.Stats;
+  Result.NumCubes = Outcome.NumCubes;
+  Result.Verified = Outcome.Result == sat::SolveResult::Unsat;
+  if (Outcome.Result == sat::SolveResult::Sat)
+    Result.CounterExample = std::move(Outcome.Model);
+  Result.Seconds = Clock.seconds();
+  return Result;
+}
+
+DetectionResult veriqec::verifyDetection(const StabilizerCode &Code,
+                                         size_t MaxWeight,
+                                         const VerifyOptions &Opts) {
+  DetectionResult Result;
+  Timer Clock;
+  size_t N = Code.NumQubits;
+
+  BoolContext Ctx;
+  std::vector<ExprRef> XVars, ZVars, Support;
+  for (size_t Q = 0; Q != N; ++Q) {
+    XVars.push_back(Ctx.mkVar("x" + std::to_string(Q)));
+    ZVars.push_back(Ctx.mkVar("z" + std::to_string(Q)));
+    Support.push_back(Ctx.mkOr(XVars[Q], ZVars[Q]));
+  }
+  auto anticommutes = [&](const Pauli &G) {
+    std::vector<ExprRef> Terms;
+    for (size_t Q = 0; Q != N; ++Q) {
+      if (G.zBits().get(Q))
+        Terms.push_back(XVars[Q]);
+      if (G.xBits().get(Q))
+        Terms.push_back(ZVars[Q]);
+    }
+    return Terms.empty() ? Ctx.mkFalse() : Ctx.mkXor(std::move(Terms));
+  };
+
+  std::vector<ExprRef> Cs;
+  // All syndromes zero, logically acting, weight within 1..MaxWeight.
+  for (const Pauli &G : Code.Generators)
+    Cs.push_back(Ctx.mkNot(anticommutes(G)));
+  std::vector<ExprRef> Logical;
+  for (size_t J = 0; J != Code.NumLogical; ++J) {
+    Logical.push_back(anticommutes(Code.LogicalX[J]));
+    Logical.push_back(anticommutes(Code.LogicalZ[J]));
+  }
+  Cs.push_back(Ctx.mkOr(std::move(Logical)));
+  Cs.push_back(Ctx.mkAtLeast(Support, 1));
+  Cs.push_back(Ctx.mkAtMost(Support, static_cast<uint32_t>(MaxWeight)));
+
+  SolveOptions SO;
+  SO.CardEnc = Opts.CardEnc;
+  SO.ConflictBudget = Opts.ConflictBudget;
+  SolveOutcome Outcome;
+  ExprRef Root = Ctx.mkAnd(std::move(Cs));
+  if (Opts.Parallel) {
+    SO.NumThreads = Opts.Threads;
+    for (size_t Q = 0; Q != N; ++Q)
+      SO.SplitVars.push_back("x" + std::to_string(Q));
+    SO.DistanceHint = static_cast<uint32_t>(
+        Code.Distance ? Code.Distance : MaxWeight + 1);
+    SO.SplitThreshold = Opts.SplitThreshold
+                            ? Opts.SplitThreshold
+                            : static_cast<uint32_t>(N);
+    SO.MaxOnes = static_cast<uint32_t>(MaxWeight);
+    Outcome = solveExprParallel(Ctx, Root, SO);
+  } else {
+    Outcome = solveExpr(Ctx, Root, SO);
+  }
+
+  Result.Stats = Outcome.Stats;
+  Result.Detects = Outcome.Result == sat::SolveResult::Unsat;
+  if (Outcome.Result == sat::SolveResult::Sat) {
+    Pauli P(N);
+    for (size_t Q = 0; Q != N; ++Q) {
+      bool X = Outcome.Model.at("x" + std::to_string(Q));
+      bool Z = Outcome.Model.at("z" + std::to_string(Q));
+      if (X && Z)
+        P.setKind(Q, PauliKind::Y);
+      else if (X)
+        P.setKind(Q, PauliKind::X);
+      else if (Z)
+        P.setKind(Q, PauliKind::Z);
+    }
+    Result.CounterExample = P.abs();
+  }
+  Result.Seconds = Clock.seconds();
+  return Result;
+}

@@ -1,0 +1,75 @@
+//===- verifier/Verifier.h - Veri-QEC style verification driver -*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The top of the stack: runs a Scenario through the symbolic flow, builds
+/// the VC, and discharges it with the built-in SAT layer, either
+/// sequentially or with the paper's cube-and-conquer parallelization
+/// (splitting on error indicator bits with the ET heuristic). Also
+/// provides the precise-detection check of Eqn. (15).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_VERIFIER_VERIFIER_H
+#define VERIQEC_VERIFIER_VERIFIER_H
+
+#include "qec/StabilizerCode.h"
+#include "smt/CubeSolver.h"
+#include "verifier/Scenarios.h"
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+namespace veriqec {
+
+/// Solver configuration for one verification run.
+struct VerifyOptions {
+  bool Parallel = false;
+  size_t Threads = 0;            ///< 0 = hardware concurrency
+  uint32_t SplitThreshold = 0;   ///< 0 = auto (the number of qubits)
+  smt::CardinalityEncoding CardEnc =
+      smt::CardinalityEncoding::SequentialCounter;
+  uint64_t ConflictBudget = 0;
+  /// Optional user error constraint (locality/discreteness, Section 7.2),
+  /// conjoined with the assumptions.
+  std::function<smt::ExprRef(smt::BoolContext &)> ExtraConstraint;
+};
+
+/// Result of a verification run.
+struct VerificationResult {
+  bool StructuralOk = false; ///< flow + VC assembly succeeded
+  std::string Error;         ///< when !StructuralOk
+  bool Verified = false;     ///< VC valid (negation UNSAT)
+  /// For failed verification: a model of the negated VC — a concrete
+  /// error pattern plus decoder behaviour exposing the bug.
+  std::unordered_map<std::string, bool> CounterExample;
+  sat::SolverStats Stats;
+  uint64_t NumCubes = 1;
+  size_t NumGoals = 0;
+  double Seconds = 0;
+};
+
+/// Verifies one scenario.
+VerificationResult verifyScenario(const Scenario &S,
+                                  const VerifyOptions &Opts = {});
+
+/// Precise-detection property (Eqn. (15)): no Pauli error of weight
+/// 1..MaxWeight is simultaneously syndrome-free and logically acting.
+struct DetectionResult {
+  bool Detects = false; ///< true = property holds (UNSAT)
+  /// When the property fails: the offending logical operator.
+  std::optional<Pauli> CounterExample;
+  sat::SolverStats Stats;
+  double Seconds = 0;
+};
+
+DetectionResult verifyDetection(const StabilizerCode &Code, size_t MaxWeight,
+                                const VerifyOptions &Opts = {});
+
+} // namespace veriqec
+
+#endif // VERIQEC_VERIFIER_VERIFIER_H

@@ -1,0 +1,155 @@
+//===- tests/gf2_test.cpp - GF(2) matrix algebra unit tests ---------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "gf2/BitMatrix.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace veriqec;
+
+namespace {
+
+BitMatrix randomMatrix(size_t Rows, size_t Cols, Rng &R) {
+  BitMatrix M(Rows, Cols);
+  for (size_t I = 0; I != Rows; ++I)
+    for (size_t J = 0; J != Cols; ++J)
+      if (R.nextBool())
+        M.set(I, J);
+  return M;
+}
+
+BitVector randomVector(size_t N, Rng &R) {
+  BitVector V(N);
+  for (size_t I = 0; I != N; ++I)
+    if (R.nextBool())
+      V.set(I);
+  return V;
+}
+
+} // namespace
+
+TEST(BitMatrix, IdentityBasics) {
+  BitMatrix I = BitMatrix::identity(5);
+  EXPECT_EQ(I.rank(), 5u);
+  BitVector V(5);
+  V.set(2);
+  V.set(4);
+  EXPECT_EQ(I.multiply(V), V);
+}
+
+TEST(BitMatrix, RankOfDependentRows) {
+  BitMatrix M(3, 4);
+  M.set(0, 0);
+  M.set(0, 1);
+  M.set(1, 1);
+  M.set(1, 2);
+  // Row 2 = row 0 XOR row 1.
+  M.set(2, 0);
+  M.set(2, 2);
+  EXPECT_EQ(M.rank(), 2u);
+}
+
+TEST(BitMatrix, RowReduceProducesPivots) {
+  BitMatrix M(2, 3);
+  M.set(0, 1);
+  M.set(1, 2);
+  std::vector<size_t> Pivots = M.rowReduce();
+  ASSERT_EQ(Pivots.size(), 2u);
+  EXPECT_EQ(Pivots[0], 1u);
+  EXPECT_EQ(Pivots[1], 2u);
+}
+
+TEST(BitMatrix, SolveConsistentSystem) {
+  Rng R(17);
+  for (int Trial = 0; Trial != 30; ++Trial) {
+    BitMatrix A = randomMatrix(8, 12, R);
+    BitVector X0 = randomVector(12, R);
+    BitVector B = A.multiply(X0);
+    std::optional<BitVector> X = A.solve(B);
+    ASSERT_TRUE(X.has_value());
+    EXPECT_EQ(A.multiply(*X), B);
+  }
+}
+
+TEST(BitMatrix, SolveDetectsInconsistency) {
+  // x1 = 0 and x1 = 1 simultaneously.
+  BitMatrix A(2, 2);
+  A.set(0, 0);
+  A.set(1, 0);
+  BitVector B(2);
+  B.set(1);
+  EXPECT_FALSE(A.solve(B).has_value());
+}
+
+TEST(BitMatrix, NullspaceVectorsAreKernelElements) {
+  Rng R(23);
+  for (int Trial = 0; Trial != 20; ++Trial) {
+    BitMatrix A = randomMatrix(6, 10, R);
+    std::vector<BitVector> Basis = A.nullspaceBasis();
+    EXPECT_EQ(Basis.size(), 10u - A.rank());
+    for (const BitVector &V : Basis) {
+      EXPECT_TRUE(A.multiply(V).none());
+      EXPECT_TRUE(V.any());
+    }
+    // Basis vectors are independent.
+    BitMatrix B = BitMatrix::fromRows(Basis);
+    EXPECT_EQ(B.rank(), Basis.size());
+  }
+}
+
+TEST(BitMatrix, ExpressInRowSpaceRoundTrip) {
+  Rng R(5);
+  for (int Trial = 0; Trial != 30; ++Trial) {
+    BitMatrix A = randomMatrix(7, 9, R);
+    // Take a random combination of rows as the target.
+    BitVector Sel = randomVector(7, R);
+    BitVector Target(9);
+    for (size_t I = 0; I != 7; ++I)
+      if (Sel.get(I))
+        Target ^= A.row(I);
+    std::optional<BitVector> C = A.expressInRowSpace(Target);
+    ASSERT_TRUE(C.has_value());
+    BitVector Rebuilt(9);
+    for (size_t I = 0; I != 7; ++I)
+      if (C->get(I))
+        Rebuilt ^= A.row(I);
+    EXPECT_EQ(Rebuilt, Target);
+  }
+}
+
+TEST(BitMatrix, ExpressInRowSpaceRejectsOutside) {
+  BitMatrix A(1, 3);
+  A.set(0, 0);
+  BitVector Target(3);
+  Target.set(1);
+  EXPECT_FALSE(A.expressInRowSpace(Target).has_value());
+  EXPECT_FALSE(A.rowSpaceContains(Target));
+}
+
+TEST(BitMatrix, TransposeInvolution) {
+  Rng R(9);
+  BitMatrix A = randomMatrix(5, 8, R);
+  EXPECT_EQ(A.transposed().transposed(), A);
+}
+
+TEST(BitMatrix, MultiplyAssociatesWithVector) {
+  Rng R(31);
+  BitMatrix A = randomMatrix(4, 6, R);
+  BitMatrix B = randomMatrix(6, 5, R);
+  BitVector V = randomVector(5, R);
+  EXPECT_EQ(A.multiply(B).multiply(V), A.multiply(B.multiply(V)));
+}
+
+TEST(BitMatrix, AppendRowDefinesWidth) {
+  BitMatrix M;
+  BitVector R0(4);
+  R0.set(2);
+  M.appendRow(R0);
+  EXPECT_EQ(M.numRows(), 1u);
+  EXPECT_EQ(M.numCols(), 4u);
+  EXPECT_TRUE(M.get(0, 2));
+}

@@ -1,0 +1,175 @@
+//===- tests/parser_test.cpp - Lexer/parser/printer tests -----------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "prog/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace veriqec;
+
+namespace {
+
+StmtPtr parseOk(const std::string &Src) {
+  ParseResult R = parseProgram(Src);
+  if (auto *Err = std::get_if<ParseError>(&R)) {
+    ADD_FAILURE() << Err->render() << "\nsource:\n" << Src;
+    return Stmt::skip();
+  }
+  return std::get<StmtPtr>(R);
+}
+
+ParseError parseFail(const std::string &Src) {
+  ParseResult R = parseProgram(Src);
+  if (auto *P = std::get_if<StmtPtr>(&R)) {
+    ADD_FAILURE() << "expected failure, parsed:\n" << (*P)->toString();
+    return {};
+  }
+  return std::get<ParseError>(R);
+}
+
+} // namespace
+
+TEST(Parser, SkipAndSequence) {
+  StmtPtr S = parseOk("skip # skip # skip");
+  EXPECT_EQ(S->Kind, StmtKind::Skip); // sequencing folds skips away
+}
+
+TEST(Parser, QubitStatements) {
+  StmtPtr S = parseOk("q[0] := |0> # q[1] *= H # q[0], q[1] *= CNOT");
+  ASSERT_EQ(S->Kind, StmtKind::Seq);
+  ASSERT_EQ(S->Body.size(), 3u);
+  EXPECT_EQ(S->Body[0]->Kind, StmtKind::Init);
+  EXPECT_EQ(S->Body[1]->Kind, StmtKind::Unitary);
+  EXPECT_EQ(S->Body[1]->Gate, GateKind::H);
+  EXPECT_EQ(S->Body[2]->Gate, GateKind::CNOT);
+}
+
+TEST(Parser, GuardedErrorSugar) {
+  StmtPtr S = parseOk("[e1] q[3] *= Y");
+  ASSERT_EQ(S->Kind, StmtKind::GuardedGate);
+  EXPECT_EQ(S->Gate, GateKind::Y);
+  EXPECT_EQ(S->Guard->toString(), "e1");
+}
+
+TEST(Parser, MeasurementWithPhase) {
+  StmtPtr S = parseOk("s1 := meas[(-1)^(b) X[0] X[2]]");
+  ASSERT_EQ(S->Kind, StmtKind::Measure);
+  EXPECT_EQ(S->Targets[0], "s1");
+  ASSERT_EQ(S->Measured.Factors.size(), 2u);
+  EXPECT_EQ(S->Measured.Factors[0].Kind, PauliKind::X);
+  ASSERT_TRUE(S->Measured.PhaseBit != nullptr);
+}
+
+TEST(Parser, DecoderCall) {
+  StmtPtr S = parseOk("x1, x2, x3 := fz(s1, s2 + 1, s3)");
+  ASSERT_EQ(S->Kind, StmtKind::DecoderCall);
+  EXPECT_EQ(S->DecoderName, "fz");
+  EXPECT_EQ(S->Targets.size(), 3u);
+  EXPECT_EQ(S->Arguments.size(), 3u);
+}
+
+TEST(Parser, ControlFlow) {
+  StmtPtr S = parseOk("if b == 1 then q[0] *= X else skip end");
+  ASSERT_EQ(S->Kind, StmtKind::If);
+  StmtPtr W = parseOk("while !done do x := x + 1 end");
+  ASSERT_EQ(W->Kind, StmtKind::While);
+  StmtPtr F = parseOk("for i in 1..7 do q[i - 1] *= H end");
+  ASSERT_EQ(F->Kind, StmtKind::For);
+  EXPECT_EQ(F->LoopVar, "i");
+}
+
+TEST(Parser, ForLoopFlattensToConstants) {
+  StmtPtr F = parseOk("for i in 0..2 do q[i] *= H end");
+  StmtPtr Flat = Stmt::flatten(F);
+  ASSERT_EQ(Flat->Kind, StmtKind::Seq);
+  ASSERT_EQ(Flat->Body.size(), 3u);
+  CMem Empty;
+  for (size_t I = 0; I != 3; ++I)
+    EXPECT_EQ(Flat->Body[I]->Qubit0->evaluate(Empty),
+              static_cast<int64_t>(I));
+}
+
+TEST(Parser, NestedForLoopsWithIndexArithmetic) {
+  StmtPtr F = parseOk(
+      "for i in 0..1 do for j in 0..1 do q[2*i + j] *= X end end");
+  StmtPtr Flat = Stmt::flatten(F);
+  ASSERT_EQ(Flat->Body.size(), 4u);
+  CMem Empty;
+  EXPECT_EQ(Flat->Body[3]->Qubit0->evaluate(Empty), 3);
+}
+
+TEST(Parser, Table1SteaneProgramParses) {
+  // The full Steane(E, H) program of Table 1 in concrete syntax.
+  const char *Src = R"(
+    for i in 0..6 do [ep_i] q[i] *= Y end #
+    for i in 0..6 do q[i] *= H end #
+    for i in 0..6 do [e_i] q[i] *= Y end #
+    s1 := meas[X[0] X[2] X[4] X[6]] #
+    s2 := meas[X[1] X[2] X[5] X[6]] #
+    s3 := meas[X[3] X[4] X[5] X[6]] #
+    s4 := meas[Z[0] Z[2] Z[4] Z[6]] #
+    s5 := meas[Z[1] Z[2] Z[5] Z[6]] #
+    s6 := meas[Z[3] Z[4] Z[5] Z[6]] #
+    z1, z2, z3, z4, z5, z6, z7 := fz(s1, s2, s3) #
+    x1, x2, x3, x4, x5, x6, x7 := fx(s4, s5, s6) #
+    for i in 0..6 do [x_i] q[i] *= X end #
+    for i in 0..6 do [z_i] q[i] *= Z end
+  )";
+  StmtPtr S = parseOk(Src);
+  StmtPtr Flat = Stmt::flatten(S);
+  EXPECT_EQ(Flat->Kind, StmtKind::Seq);
+  // 7 + 7 + 7 + 6 + 2 + 7 + 7 statements after flattening.
+  EXPECT_EQ(Flat->Body.size(), 43u);
+}
+
+TEST(Parser, RoundTripThroughPrinter) {
+  const char *Src = "if e <= 2 then [g] q[1] *= Z else q[2] := |0> end";
+  StmtPtr S = parseOk(Src);
+  StmtPtr Again = parseOk(S->toString());
+  EXPECT_EQ(S->toString(), Again->toString());
+}
+
+TEST(Parser, ExpressionPrecedence) {
+  auto R = parseClassicalExpr("a + b * c <= 7 && !d || e -> f");
+  ASSERT_TRUE(std::holds_alternative<CExprPtr>(R));
+  CExprPtr E = std::get<CExprPtr>(R);
+  // Implication binds last.
+  EXPECT_EQ(E->Kind, CExprKind::Imp);
+  CMem Mem{{"a", 1}, {"b", 2}, {"c", 3}, {"d", 0}, {"e", 0}, {"f", 1}};
+  EXPECT_TRUE(E->evaluateBool(Mem));
+}
+
+TEST(Parser, XorChainsForSyndromes) {
+  auto R = parseClassicalExpr("s1 ^ s2 ^ s3");
+  ASSERT_TRUE(std::holds_alternative<CExprPtr>(R));
+  CMem Mem{{"s1", 1}, {"s2", 1}, {"s3", 1}};
+  EXPECT_EQ(std::get<CExprPtr>(R)->evaluate(Mem), 1);
+}
+
+TEST(Parser, ErrorsCarryPositions) {
+  ParseError E = parseFail("q[0] *= BOGUS");
+  EXPECT_NE(E.Message.find("unknown gate"), std::string::npos);
+  EXPECT_EQ(E.Line, 1u);
+
+  ParseError E2 = parseFail("if b then skip end"); // missing else
+  EXPECT_NE(E2.Message.find("else"), std::string::npos);
+
+  ParseError E3 = parseFail("x := meas[QQ]");
+  (void)E3;
+
+  ParseError E4 = parseFail("q[0] q[1] *= CNOT"); // missing comma
+  (void)E4;
+}
+
+TEST(Parser, CommentsAndWhitespace) {
+  StmtPtr S = parseOk("// leading comment\n  skip # // tail\n skip");
+  EXPECT_EQ(S->Kind, StmtKind::Skip);
+}
+
+TEST(Parser, TwoQubitArityEnforced) {
+  parseFail("q[0] *= CNOT");
+  parseFail("q[0], q[1] *= H");
+}

@@ -1,0 +1,350 @@
+//===- tests/pauli_test.cpp - Pauli algebra vs dense matrices -------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Validates the symplectic Pauli representation (multiplication phases,
+/// commutation, Clifford conjugation incl. iSWAP) against an independent
+/// dense complex-matrix implementation written directly in this test.
+///
+//===----------------------------------------------------------------------===//
+
+#include "pauli/Pauli.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+using namespace veriqec;
+
+namespace {
+
+using Cplx = std::complex<double>;
+using Matrix = std::vector<std::vector<Cplx>>;
+
+Matrix zeros(size_t N) { return Matrix(N, std::vector<Cplx>(N, Cplx{0, 0})); }
+
+Matrix matMul(const Matrix &A, const Matrix &B) {
+  size_t N = A.size();
+  Matrix C = zeros(N);
+  for (size_t I = 0; I != N; ++I)
+    for (size_t K = 0; K != N; ++K) {
+      if (A[I][K] == Cplx{0, 0})
+        continue;
+      for (size_t J = 0; J != N; ++J)
+        C[I][J] += A[I][K] * B[K][J];
+    }
+  return C;
+}
+
+Matrix kron(const Matrix &A, const Matrix &B) {
+  size_t NA = A.size(), NB = B.size();
+  Matrix C = zeros(NA * NB);
+  for (size_t I = 0; I != NA; ++I)
+    for (size_t J = 0; J != NA; ++J)
+      for (size_t K = 0; K != NB; ++K)
+        for (size_t L = 0; L != NB; ++L)
+          C[I * NB + K][J * NB + L] = A[I][J] * B[K][L];
+  return C;
+}
+
+Matrix dagger(const Matrix &A) {
+  size_t N = A.size();
+  Matrix C = zeros(N);
+  for (size_t I = 0; I != N; ++I)
+    for (size_t J = 0; J != N; ++J)
+      C[I][J] = std::conj(A[J][I]);
+  return C;
+}
+
+bool approxEqual(const Matrix &A, const Matrix &B) {
+  size_t N = A.size();
+  for (size_t I = 0; I != N; ++I)
+    for (size_t J = 0; J != N; ++J)
+      if (std::abs(A[I][J] - B[I][J]) > 1e-9)
+        return false;
+  return true;
+}
+
+const Cplx IU{0, 1};
+
+Matrix singleQubitMatrix(PauliKind K) {
+  switch (K) {
+  case PauliKind::I:
+    return {{1, 0}, {0, 1}};
+  case PauliKind::X:
+    return {{0, 1}, {1, 0}};
+  case PauliKind::Y:
+    return {{0, -IU}, {IU, 0}};
+  case PauliKind::Z:
+    return {{1, 0}, {0, -1}};
+  }
+  return {};
+}
+
+/// Dense matrix of an n-qubit Pauli, including its i^k phase.
+Matrix denseMatrix(const Pauli &P) {
+  Matrix M = {{1}};
+  for (size_t Q = 0; Q != P.numQubits(); ++Q)
+    M = kron(M, singleQubitMatrix(P.kindAt(Q)));
+  // The stored representation is i^Phase * prod X^x Z^z; kindAt-based
+  // letters carry an i per Y, so correct by i^(Phase - #Y).
+  size_t NumY = 0;
+  for (size_t Q = 0; Q != P.numQubits(); ++Q)
+    if (P.kindAt(Q) == PauliKind::Y)
+      ++NumY;
+  unsigned Rel = (P.phaseExp() + 4u - (NumY % 4)) & 3u;
+  Cplx Factor = 1;
+  for (unsigned I = 0; I != Rel; ++I)
+    Factor *= IU;
+  for (auto &Row : M)
+    for (Cplx &V : Row)
+      V *= Factor;
+  return M;
+}
+
+Matrix gateMatrix(GateKind K) {
+  const double S2 = 1.0 / std::sqrt(2.0);
+  switch (K) {
+  case GateKind::X:
+  case GateKind::Y:
+  case GateKind::Z:
+    return singleQubitMatrix(K == GateKind::X   ? PauliKind::X
+                             : K == GateKind::Y ? PauliKind::Y
+                                                : PauliKind::Z);
+  case GateKind::H:
+    return {{S2, S2}, {S2, -S2}};
+  case GateKind::S:
+    return {{1, 0}, {0, IU}};
+  case GateKind::Sdg:
+    return {{1, 0}, {0, -IU}};
+  case GateKind::T:
+    return {{1, 0}, {0, std::exp(IU * (M_PI / 4))}};
+  case GateKind::Tdg:
+    return {{1, 0}, {0, std::exp(-IU * (M_PI / 4))}};
+  case GateKind::CNOT:
+    return {{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 0, 1}, {0, 0, 1, 0}};
+  case GateKind::CZ:
+    return {{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0}, {0, 0, 0, -1}};
+  case GateKind::ISWAP:
+    // The paper's iSWAP (Section 2.1): swaps with -i on the swapped
+    // amplitudes.
+    return {{1, 0, 0, 0}, {0, 0, -IU, 0}, {0, -IU, 0, 0}, {0, 0, 0, 1}};
+  case GateKind::ISWAPdg:
+    return dagger(Matrix{
+        {1, 0, 0, 0}, {0, 0, -IU, 0}, {0, -IU, 0, 0}, {0, 0, 0, 1}});
+  }
+  return {};
+}
+
+/// Embeds a 1- or 2-qubit gate matrix on qubits (Q0[,Q1]) of an n-qubit
+/// system (dense, for n <= 3).
+Matrix embedGate(GateKind K, size_t N, size_t Q0, size_t Q1) {
+  size_t Dim = size_t{1} << N;
+  Matrix G = gateMatrix(K);
+  Matrix M = zeros(Dim);
+  bool Two = isTwoQubitGate(K);
+  for (size_t Row = 0; Row != Dim; ++Row) {
+    // Bit of qubit q in basis index: qubit 0 is the most significant bit
+    // (matching the kron order used in denseMatrix()).
+    auto bitOf = [&](size_t Index, size_t Q) {
+      return (Index >> (N - 1 - Q)) & 1;
+    };
+    size_t RIn = Two ? (bitOf(Row, Q0) * 2 + bitOf(Row, Q1)) : bitOf(Row, Q0);
+    for (size_t GCol = 0; GCol != G.size(); ++GCol) {
+      if (G[RIn][GCol] == Cplx{0, 0})
+        continue;
+      size_t Col = Row;
+      auto setBit = [&](size_t Index, size_t Q, size_t B) {
+        size_t Mask = size_t{1} << (N - 1 - Q);
+        return B ? (Index | Mask) : (Index & ~Mask);
+      };
+      if (Two) {
+        Col = setBit(Col, Q0, (GCol >> 1) & 1);
+        Col = setBit(Col, Q1, GCol & 1);
+      } else {
+        Col = setBit(Col, Q0, GCol & 1);
+      }
+      M[Row][Col] = G[RIn][GCol];
+    }
+  }
+  // We built M[row][col] = G[rowbits][colbits]; that is the correct dense
+  // embedding of G acting on the selected qubits.
+  return M;
+}
+
+Pauli randomPauli(size_t N, Rng &R) {
+  Pauli P(N);
+  for (size_t Q = 0; Q != N; ++Q)
+    P.setKind(Q, static_cast<PauliKind>(R.nextBelow(4)));
+  return P;
+}
+
+} // namespace
+
+TEST(Pauli, SingleLetterRoundTrip) {
+  for (PauliKind K :
+       {PauliKind::I, PauliKind::X, PauliKind::Y, PauliKind::Z}) {
+    Pauli P = Pauli::single(3, 1, K);
+    EXPECT_EQ(P.kindAt(1), K);
+    EXPECT_EQ(P.kindAt(0), PauliKind::I);
+    EXPECT_TRUE(P.isHermitian());
+    EXPECT_FALSE(P.signBit());
+  }
+}
+
+TEST(Pauli, FromStringParsesSignsAndLetters) {
+  auto P = Pauli::fromString("-XIYZ");
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->numQubits(), 4u);
+  EXPECT_EQ(P->kindAt(0), PauliKind::X);
+  EXPECT_EQ(P->kindAt(2), PauliKind::Y);
+  EXPECT_TRUE(P->isHermitian());
+  EXPECT_TRUE(P->signBit());
+  EXPECT_EQ(P->toString(), "-XIYZ");
+
+  EXPECT_FALSE(Pauli::fromString("XQ").has_value());
+
+  auto Q = Pauli::fromString("iZ");
+  ASSERT_TRUE(Q.has_value());
+  EXPECT_FALSE(Q->isHermitian());
+}
+
+TEST(Pauli, MultiplicationMatchesDense) {
+  Rng R(77);
+  for (int Trial = 0; Trial != 60; ++Trial) {
+    Pauli A = randomPauli(2, R);
+    Pauli B = randomPauli(2, R);
+    if (R.nextBool())
+      A.negate();
+    if (R.nextBool())
+      B.negate();
+    Pauli C = A * B;
+    EXPECT_TRUE(approxEqual(denseMatrix(C),
+                            matMul(denseMatrix(A), denseMatrix(B))))
+        << A.toString() << " * " << B.toString() << " != " << C.toString();
+  }
+}
+
+TEST(Pauli, CommutationMatchesDense) {
+  Rng R(13);
+  for (int Trial = 0; Trial != 60; ++Trial) {
+    Pauli A = randomPauli(3, R);
+    Pauli B = randomPauli(3, R);
+    Matrix AB = matMul(denseMatrix(A), denseMatrix(B));
+    Matrix BA = matMul(denseMatrix(B), denseMatrix(A));
+    EXPECT_EQ(A.commutesWith(B), approxEqual(AB, BA));
+  }
+}
+
+TEST(Pauli, WellKnownIdentities) {
+  Pauli X = Pauli::single(1, 0, PauliKind::X);
+  Pauli Y = Pauli::single(1, 0, PauliKind::Y);
+  Pauli Z = Pauli::single(1, 0, PauliKind::Z);
+  // XY = iZ.
+  Pauli XY = X * Y;
+  EXPECT_TRUE(XY.sameLetters(Z));
+  EXPECT_FALSE(XY.isHermitian());
+  // X^2 = I.
+  EXPECT_TRUE((X * X).isIdentity());
+  EXPECT_TRUE((Y * Y).isIdentity());
+  EXPECT_TRUE((Z * Z).isIdentity());
+  // XYZ = iI.
+  Pauli XYZ = X * Y * Z;
+  EXPECT_TRUE(XYZ.isIdentityUpToPhase());
+  EXPECT_EQ(XYZ.phaseExp(), 1);
+}
+
+struct ConjugationCase {
+  GateKind Gate;
+  size_t NumQubits;
+  size_t Q0;
+  size_t Q1;
+};
+
+class PauliConjugation : public ::testing::TestWithParam<ConjugationCase> {};
+
+TEST_P(PauliConjugation, MatchesDenseConjugation) {
+  const ConjugationCase &C = GetParam();
+  Rng R(101 + static_cast<uint64_t>(C.Gate));
+  Matrix U = embedGate(C.Gate, C.NumQubits, C.Q0, C.Q1);
+  Matrix Udg = dagger(U);
+  for (int Trial = 0; Trial != 40; ++Trial) {
+    Pauli P = randomPauli(C.NumQubits, R);
+    if (R.nextBool())
+      P.negate();
+    Pauli Conj = P;
+    Conj.conjugate(C.Gate, C.Q0, C.Q1);
+    Matrix Expected = matMul(U, matMul(denseMatrix(P), Udg));
+    EXPECT_TRUE(approxEqual(denseMatrix(Conj), Expected))
+        << gateName(C.Gate) << " on " << P.toString() << " gave "
+        << Conj.toString();
+
+    // conjugateInverse must invert conjugate.
+    Pauli Back = Conj;
+    Back.conjugateInverse(C.Gate, C.Q0, C.Q1);
+    EXPECT_EQ(Back, P);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCliffordGates, PauliConjugation,
+    ::testing::Values(
+        ConjugationCase{GateKind::X, 2, 0, 0}, //
+        ConjugationCase{GateKind::Y, 2, 1, 0},
+        ConjugationCase{GateKind::Z, 2, 0, 0},
+        ConjugationCase{GateKind::H, 2, 1, 0},
+        ConjugationCase{GateKind::S, 2, 0, 0},
+        ConjugationCase{GateKind::Sdg, 2, 1, 0},
+        ConjugationCase{GateKind::CNOT, 2, 0, 1},
+        ConjugationCase{GateKind::CNOT, 2, 1, 0},
+        ConjugationCase{GateKind::CNOT, 3, 2, 0},
+        ConjugationCase{GateKind::CZ, 2, 0, 1},
+        ConjugationCase{GateKind::CZ, 3, 1, 2},
+        ConjugationCase{GateKind::ISWAP, 2, 0, 1},
+        ConjugationCase{GateKind::ISWAP, 3, 2, 1},
+        ConjugationCase{GateKind::ISWAPdg, 2, 0, 1}));
+
+TEST(Pauli, PaperSubstitutionTablesBackward) {
+  // Spot-check the Fig. 3 substitution direction: wlp of q*=U substitutes
+  // P -> U^dagger P U. For H: X<->Z; for S: X -> -Y... wait, (U-S) says
+  // A[-Y/X, X/Y], i.e. U^dagger X U = -Y and U^dagger Y U = X.
+  Pauli X = Pauli::single(1, 0, PauliKind::X);
+  Pauli Y = Pauli::single(1, 0, PauliKind::Y);
+
+  Pauli P = X;
+  P.conjugateInverse(GateKind::S, 0);
+  Pauli MinusY = Y;
+  MinusY.negate();
+  EXPECT_EQ(P, MinusY);
+
+  P = Y;
+  P.conjugateInverse(GateKind::S, 0);
+  EXPECT_EQ(P, X);
+
+  // (U-iSWAP): U^dagger X_i U = Z_i Y_j.
+  Pauli Xi = Pauli::single(2, 0, PauliKind::X);
+  Xi.conjugateInverse(GateKind::ISWAP, 0, 1);
+  Pauli ZiYj =
+      Pauli::single(2, 0, PauliKind::Z) * Pauli::single(2, 1, PauliKind::Y);
+  EXPECT_EQ(Xi, ZiYj);
+
+  // (U-iSWAP): U^dagger Y_i U = -Z_i X_j.
+  Pauli Yi = Pauli::single(2, 0, PauliKind::Y);
+  Yi.conjugateInverse(GateKind::ISWAP, 0, 1);
+  Pauli ZiXj =
+      Pauli::single(2, 0, PauliKind::Z) * Pauli::single(2, 1, PauliKind::X);
+  ZiXj.negate();
+  EXPECT_EQ(Yi, ZiXj);
+}
+
+TEST(Pauli, WeightCountsSupport) {
+  auto P = Pauli::fromString("XIYZI");
+  ASSERT_TRUE(P.has_value());
+  EXPECT_EQ(P->weight(), 3u);
+  EXPECT_EQ(Pauli(5).weight(), 0u);
+}

@@ -1,0 +1,207 @@
+//===- tests/pauliexpr_test.cpp - Theorem 3.1 closure tests ---------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Verifies the closedness of Pauli expressions under Clifford + T
+/// (Theorem 3.1) by comparing the algebraic conjugation rules against
+/// dense matrices, and the identities of the Section 5.2.2 case study
+/// (the tainted Steane generators like (1/sqrt2) X1 X3 (X5 - Y5) X7).
+///
+//===----------------------------------------------------------------------===//
+
+#include "assertion/PauliExpr.h"
+#include "sem/DenseState.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <complex>
+#include <vector>
+
+using namespace veriqec;
+
+namespace {
+
+using Cplx = std::complex<double>;
+
+/// Dense matrix of a PauliExpr via the DenseState Pauli applicator.
+std::vector<std::vector<Cplx>> denseOf(const PauliExpr &E, size_t N) {
+  size_t Dim = size_t{1} << N;
+  std::vector<std::vector<Cplx>> M(Dim, std::vector<Cplx>(Dim, Cplx{0, 0}));
+  for (const auto &[P, C] : E.terms()) {
+    for (size_t Col = 0; Col != Dim; ++Col) {
+      DenseState V(N);
+      V.amp(0) = 0;
+      V.amp(Col) = 1;
+      V.applyPauli(P);
+      for (size_t Row = 0; Row != Dim; ++Row)
+        M[Row][Col] += C.toDouble() * V.amp(Row);
+    }
+  }
+  return M;
+}
+
+/// Dense matrix of U^dagger * A * U for a gate applied to basis columns.
+std::vector<std::vector<Cplx>>
+conjugateDense(const std::vector<std::vector<Cplx>> &A, GateKind Kind,
+               size_t N, size_t Q0, size_t Q1) {
+  size_t Dim = A.size();
+  // Compute column by column: (U^dag A U) e_c = U^dag (A (U e_c)).
+  std::vector<std::vector<Cplx>> Out(Dim, std::vector<Cplx>(Dim, Cplx{0, 0}));
+  for (size_t Col = 0; Col != Dim; ++Col) {
+    DenseState V(N);
+    V.amp(0) = 0;
+    V.amp(Col) = 1;
+    V.applyGate(Kind, Q0, Q1);
+    // Multiply by A.
+    std::vector<Cplx> Mid(Dim, Cplx{0, 0});
+    for (size_t R = 0; R != Dim; ++R)
+      for (size_t K = 0; K != Dim; ++K)
+        Mid[R] += A[R][K] * V.amp(K);
+    DenseState W(N);
+    W.amp(0) = 0;
+    for (size_t R = 0; R != Dim; ++R)
+      W.amp(R) = Mid[R];
+    W.applyGate(inverseGate(Kind), Q0, Q1);
+    for (size_t R = 0; R != Dim; ++R)
+      Out[R][Col] = W.amp(R);
+  }
+  return Out;
+}
+
+bool approxEqual(const std::vector<std::vector<Cplx>> &A,
+                 const std::vector<std::vector<Cplx>> &B) {
+  for (size_t I = 0; I != A.size(); ++I)
+    for (size_t J = 0; J != A.size(); ++J)
+      if (std::abs(A[I][J] - B[I][J]) > 1e-9)
+        return false;
+  return true;
+}
+
+Pauli randomHermitianPauli(size_t N, Rng &R) {
+  Pauli P(N);
+  for (size_t Q = 0; Q != N; ++Q)
+    P.setKind(Q, static_cast<PauliKind>(R.nextBelow(4)));
+  return P.abs();
+}
+
+} // namespace
+
+TEST(PauliExpr, SinglePauliRoundTrip) {
+  Pauli P = *Pauli::fromString("-XZ");
+  PauliExpr E(P);
+  EXPECT_TRUE(E.isSinglePauli());
+  auto Terms = E.terms();
+  ASSERT_EQ(Terms.size(), 1u);
+  EXPECT_EQ(Terms[0].second, Sqrt2Ring(-1));
+}
+
+TEST(PauliExpr, AdditionCancels) {
+  Pauli P = *Pauli::fromString("XI");
+  PauliExpr E = PauliExpr(P) + (-PauliExpr(P));
+  EXPECT_TRUE(E.isZero());
+}
+
+struct ClosureCase {
+  GateKind Gate;
+  size_t N, Q0, Q1;
+};
+
+class PauliExprClosure : public ::testing::TestWithParam<ClosureCase> {};
+
+TEST_P(PauliExprClosure, ConjugationMatchesDense) {
+  const ClosureCase &C = GetParam();
+  Rng R(37 + static_cast<uint64_t>(C.Gate));
+  for (int Trial = 0; Trial != 15; ++Trial) {
+    Pauli P = randomHermitianPauli(C.N, R);
+    PauliExpr E(P);
+    // Pre-scramble with one T so multi-term expressions get exercised.
+    E.conjugateInverse(GateKind::T, 0);
+    auto Before = denseOf(E, C.N);
+    PauliExpr EC = E;
+    EC.conjugateInverse(C.Gate, C.Q0, C.Q1);
+    auto Expected = conjugateDense(Before, C.Gate, C.N, C.Q0, C.Q1);
+    EXPECT_TRUE(approxEqual(denseOf(EC, C.N), Expected))
+        << gateName(C.Gate) << " on " << E.toString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CliffordPlusT, PauliExprClosure,
+    ::testing::Values(ClosureCase{GateKind::H, 2, 1, 0},
+                      ClosureCase{GateKind::S, 2, 0, 0},
+                      ClosureCase{GateKind::T, 2, 0, 0},
+                      ClosureCase{GateKind::T, 2, 1, 0},
+                      ClosureCase{GateKind::Tdg, 2, 0, 0},
+                      ClosureCase{GateKind::X, 2, 0, 0},
+                      ClosureCase{GateKind::CNOT, 2, 0, 1},
+                      ClosureCase{GateKind::CZ, 2, 1, 0},
+                      ClosureCase{GateKind::ISWAP, 2, 0, 1}));
+
+TEST(PauliExpr, UTRuleExactly) {
+  // (U-T): T^dagger X T = (X - Y)/sqrt2.
+  PauliExpr E(Pauli::single(1, 0, PauliKind::X));
+  E.conjugateInverse(GateKind::T, 0);
+  auto Terms = E.terms();
+  ASSERT_EQ(Terms.size(), 2u);
+  for (const auto &[P, C] : Terms) {
+    if (P.kindAt(0) == PauliKind::X)
+      EXPECT_EQ(C, Sqrt2Ring::invSqrt2());
+    else {
+      EXPECT_EQ(P.kindAt(0), PauliKind::Y);
+      EXPECT_EQ(C, -Sqrt2Ring::invSqrt2());
+    }
+  }
+  // Applying T twice equals the S rule: X -> -Y (exact cancellation in
+  // the ring: ((X - Y) - (X + Y))/2 = -Y).
+  E.conjugateInverse(GateKind::T, 0);
+  EXPECT_EQ(E, -PauliExpr(Pauli::single(1, 0, PauliKind::Y)));
+  PauliExpr SExp(Pauli::single(1, 0, PauliKind::X));
+  SExp.conjugateInverse(GateKind::S, 0);
+  EXPECT_EQ(E, SExp);
+}
+
+TEST(PauliExpr, SteaneTaintedGeneratorOfSection522) {
+  // The paper's g'_1 = (1/sqrt2) X1 X3 (X5 - Y5) X7 arises from
+  // conjugating g_1 = X1 X3 X5 X7 by a T error on qubit 5 (1-based).
+  PauliExpr G1(*Pauli::fromString("XIXIXIX"));
+  PauliExpr GPrime = G1;
+  GPrime.conjugateInverse(GateKind::T, 4); // 0-based qubit 5
+  auto Terms = GPrime.terms();
+  ASSERT_EQ(Terms.size(), 2u);
+  bool SawX = false, SawY = false;
+  for (const auto &[P, C] : Terms) {
+    if (P.kindAt(4) == PauliKind::X) {
+      SawX = true;
+      EXPECT_EQ(C, Sqrt2Ring::invSqrt2());
+    }
+    if (P.kindAt(4) == PauliKind::Y) {
+      SawY = true;
+      EXPECT_EQ(C, -Sqrt2Ring::invSqrt2());
+    }
+  }
+  EXPECT_TRUE(SawX && SawY);
+  // Z-type generators are invariant under the T error (footnote 6).
+  PauliExpr G4(*Pauli::fromString("ZIZIZIZ"));
+  PauliExpr G4Prime = G4;
+  G4Prime.conjugateInverse(GateKind::T, 4);
+  EXPECT_EQ(G4, G4Prime);
+}
+
+TEST(PauliExpr, ProductOfTaintedSiblingsUntaints) {
+  // The algebraic fact behind the case-3 sibling cancellation: for two
+  // generators both carrying X on the tainted qubit, the product of
+  // their T-conjugates is the plain product (T (ab) T^dag = ab).
+  PauliExpr A(*Pauli::fromString("XXI"));
+  PauliExpr B(*Pauli::fromString("XIX"));
+  PauliExpr TA = A, TB = B;
+  TA.conjugateInverse(GateKind::T, 0);
+  TB.conjugateInverse(GateKind::T, 0);
+  PauliExpr Product = TA * TB;
+  PauliExpr Plain = A * B;
+  EXPECT_EQ(Product, Plain);
+  EXPECT_TRUE(Product.isSinglePauli());
+}

@@ -1,0 +1,160 @@
+//===- tests/proofsystem_test.cpp - Fig. 11 proof-system tests ------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "logic/ProofSystem.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace veriqec;
+
+namespace {
+
+AssertPtr atom(const char *P) {
+  return Assertion::pauliAtom(*Pauli::fromString(P));
+}
+AssertPtr top() { return Assertion::boolAtom(ClassicalExpr::boolean(true)); }
+AssertPtr bottom() {
+  return Assertion::boolAtom(ClassicalExpr::boolean(false));
+}
+
+const std::vector<CMem> NoMems = {CMem{}};
+
+} // namespace
+
+TEST(ProofSystem, AxiomsValidateStructurallyAndSemantically) {
+  Derivation D(2);
+  AssertPtr A = atom("XI");
+
+  // 2. A |- A.
+  auto Id = D.addStep({ProofRule::Identity, {}, {A, A}, 0});
+  ASSERT_TRUE(Id.has_value()) << D.lastError();
+  // 1. !!A |- A.
+  auto DN = D.addStep({ProofRule::DoubleNegation,
+                       {},
+                       {Assertion::logicalNot(Assertion::logicalNot(A)), A},
+                       0});
+  ASSERT_TRUE(DN.has_value()) << D.lastError();
+  // 3. A |- true; 4. false |- A.
+  ASSERT_TRUE(D.addStep({ProofRule::TrueIntro, {}, {A, top()}, 0}));
+  ASSERT_TRUE(D.addStep({ProofRule::FalseElim, {}, {bottom(), A}, 0}));
+
+  EXPECT_FALSE(D.checkSemantics(NoMems).has_value());
+}
+
+TEST(ProofSystem, ConjunctionRules) {
+  Derivation D(2);
+  AssertPtr A = atom("XI"), B = atom("IZ");
+  AssertPtr AB = Assertion::conj(A, B);
+
+  auto S0 = D.addStep({ProofRule::Identity, {}, {AB, AB}, 0});
+  ASSERT_TRUE(S0);
+  auto S1 = D.addStep({ProofRule::AndElim, {*S0}, {AB, A}, 0});
+  ASSERT_TRUE(S1) << D.lastError();
+  auto S2 = D.addStep({ProofRule::AndElim, {*S0}, {AB, B}, 1});
+  ASSERT_TRUE(S2) << D.lastError();
+  auto S3 = D.addStep({ProofRule::AndIntro, {*S1, *S2}, {AB, AB}, 0});
+  ASSERT_TRUE(S3) << D.lastError();
+  EXPECT_FALSE(D.checkSemantics(NoMems).has_value());
+
+  // Malformed: eliminating a conjunct that is not there.
+  EXPECT_FALSE(D.addStep({ProofRule::AndElim, {*S0}, {AB, atom("YY")}, 0}));
+}
+
+TEST(ProofSystem, DisjunctionRules) {
+  Derivation D(2);
+  AssertPtr A = atom("XI"), B = atom("IZ");
+  auto S0 = D.addStep({ProofRule::Identity, {}, {A, A}, 0});
+  auto S1 = D.addStep(
+      {ProofRule::OrIntro, {*S0}, {A, Assertion::disj(A, B)}, 0});
+  ASSERT_TRUE(S1) << D.lastError();
+  auto S2 = D.addStep({ProofRule::Identity, {}, {B, B}, 0});
+  auto S3 = D.addStep(
+      {ProofRule::OrIntro, {*S2}, {B, Assertion::disj(A, B)}, 1});
+  ASSERT_TRUE(S3) << D.lastError();
+  auto S4 = D.addStep({ProofRule::OrElim,
+                       {*S1, *S3},
+                       {Assertion::disj(A, B), Assertion::disj(A, B)},
+                       0});
+  ASSERT_TRUE(S4) << D.lastError();
+  EXPECT_FALSE(D.checkSemantics(NoMems).has_value());
+}
+
+TEST(ProofSystem, SasakiImportExportWithCommutingAtoms) {
+  // X0 and Z1 commute, so from (X0 && Z1) |- (X0 && Z1) we may derive
+  // X0 |- Z1 => (X0 && Z1) (the compatible import-export law).
+  Derivation D(2);
+  AssertPtr A = atom("XI"), B = atom("IZ");
+  AssertPtr AB = Assertion::conj(A, B);
+  auto S0 = D.addStep({ProofRule::Identity, {}, {AB, AB}, 0});
+  auto S1 = D.addStep({ProofRule::SasakiIntro,
+                       {*S0},
+                       {A, Assertion::implies(B, AB)},
+                       0});
+  ASSERT_TRUE(S1) << D.lastError();
+  EXPECT_FALSE(D.checkSemantics(NoMems).has_value());
+}
+
+TEST(ProofSystem, SasakiSideConditionRejectsAnticommutingAtoms) {
+  // X0 and Z0 do NOT commute: the same derivation must fail the
+  // semantic side condition.
+  Derivation D(1);
+  AssertPtr A = atom("X"), B = atom("Z");
+  AssertPtr AB = Assertion::conj(A, B);
+  auto S0 = D.addStep({ProofRule::Identity, {}, {AB, AB}, 0});
+  auto S1 = D.addStep({ProofRule::SasakiIntro,
+                       {*S0},
+                       {A, Assertion::implies(B, AB)},
+                       0});
+  ASSERT_TRUE(S1) << D.lastError(); // structurally fine
+  std::optional<size_t> Bad = D.checkSemantics(NoMems);
+  ASSERT_TRUE(Bad.has_value());
+  EXPECT_EQ(*Bad, *S1);
+}
+
+TEST(ProofSystem, ModusPonensOnSasakiImplication) {
+  Derivation D(2);
+  AssertPtr A = atom("XI"), B = atom("IZ");
+  AssertPtr AB = Assertion::conj(A, B);
+  AssertPtr Imp = Assertion::implies(B, AB);
+  AssertPtr Ctx = Assertion::conj(Imp, B); // context proving both parts
+
+  auto SImp = D.addStep({ProofRule::AndElim,
+                         {D.addStep({ProofRule::Identity, {}, {Ctx, Ctx}, 0})
+                              .value()},
+                         {Ctx, Imp},
+                         0});
+  ASSERT_TRUE(SImp) << D.lastError();
+  auto SArg = D.addStep({ProofRule::AndElim, {0}, {Ctx, B}, 1});
+  ASSERT_TRUE(SArg) << D.lastError();
+  auto SMp =
+      D.addStep({ProofRule::ModusPonens, {*SImp, *SArg}, {Ctx, AB}, 0});
+  ASSERT_TRUE(SMp) << D.lastError();
+  EXPECT_FALSE(D.checkSemantics(NoMems).has_value());
+}
+
+TEST(ProofSystem, RandomRuleInstancesAreSound) {
+  // Property sweep: random commuting Pauli atoms through AndIntro /
+  // AndElim / OrIntro chains always pass the semantic check.
+  Rng R(55);
+  for (int Trial = 0; Trial != 25; ++Trial) {
+    Pauli P1(2), P2(2);
+    P1.setKind(R.nextBelow(2), PauliKind::X);
+    P2.setKind(R.nextBelow(2), PauliKind::Z);
+    if (!P1.commutesWith(P2))
+      continue;
+    AssertPtr A = Assertion::pauliAtom(P1.abs());
+    AssertPtr B = Assertion::pauliAtom(P2.abs());
+    AssertPtr AB = Assertion::conj(A, B);
+    Derivation D(2);
+    auto S0 = D.addStep({ProofRule::Identity, {}, {AB, AB}, 0});
+    auto S1 = D.addStep({ProofRule::AndElim, {*S0}, {AB, A}, 0});
+    auto S2 = D.addStep(
+        {ProofRule::OrIntro, {*S1}, {AB, Assertion::disj(A, B)}, 0});
+    ASSERT_TRUE(S2) << D.lastError();
+    EXPECT_FALSE(D.checkSemantics(NoMems).has_value()) << "trial " << Trial;
+  }
+}

@@ -1,0 +1,99 @@
+//===- tests/ring_sim_test.cpp - Ring + sampling baseline tests -----------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "decoder/Decoder.h"
+#include "qec/Codes.h"
+#include "ring/Sqrt2Ring.h"
+#include "sim/SamplingTester.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace veriqec;
+
+TEST(Sqrt2Ring, BasicAlgebra) {
+  Sqrt2Ring Two(2);
+  Sqrt2Ring S2 = Sqrt2Ring::sqrt2();
+  EXPECT_EQ(S2 * S2, Two);
+  Sqrt2Ring Inv = Sqrt2Ring::invSqrt2();
+  EXPECT_EQ(S2 * Inv, Sqrt2Ring(1));
+  EXPECT_EQ(Inv * Inv + Inv * Inv, Sqrt2Ring(1));
+  EXPECT_TRUE((S2 - S2).isZero());
+}
+
+TEST(Sqrt2Ring, CanonicalFormIsMinimal) {
+  // (2 + 2 sqrt2)/2 canonicalizes to 1 + sqrt2.
+  Sqrt2Ring V(2, 2, 1);
+  EXPECT_EQ(V.denomLog2(), 0u);
+  EXPECT_EQ(V.intPart(), 1);
+  EXPECT_EQ(V.sqrt2Part(), 1);
+}
+
+TEST(Sqrt2Ring, MatchesFloatingPoint) {
+  Rng R(8);
+  for (int I = 0; I != 200; ++I) {
+    Sqrt2Ring A(static_cast<int64_t>(R.nextBelow(9)) - 4,
+                static_cast<int64_t>(R.nextBelow(9)) - 4,
+                static_cast<uint32_t>(R.nextBelow(3)));
+    Sqrt2Ring B(static_cast<int64_t>(R.nextBelow(9)) - 4,
+                static_cast<int64_t>(R.nextBelow(9)) - 4,
+                static_cast<uint32_t>(R.nextBelow(3)));
+    EXPECT_NEAR((A + B).toDouble(), A.toDouble() + B.toDouble(), 1e-9);
+    EXPECT_NEAR((A * B).toDouble(), A.toDouble() * B.toDouble(), 1e-9);
+    EXPECT_NEAR((A - B).toDouble(), A.toDouble() - B.toDouble(), 1e-9);
+  }
+}
+
+TEST(Sqrt2Ring, TGateFactorBookkeeping) {
+  // T^dagger X T = (X - Y)/sqrt2: applying the substitution twice must
+  // reproduce the S-gate rule X -> -Y exactly: ((X-Y) - (X+Y))/2 = -Y.
+  // At the scalar level: coefficient of X after two steps is
+  // (1 - 1)/2 = 0 and of Y is (-1 - 1)/2 = -1.
+  Sqrt2Ring Half(1, 0, 1);
+  Sqrt2Ring CoefX = (Sqrt2Ring(1) - Sqrt2Ring(1)) * Half;
+  Sqrt2Ring CoefY = (Sqrt2Ring(-1) - Sqrt2Ring(1)) * Half;
+  EXPECT_TRUE(CoefX.isZero());
+  EXPECT_EQ(CoefY, Sqrt2Ring(-1));
+}
+
+TEST(SamplingTester, ConfigurationCounts) {
+  // n=7, t=1: 1 + 7*3 = 22.
+  EXPECT_EQ(errorConfigurationCount(7, 1), 22u);
+  // n=5, t=2: 1 + 15 + C(5,2)*9 = 106.
+  EXPECT_EQ(errorConfigurationCount(5, 2), 106u);
+  // The paper's d=19 exhaustive-testing blow-up saturates.
+  EXPECT_EQ(errorConfigurationCount(361, 180), UINT64_MAX);
+}
+
+TEST(SamplingTester, SteaneWithGoodDecoderNeverFails) {
+  StabilizerCode Code = makeSteaneCode();
+  LookupDecoder Dec(Code, 1);
+  Rng R(99);
+  SamplingReport Report = sampleMemoryCorrection(Code, Dec, 1, 300, R);
+  EXPECT_EQ(Report.Samples, 300u);
+  EXPECT_EQ(Report.Failures, 0u);
+  EXPECT_GT(Report.DistinctPatterns, 5u);
+}
+
+TEST(SamplingTester, OverweightErrorsProduceFailures) {
+  StabilizerCode Code = makeSteaneCode();
+  LookupDecoder Dec(Code, 1);
+  Rng R(7);
+  // Weight-2 errors exceed the Steane code's correction radius: some
+  // samples must fail (this is exactly what testing can show — and the
+  // verifier proves — about over-budget errors).
+  SamplingReport Report = sampleMemoryCorrection(Code, Dec, 2, 400, R);
+  EXPECT_GT(Report.Failures, 0u);
+  EXPECT_LT(Report.Failures, Report.Samples);
+}
+
+TEST(SamplingTester, SurfaceCodeSamplingAtScale) {
+  StabilizerCode Code = makeRotatedSurfaceCode(5);
+  SatDecoder Dec(Code);
+  Rng R(21);
+  SamplingReport Report = sampleMemoryCorrection(Code, Dec, 2, 20, R);
+  EXPECT_EQ(Report.Failures, 0u);
+}

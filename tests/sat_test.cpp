@@ -1,0 +1,209 @@
+//===- tests/sat_test.cpp - CDCL solver unit tests -------------------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sat/Solver.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace veriqec;
+using namespace veriqec::sat;
+
+namespace {
+
+/// Brute-force satisfiability for cross-checking (n <= 20).
+bool bruteForceSat(size_t NumVars,
+                   const std::vector<std::vector<Lit>> &Clauses) {
+  for (uint64_t Mask = 0; Mask != (uint64_t{1} << NumVars); ++Mask) {
+    bool AllSat = true;
+    for (const auto &C : Clauses) {
+      bool ClauseSat = false;
+      for (Lit L : C) {
+        bool V = (Mask >> L.var()) & 1;
+        if (V != L.negated()) {
+          ClauseSat = true;
+          break;
+        }
+      }
+      if (!ClauseSat) {
+        AllSat = false;
+        break;
+      }
+    }
+    if (AllSat)
+      return true;
+  }
+  return false;
+}
+
+} // namespace
+
+TEST(LubySequence, FirstValues) {
+  // 1 1 2 1 1 2 4 1 1 2 1 1 2 4 8 ...
+  const uint64_t Expected[] = {1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8};
+  for (size_t I = 0; I != std::size(Expected); ++I)
+    EXPECT_EQ(lubySequence(I + 1), Expected[I]) << "index " << I + 1;
+}
+
+TEST(Solver, EmptyFormulaIsSat) {
+  Solver S;
+  EXPECT_EQ(S.solve(), SolveResult::Sat);
+}
+
+TEST(Solver, UnitPropagationChain) {
+  Solver S;
+  Var A = S.newVar(), B = S.newVar(), C = S.newVar();
+  S.addClause(mkLit(A));
+  S.addClause(~mkLit(A), mkLit(B));
+  S.addClause(~mkLit(B), mkLit(C));
+  ASSERT_EQ(S.solve(), SolveResult::Sat);
+  EXPECT_TRUE(S.modelValue(A));
+  EXPECT_TRUE(S.modelValue(B));
+  EXPECT_TRUE(S.modelValue(C));
+}
+
+TEST(Solver, ContradictoryUnitsAreUnsat) {
+  Solver S;
+  Var A = S.newVar();
+  S.addClause(mkLit(A));
+  EXPECT_FALSE(S.addClause(~mkLit(A)));
+  EXPECT_EQ(S.solve(), SolveResult::Unsat);
+}
+
+TEST(Solver, SimpleBacktrackingInstance) {
+  Solver S;
+  Var A = S.newVar(), B = S.newVar();
+  S.addClause(mkLit(A), mkLit(B));
+  S.addClause(mkLit(A), ~mkLit(B));
+  S.addClause(~mkLit(A), mkLit(B));
+  ASSERT_EQ(S.solve(), SolveResult::Sat);
+  EXPECT_TRUE(S.modelValue(A));
+  EXPECT_TRUE(S.modelValue(B));
+}
+
+TEST(Solver, XorChainUnsat) {
+  // a^b=1, b^c=1, a^c=1 is unsatisfiable (sum of all three is 1 = 0).
+  Solver S;
+  Var A = S.newVar(), B = S.newVar(), C = S.newVar();
+  auto addXorEq1 = [&](Var X, Var Y) {
+    S.addClause(mkLit(X), mkLit(Y));
+    S.addClause(~mkLit(X), ~mkLit(Y));
+  };
+  addXorEq1(A, B);
+  addXorEq1(B, C);
+  addXorEq1(A, C);
+  EXPECT_EQ(S.solve(), SolveResult::Unsat);
+}
+
+TEST(Solver, PigeonholePrinciple) {
+  // 5 pigeons into 4 holes: UNSAT and requires real conflict analysis.
+  const int Pigeons = 5, Holes = 4;
+  Solver S;
+  std::vector<std::vector<Var>> P(Pigeons, std::vector<Var>(Holes));
+  for (int I = 0; I != Pigeons; ++I)
+    for (int J = 0; J != Holes; ++J)
+      P[I][J] = S.newVar();
+  for (int I = 0; I != Pigeons; ++I) {
+    std::vector<Lit> C;
+    for (int J = 0; J != Holes; ++J)
+      C.push_back(mkLit(P[I][J]));
+    S.addClause(C);
+  }
+  for (int J = 0; J != Holes; ++J)
+    for (int I1 = 0; I1 != Pigeons; ++I1)
+      for (int I2 = I1 + 1; I2 != Pigeons; ++I2)
+        S.addClause(~mkLit(P[I1][J]), ~mkLit(P[I2][J]));
+  EXPECT_EQ(S.solve(), SolveResult::Unsat);
+  EXPECT_GT(S.stats().Conflicts, 0u);
+}
+
+TEST(Solver, AssumptionsRestrictAndRelease) {
+  Solver S;
+  Var A = S.newVar(), B = S.newVar();
+  S.addClause(mkLit(A), mkLit(B));
+  EXPECT_EQ(S.solve({~mkLit(A), ~mkLit(B)}), SolveResult::Unsat);
+  // The formula itself stays satisfiable afterwards.
+  EXPECT_EQ(S.solve(), SolveResult::Sat);
+  EXPECT_EQ(S.solve({~mkLit(A)}), SolveResult::Sat);
+  EXPECT_TRUE(S.modelValue(B));
+}
+
+TEST(Solver, ConflictBudgetAborts) {
+  // A hard pigeonhole instance with a tiny budget must abort.
+  const int Pigeons = 9, Holes = 8;
+  Solver S;
+  std::vector<std::vector<Var>> P(Pigeons, std::vector<Var>(Holes));
+  for (int I = 0; I != Pigeons; ++I)
+    for (int J = 0; J != Holes; ++J)
+      P[I][J] = S.newVar();
+  for (int I = 0; I != Pigeons; ++I) {
+    std::vector<Lit> C;
+    for (int J = 0; J != Holes; ++J)
+      C.push_back(mkLit(P[I][J]));
+    S.addClause(C);
+  }
+  for (int J = 0; J != Holes; ++J)
+    for (int I1 = 0; I1 != Pigeons; ++I1)
+      for (int I2 = I1 + 1; I2 != Pigeons; ++I2)
+        S.addClause(~mkLit(P[I1][J]), ~mkLit(P[I2][J]));
+  S.setConflictBudget(10);
+  EXPECT_EQ(S.solve(), SolveResult::Aborted);
+}
+
+TEST(Solver, RandomInstancesMatchBruteForce) {
+  Rng R(99);
+  for (int Trial = 0; Trial != 200; ++Trial) {
+    size_t NumVars = 4 + R.nextBelow(9); // 4..12
+    size_t NumClauses = 2 + R.nextBelow(5 * NumVars);
+    std::vector<std::vector<Lit>> Clauses;
+    for (size_t C = 0; C != NumClauses; ++C) {
+      size_t Len = 1 + R.nextBelow(3);
+      std::vector<Lit> Clause;
+      for (size_t L = 0; L != Len; ++L)
+        Clause.push_back(
+            Lit(static_cast<Var>(R.nextBelow(NumVars)), R.nextBool()));
+      Clauses.push_back(std::move(Clause));
+    }
+
+    Solver S;
+    for (size_t V = 0; V != NumVars; ++V)
+      S.newVar();
+    bool AddOk = true;
+    for (const auto &C : Clauses)
+      AddOk = S.addClause(C) && AddOk;
+    SolveResult Res = AddOk ? S.solve() : SolveResult::Unsat;
+    bool Expected = bruteForceSat(NumVars, Clauses);
+    ASSERT_EQ(Res == SolveResult::Sat, Expected) << "trial " << Trial;
+
+    // Any reported model must satisfy every clause.
+    if (Res == SolveResult::Sat) {
+      for (const auto &C : Clauses) {
+        bool Sat = false;
+        for (Lit L : C)
+          Sat |= S.modelValue(L.var()) != L.negated();
+        EXPECT_TRUE(Sat);
+      }
+    }
+  }
+}
+
+TEST(Solver, RepeatedSolvesAreConsistent) {
+  Rng R(123);
+  Solver S;
+  const size_t NumVars = 30;
+  for (size_t V = 0; V != NumVars; ++V)
+    S.newVar();
+  for (size_t C = 0; C != 80; ++C) {
+    std::vector<Lit> Clause;
+    for (size_t L = 0; L != 3; ++L)
+      Clause.push_back(
+          Lit(static_cast<Var>(R.nextBelow(NumVars)), R.nextBool()));
+    S.addClause(Clause);
+  }
+  SolveResult First = S.solve();
+  for (int I = 0; I != 5; ++I)
+    EXPECT_EQ(S.solve(), First);
+}

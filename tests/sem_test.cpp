@@ -1,0 +1,192 @@
+//===- tests/sem_test.cpp - Semantics backends tests ----------------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sem/DenseSubspace.h"
+#include "sem/Interpreter.h"
+#include "prog/Parser.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace veriqec;
+
+namespace {
+
+StmtPtr parse(const std::string &Src) {
+  ParseResult R = parseProgram(Src);
+  EXPECT_TRUE(std::holds_alternative<StmtPtr>(R));
+  return Stmt::flatten(std::get<StmtPtr>(R));
+}
+
+} // namespace
+
+TEST(DenseState, GateAlgebra) {
+  DenseState S(1);
+  S.applyGate(GateKind::H, 0);
+  S.applyGate(GateKind::H, 0);
+  EXPECT_NEAR(std::abs(S.amp(0) - std::complex<double>(1, 0)), 0, 1e-12);
+
+  // S^2 = Z on |+>.
+  DenseState P(1);
+  P.applyGate(GateKind::H, 0);
+  DenseState Q = P;
+  Q.applyGate(GateKind::S, 0);
+  Q.applyGate(GateKind::S, 0);
+  DenseState ZP = P;
+  ZP.applyPauli(Pauli::single(1, 0, PauliKind::Z));
+  EXPECT_TRUE(Q.approxEqualUpToPhase(ZP));
+
+  // T^2 = S.
+  DenseState T2 = P;
+  T2.applyGate(GateKind::T, 0);
+  T2.applyGate(GateKind::T, 0);
+  DenseState S1 = P;
+  S1.applyGate(GateKind::S, 0);
+  EXPECT_TRUE(T2.approxEqualUpToPhase(S1));
+}
+
+TEST(DenseState, PauliApplicationMatchesGates) {
+  Rng R(4);
+  for (GateKind G : {GateKind::X, GateKind::Y, GateKind::Z}) {
+    DenseState A(2), B(2);
+    for (size_t I = 0; I != 4; ++I) {
+      auto Amp = std::complex<double>(R.nextDouble(), R.nextDouble());
+      A.amp(I) = Amp;
+      B.amp(I) = Amp;
+    }
+    A.applyGate(G, 1);
+    PauliKind K = G == GateKind::X   ? PauliKind::X
+                  : G == GateKind::Y ? PauliKind::Y
+                                     : PauliKind::Z;
+    B.applyPauli(Pauli::single(2, 1, K));
+    EXPECT_TRUE(A.approxEqualUpToPhase(B));
+  }
+}
+
+TEST(DenseState, ProjectorSplitsNorm) {
+  DenseState S(1);
+  S.applyGate(GateKind::H, 0); // |+>
+  DenseState P0 = S, P1 = S;
+  Pauli Z = Pauli::single(1, 0, PauliKind::Z);
+  P0.projectPauli(Z, false);
+  P1.projectPauli(Z, true);
+  EXPECT_NEAR(P0.normSquared(), 0.5, 1e-12);
+  EXPECT_NEAR(P1.normSquared(), 0.5, 1e-12);
+}
+
+TEST(DenseSubspace, LatticeLaws) {
+  Pauli X0 = Pauli::single(2, 0, PauliKind::X);
+  Pauli Z1 = Pauli::single(2, 1, PauliKind::Z);
+  DenseSubspace A = DenseSubspace::eigenspaceOf(X0, false);
+  DenseSubspace B = DenseSubspace::eigenspaceOf(Z1, false);
+  EXPECT_EQ(A.dimension(), 2u);
+  EXPECT_EQ(A.meet(B).dimension(), 1u);
+  EXPECT_EQ(A.join(B).dimension(), 3u);
+  EXPECT_TRUE(A.complement().complement().equals(A));
+  // De Morgan: (A v B)^perp = A^perp ^ B^perp.
+  EXPECT_TRUE(A.join(B).complement().equals(
+      A.complement().meet(B.complement())));
+  // Sasaki implication satisfies the Birkhoff-von Neumann requirement:
+  // A ~> B = full iff A <= B.
+  DenseSubspace AB = A.meet(B);
+  EXPECT_EQ(AB.sasakiImplies(A).dimension(), 4u);
+  EXPECT_LT(A.sasakiImplies(AB).dimension(), 4u);
+}
+
+TEST(Interpreter, DeterministicProgram) {
+  DecoderRegistry Decoders;
+  StmtPtr P = parse("q[0] *= H # q[0], q[1] *= CNOT # m := meas[Z[0] Z[1]]");
+  auto Branches = runDense(P, {CMem{}, DenseState(2)}, Decoders);
+  // Bell state: Z0Z1 outcome deterministically 0 -> one surviving branch.
+  ASSERT_EQ(Branches.size(), 1u);
+  EXPECT_EQ(Branches[0].Mem.at("m"), 0);
+  EXPECT_NEAR(Branches[0].State.normSquared(), 1.0, 1e-12);
+}
+
+TEST(Interpreter, BranchingMeasurement) {
+  DecoderRegistry Decoders;
+  StmtPtr P = parse("q[0] *= H # m := meas[Z[0]] # "
+                    "if m == 1 then q[0] *= X else skip end");
+  auto Branches = runDense(P, {CMem{}, DenseState(1)}, Decoders);
+  ASSERT_EQ(Branches.size(), 2u);
+  // Both branches end in |0> with weight 1/2.
+  for (const DenseBranch &B : Branches) {
+    EXPECT_NEAR(B.State.normSquared(), 0.5, 1e-12);
+    EXPECT_NEAR(std::norm(B.State.amp(1)), 0.0, 1e-12);
+  }
+}
+
+TEST(Interpreter, GuardedGatesAndAssignments) {
+  DecoderRegistry Decoders;
+  StmtPtr P = parse("g := 1 # [g] q[0] *= X # m := meas[Z[0]]");
+  auto Branches = runDense(P, {CMem{}, DenseState(1)}, Decoders);
+  ASSERT_EQ(Branches.size(), 1u);
+  EXPECT_EQ(Branches[0].Mem.at("m"), 1);
+}
+
+TEST(Interpreter, WhileLoopTerminates) {
+  DecoderRegistry Decoders;
+  StmtPtr P = parse("x := 3 # while 1 <= x do x := x + -1 end");
+  auto Branches = runDense(P, {CMem{}, DenseState(1)}, Decoders);
+  ASSERT_EQ(Branches.size(), 1u);
+  EXPECT_EQ(Branches[0].Mem.at("x"), 0);
+}
+
+TEST(Interpreter, InitProducesMixedBranches) {
+  DecoderRegistry Decoders;
+  StmtPtr P = parse("q[0] *= H # q[0] := |0>");
+  auto Branches = runDense(P, {CMem{}, DenseState(1)}, Decoders);
+  // Two Kraus branches, both |0>, weights summing to 1.
+  double Total = 0;
+  for (const DenseBranch &B : Branches) {
+    Total += B.State.normSquared();
+    EXPECT_NEAR(std::norm(B.State.amp(1)), 0.0, 1e-12);
+  }
+  EXPECT_NEAR(Total, 1.0, 1e-12);
+}
+
+TEST(Interpreter, DecoderCallRoundTrip) {
+  DecoderRegistry Decoders;
+  Decoders.define("negate", [](const std::vector<int64_t> &In) {
+    std::vector<int64_t> Out;
+    for (int64_t V : In)
+      Out.push_back(1 - V);
+    return Out;
+  });
+  StmtPtr P = parse("a := 1 # x, y := negate(a, 0)");
+  auto Branches = runDense(P, {CMem{}, DenseState(1)}, Decoders);
+  EXPECT_EQ(Branches[0].Mem.at("x"), 0);
+  EXPECT_EQ(Branches[0].Mem.at("y"), 1);
+}
+
+TEST(Interpreter, StabilizerTrajectoryHonoursStabilizerAlgebra) {
+  // Bell pair is stabilized by X0X1; measuring X0 (random outcome m)
+  // leaves X0X1 = +1 intact, and the guarded Z1 flips it exactly when
+  // m = 1 — so the final X0X1 measurement must read back m.
+  DecoderRegistry Decoders;
+  StmtPtr P = parse("q[0] *= H # q[0], q[1] *= CNOT # m := meas[X[0]] # "
+                    "[m] q[1] *= Z # r := meas[X[0] X[1]]");
+  Rng R(5);
+  bool SawBothOutcomes[2] = {false, false};
+  for (int Trial = 0; Trial != 20; ++Trial) {
+    StabilizerRun Run = runStabilizer(P, 2, CMem{}, Decoders, R);
+    EXPECT_EQ(Run.Mem.at("r"), Run.Mem.at("m"));
+    SawBothOutcomes[Run.Mem.at("m")] = true;
+  }
+  EXPECT_TRUE(SawBothOutcomes[0] && SawBothOutcomes[1]);
+}
+
+TEST(SamplingSmoke, TableauCodeRoundsAreFast) {
+  // Smoke-level throughput guard for the sampling substrate.
+  Rng R(6);
+  Tableau T(50);
+  for (int I = 0; I != 200; ++I) {
+    size_t Q = R.nextBelow(49);
+    T.applyGate(GateKind::CNOT, Q, Q + 1);
+    T.applyGate(GateKind::H, R.nextBelow(50));
+  }
+  SUCCEED();
+}

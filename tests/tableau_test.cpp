@@ -1,0 +1,151 @@
+//===- tests/tableau_test.cpp - Stabilizer tableau unit tests -------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pauli/Tableau.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace veriqec;
+
+namespace {
+
+Pauli pauliOf(const char *S) {
+  auto P = Pauli::fromString(S);
+  EXPECT_TRUE(P.has_value());
+  return *P;
+}
+
+} // namespace
+
+TEST(Tableau, InitialStateIsAllZeros) {
+  Tableau T(3);
+  for (size_t Q = 0; Q != 3; ++Q)
+    EXPECT_TRUE(T.isStabilizedBy(Pauli::single(3, Q, PauliKind::Z)));
+  EXPECT_FALSE(T.isStabilizedBy(Pauli::single(3, 0, PauliKind::X)));
+}
+
+TEST(Tableau, HadamardCreatesPlusState) {
+  Tableau T(1);
+  T.applyGate(GateKind::H, 0);
+  EXPECT_TRUE(T.isStabilizedBy(pauliOf("X")));
+  EXPECT_FALSE(T.deterministicOutcome(pauliOf("Z")).has_value());
+}
+
+TEST(Tableau, BellPairStabilizers) {
+  Tableau T(2);
+  T.applyGate(GateKind::H, 0);
+  T.applyGate(GateKind::CNOT, 0, 1);
+  EXPECT_TRUE(T.isStabilizedBy(pauliOf("XX")));
+  EXPECT_TRUE(T.isStabilizedBy(pauliOf("ZZ")));
+  EXPECT_FALSE(T.isStabilizedBy(pauliOf("ZI")));
+}
+
+TEST(Tableau, GhzStateStabilizers) {
+  Tableau T(3);
+  T.applyGate(GateKind::H, 0);
+  T.applyGate(GateKind::CNOT, 0, 1);
+  T.applyGate(GateKind::CNOT, 1, 2);
+  EXPECT_TRUE(T.isStabilizedBy(pauliOf("XXX")));
+  EXPECT_TRUE(T.isStabilizedBy(pauliOf("ZZI")));
+  EXPECT_TRUE(T.isStabilizedBy(pauliOf("IZZ")));
+}
+
+TEST(Tableau, PauliErrorFlipsSign) {
+  Tableau T(1);
+  // |0> with X error becomes |1>, stabilized by -Z.
+  T.applyPauli(pauliOf("X"));
+  EXPECT_TRUE(T.isStabilizedBy(pauliOf("-Z")));
+  EXPECT_FALSE(T.isStabilizedBy(pauliOf("Z")));
+}
+
+TEST(Tableau, MeasurementDeterministicOutcome) {
+  Tableau T(2);
+  Rng R(1);
+  EXPECT_FALSE(T.measure(pauliOf("ZI"), R)); // |0>: outcome 0
+  T.applyPauli(pauliOf("XI"));
+  EXPECT_TRUE(T.measure(pauliOf("ZI"), R)); // |1>: outcome 1
+}
+
+TEST(Tableau, MeasurementCollapsesState) {
+  Rng R(2);
+  // Measure X on |0>: random outcome; afterwards X is deterministic with
+  // the same outcome.
+  for (int Trial = 0; Trial != 20; ++Trial) {
+    Tableau T(1);
+    bool Outcome = T.measure(pauliOf("X"), R);
+    auto Det = T.deterministicOutcome(pauliOf("X"));
+    ASSERT_TRUE(Det.has_value());
+    EXPECT_EQ(*Det, Outcome);
+  }
+}
+
+TEST(Tableau, ForcedMeasurementPostselects) {
+  Rng R(3);
+  Tableau T(1);
+  bool Outcome = T.measure(pauliOf("X"), R, /*Forced=*/true);
+  EXPECT_TRUE(Outcome);
+  EXPECT_TRUE(T.isStabilizedBy(pauliOf("-X")));
+}
+
+TEST(Tableau, BellMeasurementCorrelations) {
+  Rng R(4);
+  for (int Trial = 0; Trial != 20; ++Trial) {
+    Tableau T(2);
+    T.applyGate(GateKind::H, 0);
+    T.applyGate(GateKind::CNOT, 0, 1);
+    bool M0 = T.measure(pauliOf("ZI"), R);
+    bool M1 = T.measure(pauliOf("IZ"), R);
+    EXPECT_EQ(M0, M1);
+  }
+}
+
+TEST(Tableau, ResetReturnsToZero) {
+  Rng R(5);
+  Tableau T(2);
+  T.applyGate(GateKind::H, 0);
+  T.applyGate(GateKind::CNOT, 0, 1);
+  T.reset(0, R);
+  EXPECT_TRUE(T.isStabilizedBy(pauliOf("ZI")));
+}
+
+TEST(Tableau, SteaneCodeLogicalPlusPreparation) {
+  // Prepare |+>_L of the Steane code by measuring all six generators
+  // (postselecting outcome 0) on |+>^7, then check the stabilizer group.
+  const char *Gens[6] = {"XIXIXIX", "IXXIIXX", "IIIXXXX",
+                         "ZIZIZIZ", "IZZIIZZ", "IIIZZZZ"};
+  Rng R(6);
+  Tableau T(7);
+  for (size_t Q = 0; Q != 7; ++Q)
+    T.applyGate(GateKind::H, Q);
+  // |+>^7 is already stabilized by the X generators and logical X; the Z
+  // generator measurements are random -> force outcome 0.
+  for (const char *G : Gens)
+    T.measure(pauliOf(G), R, /*Forced=*/false);
+  for (const char *G : Gens)
+    EXPECT_TRUE(T.isStabilizedBy(pauliOf(G)));
+  EXPECT_TRUE(T.isStabilizedBy(pauliOf("XXXXXXX"))); // logical X
+}
+
+TEST(Tableau, MeasureThenErrorGivesSyndrome) {
+  // Steane code: a single X error on qubit 2 (0-based) must trip the Z
+  // checks containing qubit 2: g4 = Z0 Z2 Z4 Z6, g5 = Z1 Z2 Z5 Z6.
+  const char *Gens[6] = {"XIXIXIX", "IXXIIXX", "IIIXXXX",
+                         "ZIZIZIZ", "IZZIIZZ", "IIIZZZZ"};
+  Rng R(7);
+  Tableau T(7);
+  for (size_t Q = 0; Q != 7; ++Q)
+    T.applyGate(GateKind::H, Q);
+  for (const char *G : Gens)
+    T.measure(pauliOf(G), R, false);
+
+  T.applyPauli(Pauli::single(7, 2, PauliKind::X));
+
+  EXPECT_TRUE(T.measure(pauliOf("ZIZIZIZ"), R));  // hit
+  EXPECT_TRUE(T.measure(pauliOf("IZZIIZZ"), R));  // hit
+  EXPECT_FALSE(T.measure(pauliOf("IIIZZZZ"), R)); // miss
+  EXPECT_FALSE(T.measure(pauliOf("XIXIXIX"), R)); // X checks unaffected
+}

@@ -1,0 +1,290 @@
+//===- tests/verifier_test.cpp - End-to-end verification tests ------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Integration tests of the whole pipeline: scenario -> symbolic flow ->
+/// VC -> SAT. Positive cases (correct codes/decoders verify) and negative
+/// cases (weakened contracts or over-budget errors yield counterexamples),
+/// including the paper's Section 5.2 Steane case study with Y, H and T
+/// errors and the fault-tolerant scenarios of Fig. 9/10.
+///
+//===----------------------------------------------------------------------===//
+
+#include "qec/Codes.h"
+#include "verifier/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace veriqec;
+
+namespace {
+
+VerificationResult verifyOk(const Scenario &S, const VerifyOptions &O = {}) {
+  VerificationResult R = verifyScenario(S, O);
+  EXPECT_TRUE(R.StructuralOk) << S.Name << ": " << R.Error;
+  return R;
+}
+
+} // namespace
+
+TEST(Verifier, RepetitionCodeCorrectsBitFlips) {
+  // Example 4.2's setting: the 3-qubit repetition code corrects one X.
+  StabilizerCode Code = makeRepetitionCode(3);
+  Scenario S = makeMemoryScenario(Code, PauliKind::X, LogicalBasis::Z, 1);
+  VerificationResult R = verifyOk(S);
+  EXPECT_TRUE(R.Verified) << "counterexample exists";
+}
+
+TEST(Verifier, RepetitionCodeFailsBeyondBudget) {
+  StabilizerCode Code = makeRepetitionCode(3);
+  Scenario S = makeMemoryScenario(Code, PauliKind::X, LogicalBasis::Z, 2);
+  VerificationResult R = verifyOk(S);
+  EXPECT_FALSE(R.Verified);
+  EXPECT_FALSE(R.CounterExample.empty());
+  // The counterexample must use at least two errors.
+  int Errors = 0;
+  for (const std::string &E : S.ErrorVars)
+    Errors += R.CounterExample.at(E);
+  EXPECT_GE(Errors, 2);
+}
+
+TEST(Verifier, RepetitionCodeCannotCorrectPhaseFlips) {
+  // A single Z error is a logical operator for the repetition code. It is
+  // invisible to the Z-basis family (Z errors commute with everything
+  // Z-type), so the X-basis family exposes the failure — the reason the
+  // adequacy theorem (footnote 1) requires both families.
+  StabilizerCode Code = makeRepetitionCode(3);
+  Scenario SZ = makeMemoryScenario(Code, PauliKind::Z, LogicalBasis::Z, 1);
+  EXPECT_TRUE(verifyOk(SZ).Verified);
+  Scenario SX = makeMemoryScenario(Code, PauliKind::Z, LogicalBasis::X, 1);
+  EXPECT_FALSE(verifyOk(SX).Verified);
+}
+
+struct MemoryCase {
+  const char *Label;
+  StabilizerCode (*Make)();
+  PauliKind ErrorKind;
+  LogicalBasis Basis;
+  uint32_t MaxErrors;
+  bool ExpectVerified;
+};
+
+namespace {
+StabilizerCode steane() { return makeSteaneCode(); }
+StabilizerCode fiveQubit() { return makeFiveQubitCode(); }
+StabilizerCode surface3() { return makeRotatedSurfaceCode(3); }
+StabilizerCode xzzx33() { return makeXzzxSurfaceCode(3, 3); }
+StabilizerCode honeycomb() { return makeHoneycombSubstitute(); }
+} // namespace
+
+class MemoryScenarioTest : public ::testing::TestWithParam<MemoryCase> {};
+
+TEST_P(MemoryScenarioTest, VerifiesAsExpected) {
+  const MemoryCase &C = GetParam();
+  StabilizerCode Code = C.Make();
+  Scenario S =
+      makeMemoryScenario(Code, C.ErrorKind, C.Basis, C.MaxErrors);
+  VerificationResult R = verifyOk(S);
+  EXPECT_EQ(R.Verified, C.ExpectVerified) << C.Label;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Codes, MemoryScenarioTest,
+    ::testing::Values(
+        MemoryCase{"steane_Y_t1_Z", steane, PauliKind::Y, LogicalBasis::Z, 1,
+                   true},
+        MemoryCase{"steane_Y_t1_X", steane, PauliKind::Y, LogicalBasis::X, 1,
+                   true},
+        MemoryCase{"steane_X_t1", steane, PauliKind::X, LogicalBasis::Z, 1,
+                   true},
+        MemoryCase{"steane_Z_t1", steane, PauliKind::Z, LogicalBasis::X, 1,
+                   true},
+        MemoryCase{"steane_Y_t2_fails", steane, PauliKind::Y,
+                   LogicalBasis::Z, 2, false},
+        MemoryCase{"five_qubit_Y_t1", fiveQubit, PauliKind::Y,
+                   LogicalBasis::Z, 1, true},
+        MemoryCase{"five_qubit_X_t1", fiveQubit, PauliKind::X,
+                   LogicalBasis::X, 1, true},
+        MemoryCase{"surface3_X_t1", surface3, PauliKind::X, LogicalBasis::Z,
+                   1, true},
+        MemoryCase{"surface3_Y_t1", surface3, PauliKind::Y, LogicalBasis::Z,
+                   1, true},
+        MemoryCase{"surface3_Y_t2_fails", surface3, PauliKind::Y,
+                   LogicalBasis::Z, 2, false},
+        MemoryCase{"xzzx33_Y_t1", xzzx33, PauliKind::Y, LogicalBasis::Z, 1,
+                   true},
+        MemoryCase{"honeycomb19_Y_t2", honeycomb, PauliKind::Y,
+                   LogicalBasis::Z, 2, true}),
+    [](const ::testing::TestParamInfo<MemoryCase> &Info) {
+      return std::string(Info.param.Label);
+    });
+
+TEST(Verifier, SurfaceFiveCorrectsTwoErrors) {
+  StabilizerCode Code = makeRotatedSurfaceCode(5);
+  Scenario S = makeMemoryScenario(Code, PauliKind::Y, LogicalBasis::Z, 2);
+  VerificationResult R = verifyOk(S);
+  EXPECT_TRUE(R.Verified);
+}
+
+TEST(Verifier, SteaneLogicalHadamard) {
+  // The running example, Eqn. (2): Steane(Y, H) with at most one error
+  // among propagation + standard errors maps |+>_L to |0>_L.
+  StabilizerCode Code = makeSteaneCode();
+  for (LogicalBasis Basis : {LogicalBasis::X, LogicalBasis::Z}) {
+    Scenario S = makeLogicalHScenario(Code, PauliKind::Y, Basis, 1);
+    VerificationResult R = verifyOk(S);
+    EXPECT_TRUE(R.Verified) << (Basis == LogicalBasis::X ? "X" : "Z");
+  }
+}
+
+TEST(Verifier, SteaneLogicalHadamardOverBudgetFails) {
+  StabilizerCode Code = makeSteaneCode();
+  Scenario S = makeLogicalHScenario(Code, PauliKind::Y, LogicalBasis::X, 2);
+  VerificationResult R = verifyOk(S);
+  EXPECT_FALSE(R.Verified);
+}
+
+TEST(Verifier, SteaneHErrorAtEveryLocation) {
+  // Section 5.2 / Appendix C.2: a single H error anywhere is corrected.
+  StabilizerCode Code = makeSteaneCode();
+  for (size_t Loc = 0; Loc != 7; ++Loc) {
+    Scenario S = makeNonPauliErrorScenario(Code, GateKind::H, Loc,
+                                           LogicalBasis::X);
+    VerificationResult R = verifyOk(S);
+    EXPECT_TRUE(R.Verified) << "H error at " << Loc;
+  }
+}
+
+TEST(Verifier, SteaneTErrorAtEveryLocation) {
+  // Section 5.2.2: a single T error anywhere (the case-3 heuristic path).
+  StabilizerCode Code = makeSteaneCode();
+  for (size_t Loc = 0; Loc != 7; ++Loc) {
+    for (LogicalBasis Basis : {LogicalBasis::X, LogicalBasis::Z}) {
+      Scenario S =
+          makeNonPauliErrorScenario(Code, GateKind::T, Loc, Basis);
+      VerificationResult R = verifyOk(S);
+      EXPECT_TRUE(R.Verified)
+          << "T error at " << Loc
+          << " basis=" << (Basis == LogicalBasis::X ? "X" : "Z");
+    }
+  }
+}
+
+TEST(Verifier, WeakenedContractYieldsCounterexample) {
+  // Removing the minimum-weight half of P_f admits adversarial decoders:
+  // verification must now fail and surface a model.
+  StabilizerCode Code = makeSteaneCode();
+  Scenario S = makeMemoryScenario(Code, PauliKind::X, LogicalBasis::Z, 1);
+  S.Weights.clear();
+  VerificationResult R = verifyOk(S);
+  EXPECT_FALSE(R.Verified);
+  EXPECT_FALSE(R.CounterExample.empty());
+}
+
+TEST(Verifier, WeakenedSyndromeMatchYieldsCounterexample) {
+  StabilizerCode Code = makeSteaneCode();
+  Scenario S = makeMemoryScenario(Code, PauliKind::X, LogicalBasis::Z, 1);
+  S.Parity.clear();
+  VerificationResult R = verifyOk(S);
+  EXPECT_FALSE(R.Verified);
+}
+
+TEST(Verifier, MultiCycleMemory) {
+  StabilizerCode Code = makeSteaneCode();
+  Scenario S =
+      makeMultiCycleScenario(Code, PauliKind::X, LogicalBasis::Z, 2, 1);
+  VerificationResult R = verifyOk(S);
+  EXPECT_TRUE(R.Verified);
+}
+
+TEST(Verifier, CorrectionStepError) {
+  StabilizerCode Code = makeSteaneCode();
+  Scenario S = makeCorrectionStepErrorScenario(Code, PauliKind::X,
+                                               LogicalBasis::Z, 1);
+  VerificationResult R = verifyOk(S);
+  EXPECT_TRUE(R.Verified);
+}
+
+TEST(Verifier, FaultTolerantGhzPreparation) {
+  // Fig. 9 on three Steane blocks (21 qubits).
+  StabilizerCode Code = makeSteaneCode();
+  for (LogicalBasis Basis : {LogicalBasis::Z, LogicalBasis::X}) {
+    Scenario S = makeGhzScenario(Code, PauliKind::Y, Basis, 1);
+    VerificationResult R = verifyOk(S);
+    EXPECT_TRUE(R.Verified)
+        << "basis " << (Basis == LogicalBasis::X ? "X" : "Z");
+  }
+}
+
+TEST(Verifier, LogicalCnotWithPropagatedErrors) {
+  // Fig. 10 on two Steane blocks (14 qubits).
+  StabilizerCode Code = makeSteaneCode();
+  Scenario S =
+      makeLogicalCnotScenario(Code, PauliKind::Y, LogicalBasis::Z, 1);
+  VerificationResult R = verifyOk(S);
+  EXPECT_TRUE(R.Verified);
+}
+
+TEST(Verifier, ParallelAgreesWithSequential) {
+  StabilizerCode Code = makeRotatedSurfaceCode(3);
+  Scenario S = makeMemoryScenario(Code, PauliKind::Y, LogicalBasis::Z, 1);
+  VerificationResult Seq = verifyOk(S);
+  VerifyOptions PO;
+  PO.Parallel = true;
+  PO.Threads = 4;
+  VerificationResult Par = verifyOk(S, PO);
+  EXPECT_EQ(Seq.Verified, Par.Verified);
+  EXPECT_TRUE(Par.Verified);
+  EXPECT_GT(Par.NumCubes, 1u);
+}
+
+TEST(Verifier, DetectionPropertyMatchesDistance) {
+  // Eqn. (15): with d_t = d every error of weight < d is detectable;
+  // d_t = d + 1 exposes a minimum-weight logical operator.
+  StabilizerCode Code = makeSteaneCode();
+  DetectionResult Holds = verifyDetection(Code, 2);
+  EXPECT_TRUE(Holds.Detects);
+  DetectionResult Fails = verifyDetection(Code, 3);
+  EXPECT_FALSE(Fails.Detects);
+  ASSERT_TRUE(Fails.CounterExample.has_value());
+  EXPECT_EQ(Fails.CounterExample->weight(), 3u);
+  EXPECT_TRUE(Code.isLogicalOperator(*Fails.CounterExample));
+}
+
+TEST(Verifier, DetectionOnErrorDetectionCodes) {
+  // The d=2 family detects all single-qubit errors (Table 3 last block).
+  for (StabilizerCode Code :
+       {makeCube832(), makeCampbellHowardSubstitute(2)}) {
+    DetectionResult R = verifyDetection(Code, 1);
+    EXPECT_TRUE(R.Detects) << Code.Name;
+  }
+}
+
+TEST(Verifier, UserConstraintRestrictsErrors) {
+  // Over-budget verification fails in general but succeeds if the user
+  // constrains errors to a correctable subset (Section 7.2 flavour).
+  StabilizerCode Code = makeSteaneCode();
+  Scenario S = makeMemoryScenario(Code, PauliKind::X, LogicalBasis::Z, 2);
+  VerificationResult Unconstrained = verifyOk(S);
+  EXPECT_FALSE(Unconstrained.Verified);
+
+  VerifyOptions O;
+  O.ExtraConstraint = [&S](smt::BoolContext &Ctx) {
+    // Locality: errors only on qubits 0 and 3 (which are correctable as a
+    // pair? no — restrict to a single segment: qubits 0..2, at most 1).
+    std::vector<smt::ExprRef> Seg;
+    for (size_t Q = 0; Q != S.ErrorVars.size(); ++Q)
+      if (Q >= 3)
+        Seg.push_back(Ctx.mkNot(Ctx.mkVar(S.ErrorVars[Q])));
+    std::vector<smt::ExprRef> First;
+    for (size_t Q = 0; Q != 3; ++Q)
+      First.push_back(Ctx.mkVar(S.ErrorVars[Q]));
+    Seg.push_back(Ctx.mkAtMost(First, 1));
+    return Ctx.mkAnd(std::move(Seg));
+  };
+  VerificationResult Constrained = verifyOk(S, O);
+  EXPECT_TRUE(Constrained.Verified);
+}
