@@ -1,0 +1,255 @@
+//===- engine/CubeEngine.cpp - Work-stealing cube-and-conquer --------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/CubeEngine.h"
+
+#include "support/Assert.h"
+#include "support/Timer.h"
+
+#include <memory>
+#include <mutex>
+
+using namespace veriqec;
+using namespace veriqec::engine;
+using sat::Lit;
+using sat::SolveResult;
+using sat::Var;
+using smt::SolveOutcome;
+
+namespace {
+
+void enumerateCubesRec(const std::vector<Var> &SplitVars, uint32_t Distance,
+                       uint32_t Threshold, uint32_t MaxOnes,
+                       std::vector<Lit> &Prefix, uint32_t Ones,
+                       std::vector<std::vector<Lit>> &Out) {
+  uint32_t Bits = static_cast<uint32_t>(Prefix.size());
+  bool Exhausted = Bits >= SplitVars.size();
+  if (Exhausted || 2 * Distance * Ones + Bits > Threshold) {
+    Out.push_back(Prefix);
+    return;
+  }
+  Var Next = SplitVars[Bits];
+  // Zero branch first: low-weight cubes are cheap and likely decisive.
+  Prefix.push_back(~sat::mkLit(Next));
+  enumerateCubesRec(SplitVars, Distance, Threshold, MaxOnes, Prefix, Ones,
+                    Out);
+  Prefix.pop_back();
+  if (Ones + 1 <= MaxOnes) {
+    Prefix.push_back(sat::mkLit(Next));
+    enumerateCubesRec(SplitVars, Distance, Threshold, MaxOnes, Prefix,
+                      Ones + 1, Out);
+    Prefix.pop_back();
+  }
+}
+
+/// Shared state of one problem while its cubes are in flight.
+struct ProblemRun {
+  const CubeProblem *Input = nullptr;
+  std::unique_ptr<smt::EncodedProblem> Encoded;
+  std::vector<std::vector<Lit>> Cubes;
+
+  /// Set by the first SAT cube; the workers' solvers poll it as their
+  /// abort flag, so in-flight sibling solves stop mid-search too.
+  std::atomic<bool> Cancel{false};
+  std::atomic<bool> AnyAborted{false};
+  std::atomic<uint64_t> Solved{0};
+  std::atomic<uint64_t> Remaining{0};
+
+  /// One lazily-built solver slot per pool worker. A slot is only ever
+  /// touched by the worker whose index it is, so no locking.
+  std::vector<std::unique_ptr<sat::Solver>> Slots;
+
+  /// Clause exchange between the slots: lemmas learned on one worker's
+  /// cubes are valid for every sibling cube and imported lazily.
+  sat::SharedClausePool LearntPool;
+
+  std::mutex Mutex; // guards Out.Model / Out.Result on the SAT path
+  SolveOutcome Out;
+  Timer Clock;
+};
+
+void runCube(ProblemRun &Run, size_t CubeIdx, WaitGroup &Wg) {
+  if (!Run.Cancel.load(std::memory_order_relaxed)) {
+    int Worker = ThreadPool::currentWorkerIndex();
+    if (Worker < 0)
+      fatalError("cube task executed off the pool");
+    std::unique_ptr<sat::Solver> &Slot = Run.Slots[Worker];
+    if (!Slot) {
+      Slot = std::make_unique<sat::Solver>(Run.Encoded->makeSolver());
+      Slot->setAbortFlag(&Run.Cancel);
+      Slot->attachSharedPool(&Run.LearntPool, Worker);
+      if (Run.Input->Opts.ConflictBudget)
+        Slot->setConflictBudget(Run.Input->Opts.ConflictBudget);
+    }
+    SolveResult R = Slot->solve(Run.Cubes[CubeIdx]);
+    if (R != SolveResult::Aborted)
+      Run.Solved.fetch_add(1, std::memory_order_relaxed);
+    if (R == SolveResult::Sat) {
+      std::lock_guard<std::mutex> Lock(Run.Mutex);
+      if (!Run.Cancel.exchange(true)) {
+        Run.Out.Result = SolveResult::Sat;
+        Run.Encoded->readModel(*Slot, Run.Out.Model);
+      }
+    } else if (R == SolveResult::Aborted &&
+               !Run.Cancel.load(std::memory_order_relaxed)) {
+      Run.AnyAborted.store(true, std::memory_order_relaxed);
+    }
+  }
+  if (Run.Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+    Run.Out.SolveSeconds = Run.Clock.seconds();
+  Wg.done();
+}
+
+} // namespace
+
+std::vector<std::vector<Lit>>
+veriqec::engine::enumerateCubes(const std::vector<Var> &SplitVars,
+                                uint32_t Distance, uint32_t Threshold,
+                                uint32_t MaxOnes) {
+  std::vector<std::vector<Lit>> Cubes;
+  // Threshold 0 disables splitting (SolveOptions contract): one open cube.
+  if (Threshold == 0 || SplitVars.empty()) {
+    Cubes.emplace_back();
+    return Cubes;
+  }
+  std::vector<Lit> Prefix;
+  enumerateCubesRec(SplitVars, Distance, Threshold, MaxOnes, Prefix, 0,
+                    Cubes);
+  return Cubes;
+}
+
+SolveOutcome CubeEngine::solve(const smt::BoolContext &Ctx, smt::ExprRef Root,
+                               const smt::SolveOptions &Opts) {
+  CubeProblem Problem{&Ctx, Root, Opts};
+  return solveAll({&Problem, 1}).front();
+}
+
+ThreadPool &CubeEngine::pool() {
+  std::lock_guard<std::mutex> Lock(PoolMutex);
+  if (!Pool)
+    Pool = std::make_unique<ThreadPool>(Width);
+  return *Pool;
+}
+
+std::vector<SolveOutcome>
+CubeEngine::solveAll(std::span<const CubeProblem> Problems) {
+  // A lone unsplit problem has exactly one cube: solve it on the calling
+  // thread so purely sequential verification never spawns the pool.
+  if (Problems.size() == 1) {
+    const smt::SolveOptions &O = Problems[0].Opts;
+    if (O.SplitVars.empty() || O.SplitThreshold == 0) {
+      SolveOutcome Out =
+          smt::solveExpr(*Problems[0].Ctx, Problems[0].Root, O);
+      Out.CubesSolved = Out.Result == SolveResult::Aborted ? 0 : 1;
+      std::vector<SolveOutcome> Outcomes;
+      Outcomes.push_back(std::move(Out));
+      return Outcomes;
+    }
+  }
+
+  ThreadPool &Workers = pool();
+  std::vector<std::unique_ptr<ProblemRun>> Runs;
+  Runs.reserve(Problems.size());
+  for (const CubeProblem &P : Problems) {
+    auto Run = std::make_unique<ProblemRun>();
+    Run->Input = &P;
+    Run->Slots.resize(Workers.numWorkers());
+    Runs.push_back(std::move(Run));
+  }
+
+  // Phase 1: encode every problem and enumerate its cubes. Encoding is
+  // itself farmed out so a large batch builds its CNFs concurrently.
+  WaitGroup EncodeWg;
+  EncodeWg.add(Runs.size());
+  for (std::unique_ptr<ProblemRun> &RunPtr : Runs) {
+    ProblemRun *Run = RunPtr.get();
+    Workers.submit([Run, &EncodeWg] {
+      const smt::SolveOptions &O = Run->Input->Opts;
+      Run->Encoded = std::make_unique<smt::EncodedProblem>(
+          *Run->Input->Ctx, Run->Input->Root, O.CardEnc);
+      std::vector<Var> SplitVars;
+      for (const std::string &Name : O.SplitVars)
+        SplitVars.push_back(Run->Encoded->varOfName(Name));
+      Run->Cubes =
+          enumerateCubes(SplitVars, O.DistanceHint, O.SplitThreshold,
+                         O.MaxOnes);
+      EncodeWg.done();
+    });
+  }
+  EncodeWg.wait();
+
+  // Phase 2: every cube of every problem becomes one task. Each worker
+  // receives a *contiguous* chunk of the ET enumeration: neighbouring
+  // cubes share long assumption prefixes, so a worker's reusable solver
+  // amortizes its learned clauses across its chunk instead of hopping
+  // around the prefix tree. Work stealing rebalances the tail (thieves
+  // take from the victim's far end, keeping the chunks contiguous).
+  WaitGroup CubeWg;
+  size_t ProblemIdx = 0;
+  for (std::unique_ptr<ProblemRun> &RunPtr : Runs) {
+    ProblemRun *Run = RunPtr.get();
+    size_t N = Run->Cubes.size();
+    Run->Out.NumCubes = N;
+    Run->Remaining.store(N, std::memory_order_relaxed);
+    Run->Clock = Timer();
+    CubeWg.add(N);
+    size_t NumWorkers = Workers.numWorkers();
+    size_t Chunk = (N + NumWorkers - 1) / NumWorkers;
+    for (size_t C = 0; C != N; ++C)
+      // Offset successive problems' chunks so a batch of small problems
+      // still spreads across all workers.
+      Workers.submitTo(ProblemIdx + C / Chunk, [Run, C, &CubeWg] {
+        runCube(*Run, C, CubeWg);
+      });
+    ++ProblemIdx;
+  }
+  CubeWg.wait();
+
+  // Finalize: aggregate worker stats, derive the verdict.
+  std::vector<SolveOutcome> Outcomes;
+  Outcomes.reserve(Runs.size());
+  for (std::unique_ptr<ProblemRun> &RunPtr : Runs) {
+    ProblemRun &Run = *RunPtr;
+    for (const std::unique_ptr<sat::Solver> &Slot : Run.Slots) {
+      if (!Slot)
+        continue;
+      const sat::SolverStats &S = Slot->stats();
+      Run.Out.Stats.Decisions += S.Decisions;
+      Run.Out.Stats.Propagations += S.Propagations;
+      Run.Out.Stats.Conflicts += S.Conflicts;
+      Run.Out.Stats.LearnedClauses += S.LearnedClauses;
+      Run.Out.Stats.Restarts += S.Restarts;
+    }
+    Run.Out.CubesSolved = Run.Solved.load();
+    if (Run.Out.Result != SolveResult::Sat)
+      Run.Out.Result = Run.AnyAborted.load() ? SolveResult::Aborted
+                                             : SolveResult::Unsat;
+    Outcomes.push_back(std::move(Run.Out));
+  }
+  return Outcomes;
+}
+
+CubeEngine &CubeEngine::shared() {
+  static CubeEngine Engine;
+  return Engine;
+}
+
+// -- smt-layer facade --------------------------------------------------------
+//
+// Declared in smt/CubeSolver.h; defined here so the smt layer contains no
+// threading. A caller-specified thread count that differs from the shared
+// pool gets a private engine (the deterministic-concurrency tests sweep
+// 1/2/4/8 threads this way).
+
+smt::SolveOutcome veriqec::smt::solveExprParallel(const BoolContext &Ctx,
+                                                  ExprRef Root,
+                                                  const SolveOptions &Opts) {
+  if (Opts.NumThreads == 0 ||
+      Opts.NumThreads == CubeEngine::shared().numWorkers())
+    return CubeEngine::shared().solve(Ctx, Root, Opts);
+  CubeEngine Local(Opts.NumThreads);
+  return Local.solve(Ctx, Root, Opts);
+}

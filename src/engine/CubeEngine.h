@@ -1,0 +1,88 @@
+//===- engine/CubeEngine.h - Work-stealing cube-and-conquer -----*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The expression-level half of the verification engine: cube-and-conquer
+/// SAT discharge over a shared work-stealing thread pool. Cubes produced
+/// by the paper's ET split heuristic (Section 7.1 / Appendix D.4,
+/// ET = 2d*N(ones) + N(bits)) become pool tasks; each worker lazily
+/// instantiates one reusable solver per problem from the shared CNF
+/// encoding and discharges every cube it pops or steals under
+/// assumptions, so learned clauses on the shared prefix carry over and
+/// the CNF is never re-encoded per cube. The first SAT cube cancels all
+/// outstanding siblings of its problem. solveAll() multiplexes many
+/// independent problems over the same pool — the substrate of the batch
+/// verifyAll() path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_ENGINE_CUBEENGINE_H
+#define VERIQEC_ENGINE_CUBEENGINE_H
+
+#include "engine/ThreadPool.h"
+#include "smt/CubeSolver.h"
+
+#include <memory>
+#include <mutex>
+#include <span>
+#include <thread>
+#include <vector>
+
+namespace veriqec::engine {
+
+/// Enumerates assumption cubes over \p SplitVars with the ET heuristic:
+/// a branch is extended while ET = 2*Distance*ones + bits stays within
+/// \p Threshold; branches whose ones-count exceeds \p MaxOnes are pruned
+/// as infeasible under the weight constraint. The zero branch is taken
+/// first so cubes come out in (roughly) increasing weight order.
+std::vector<std::vector<sat::Lit>>
+enumerateCubes(const std::vector<sat::Var> &SplitVars, uint32_t Distance,
+               uint32_t Threshold, uint32_t MaxOnes);
+
+/// One satisfiability problem for the batch API.
+struct CubeProblem {
+  const smt::BoolContext *Ctx = nullptr;
+  smt::ExprRef Root;
+  smt::SolveOptions Opts;
+};
+
+class CubeEngine {
+public:
+  /// \p NumThreads = 0 picks the hardware concurrency. The pool itself
+  /// is created on first use, so engines that only ever see
+  /// single-cube (sequential) problems never spawn a thread.
+  explicit CubeEngine(size_t NumThreads = 0)
+      : Width(NumThreads ? NumThreads
+                         : std::max(1u, std::thread::hardware_concurrency())) {
+  }
+
+  size_t numWorkers() const { return Width; }
+
+  /// Cube-and-conquer solve of one problem (blocks until decided).
+  smt::SolveOutcome solve(const smt::BoolContext &Ctx, smt::ExprRef Root,
+                          const smt::SolveOptions &Opts);
+
+  /// Solves many independent problems over the same pool: every cube of
+  /// every problem is in flight together, a SAT cube cancels only its own
+  /// problem's siblings, and statistics are aggregated per problem.
+  std::vector<smt::SolveOutcome> solveAll(std::span<const CubeProblem> Problems);
+
+  /// Process-wide engine sized to the hardware, created on first use.
+  /// The solveExprParallel()/verifyScenario() facades run on it whenever
+  /// the caller does not request a specific thread count.
+  static CubeEngine &shared();
+
+private:
+  ThreadPool &pool();
+
+  size_t Width;
+  std::mutex PoolMutex;
+  std::unique_ptr<ThreadPool> Pool;
+};
+
+} // namespace veriqec::engine
+
+#endif // VERIQEC_ENGINE_CUBEENGINE_H

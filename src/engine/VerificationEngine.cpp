@@ -1,0 +1,147 @@
+//===- engine/VerificationEngine.cpp - Batch scenario verification ---------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/VerificationEngine.h"
+
+#include "support/Timer.h"
+#include "vcgen/SymbolicFlow.h"
+
+using namespace veriqec;
+using namespace veriqec::engine;
+using namespace veriqec::smt;
+
+namespace {
+
+/// Scenario VC under construction: the BoolContext must outlive the SAT
+/// discharge, so it lives here rather than on the stack of a helper.
+struct PreparedScenario {
+  BoolContext Ctx;
+  BuiltVc Vc;
+  VerificationResult Result;
+  double BuildSeconds = 0;
+};
+
+/// Steps 1-2 of the pipeline: symbolic execution and VC assembly.
+void prepareScenario(const Scenario &S, const VerifyOptions &Opts,
+                     PreparedScenario &P) {
+  Timer Clock;
+  SymbolicFlow Flow(S.NumQubits);
+  for (const GenSpec &G : S.Pre) {
+    PhaseExpr Phase(G.PhaseConstant);
+    if (!G.PhaseVar.empty())
+      Phase.xorVar(Flow.vars().id(G.PhaseVar));
+    Flow.addInitialGenerator(G.Base, Phase);
+  }
+  FlowResult FR = Flow.run(S.Program);
+  if (!FR.Ok) {
+    P.Result.Error = "symbolic flow: " + FR.Error;
+    P.BuildSeconds = Clock.seconds();
+    return;
+  }
+
+  VcSpec Spec;
+  Spec.Vars = &Flow.vars();
+  Spec.Flow = std::move(FR);
+  for (const GenSpec &G : S.Post) {
+    PhaseExpr Phase(G.PhaseConstant);
+    if (!G.PhaseVar.empty())
+      Phase.xorVar(Flow.vars().id(G.PhaseVar));
+    Spec.Targets.push_back({G.Base, std::move(Phase)});
+  }
+  Spec.ErrorVars = S.ErrorVars;
+  Spec.MaxTotalErrors = S.MaxErrors;
+  Spec.ParityConstraints = S.Parity;
+  Spec.WeightConstraints = S.Weights;
+  Spec.ExtraConstraint = Opts.ExtraConstraint;
+
+  P.Vc = buildVc(P.Ctx, Spec);
+  if (!P.Vc.Ok) {
+    P.Result.Error = "vc assembly: " + P.Vc.Error;
+    P.BuildSeconds = Clock.seconds();
+    return;
+  }
+  P.Result.StructuralOk = true;
+  P.Result.NumGoals = P.Vc.NumGoals;
+  P.BuildSeconds = Clock.seconds();
+}
+
+/// Discharge configuration for one scenario (the ET split heuristic's
+/// parameters come from the scenario's error structure).
+SolveOptions makeSolveOptions(const Scenario &S, const VerifyOptions &Opts) {
+  SolveOptions SO;
+  SO.CardEnc = Opts.CardEnc;
+  SO.ConflictBudget = Opts.ConflictBudget;
+  if (Opts.Parallel && !S.ErrorVars.empty()) {
+    SO.SplitVars = S.ErrorVars;
+    SO.DistanceHint = std::max<uint32_t>(
+        2, S.MaxErrors == ~uint32_t{0} ? 2 : 2 * S.MaxErrors + 1);
+    SO.SplitThreshold = Opts.SplitThreshold
+                            ? Opts.SplitThreshold
+                            : static_cast<uint32_t>(S.NumQubits);
+    SO.MaxOnes = S.MaxErrors;
+  }
+  return SO;
+}
+
+void applyOutcome(SolveOutcome &&Outcome, PreparedScenario &P) {
+  P.Result.Stats = Outcome.Stats;
+  P.Result.NumCubes = Outcome.NumCubes;
+  P.Result.CubesSolved = Outcome.CubesSolved;
+  P.Result.Verified = Outcome.Result == sat::SolveResult::Unsat;
+  P.Result.Aborted = Outcome.Result == sat::SolveResult::Aborted;
+  if (Outcome.Result == sat::SolveResult::Sat)
+    P.Result.CounterExample = std::move(Outcome.Model);
+  P.Result.Seconds = P.BuildSeconds + Outcome.SolveSeconds;
+}
+
+} // namespace
+
+VerificationResult VerificationEngine::verify(const Scenario &S,
+                                              const VerifyOptions &Opts) {
+  return verifyAll({&S, 1}, Opts).front();
+}
+
+std::vector<VerificationResult>
+VerificationEngine::verifyAll(std::span<const Scenario> Scenarios,
+                              const VerifyOptions &Opts) {
+  // VC assembly is pure per scenario; build them all first (cheap next to
+  // SAT), then hand every structurally-sound VC to the cube scheduler in
+  // one batch so all cubes share the pool.
+  std::vector<PreparedScenario> Prepared(Scenarios.size());
+  for (size_t I = 0; I != Scenarios.size(); ++I)
+    prepareScenario(Scenarios[I], Opts, Prepared[I]);
+
+  std::vector<CubeProblem> Problems;
+  std::vector<size_t> ProblemOf; // index into Prepared
+  for (size_t I = 0; I != Scenarios.size(); ++I) {
+    if (!Prepared[I].Result.StructuralOk)
+      continue;
+    CubeProblem P;
+    P.Ctx = &Prepared[I].Ctx;
+    P.Root = Prepared[I].Vc.NegatedVc;
+    P.Opts = makeSolveOptions(Scenarios[I], Opts);
+    Problems.push_back(P);
+    ProblemOf.push_back(I);
+  }
+
+  std::vector<SolveOutcome> Outcomes = Cubes.solveAll(Problems);
+  for (size_t J = 0; J != Outcomes.size(); ++J)
+    applyOutcome(std::move(Outcomes[J]), Prepared[ProblemOf[J]]);
+
+  std::vector<VerificationResult> Results;
+  Results.reserve(Scenarios.size());
+  for (PreparedScenario &P : Prepared) {
+    if (!P.Result.StructuralOk)
+      P.Result.Seconds = P.BuildSeconds;
+    Results.push_back(std::move(P.Result));
+  }
+  return Results;
+}
+
+VerificationEngine &VerificationEngine::shared() {
+  static VerificationEngine Engine;
+  return Engine;
+}

@@ -1,0 +1,58 @@
+//===- engine/VerificationEngine.h - Batch scenario verification -*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scenario-level half of the verification engine: owns a CubeEngine
+/// (work-stealing pool + cube-and-conquer scheduler) and drives whole
+/// Scenarios through symbolic execution, VC assembly and SAT discharge on
+/// it. verifyAll() multiplexes many scenarios over the same pool — VC
+/// encodings build concurrently and every scenario's cubes share the
+/// workers — with per-scenario verdicts, counterexamples and statistics.
+/// The verifyScenario()/verifyDetection() functions in verifier/Verifier.h
+/// are thin facades over the process-wide instance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_ENGINE_VERIFICATIONENGINE_H
+#define VERIQEC_ENGINE_VERIFICATIONENGINE_H
+
+#include "engine/CubeEngine.h"
+#include "verifier/Verifier.h"
+
+#include <span>
+
+namespace veriqec::engine {
+
+class VerificationEngine {
+public:
+  /// \p NumThreads = 0 picks the hardware concurrency.
+  explicit VerificationEngine(size_t NumThreads = 0) : Cubes(NumThreads) {}
+
+  size_t numWorkers() const { return Cubes.numWorkers(); }
+
+  /// Verifies one scenario on the engine's pool. Opts.Parallel selects
+  /// cube splitting; Opts.Threads is ignored here (the pool size rules).
+  VerificationResult verify(const Scenario &S, const VerifyOptions &Opts = {});
+
+  /// Verifies a batch of scenarios over the same pool, one result per
+  /// scenario in order. Scenarios are independent: a counterexample in
+  /// one cancels only that scenario's outstanding cubes.
+  std::vector<VerificationResult> verifyAll(std::span<const Scenario> Scenarios,
+                                            const VerifyOptions &Opts = {});
+
+  /// The engine's cube-level scheduler (for expression workloads).
+  CubeEngine &cubes() { return Cubes; }
+
+  /// Process-wide engine sized to the hardware, created on first use.
+  static VerificationEngine &shared();
+
+private:
+  CubeEngine Cubes;
+};
+
+} // namespace veriqec::engine
+
+#endif // VERIQEC_ENGINE_VERIFICATIONENGINE_H

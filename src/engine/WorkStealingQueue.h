@@ -1,0 +1,71 @@
+//===- engine/WorkStealingQueue.h - Per-worker task deque -------*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The deque underlying the engine's work-stealing scheduler. Each pool
+/// worker owns one queue: the owner pushes and pops at the front so cubes
+/// run in the ET enumeration order (low-weight cubes first — they are
+/// cheap and likely decisive, see CubeSolver.h), while idle workers steal
+/// from the back, taking the deepest cubes and keeping contention off the
+/// owner's end. Tasks are coarse (one SAT call each), so a small mutex per
+/// queue is cheaper than a lock-free deque and trivially correct.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_ENGINE_WORKSTEALINGQUEUE_H
+#define VERIQEC_ENGINE_WORKSTEALINGQUEUE_H
+
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace veriqec::engine {
+
+template <typename T> class WorkStealingQueue {
+public:
+  void push(T Item) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Items.push_back(std::move(Item));
+  }
+
+  /// Owner side: next task in submission order.
+  bool tryPop(T &Out) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Items.empty())
+      return false;
+    Out = std::move(Items.front());
+    Items.pop_front();
+    return true;
+  }
+
+  /// Thief side: takes from the opposite end.
+  bool trySteal(T &Out) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Items.empty())
+      return false;
+    Out = std::move(Items.back());
+    Items.pop_back();
+    return true;
+  }
+
+  bool empty() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Items.empty();
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    return Items.size();
+  }
+
+private:
+  mutable std::mutex Mutex;
+  std::deque<T> Items;
+};
+
+} // namespace veriqec::engine
+
+#endif // VERIQEC_ENGINE_WORKSTEALINGQUEUE_H

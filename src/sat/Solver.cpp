@@ -346,18 +346,45 @@ void Solver::reduceDB() {
   for (size_t I = 0; I != Candidates.size() / 2; ++I)
     Clauses[Candidates[I]].Deleted = true;
 
-  // Rebuild the watch lists without the deleted clauses.
+  // Rebuild the watch lists without the deleted clauses. The fresh
+  // watches land on the first two literals regardless of the current
+  // (possibly non-empty) trail, so re-propagate the whole trail to
+  // restore the watch invariant — otherwise units and conflicts under
+  // already-assigned literals are silently missed.
   for (auto &WL : Watches)
     WL.clear();
   for (size_t I = 0; I != Clauses.size(); ++I)
     if (!Clauses[I].Deleted)
       attachClause(static_cast<ClauseRef>(I));
+  PropagateHead = 0;
+}
+
+void Solver::importSharedClauses() {
+  if (!SharedPool)
+    return;
+  std::vector<std::vector<Lit>> Incoming;
+  SharedPool->fetch(PoolOwnerId, PoolCursor, Incoming);
+  for (std::vector<Lit> &C : Incoming) {
+    if (!OkState)
+      return;
+    // Mark imported lemmas as learned so reduceDB can reclaim cold ones;
+    // addClause may simplify a lemma away entirely (satisfied at root).
+    size_t Before = Clauses.size();
+    addClause(std::move(C));
+    for (size_t I = Before; I < Clauses.size(); ++I) {
+      Clauses[I].Learned = true;
+      Clauses[I].Activity = ClauseInc;
+    }
+  }
 }
 
 SolveResult Solver::solve(const std::vector<Lit> &Assumptions) {
   if (!OkState)
     return SolveResult::Unsat;
   backtrack(0);
+  importSharedClauses();
+  if (!OkState)
+    return SolveResult::Unsat;
 
   uint64_t RestartIdx = 1;
   uint64_t ConflictsUntilRestart = 100 * lubySequence(RestartIdx);
@@ -371,30 +398,27 @@ SolveResult Solver::solve(const std::vector<Lit> &Assumptions) {
     ClauseRef Confl = propagate();
     if (Confl != NoReason) {
       ++Stats.Conflicts;
-      if (decisionLevel() == 0)
-        return SolveResult::Unsat;
-      // A conflict inside the assumption prefix means UNSAT under the
-      // assumptions: check whether analysis would force us above it.
-      int32_t BtLevel = 0;
-      analyze(Confl, Learnt, BtLevel);
-      int32_t AssumptionLevel =
-          static_cast<int32_t>(std::min<size_t>(Assumptions.size(),
-                                                TrailLim.size()));
-      if (BtLevel < AssumptionLevel) {
-        // Re-deciding an assumption is not allowed; treat as UNSAT under
-        // assumptions unless the learnt clause is reusable at level 0.
-        if (Learnt.size() == 1) {
-          backtrack(0);
-          if (valueOf(Learnt[0]) == LBool::False)
-            return SolveResult::Unsat;
-          if (valueOf(Learnt[0]) == LBool::Undef)
-            enqueue(Learnt[0], NoReason);
-          continue;
-        }
+      if (decisionLevel() == 0) {
+        // Conflict with no decisions (assumptions included): the formula
+        // itself is unsatisfiable, for this and every future call.
+        OkState = false;
         return SolveResult::Unsat;
       }
+      // Backjumping below the assumption prefix is fine: the rolled-back
+      // assumptions are re-decided by the extension step below, and the
+      // learnt clause stays valid across calls (unsatisfiability *under
+      // the assumptions* only ever surfaces as an assumption literal
+      // evaluating false, or a level-0 conflict).
+      int32_t BtLevel = 0;
+      analyze(Confl, Learnt, BtLevel);
+      if (SharedPool && Learnt.size() <= PoolMaxShareLen)
+        SharedPool->publish(PoolOwnerId, Learnt);
       backtrack(BtLevel);
       if (Learnt.size() == 1) {
+        if (valueOf(Learnt[0]) == LBool::False) {
+          OkState = false;
+          return SolveResult::Unsat;
+        }
         if (valueOf(Learnt[0]) == LBool::Undef)
           enqueue(Learnt[0], NoReason);
       } else {

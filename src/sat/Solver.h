@@ -20,6 +20,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -27,6 +28,48 @@ namespace veriqec::sat {
 
 /// Result of a solve() call.
 enum class SolveResult { Sat, Unsat, Aborted };
+
+/// A thread-safe exchange of short learned clauses between the solvers
+/// attacking cubes of the same problem (the engine's workers). Learned
+/// clauses are derived by resolution from the shared clause database, so
+/// they are valid for every sibling regardless of its assumptions;
+/// sharing them collapses the duplicated learning that otherwise makes
+/// per-worker solvers re-derive the same lemmas. Entries are capped to
+/// bound memory and import cost.
+class SharedClausePool {
+public:
+  explicit SharedClausePool(size_t MaxEntries = 4096)
+      : MaxEntries(MaxEntries) {}
+
+  /// Publishes a learned clause on behalf of \p Owner (dropped once the
+  /// pool is full). The full flag is checked before locking so a
+  /// saturated pool costs one relaxed load on the conflict hot path.
+  void publish(int Owner, const std::vector<Lit> &Lits) {
+    if (Full.load(std::memory_order_relaxed))
+      return;
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (Entries.size() < MaxEntries)
+      Entries.emplace_back(Owner, Lits);
+    else
+      Full.store(true, std::memory_order_relaxed);
+  }
+
+  /// Appends every clause published by *other* owners since \p Cursor to
+  /// \p Out and advances the cursor.
+  void fetch(int Owner, size_t &Cursor,
+             std::vector<std::vector<Lit>> &Out) const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (; Cursor < Entries.size(); ++Cursor)
+      if (Entries[Cursor].first != Owner)
+        Out.push_back(Entries[Cursor].second);
+  }
+
+private:
+  const size_t MaxEntries;
+  std::atomic<bool> Full{false};
+  mutable std::mutex Mutex;
+  std::vector<std::pair<int, std::vector<Lit>>> Entries;
+};
 
 /// Aggregate statistics for benchmarking and diagnostics.
 struct SolverStats {
@@ -81,6 +124,18 @@ public:
   /// the parallel driver to stop siblings once an answer is known).
   void setAbortFlag(const std::atomic<bool> *Flag) { AbortFlag = Flag; }
 
+  /// Connects this solver to a clause exchange: clauses it learns with at
+  /// most \p MaxShareLen literals are published under \p OwnerId, and
+  /// clauses published by siblings are imported at the start of every
+  /// solve() call.
+  void attachSharedPool(SharedClausePool *Pool, int OwnerId,
+                        uint32_t MaxShareLen = 8) {
+    SharedPool = Pool;
+    PoolOwnerId = OwnerId;
+    PoolMaxShareLen = MaxShareLen;
+    PoolCursor = 0;
+  }
+
   const SolverStats &stats() const { return Stats; }
 
 private:
@@ -118,6 +173,10 @@ private:
   bool OkState = true;
   uint64_t ConflictBudget = 0;
   const std::atomic<bool> *AbortFlag = nullptr;
+  SharedClausePool *SharedPool = nullptr;
+  int PoolOwnerId = -1;
+  uint32_t PoolMaxShareLen = 8;
+  size_t PoolCursor = 0;
   SolverStats Stats;
 
   // Scratch used by conflict analysis.
@@ -153,6 +212,10 @@ private:
   void bumpVar(Var V);
   void bumpClause(Clause &C);
   void decayActivities();
+
+  /// Pulls clauses published by sibling solvers into the database; must
+  /// run at decision level 0. Publishing happens inline at learn time.
+  void importSharedClauses();
 };
 
 /// Luby restart sequence value (1-based index), used for restart pacing.

@@ -1,94 +1,58 @@
-//===- smt/CubeSolver.cpp - Sequential & parallel solving ------------------===//
+//===- smt/CubeSolver.cpp - Sequential solving & problem encoding ----------===//
 //
 // Part of the veriqec project.
+//
+// The parallel entry point solveExprParallel() lives in
+// engine/CubeEngine.cpp: all threading is owned by the engine layer.
 //
 //===----------------------------------------------------------------------===//
 
 #include "smt/CubeSolver.h"
 
 #include "support/Assert.h"
-
-#include <atomic>
-#include <mutex>
-#include <thread>
+#include "support/Timer.h"
 
 using namespace veriqec;
 using namespace veriqec::smt;
-using sat::Lit;
 using sat::SolveResult;
 using sat::Var;
 
-namespace {
-
-/// Builds the CNF for Root and remembers enough mapping to read models and
-/// to translate split variables into assumption literals.
-struct EncodedProblem {
-  CnfFormula Cnf;
-  std::vector<std::pair<std::string, Var>> NamedVars;
-
-  EncodedProblem(const BoolContext &Ctx, ExprRef Root,
-                 CardinalityEncoding CardEnc) {
-    CnfEncoder Encoder(Ctx, Cnf, CardEnc);
-    // Materialize every named variable so models are always total (a
-    // variable can be optimized away by constant folding yet still be
-    // interesting to the caller).
-    for (uint32_t Id = 0; Id != Ctx.numVariables(); ++Id)
-      NamedVars.emplace_back(Ctx.varName(Id), Encoder.satVarOf(Id));
-    Encoder.assertTrue(Root);
-  }
-
-  sat::Solver makeSolver() const {
-    sat::Solver S;
-    for (size_t I = 0; I != Cnf.NumVars; ++I)
-      S.newVar();
-    for (const auto &C : Cnf.Clauses)
-      S.addClause(C);
-    return S;
-  }
-
-  void readModel(const sat::Solver &S,
-                 std::unordered_map<std::string, bool> &Model) const {
-    for (const auto &[Name, V] : NamedVars)
-      Model[Name] = S.modelValue(V);
-  }
-
-  Var varOfName(const std::string &Name) const {
-    for (const auto &[N, V] : NamedVars)
-      if (N == Name)
-        return V;
-    fatalError("unknown split variable: " + Name);
-  }
-};
-
-/// Enumerates cubes over the split variables using the paper's heuristic:
-/// extend the cube while ET = 2d*ones + bits stays <= threshold.
-void enumerateCubes(const std::vector<Var> &SplitVars, uint32_t Distance,
-                    uint32_t Threshold, uint32_t MaxOnes,
-                    std::vector<Lit> &Prefix, uint32_t Ones,
-                    std::vector<std::vector<Lit>> &Out) {
-  uint32_t Bits = static_cast<uint32_t>(Prefix.size());
-  bool Exhausted = Bits >= SplitVars.size();
-  if (Exhausted || 2 * Distance * Ones + Bits > Threshold) {
-    Out.push_back(Prefix);
-    return;
-  }
-  Var Next = SplitVars[Bits];
-  // Zero branch first: low-weight cubes are cheap and likely decisive.
-  Prefix.push_back(~sat::mkLit(Next));
-  enumerateCubes(SplitVars, Distance, Threshold, MaxOnes, Prefix, Ones, Out);
-  Prefix.pop_back();
-  if (Ones + 1 <= MaxOnes) {
-    Prefix.push_back(sat::mkLit(Next));
-    enumerateCubes(SplitVars, Distance, Threshold, MaxOnes, Prefix, Ones + 1,
-                   Out);
-    Prefix.pop_back();
-  }
+EncodedProblem::EncodedProblem(const BoolContext &Ctx, ExprRef Root,
+                               CardinalityEncoding CardEnc) {
+  CnfEncoder Encoder(Ctx, Cnf, CardEnc);
+  // Materialize every named variable so models are always total (a
+  // variable can be optimized away by constant folding yet still be
+  // interesting to the caller).
+  for (uint32_t Id = 0; Id != Ctx.numVariables(); ++Id)
+    NamedVars.emplace_back(Ctx.varName(Id), Encoder.satVarOf(Id));
+  Encoder.assertTrue(Root);
 }
 
-} // namespace
+sat::Solver EncodedProblem::makeSolver() const {
+  sat::Solver S;
+  for (size_t I = 0; I != Cnf.NumVars; ++I)
+    S.newVar();
+  for (const auto &C : Cnf.Clauses)
+    S.addClause(C);
+  return S;
+}
+
+void EncodedProblem::readModel(
+    const sat::Solver &S, std::unordered_map<std::string, bool> &Model) const {
+  for (const auto &[Name, V] : NamedVars)
+    Model[Name] = S.modelValue(V);
+}
+
+Var EncodedProblem::varOfName(const std::string &Name) const {
+  for (const auto &[N, V] : NamedVars)
+    if (N == Name)
+      return V;
+  fatalError("unknown split variable: " + Name);
+}
 
 SolveOutcome veriqec::smt::solveExpr(const BoolContext &Ctx, ExprRef Root,
                                      const SolveOptions &Opts) {
+  Timer Clock;
   EncodedProblem Problem(Ctx, Root, Opts.CardEnc);
   sat::Solver S = Problem.makeSolver();
   if (Opts.ConflictBudget)
@@ -98,73 +62,6 @@ SolveOutcome veriqec::smt::solveExpr(const BoolContext &Ctx, ExprRef Root,
   Outcome.Stats = S.stats();
   if (Outcome.Result == SolveResult::Sat)
     Problem.readModel(S, Outcome.Model);
-  return Outcome;
-}
-
-SolveOutcome veriqec::smt::solveExprParallel(const BoolContext &Ctx,
-                                             ExprRef Root,
-                                             const SolveOptions &Opts) {
-  EncodedProblem Problem(Ctx, Root, Opts.CardEnc);
-
-  // Build the cube list.
-  std::vector<Var> SplitVars;
-  for (const std::string &Name : Opts.SplitVars)
-    SplitVars.push_back(Problem.varOfName(Name));
-  std::vector<std::vector<Lit>> Cubes;
-  std::vector<Lit> Prefix;
-  enumerateCubes(SplitVars, Opts.DistanceHint, Opts.SplitThreshold,
-                 Opts.MaxOnes, Prefix, 0, Cubes);
-
-  size_t NumThreads = Opts.NumThreads
-                          ? Opts.NumThreads
-                          : std::max(1u, std::thread::hardware_concurrency());
-  NumThreads = std::min(NumThreads, Cubes.size());
-
-  std::atomic<bool> FoundSat{false};
-  std::atomic<bool> AnyAborted{false};
-  std::atomic<size_t> NextCube{0};
-  std::mutex ResultMutex;
-  SolveOutcome Outcome;
-  Outcome.NumCubes = Cubes.size();
-
-  auto Worker = [&]() {
-    sat::Solver S = Problem.makeSolver();
-    S.setAbortFlag(&FoundSat);
-    if (Opts.ConflictBudget)
-      S.setConflictBudget(Opts.ConflictBudget);
-    while (!FoundSat.load(std::memory_order_relaxed)) {
-      size_t Idx = NextCube.fetch_add(1);
-      if (Idx >= Cubes.size())
-        break;
-      SolveResult R = S.solve(Cubes[Idx]);
-      if (R == SolveResult::Sat) {
-        std::lock_guard<std::mutex> Lock(ResultMutex);
-        if (!FoundSat.exchange(true)) {
-          Outcome.Result = SolveResult::Sat;
-          Problem.readModel(S, Outcome.Model);
-        }
-        break;
-      }
-      if (R == SolveResult::Aborted &&
-          !FoundSat.load(std::memory_order_relaxed))
-        AnyAborted.store(true);
-    }
-    std::lock_guard<std::mutex> Lock(ResultMutex);
-    Outcome.Stats.Decisions += S.stats().Decisions;
-    Outcome.Stats.Propagations += S.stats().Propagations;
-    Outcome.Stats.Conflicts += S.stats().Conflicts;
-    Outcome.Stats.LearnedClauses += S.stats().LearnedClauses;
-    Outcome.Stats.Restarts += S.stats().Restarts;
-  };
-
-  std::vector<std::thread> Threads;
-  for (size_t I = 0; I != NumThreads; ++I)
-    Threads.emplace_back(Worker);
-  for (std::thread &T : Threads)
-    T.join();
-
-  if (!FoundSat.load())
-    Outcome.Result =
-        AnyAborted.load() ? SolveResult::Aborted : SolveResult::Unsat;
+  Outcome.SolveSeconds = Clock.seconds();
   return Outcome;
 }

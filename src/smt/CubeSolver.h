@@ -36,6 +36,10 @@ struct SolveOutcome {
   sat::SolverStats Stats;
   /// Number of cubes dispatched (1 for sequential solving).
   uint64_t NumCubes = 1;
+  /// Cubes actually solved; < NumCubes when a SAT cube cancelled the rest.
+  uint64_t CubesSolved = 1;
+  /// Wall time of the SAT discharge (excludes VC assembly).
+  double SolveSeconds = 0;
 };
 
 /// Options shared by the sequential and parallel drivers.
@@ -57,11 +61,39 @@ struct SolveOptions {
   uint32_t MaxOnes = ~uint32_t{0};
 };
 
+/// CNF encoding of one (context, root) problem plus the mapping needed to
+/// read models back and to translate split-variable names into assumption
+/// literals. Immutable after construction, so the engine's workers share
+/// one instance per problem: each worker instantiates its own Solver from
+/// the encoded clauses once and then discharges every cube it picks up
+/// with assumptions, reusing learned clauses across cubes instead of
+/// re-encoding the shared prefix.
+struct EncodedProblem {
+  CnfFormula Cnf;
+  std::vector<std::pair<std::string, sat::Var>> NamedVars;
+
+  EncodedProblem(const BoolContext &Ctx, ExprRef Root,
+                 CardinalityEncoding CardEnc);
+
+  /// A fresh solver loaded with the encoded clauses.
+  sat::Solver makeSolver() const;
+
+  /// Reads the named-variable assignment out of a Sat solver.
+  void readModel(const sat::Solver &S,
+                 std::unordered_map<std::string, bool> &Model) const;
+
+  /// CNF variable of a named BoolContext variable (fatal if unknown).
+  sat::Var varOfName(const std::string &Name) const;
+};
+
 /// Solves \p Root (checking satisfiability) on one thread.
 SolveOutcome solveExpr(const BoolContext &Ctx, ExprRef Root,
                        const SolveOptions &Opts = {});
 
-/// Cube-and-conquer parallel solve of \p Root.
+/// Cube-and-conquer parallel solve of \p Root. Facade over the
+/// engine::CubeEngine work-stealing scheduler (defined in
+/// engine/CubeEngine.cpp): Opts.NumThreads selects the pool size, with 0
+/// (or the shared pool's width) reusing the process-wide engine.
 SolveOutcome solveExprParallel(const BoolContext &Ctx, ExprRef Root,
                                const SolveOptions &Opts);
 

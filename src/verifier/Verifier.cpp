@@ -2,89 +2,49 @@
 //
 // Part of the veriqec project.
 //
+// The scenario pipeline (symbolic flow, VC assembly, cube-and-conquer
+// discharge) lives in engine/VerificationEngine.cpp; this file keeps the
+// historical free-function entry points plus the precise-detection check,
+// whose VC is an expression over the code alone (no program).
+//
 //===----------------------------------------------------------------------===//
 
 #include "verifier/Verifier.h"
 
-#include "support/Assert.h"
+#include "engine/VerificationEngine.h"
 #include "support/Timer.h"
-#include "vcgen/SymbolicFlow.h"
 
 using namespace veriqec;
 using namespace veriqec::smt;
 
+namespace {
+
+/// Picks the engine for a call: the process-wide pool unless the caller
+/// asked for a specific different width.
+template <typename Fn> auto onEngine(const VerifyOptions &Opts, Fn &&F) {
+  engine::VerificationEngine &Shared = engine::VerificationEngine::shared();
+  if (!Opts.Parallel || Opts.Threads == 0 ||
+      Opts.Threads == Shared.numWorkers())
+    return F(Shared);
+  engine::VerificationEngine Local(Opts.Threads);
+  return F(Local);
+}
+
+} // namespace
+
 VerificationResult veriqec::verifyScenario(const Scenario &S,
                                            const VerifyOptions &Opts) {
-  VerificationResult Result;
-  Timer Clock;
+  return onEngine(Opts, [&](engine::VerificationEngine &E) {
+    return E.verify(S, Opts);
+  });
+}
 
-  // 1. Symbolic execution from the precondition.
-  SymbolicFlow Flow(S.NumQubits);
-  for (const GenSpec &G : S.Pre) {
-    PhaseExpr Phase(G.PhaseConstant);
-    if (!G.PhaseVar.empty())
-      Phase.xorVar(Flow.vars().id(G.PhaseVar));
-    Flow.addInitialGenerator(G.Base, Phase);
-  }
-  FlowResult FR = Flow.run(S.Program);
-  if (!FR.Ok) {
-    Result.Error = "symbolic flow: " + FR.Error;
-    Result.Seconds = Clock.seconds();
-    return Result;
-  }
-
-  // 2. VC assembly.
-  VcSpec Spec;
-  Spec.Vars = &Flow.vars();
-  Spec.Flow = std::move(FR);
-  for (const GenSpec &G : S.Post) {
-    PhaseExpr Phase(G.PhaseConstant);
-    if (!G.PhaseVar.empty())
-      Phase.xorVar(Flow.vars().id(G.PhaseVar));
-    Spec.Targets.push_back({G.Base, std::move(Phase)});
-  }
-  Spec.ErrorVars = S.ErrorVars;
-  Spec.MaxTotalErrors = S.MaxErrors;
-  Spec.ParityConstraints = S.Parity;
-  Spec.WeightConstraints = S.Weights;
-  Spec.ExtraConstraint = Opts.ExtraConstraint;
-
-  BoolContext Ctx;
-  BuiltVc Vc = buildVc(Ctx, Spec);
-  if (!Vc.Ok) {
-    Result.Error = "vc assembly: " + Vc.Error;
-    Result.Seconds = Clock.seconds();
-    return Result;
-  }
-  Result.StructuralOk = true;
-  Result.NumGoals = Vc.NumGoals;
-
-  // 3. Discharge.
-  SolveOptions SO;
-  SO.CardEnc = Opts.CardEnc;
-  SO.ConflictBudget = Opts.ConflictBudget;
-  SolveOutcome Outcome;
-  if (Opts.Parallel && !S.ErrorVars.empty()) {
-    SO.NumThreads = Opts.Threads;
-    SO.SplitVars = S.ErrorVars;
-    SO.DistanceHint = std::max<uint32_t>(
-        2, S.MaxErrors == ~uint32_t{0} ? 2 : 2 * S.MaxErrors + 1);
-    SO.SplitThreshold = Opts.SplitThreshold
-                            ? Opts.SplitThreshold
-                            : static_cast<uint32_t>(S.NumQubits);
-    SO.MaxOnes = S.MaxErrors;
-    Outcome = solveExprParallel(Ctx, Vc.NegatedVc, SO);
-  } else {
-    Outcome = solveExpr(Ctx, Vc.NegatedVc, SO);
-  }
-
-  Result.Stats = Outcome.Stats;
-  Result.NumCubes = Outcome.NumCubes;
-  Result.Verified = Outcome.Result == sat::SolveResult::Unsat;
-  if (Outcome.Result == sat::SolveResult::Sat)
-    Result.CounterExample = std::move(Outcome.Model);
-  Result.Seconds = Clock.seconds();
-  return Result;
+std::vector<VerificationResult>
+veriqec::verifyAll(std::span<const Scenario> Scenarios,
+                   const VerifyOptions &Opts) {
+  return onEngine(Opts, [&](engine::VerificationEngine &E) {
+    return E.verifyAll(Scenarios, Opts);
+  });
 }
 
 DetectionResult veriqec::verifyDetection(const StabilizerCode &Code,

@@ -21,8 +21,10 @@
 #include "verifier/Scenarios.h"
 
 #include <functional>
+#include <span>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace veriqec {
 
@@ -44,18 +46,32 @@ struct VerificationResult {
   bool StructuralOk = false; ///< flow + VC assembly succeeded
   std::string Error;         ///< when !StructuralOk
   bool Verified = false;     ///< VC valid (negation UNSAT)
+  /// The solver gave up (conflict budget exhausted) on at least one cube:
+  /// !Verified then means "inconclusive", not "counterexample found".
+  bool Aborted = false;
   /// For failed verification: a model of the negated VC — a concrete
   /// error pattern plus decoder behaviour exposing the bug.
   std::unordered_map<std::string, bool> CounterExample;
   sat::SolverStats Stats;
   uint64_t NumCubes = 1;
+  /// Cubes actually discharged; < NumCubes when the first SAT cube
+  /// cancelled its outstanding siblings.
+  uint64_t CubesSolved = 1;
   size_t NumGoals = 0;
   double Seconds = 0;
 };
 
-/// Verifies one scenario.
+/// Verifies one scenario. Facade over engine::VerificationEngine: the
+/// process-wide engine is used unless Opts.Parallel requests a thread
+/// count different from its pool width, in which case a private pool of
+/// Opts.Threads workers is spun up for this call.
 VerificationResult verifyScenario(const Scenario &S,
                                   const VerifyOptions &Opts = {});
+
+/// Verifies a batch of scenarios, multiplexing all of their cubes over one
+/// shared work-stealing pool; one result per scenario, in order.
+std::vector<VerificationResult> verifyAll(std::span<const Scenario> Scenarios,
+                                          const VerifyOptions &Opts = {});
 
 /// Precise-detection property (Eqn. (15)): no Pauli error of weight
 /// 1..MaxWeight is simultaneously syndrome-free and logically acting.

@@ -207,3 +207,53 @@ TEST(Solver, RepeatedSolvesAreConsistent) {
   for (int I = 0; I != 5; ++I)
     EXPECT_EQ(S.solve(), First);
 }
+
+TEST(Solver, ReuseAcrossAssumptionSetsStaysSound) {
+  // Regression test: a learnt clause that backjumps below the assumption
+  // prefix must not be reported as UNSAT-under-assumptions, and solver
+  // state carried across solve() calls (learnt clauses, saved phases,
+  // level-0 units) must never flip a verdict. A reused solver is checked
+  // against a fresh one on every assumption cube of many random formulas.
+  Rng R(2025);
+  for (int Trial = 0; Trial != 20; ++Trial) {
+    const size_t NumVars = 14;
+    std::vector<std::vector<Lit>> Clauses;
+    for (size_t C = 0; C != 50; ++C) {
+      std::vector<Lit> Clause;
+      for (size_t L = 0; L != 3; ++L)
+        Clause.push_back(
+            Lit(static_cast<Var>(R.nextBelow(NumVars)), R.nextBool()));
+      Clauses.push_back(Clause);
+    }
+    Solver Reused;
+    for (size_t V = 0; V != NumVars; ++V)
+      Reused.newVar();
+    bool Ok = true;
+    for (const auto &C : Clauses)
+      Ok = Reused.addClause(C) && Ok;
+    if (!Ok)
+      continue;
+
+    for (int Cube = 0; Cube != 16; ++Cube) {
+      std::vector<Lit> Assumptions;
+      for (int B = 0; B != 4; ++B)
+        Assumptions.push_back(
+            Lit(static_cast<Var>(B), (Cube >> B) & 1));
+      Solver Fresh;
+      for (size_t V = 0; V != NumVars; ++V)
+        Fresh.newVar();
+      for (const auto &C : Clauses)
+        Fresh.addClause(C);
+      SolveResult A = Reused.solve(Assumptions);
+      SolveResult B = Fresh.solve(Assumptions);
+      ASSERT_EQ(A, B) << "trial " << Trial << " cube " << Cube;
+      if (A == SolveResult::Sat)
+        for (const auto &C : Clauses) {
+          bool SatC = false;
+          for (Lit L : C)
+            SatC |= Reused.modelValue(L.var()) != L.negated();
+          EXPECT_TRUE(SatC) << "trial " << Trial << " cube " << Cube;
+        }
+    }
+  }
+}

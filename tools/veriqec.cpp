@@ -1,0 +1,651 @@
+//===- tools/veriqec.cpp - Batch verification CLI driver -------------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One binary for every workload in bench/ and examples/: select codes and
+/// scenarios by name, verify a single triple or a whole batch over the
+/// work-stealing engine, check the precise-detection property, or parse a
+/// program file from the paper's concrete syntax. Supports --jobs,
+/// --split-threshold, --card-enc and --json; exit code 0 = everything
+/// verified, 1 = a counterexample was found, 2 = usage or structural
+/// error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "engine/VerificationEngine.h"
+#include "prog/Parser.h"
+#include "qec/Codes.h"
+#include "verifier/Verifier.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace veriqec;
+
+namespace {
+
+// -- Option parsing ----------------------------------------------------------
+
+struct CliOptions {
+  std::string Command;
+  std::vector<std::string> Codes;
+  std::vector<std::string> ScenarioNames{"memory"};
+  std::string Suite;
+  std::string ProgramFile;
+  PauliKind ErrorKind = PauliKind::Y;
+  std::string Basis = "Z"; // Z, X or both
+  std::optional<uint32_t> MaxErrors;
+  size_t Cycles = 2;
+  size_t MaxWeight = 0; // detect: 0 = distance - 1
+  size_t Jobs = 0;
+  bool Sequential = false;
+  uint32_t SplitThreshold = 0;
+  smt::CardinalityEncoding CardEnc =
+      smt::CardinalityEncoding::SequentialCounter;
+  uint64_t ConflictBudget = 0;
+  bool Json = false;
+};
+
+void printUsage(std::FILE *To) {
+  std::fprintf(
+      To,
+      "usage: veriqec <command> [options]\n"
+      "\n"
+      "commands:\n"
+      "  list-codes            print the code registry\n"
+      "  verify                verify scenarios (batch when several are\n"
+      "                        selected; all cubes share one pool)\n"
+      "  detect                precise-detection property (Eqn. 15)\n"
+      "  parse <file>          parse a program file and pretty-print it\n"
+      "\n"
+      "selection:\n"
+      "  --code A[,B...]       steane, five-qubit, six-qubit, repetition<N>,\n"
+      "                        surface<D>, xzzx<D>, reed-muller<R>,\n"
+      "                        gottesman<R>, dodecacode, honeycomb, hgp98,\n"
+      "                        tanner1, tanner2, cube832, carbon,\n"
+      "                        triorthogonal<K>, campbell-howard<K>\n"
+      "  --scenario A[,B...]   memory, logical-h, multicycle,\n"
+      "                        correction-step, ghz, cnot (default memory)\n"
+      "  --suite NAME          preset batch: fig4, fig9, table3\n"
+      "  --error X|Y|Z         injected Pauli kind (default Y)\n"
+      "  --basis Z|X|both      logical basis family (default Z)\n"
+      "  --max-errors N        error budget (default (d-1)/2)\n"
+      "  --cycles N            rounds for multicycle (default 2)\n"
+      "  --max-weight W        detect: max error weight (default d-1)\n"
+      "  --program FILE        replace the generated program with FILE\n"
+      "\n"
+      "engine:\n"
+      "  --jobs N              worker threads (default: hardware)\n"
+      "  --sequential          disable cube-and-conquer splitting\n"
+      "  --split-threshold T   ET threshold (default: number of qubits)\n"
+      "  --card-enc seq|pairwise   cardinality encoding (default seq)\n"
+      "  --budget N            conflict budget per solver (default none)\n"
+      "\n"
+      "output:\n"
+      "  --json                machine-readable results on stdout\n");
+}
+
+bool splitList(const std::string &Arg, std::vector<std::string> &Out) {
+  Out.clear();
+  std::stringstream Ss(Arg);
+  std::string Item;
+  while (std::getline(Ss, Item, ','))
+    if (!Item.empty())
+      Out.push_back(Item);
+  return !Out.empty();
+}
+
+/// Parses "<stem><number>" (e.g. "surface5") into its parts.
+bool splitStemNumber(const std::string &Name, const std::string &Stem,
+                     size_t &Number) {
+  if (Name.size() <= Stem.size() || Name.compare(0, Stem.size(), Stem) != 0)
+    return false;
+  char *End = nullptr;
+  unsigned long V = std::strtoul(Name.c_str() + Stem.size(), &End, 10);
+  if (*End != '\0' || V == 0)
+    return false;
+  Number = V;
+  return true;
+}
+
+std::optional<StabilizerCode> makeCodeByName(const std::string &Name) {
+  size_t N = 0;
+  if (Name == "steane")
+    return makeSteaneCode();
+  if (Name == "five-qubit")
+    return makeFiveQubitCode();
+  if (Name == "six-qubit")
+    return makeSixQubitCode();
+  if (Name == "dodecacode")
+    return makeDodecacodeSubstitute();
+  if (Name == "honeycomb")
+    return makeHoneycombSubstitute();
+  if (Name == "hgp98")
+    return makeHgp98();
+  if (Name == "tanner1")
+    return makeTannerISubstitute();
+  if (Name == "tanner2")
+    return makeTannerIISubstitute();
+  if (Name == "cube832")
+    return makeCube832();
+  if (Name == "carbon")
+    return makeCarbonSubstitute();
+  if (splitStemNumber(Name, "repetition", N))
+    return makeRepetitionCode(N);
+  if (splitStemNumber(Name, "surface", N))
+    return makeRotatedSurfaceCode(N);
+  if (splitStemNumber(Name, "xzzx", N))
+    return makeXzzxSurfaceCode(N, N);
+  if (splitStemNumber(Name, "reed-muller", N))
+    return makeReedMullerCode(N);
+  if (splitStemNumber(Name, "gottesman", N))
+    return makeGottesmanCode(N);
+  if (splitStemNumber(Name, "triorthogonal", N))
+    return makeTriorthogonalSubstitute(N);
+  if (splitStemNumber(Name, "campbell-howard", N))
+    return makeCampbellHowardSubstitute(N);
+  return std::nullopt;
+}
+
+// -- Scenario construction ---------------------------------------------------
+
+uint32_t defaultBudget(const StabilizerCode &Code) {
+  return Code.Distance >= 3 ? static_cast<uint32_t>((Code.Distance - 1) / 2)
+                            : 1;
+}
+
+std::optional<Scenario> makeScenarioByName(const StabilizerCode &Code,
+                                           const std::string &Name,
+                                           LogicalBasis Basis,
+                                           const CliOptions &Cli) {
+  uint32_t Budget = Cli.MaxErrors ? *Cli.MaxErrors : defaultBudget(Code);
+  if (Name == "memory")
+    return makeMemoryScenario(Code, Cli.ErrorKind, Basis, Budget);
+  if (Name == "logical-h")
+    return makeLogicalHScenario(Code, Cli.ErrorKind, Basis, Budget);
+  if (Name == "multicycle")
+    return makeMultiCycleScenario(Code, Cli.ErrorKind, Basis, Cli.Cycles,
+                                  Budget);
+  if (Name == "correction-step")
+    return makeCorrectionStepErrorScenario(Code, Cli.ErrorKind, Basis,
+                                           Budget);
+  if (Name == "ghz")
+    return makeGhzScenario(Code, Cli.ErrorKind, Basis, Budget);
+  if (Name == "cnot")
+    return makeLogicalCnotScenario(Code, Cli.ErrorKind, Basis, Budget);
+  return std::nullopt;
+}
+
+std::vector<LogicalBasis> selectedBases(const CliOptions &Cli) {
+  if (Cli.Basis == "both")
+    return {LogicalBasis::Z, LogicalBasis::X};
+  return {Cli.Basis == "X" ? LogicalBasis::X : LogicalBasis::Z};
+}
+
+/// Expands the --suite presets into (code, scenario) selections.
+bool expandSuite(CliOptions &Cli) {
+  if (Cli.Suite == "fig4") {
+    // General verification on growing surface codes, memory scenario.
+    Cli.Codes = {"surface3", "surface5"};
+    Cli.ScenarioNames = {"memory"};
+    return true;
+  }
+  if (Cli.Suite == "fig9") {
+    // The fault-tolerant gadget scenarios on the Steane code.
+    Cli.Codes = {"steane"};
+    Cli.ScenarioNames = {"memory", "logical-h", "multicycle",
+                         "correction-step", "ghz", "cnot"};
+    return true;
+  }
+  if (Cli.Suite == "table3") {
+    // The odd-distance rows of the Table 3 suite at CLI-friendly size.
+    Cli.Codes = {"repetition5", "steane",     "five-qubit", "six-qubit",
+                 "surface3",    "xzzx3",      "reed-muller3", "dodecacode",
+                 "honeycomb"};
+    Cli.ScenarioNames = {"memory"};
+    return true;
+  }
+  return Cli.Suite.empty();
+}
+
+// -- Output ------------------------------------------------------------------
+
+std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    unsigned char U = static_cast<unsigned char>(C);
+    if (C == '"' || C == '\\') {
+      Out += '\\';
+      Out += C;
+    } else if (C == '\n') {
+      Out += "\\n";
+    } else if (U < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", U);
+      Out += Buf;
+    } else {
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+struct RunRecord {
+  std::string Code;
+  std::string Scenario;
+  std::string Basis;
+  size_t NumQubits = 0;
+  VerificationResult Result;
+};
+
+void printRecordText(const RunRecord &R) {
+  if (!R.Result.StructuralOk) {
+    std::printf("%-14s %-16s %s  ERROR: %s\n", R.Code.c_str(),
+                R.Scenario.c_str(), R.Basis.c_str(), R.Result.Error.c_str());
+    return;
+  }
+  std::printf("%-14s %-16s %s  %-10s %8.1f ms  %5llu/%llu cubes  %llu "
+              "conflicts\n",
+              R.Code.c_str(), R.Scenario.c_str(), R.Basis.c_str(),
+              R.Result.Verified ? "VERIFIED"
+              : R.Result.Aborted ? "ABORTED"
+                                 : "FAILED",
+              R.Result.Seconds * 1e3,
+              static_cast<unsigned long long>(R.Result.CubesSolved),
+              static_cast<unsigned long long>(R.Result.NumCubes),
+              static_cast<unsigned long long>(R.Result.Stats.Conflicts));
+  if (!R.Result.Verified && !R.Result.CounterExample.empty()) {
+    std::printf("  counterexample:");
+    int Shown = 0;
+    for (const auto &[Name, Value] : R.Result.CounterExample)
+      if (Value && Name[0] == 'e' && Shown++ < 12)
+        std::printf(" %s", Name.c_str());
+    std::printf("\n");
+  }
+}
+
+void printRecordJson(const RunRecord &R, bool Last) {
+  std::printf("  {\"code\": \"%s\", \"scenario\": \"%s\", \"basis\": \"%s\", "
+              "\"qubits\": %zu, ",
+              jsonEscape(R.Code).c_str(), jsonEscape(R.Scenario).c_str(),
+              R.Basis.c_str(), R.NumQubits);
+  if (!R.Result.StructuralOk) {
+    std::printf("\"error\": \"%s\"}%s\n", jsonEscape(R.Result.Error).c_str(),
+                Last ? "" : ",");
+    return;
+  }
+  std::printf("\"verified\": %s, \"aborted\": %s, \"seconds\": %.6f, "
+              "\"goals\": %zu, "
+              "\"cubes\": %llu, \"cubes_solved\": %llu, \"conflicts\": %llu, "
+              "\"decisions\": %llu, \"propagations\": %llu",
+              R.Result.Verified ? "true" : "false",
+              R.Result.Aborted ? "true" : "false", R.Result.Seconds,
+              R.Result.NumGoals,
+              static_cast<unsigned long long>(R.Result.NumCubes),
+              static_cast<unsigned long long>(R.Result.CubesSolved),
+              static_cast<unsigned long long>(R.Result.Stats.Conflicts),
+              static_cast<unsigned long long>(R.Result.Stats.Decisions),
+              static_cast<unsigned long long>(R.Result.Stats.Propagations));
+  if (!R.Result.Verified && !R.Result.CounterExample.empty()) {
+    std::printf(", \"counterexample\": {");
+    bool First = true;
+    for (const auto &[Name, Value] : R.Result.CounterExample) {
+      if (!Value)
+        continue;
+      std::printf("%s\"%s\": true", First ? "" : ", ",
+                  jsonEscape(Name).c_str());
+      First = false;
+    }
+    std::printf("}");
+  }
+  std::printf("}%s\n", Last ? "" : ",");
+}
+
+// -- Commands ----------------------------------------------------------------
+
+int runListCodes() {
+  const char *Names[] = {"repetition3", "repetition5",  "steane",
+                         "five-qubit",  "six-qubit",    "surface3",
+                         "surface5",    "xzzx3",        "reed-muller3",
+                         "gottesman3",  "dodecacode",   "honeycomb",
+                         "hgp98",       "tanner1",      "tanner2",
+                         "cube832",     "carbon",       "triorthogonal2",
+                         "campbell-howard2"};
+  std::printf("%-20s %-34s n    k   d\n", "name", "construction");
+  for (const char *Name : Names) {
+    std::optional<StabilizerCode> Code = makeCodeByName(Name);
+    if (!Code)
+      continue;
+    std::printf("%-20s %-34s %-4zu %-3zu %zu\n", Name, Code->Name.c_str(),
+                Code->NumQubits, Code->NumLogical, Code->Distance);
+  }
+  return 0;
+}
+
+int runParse(const CliOptions &Cli) {
+  std::ifstream In(Cli.ProgramFile);
+  if (!In) {
+    std::fprintf(stderr, "veriqec: cannot open %s\n",
+                 Cli.ProgramFile.c_str());
+    return 2;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  ParseResult PR = parseProgram(Buffer.str());
+  if (auto *Err = std::get_if<ParseError>(&PR)) {
+    std::fprintf(stderr, "veriqec: %s\n", Err->render().c_str());
+    return 2;
+  }
+  StmtPtr Prog = Stmt::flatten(std::get<StmtPtr>(PR));
+  std::printf("%s\n", Prog->toString(0).c_str());
+  return 0;
+}
+
+std::optional<StmtPtr> loadProgramFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "veriqec: cannot open %s\n", Path.c_str());
+    return std::nullopt;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  ParseResult PR = parseProgram(Buffer.str());
+  if (auto *Err = std::get_if<ParseError>(&PR)) {
+    std::fprintf(stderr, "veriqec: %s: %s\n", Path.c_str(),
+                 Err->render().c_str());
+    return std::nullopt;
+  }
+  return Stmt::flatten(std::get<StmtPtr>(PR));
+}
+
+int runVerify(const CliOptions &Cli) {
+  std::vector<RunRecord> Records;
+  std::vector<Scenario> Scenarios;
+  for (const std::string &CodeName : Cli.Codes) {
+    std::optional<StabilizerCode> Code = makeCodeByName(CodeName);
+    if (!Code) {
+      std::fprintf(stderr, "veriqec: unknown code '%s'\n", CodeName.c_str());
+      return 2;
+    }
+    for (const std::string &ScenarioName : Cli.ScenarioNames) {
+      for (LogicalBasis Basis : selectedBases(Cli)) {
+        std::optional<Scenario> S =
+            makeScenarioByName(*Code, ScenarioName, Basis, Cli);
+        if (!S) {
+          std::fprintf(stderr, "veriqec: unknown scenario '%s'\n",
+                       ScenarioName.c_str());
+          return 2;
+        }
+        if (!Cli.ProgramFile.empty()) {
+          std::optional<StmtPtr> Prog = loadProgramFile(Cli.ProgramFile);
+          if (!Prog)
+            return 2;
+          S->Program = *Prog;
+          S->Name += "+" + Cli.ProgramFile;
+        }
+        RunRecord R;
+        R.Code = CodeName;
+        R.Scenario = ScenarioName;
+        R.Basis = Basis == LogicalBasis::X ? "X" : "Z";
+        R.NumQubits = S->NumQubits;
+        Records.push_back(std::move(R));
+        Scenarios.push_back(std::move(*S));
+      }
+    }
+  }
+  if (Scenarios.empty()) {
+    std::fprintf(stderr, "veriqec: nothing selected (use --code)\n");
+    return 2;
+  }
+
+  VerifyOptions VO;
+  VO.Parallel = !Cli.Sequential;
+  VO.Threads = Cli.Jobs;
+  VO.SplitThreshold = Cli.SplitThreshold;
+  VO.CardEnc = Cli.CardEnc;
+  VO.ConflictBudget = Cli.ConflictBudget;
+
+  engine::VerificationEngine Engine(Cli.Jobs);
+  std::vector<VerificationResult> Results =
+      Engine.verifyAll(Scenarios, VO);
+  for (size_t I = 0; I != Results.size(); ++I)
+    Records[I].Result = std::move(Results[I]);
+
+  bool AnyFailed = false, AnyError = false;
+  sat::SolverStats Total;
+  double TotalSeconds = 0;
+  for (const RunRecord &R : Records) {
+    // Aborted (budget-exhausted) runs are inconclusive, not refuted:
+    // report them as errors rather than counterexamples.
+    AnyError |= !R.Result.StructuralOk ||
+                (R.Result.StructuralOk && R.Result.Aborted);
+    AnyFailed |= R.Result.StructuralOk && !R.Result.Verified &&
+                 !R.Result.Aborted;
+    Total.Conflicts += R.Result.Stats.Conflicts;
+    Total.Decisions += R.Result.Stats.Decisions;
+    Total.Propagations += R.Result.Stats.Propagations;
+    TotalSeconds += R.Result.Seconds;
+  }
+
+  if (Cli.Json) {
+    std::printf("[\n");
+    for (size_t I = 0; I != Records.size(); ++I)
+      printRecordJson(Records[I], I + 1 == Records.size());
+    std::printf("]\n");
+  } else {
+    for (const RunRecord &R : Records)
+      printRecordText(R);
+    if (Records.size() > 1)
+      std::printf("batch: %zu scenarios, %.1f ms scenario-time total, "
+                  "%llu conflicts, %zu workers\n",
+                  Records.size(), TotalSeconds * 1e3,
+                  static_cast<unsigned long long>(Total.Conflicts),
+                  Engine.numWorkers());
+  }
+  return AnyError ? 2 : AnyFailed ? 1 : 0;
+}
+
+int runDetect(const CliOptions &Cli) {
+  int Exit = 0;
+  bool First = true;
+  if (Cli.Json)
+    std::printf("[\n");
+  for (size_t I = 0; I != Cli.Codes.size(); ++I) {
+    const std::string &CodeName = Cli.Codes[I];
+    std::optional<StabilizerCode> Code = makeCodeByName(CodeName);
+    if (!Code) {
+      std::fprintf(stderr, "veriqec: unknown code '%s'\n", CodeName.c_str());
+      return 2;
+    }
+    size_t MaxWeight =
+        Cli.MaxWeight ? Cli.MaxWeight
+                      : (Code->Distance >= 2 ? Code->Distance - 1 : 1);
+    VerifyOptions VO;
+    VO.Parallel = !Cli.Sequential;
+    VO.Threads = Cli.Jobs;
+    VO.SplitThreshold = Cli.SplitThreshold;
+    VO.CardEnc = Cli.CardEnc;
+    VO.ConflictBudget = Cli.ConflictBudget;
+    DetectionResult R = verifyDetection(*Code, MaxWeight, VO);
+    if (!R.Detects)
+      Exit = 1;
+    if (Cli.Json) {
+      std::printf("%s  {\"code\": \"%s\", \"max_weight\": %zu, "
+                  "\"detects\": %s, \"seconds\": %.6f%s}",
+                  First ? "" : ",\n", jsonEscape(CodeName).c_str(), MaxWeight,
+                  R.Detects ? "true" : "false", R.Seconds,
+                  R.CounterExample
+                      ? (", \"counterexample\": \"" +
+                         jsonEscape(R.CounterExample->toString()) + "\"")
+                            .c_str()
+                      : "");
+      First = false;
+    } else {
+      std::printf("%-20s weight<=%zu  %s  (%.1f ms)\n", CodeName.c_str(),
+                  MaxWeight, R.Detects ? "DETECTS" : "MISSES",
+                  R.Seconds * 1e3);
+      if (R.CounterExample)
+        std::printf("  undetected logical operator: %s\n",
+                    R.CounterExample->toString().c_str());
+    }
+  }
+  if (Cli.Json)
+    std::printf("\n]\n");
+  return Exit;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliOptions Cli;
+  std::vector<std::string> Args(Argv + 1, Argv + Argc);
+  if (Args.empty()) {
+    printUsage(stderr);
+    return 2;
+  }
+  Cli.Command = Args[0];
+
+  auto needValue = [&](size_t &I) -> const std::string * {
+    if (I + 1 >= Args.size()) {
+      std::fprintf(stderr, "veriqec: %s needs a value\n", Args[I].c_str());
+      return nullptr;
+    }
+    return &Args[++I];
+  };
+
+  for (size_t I = 1; I < Args.size(); ++I) {
+    const std::string &A = Args[I];
+    const std::string *V = nullptr;
+    if (A == "--json") {
+      Cli.Json = true;
+    } else if (A == "--sequential") {
+      Cli.Sequential = true;
+    } else if (A == "--code") {
+      if (!(V = needValue(I)))
+        return 2;
+      if (!splitList(*V, Cli.Codes)) {
+        std::fprintf(stderr, "veriqec: --code needs a non-empty list\n");
+        return 2;
+      }
+    } else if (A == "--scenario") {
+      if (!(V = needValue(I)))
+        return 2;
+      if (!splitList(*V, Cli.ScenarioNames)) {
+        std::fprintf(stderr, "veriqec: --scenario needs a non-empty list\n");
+        return 2;
+      }
+    } else if (A == "--suite") {
+      if (!(V = needValue(I)))
+        return 2;
+      Cli.Suite = *V;
+    } else if (A == "--program") {
+      if (!(V = needValue(I)))
+        return 2;
+      Cli.ProgramFile = *V;
+    } else if (A == "--error") {
+      if (!(V = needValue(I)))
+        return 2;
+      if (*V == "X")
+        Cli.ErrorKind = PauliKind::X;
+      else if (*V == "Y")
+        Cli.ErrorKind = PauliKind::Y;
+      else if (*V == "Z")
+        Cli.ErrorKind = PauliKind::Z;
+      else {
+        std::fprintf(stderr, "veriqec: --error must be X, Y or Z\n");
+        return 2;
+      }
+    } else if (A == "--basis") {
+      if (!(V = needValue(I)))
+        return 2;
+      if (*V != "Z" && *V != "X" && *V != "both") {
+        std::fprintf(stderr, "veriqec: --basis must be Z, X or both\n");
+        return 2;
+      }
+      Cli.Basis = *V;
+    } else if (A == "--max-errors") {
+      if (!(V = needValue(I)))
+        return 2;
+      Cli.MaxErrors = static_cast<uint32_t>(std::strtoul(V->c_str(), nullptr, 10));
+    } else if (A == "--cycles") {
+      if (!(V = needValue(I)))
+        return 2;
+      Cli.Cycles = std::strtoul(V->c_str(), nullptr, 10);
+    } else if (A == "--max-weight") {
+      if (!(V = needValue(I)))
+        return 2;
+      Cli.MaxWeight = std::strtoul(V->c_str(), nullptr, 10);
+    } else if (A == "--jobs") {
+      if (!(V = needValue(I)))
+        return 2;
+      Cli.Jobs = std::strtoul(V->c_str(), nullptr, 10);
+    } else if (A == "--split-threshold") {
+      if (!(V = needValue(I)))
+        return 2;
+      Cli.SplitThreshold =
+          static_cast<uint32_t>(std::strtoul(V->c_str(), nullptr, 10));
+    } else if (A == "--budget") {
+      if (!(V = needValue(I)))
+        return 2;
+      Cli.ConflictBudget = std::strtoull(V->c_str(), nullptr, 10);
+    } else if (A == "--card-enc") {
+      if (!(V = needValue(I)))
+        return 2;
+      if (*V == "seq")
+        Cli.CardEnc = smt::CardinalityEncoding::SequentialCounter;
+      else if (*V == "pairwise")
+        Cli.CardEnc = smt::CardinalityEncoding::PairwiseNaive;
+      else {
+        std::fprintf(stderr, "veriqec: --card-enc must be seq or pairwise\n");
+        return 2;
+      }
+    } else if (A == "--help" || A == "-h") {
+      printUsage(stdout);
+      return 0;
+    } else if (Cli.Command == "parse" && Cli.ProgramFile.empty() &&
+               A[0] != '-') {
+      Cli.ProgramFile = A;
+    } else {
+      std::fprintf(stderr, "veriqec: unknown option '%s'\n", A.c_str());
+      printUsage(stderr);
+      return 2;
+    }
+  }
+
+  if (!expandSuite(Cli)) {
+    std::fprintf(stderr, "veriqec: unknown suite '%s'\n", Cli.Suite.c_str());
+    return 2;
+  }
+
+  if (Cli.Command == "list-codes")
+    return runListCodes();
+  if (Cli.Command == "parse") {
+    if (Cli.ProgramFile.empty()) {
+      std::fprintf(stderr, "veriqec: parse needs a file\n");
+      return 2;
+    }
+    return runParse(Cli);
+  }
+  if (Cli.Command == "verify")
+    return runVerify(Cli);
+  if (Cli.Command == "detect") {
+    if (Cli.Codes.empty()) {
+      std::fprintf(stderr, "veriqec: detect needs --code\n");
+      return 2;
+    }
+    return runDetect(Cli);
+  }
+  std::fprintf(stderr, "veriqec: unknown command '%s'\n",
+               Cli.Command.c_str());
+  printUsage(stderr);
+  return 2;
+}
