@@ -83,6 +83,9 @@ void runCube(ProblemRun &Run, size_t CubeIdx, WaitGroup &Wg) {
       Slot->attachSharedPool(&Run.LearntPool, Worker);
       if (Run.Input->Opts.ConflictBudget)
         Slot->setConflictBudget(Run.Input->Opts.ConflictBudget);
+      if (Run.Input->Opts.RandomSeed)
+        Slot->setRandomSeed(Run.Input->Opts.RandomSeed +
+                            static_cast<uint64_t>(Worker) + 1);
     }
     SolveResult R = Slot->solve(Run.Cubes[CubeIdx]);
     if (R != SolveResult::Aborted)

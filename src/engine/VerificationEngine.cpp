@@ -28,38 +28,9 @@ struct PreparedScenario {
 void prepareScenario(const Scenario &S, const VerifyOptions &Opts,
                      PreparedScenario &P) {
   Timer Clock;
-  SymbolicFlow Flow(S.NumQubits);
-  for (const GenSpec &G : S.Pre) {
-    PhaseExpr Phase(G.PhaseConstant);
-    if (!G.PhaseVar.empty())
-      Phase.xorVar(Flow.vars().id(G.PhaseVar));
-    Flow.addInitialGenerator(G.Base, Phase);
-  }
-  FlowResult FR = Flow.run(S.Program);
-  if (!FR.Ok) {
-    P.Result.Error = "symbolic flow: " + FR.Error;
-    P.BuildSeconds = Clock.seconds();
-    return;
-  }
-
-  VcSpec Spec;
-  Spec.Vars = &Flow.vars();
-  Spec.Flow = std::move(FR);
-  for (const GenSpec &G : S.Post) {
-    PhaseExpr Phase(G.PhaseConstant);
-    if (!G.PhaseVar.empty())
-      Phase.xorVar(Flow.vars().id(G.PhaseVar));
-    Spec.Targets.push_back({G.Base, std::move(Phase)});
-  }
-  Spec.ErrorVars = S.ErrorVars;
-  Spec.MaxTotalErrors = S.MaxErrors;
-  Spec.ParityConstraints = S.Parity;
-  Spec.WeightConstraints = S.Weights;
-  Spec.ExtraConstraint = Opts.ExtraConstraint;
-
-  P.Vc = buildVc(P.Ctx, Spec);
+  P.Vc = buildScenarioVc(P.Ctx, S, Opts);
   if (!P.Vc.Ok) {
-    P.Result.Error = "vc assembly: " + P.Vc.Error;
+    P.Result.Error = P.Vc.Error;
     P.BuildSeconds = Clock.seconds();
     return;
   }
@@ -74,6 +45,7 @@ SolveOptions makeSolveOptions(const Scenario &S, const VerifyOptions &Opts) {
   SolveOptions SO;
   SO.CardEnc = Opts.CardEnc;
   SO.ConflictBudget = Opts.ConflictBudget;
+  SO.RandomSeed = Opts.RandomSeed;
   if (Opts.Parallel && !S.ErrorVars.empty()) {
     SO.SplitVars = S.ErrorVars;
     SO.DistanceHint = std::max<uint32_t>(
@@ -98,6 +70,43 @@ void applyOutcome(SolveOutcome &&Outcome, PreparedScenario &P) {
 }
 
 } // namespace
+
+BuiltVc veriqec::engine::buildScenarioVc(BoolContext &Ctx, const Scenario &S,
+                                         const VerifyOptions &Opts) {
+  SymbolicFlow Flow(S.NumQubits);
+  for (const GenSpec &G : S.Pre) {
+    PhaseExpr Phase(G.PhaseConstant);
+    if (!G.PhaseVar.empty())
+      Phase.xorVar(Flow.vars().id(G.PhaseVar));
+    Flow.addInitialGenerator(G.Base, Phase);
+  }
+  FlowResult FR = Flow.run(S.Program);
+  if (!FR.Ok) {
+    BuiltVc Out;
+    Out.Error = "symbolic flow: " + FR.Error;
+    return Out;
+  }
+
+  VcSpec Spec;
+  Spec.Vars = &Flow.vars();
+  Spec.Flow = std::move(FR);
+  for (const GenSpec &G : S.Post) {
+    PhaseExpr Phase(G.PhaseConstant);
+    if (!G.PhaseVar.empty())
+      Phase.xorVar(Flow.vars().id(G.PhaseVar));
+    Spec.Targets.push_back({G.Base, std::move(Phase)});
+  }
+  Spec.ErrorVars = S.ErrorVars;
+  Spec.MaxTotalErrors = S.MaxErrors;
+  Spec.ParityConstraints = S.Parity;
+  Spec.WeightConstraints = S.Weights;
+  Spec.ExtraConstraint = Opts.ExtraConstraint;
+
+  BuiltVc Vc = buildVc(Ctx, Spec);
+  if (!Vc.Ok)
+    Vc.Error = "vc assembly: " + Vc.Error;
+  return Vc;
+}
 
 VerificationResult VerificationEngine::verify(const Scenario &S,
                                               const VerifyOptions &Opts) {

@@ -26,6 +26,15 @@
 
 namespace veriqec::engine {
 
+/// Steps 1-2 of the verification pipeline — symbolic flow plus negated-VC
+/// assembly into \p Ctx — without the SAT discharge. The engine's own
+/// verifyAll() runs on this; it is exposed so the testing/ oracles can
+/// re-evaluate engine verdicts (certificate checking needs the exact
+/// BoolExpr the engine solved). \p Ctx must outlive any solving of the
+/// returned VC.
+BuiltVc buildScenarioVc(smt::BoolContext &Ctx, const Scenario &S,
+                        const VerifyOptions &Opts = {});
+
 class VerificationEngine {
 public:
   /// \p NumThreads = 0 picks the hardware concurrency.

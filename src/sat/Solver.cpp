@@ -303,6 +303,14 @@ void Solver::backtrack(int32_t ToLevel) {
 }
 
 Lit Solver::pickBranchLit() {
+  // Seeded tie-break: ~2% of decisions branch on a random unassigned
+  // variable with a random polarity. The variable stays in the heap; a
+  // later pop sees it assigned and skips it.
+  if (RandomizeBranching && !Heap.empty() && TieRng.nextBelow(50) == 0) {
+    Var V = Heap[TieRng.nextBelow(Heap.size())];
+    if (Assigns[V] == LBool::Undef)
+      return Lit(V, TieRng.nextBool());
+  }
   while (!Heap.empty()) {
     Var V = heapPop();
     if (Assigns[V] == LBool::Undef)
@@ -414,6 +422,9 @@ SolveResult Solver::solve(const std::vector<Lit> &Assumptions) {
       if (SharedPool && Learnt.size() <= PoolMaxShareLen)
         SharedPool->publish(PoolOwnerId, Learnt);
       backtrack(BtLevel);
+      if (static_cast<size_t>(decisionLevel()) < Assumptions.size() &&
+          declareUnsatOnPrefixBackjump())
+        return SolveResult::Unsat; // the re-introducible PR 1 bug (seam)
       if (Learnt.size() == 1) {
         if (valueOf(Learnt[0]) == LBool::False) {
           OkState = false;

@@ -17,6 +17,7 @@
 #define VERIQEC_SAT_SOLVER_H
 
 #include "sat/SatTypes.h"
+#include "support/Rng.h"
 
 #include <atomic>
 #include <cstdint>
@@ -90,6 +91,13 @@ struct SolverStats {
 class Solver {
 public:
   Solver();
+  // The virtual destructor (for the test seam below) would otherwise
+  // suppress the implicit move operations, turning makeSolver() returns
+  // into full clause-database copies. Copies stay protected: copying a
+  // polymorphic solver by value would silently slice a subclass.
+  virtual ~Solver() = default;
+  Solver(Solver &&) = default;
+  Solver &operator=(Solver &&) = default;
 
   /// Creates a fresh variable and returns its index.
   Var newVar();
@@ -136,7 +144,31 @@ public:
     PoolCursor = 0;
   }
 
+  /// Enables seeded random branching tie-breaks: occasionally a random
+  /// (rather than highest-activity) variable is decided, with a random
+  /// polarity. Soundness is unaffected — only the search order changes —
+  /// but runs become exactly reproducible per seed, which is what the
+  /// fuzzing harness needs to replay a failure. Seed 0 restores the
+  /// deterministic pure-VSIDS default.
+  void setRandomSeed(uint64_t Seed) {
+    RandomizeBranching = Seed != 0;
+    TieRng = Rng(Seed);
+  }
+
   const SolverStats &stats() const { return Stats; }
+
+protected:
+  Solver(const Solver &) = default;
+  Solver &operator=(const Solver &) = default;
+
+  /// Test seam for the fuzzing harness: called when a conflict-driven
+  /// backjump lands below the assumption prefix. Returning true declares
+  /// UNSAT right there — the PR 1 soundness bug, which silently flipped
+  /// satisfiable cubes under solver reuse. The production solver always
+  /// returns false (the prefix is re-extended by the search loop);
+  /// harness tests override this to prove the differential oracles catch
+  /// the bug.
+  virtual bool declareUnsatOnPrefixBackjump() const { return false; }
 
 private:
   // -- Internal state ------------------------------------------------------
@@ -169,6 +201,9 @@ private:
   double ClauseInc = 1.0;
   double ClauseDecay = 0.999;
   size_t MaxLearned = 8192;
+
+  bool RandomizeBranching = false;
+  Rng TieRng;
 
   bool OkState = true;
   uint64_t ConflictBudget = 0;

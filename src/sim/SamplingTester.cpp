@@ -32,10 +32,13 @@ uint64_t veriqec::errorConfigurationCount(size_t NumQubits,
 
 SamplingReport veriqec::sampleMemoryCorrection(const StabilizerCode &Code,
                                                Decoder &Dec, size_t MaxWeight,
-                                               uint64_t Samples, Rng &R) {
+                                               uint64_t Samples, Rng &R,
+                                               const SamplingOptions &Opts) {
   SamplingReport Report;
   Timer Clock;
   size_t N = Code.NumQubits;
+  const std::vector<Pauli> &Logicals =
+      Opts.XBasis ? Code.LogicalX : Code.LogicalZ;
   std::unordered_set<size_t> Seen;
 
   for (uint64_t Trial = 0; Trial != Samples; ++Trial) {
@@ -44,19 +47,24 @@ SamplingReport veriqec::sampleMemoryCorrection(const StabilizerCode &Code,
     size_t W = R.nextBelow(MaxWeight + 1);
     for (size_t I = 0; I != W; ++I)
       Error.setKind(R.nextBelow(N),
-                    static_cast<PauliKind>(1 + R.nextBelow(3)));
+                    Opts.OnlyKind
+                        ? *Opts.OnlyKind
+                        : static_cast<PauliKind>(1 + R.nextBelow(3)));
     Error = Error.abs();
     Seen.insert(Error.hash());
 
     // Tableau run: prepare a code state by measuring all generators and
-    // logical Zs (forcing outcome 0 = the logical all-zero family).
+    // basis logicals (forcing outcome 0 = the logical all-zero family).
+    // Starting from |+...+> (Z basis) resp. |0...0> (X basis) makes every
+    // forced measurement either non-deterministic or already 0.
     Tableau State(N);
-    for (size_t Q = 0; Q != N; ++Q)
-      State.applyGate(GateKind::H, Q);
+    if (!Opts.XBasis)
+      for (size_t Q = 0; Q != N; ++Q)
+        State.applyGate(GateKind::H, Q);
     for (const Pauli &G : Code.Generators)
       State.measure(G, R, /*Forced=*/false);
-    for (const Pauli &LZ : Code.LogicalZ)
-      State.measure(LZ, R, /*Forced=*/false);
+    for (const Pauli &L : Logicals)
+      State.measure(L, R, /*Forced=*/false);
 
     State.applyPauli(Error);
 
@@ -69,8 +77,8 @@ SamplingReport veriqec::sampleMemoryCorrection(const StabilizerCode &Code,
     if (std::optional<Pauli> Corr = Dec.decode(Syndrome)) {
       State.applyPauli(*Corr);
       // Logical error iff some logical operator's value flipped.
-      for (const Pauli &LZ : Code.LogicalZ)
-        if (!State.isStabilizedBy(LZ))
+      for (const Pauli &L : Logicals)
+        if (!State.isStabilizedBy(L))
           Failed = true;
       for (const Pauli &G : Code.Generators)
         if (!State.isStabilizedBy(G))

@@ -23,6 +23,7 @@
 #include "support/Rng.h"
 
 #include <cstdint>
+#include <optional>
 
 namespace veriqec {
 
@@ -43,13 +44,26 @@ struct SamplingReport {
 /// against), saturating at UINT64_MAX.
 uint64_t errorConfigurationCount(size_t NumQubits, size_t MaxWeight);
 
+/// Restrictions on the sampled error model, so sampling can mirror a
+/// verification scenario (which fixes the injected Pauli letter and the
+/// logical basis family it certifies).
+struct SamplingOptions {
+  /// Restrict injected errors to this single Pauli letter (the scenario
+  /// error model); nullopt draws X/Y/Z uniformly.
+  std::optional<PauliKind> OnlyKind;
+  /// Prepare and check the logical X family (|+...+> and LogicalX)
+  /// instead of the Z family.
+  bool XBasis = false;
+};
+
 /// Runs \p Samples random memory-correction trials on \p Code: inject a
 /// random Pauli error of weight <= MaxWeight, measure syndromes on the
 /// tableau, decode with \p Dec, correct, and test whether the logical
 /// operators are preserved.
 SamplingReport sampleMemoryCorrection(const StabilizerCode &Code,
                                       Decoder &Dec, size_t MaxWeight,
-                                      uint64_t Samples, Rng &R);
+                                      uint64_t Samples, Rng &R,
+                                      const SamplingOptions &Opts = {});
 
 } // namespace veriqec
 

@@ -30,11 +30,15 @@ EncodedProblem::EncodedProblem(const BoolContext &Ctx, ExprRef Root,
 
 sat::Solver EncodedProblem::makeSolver() const {
   sat::Solver S;
+  loadInto(S);
+  return S;
+}
+
+void EncodedProblem::loadInto(sat::Solver &S) const {
   for (size_t I = 0; I != Cnf.NumVars; ++I)
     S.newVar();
   for (const auto &C : Cnf.Clauses)
     S.addClause(C);
-  return S;
 }
 
 void EncodedProblem::readModel(
@@ -57,6 +61,8 @@ SolveOutcome veriqec::smt::solveExpr(const BoolContext &Ctx, ExprRef Root,
   sat::Solver S = Problem.makeSolver();
   if (Opts.ConflictBudget)
     S.setConflictBudget(Opts.ConflictBudget);
+  if (Opts.RandomSeed)
+    S.setRandomSeed(Opts.RandomSeed);
   SolveOutcome Outcome;
   Outcome.Result = S.solve();
   Outcome.Stats = S.stats();

@@ -46,6 +46,10 @@ struct SolveOutcome {
 struct SolveOptions {
   CardinalityEncoding CardEnc = CardinalityEncoding::SequentialCounter;
   uint64_t ConflictBudget = 0; ///< 0 = unlimited
+  /// Nonzero seeds the solver's random branching tie-breaks (each engine
+  /// worker derives its own stream from this), making runs reproducible
+  /// for fuzzing; 0 keeps the deterministic pure-VSIDS order.
+  uint64_t RandomSeed = 0;
 
   // Parallel-only knobs.
   size_t NumThreads = 0; ///< 0 = hardware concurrency
@@ -77,6 +81,11 @@ struct EncodedProblem {
 
   /// A fresh solver loaded with the encoded clauses.
   sat::Solver makeSolver() const;
+
+  /// Loads the encoded clauses into an existing empty solver — the same
+  /// loading makeSolver() performs, shared so factory-made solvers (the
+  /// testing harness's injectable subclasses) cannot diverge from it.
+  void loadInto(sat::Solver &S) const;
 
   /// Reads the named-variable assignment out of a Sat solver.
   void readModel(const sat::Solver &S,

@@ -1,0 +1,43 @@
+//===- support/Json.h - Minimal JSON output helpers -------------*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The string escaping shared by every tool that emits --json output.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_SUPPORT_JSON_H
+#define VERIQEC_SUPPORT_JSON_H
+
+#include <cstdio>
+#include <string>
+
+namespace veriqec {
+
+/// Escapes a string for embedding in a JSON string literal.
+inline std::string jsonEscape(const std::string &S) {
+  std::string Out;
+  for (char C : S) {
+    unsigned char U = static_cast<unsigned char>(C);
+    if (C == '"' || C == '\\') {
+      Out += '\\';
+      Out += C;
+    } else if (C == '\n') {
+      Out += "\\n";
+    } else if (U < 0x20) {
+      char Buf[8];
+      std::snprintf(Buf, sizeof(Buf), "\\u%04x", U);
+      Out += Buf;
+    } else {
+      Out += C;
+    }
+  }
+  return Out;
+}
+
+} // namespace veriqec
+
+#endif // VERIQEC_SUPPORT_JSON_H

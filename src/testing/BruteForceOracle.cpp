@@ -1,0 +1,250 @@
+//===- testing/BruteForceOracle.cpp - Exhaustive scenario oracle -----------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testing/BruteForceOracle.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace veriqec;
+using namespace veriqec::testing;
+
+namespace {
+
+/// One weight constraint, reinterpreted as an enumeration group over its
+/// decoder output variables.
+struct Group {
+  std::vector<std::string> Plain; ///< CSS-style sum(Lhs) <= bound
+  std::vector<std::pair<std::string, std::string>> Pairs; ///< |x or z| form
+  bool UseConstant = false;
+  uint32_t Constant = 0;
+  std::vector<std::string> Rhs;
+
+  uint32_t boundUnder(const CMem &Mem) const {
+    if (UseConstant)
+      return Constant;
+    uint32_t B = 0;
+    for (const std::string &V : Rhs) {
+      auto It = Mem.find(V);
+      B += It != Mem.end() && (It->second & 1);
+    }
+    return B;
+  }
+
+  size_t numVars() const { return Plain.size() + Pairs.size(); }
+};
+
+/// Collects the decoder output variables of the program, in order.
+void collectDecoderVars(const StmtPtr &St, std::vector<std::string> &Out) {
+  if (St->Kind == StmtKind::DecoderCall) {
+    Out.insert(Out.end(), St->Targets.begin(), St->Targets.end());
+    return;
+  }
+  for (const StmtPtr &Child : St->Body)
+    collectDecoderVars(Child, Out);
+}
+
+/// Builds the enumeration groups; empty result + false = unsupported.
+bool buildGroups(const Scenario &S, std::vector<Group> &Groups,
+                 std::string &Why) {
+  std::vector<std::string> DecoderVars;
+  collectDecoderVars(S.Program, DecoderVars);
+  std::set<std::string> Uncovered(DecoderVars.begin(), DecoderVars.end());
+
+  for (const WeightConstraint &W : S.Weights) {
+    Group G;
+    G.Plain = W.Lhs;
+    G.Pairs = W.LhsPairs;
+    G.UseConstant = W.UseConstant;
+    G.Constant = W.RhsConstant;
+    G.Rhs = W.Rhs;
+    auto Claim = [&](const std::string &V) {
+      if (!Uncovered.erase(V)) {
+        Why = "variable '" + V +
+              "' is not a (still uncovered) decoder output";
+        return false;
+      }
+      return true;
+    };
+    for (const std::string &V : G.Plain)
+      if (!Claim(V))
+        return false;
+    for (const auto &[A, B] : G.Pairs)
+      if (!Claim(A) || !Claim(B))
+        return false;
+    Groups.push_back(std::move(G));
+  }
+  if (!Uncovered.empty()) {
+    Why = "decoder output '" + *Uncovered.begin() +
+          "' is not bounded by any weight constraint";
+    return false;
+  }
+  return true;
+}
+
+uint64_t satMul(uint64_t A, uint64_t B) {
+  if (A == 0 || B == 0)
+    return 0;
+  if (A > UINT64_MAX / B)
+    return UINT64_MAX;
+  return A * B;
+}
+
+/// Sum over w = 0..bound of C(n, w) * perChoice^w, saturating.
+uint64_t boundedSubsetCount(size_t N, size_t Bound, uint64_t PerChoice) {
+  uint64_t Total = 0, Choose = 1, Pow = 1;
+  for (size_t W = 0; W <= Bound && W <= N; ++W) {
+    uint64_t Term = satMul(Choose, Pow);
+    Total = Total > UINT64_MAX - Term ? UINT64_MAX : Total + Term;
+    Choose = satMul(Choose, N - W) / (W + 1);
+    Pow = satMul(Pow, PerChoice);
+  }
+  return Total;
+}
+
+/// Recursive enumeration driver.
+struct Enumerator {
+  const Scenario &S;
+  const OracleOptions &O;
+  std::vector<Group> Groups;
+  OracleResult Result;
+  CMem Mem;
+  bool Done = false; ///< counterexample found or budget exhausted
+
+  /// Innermost step: replay the complete assignment.
+  void check() {
+    if (Done)
+      return;
+    if (++Result.Executions > O.WorkBudget) {
+      Result.Status = OracleStatus::Skipped;
+      Result.Detail = "work budget exhausted";
+      Done = true;
+      return;
+    }
+    ReplayResult R = executeScenario(S, Mem);
+    if (!R.Ok) {
+      Result.Status = OracleStatus::Unsupported;
+      Result.Detail = "replay failed: " + R.Error;
+      Done = true;
+      return;
+    }
+    if (!scenarioContractHolds(S, R.Mem))
+      return; // vacuous: the syndrome-match parity filtered this decoder
+    if (!R.PostconditionHolds) {
+      Result.Status = OracleStatus::CounterExample;
+      Result.CounterExample = R.Mem;
+      Done = true;
+    }
+  }
+
+  /// Enumerates subsets of size <= Bound of Group Idx's plain variables,
+  /// then (for pair groups) the per-qubit letter choices.
+  void enumeratePlain(const Group &G, size_t From, uint32_t Left,
+                      size_t GroupIdx) {
+    enumerateGroups(GroupIdx + 1);
+    if (Left == 0 || Done)
+      return;
+    for (size_t I = From; I != G.Plain.size() && !Done; ++I) {
+      Mem[G.Plain[I]] = 1;
+      enumeratePlain(G, I + 1, Left - 1, GroupIdx);
+      Mem[G.Plain[I]] = 0;
+    }
+  }
+
+  void enumeratePairs(const Group &G, size_t From, uint32_t Left,
+                      size_t GroupIdx) {
+    enumerateGroups(GroupIdx + 1);
+    if (Left == 0 || Done)
+      return;
+    for (size_t I = From; I != G.Pairs.size() && !Done; ++I) {
+      const auto &[A, B] = G.Pairs[I];
+      for (int Letter = 0; Letter != 3 && !Done; ++Letter) {
+        Mem[A] = Letter != 1;
+        Mem[B] = Letter != 0;
+        enumeratePairs(G, I + 1, Left - 1, GroupIdx);
+      }
+      Mem[A] = 0;
+      Mem[B] = 0;
+    }
+  }
+
+  void enumerateGroups(size_t GroupIdx) {
+    if (Done)
+      return;
+    if (GroupIdx == Groups.size()) {
+      check();
+      return;
+    }
+    const Group &G = Groups[GroupIdx];
+    uint32_t Bound = G.boundUnder(Mem);
+    if (!G.Pairs.empty())
+      enumeratePairs(G, 0, Bound, GroupIdx);
+    else
+      enumeratePlain(G, 0, Bound, GroupIdx);
+  }
+
+  void enumerateErrors(size_t From, uint32_t Left) {
+    if (Done)
+      return;
+    if (!O.Extra || O.Extra(Mem))
+      enumerateGroups(0);
+    if (Left == 0)
+      return;
+    for (size_t I = From; I != S.ErrorVars.size() && !Done; ++I) {
+      Mem[S.ErrorVars[I]] = 1;
+      enumerateErrors(I + 1, Left - 1);
+      Mem[S.ErrorVars[I]] = 0;
+    }
+  }
+};
+
+} // namespace
+
+uint64_t veriqec::testing::bruteForceWorkEstimate(const Scenario &S) {
+  if (S.MaxErrors == ~uint32_t{0})
+    return UINT64_MAX;
+  std::vector<Group> Groups;
+  std::string Why;
+  if (!buildGroups(S, Groups, Why))
+    return UINT64_MAX;
+  uint64_t Total =
+      boundedSubsetCount(S.ErrorVars.size(), S.MaxErrors, 1);
+  for (const Group &G : Groups) {
+    size_t Bound = G.UseConstant ? G.Constant : S.MaxErrors;
+    uint64_t Count =
+        G.Pairs.empty()
+            ? boundedSubsetCount(G.Plain.size(), Bound, 1)
+            : boundedSubsetCount(G.Pairs.size(), Bound, 3);
+    Total = satMul(Total, Count);
+  }
+  return Total;
+}
+
+OracleResult veriqec::testing::bruteForceVerify(const Scenario &S,
+                                                const OracleOptions &O) {
+  OracleResult Out;
+  if (S.MaxErrors == ~uint32_t{0}) {
+    Out.Detail = "unbounded error budget";
+    return Out;
+  }
+  Enumerator E{S, O, {}, {}, {}, false};
+  if (!buildGroups(S, E.Groups, Out.Detail))
+    return Out;
+
+  // Decoder outputs default to 0 so replays always see them assigned.
+  std::vector<std::string> DecoderVars;
+  collectDecoderVars(S.Program, DecoderVars);
+  for (const std::string &V : DecoderVars)
+    E.Mem[V] = 0;
+  for (const std::string &V : S.ErrorVars)
+    E.Mem[V] = 0;
+
+  E.Result.Status = OracleStatus::Verified;
+  E.enumerateErrors(0, std::min<uint32_t>(
+                           S.MaxErrors,
+                           static_cast<uint32_t>(S.ErrorVars.size())));
+  return E.Result;
+}

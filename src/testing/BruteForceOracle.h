@@ -1,0 +1,61 @@
+//===- testing/BruteForceOracle.h - Exhaustive scenario oracle --*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The trusted second opinion for small instances: enumerate every error
+/// assignment within the scenario's budget and, for each, every decoder
+/// output assignment the minimum-weight contract allows, replay the pair
+/// through the reference executor, and look for a contract-satisfying run
+/// that violates the postcondition. The verdict is derived from nothing
+/// but gf2/pauli arithmetic and the tableau, so agreement with the engine
+/// certifies the whole symbolic/SAT stack on that instance.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_TESTING_BRUTEFORCEORACLE_H
+#define VERIQEC_TESTING_BRUTEFORCEORACLE_H
+
+#include "testing/ReferenceExecutor.h"
+
+#include <cstdint>
+#include <string>
+
+namespace veriqec::testing {
+
+enum class OracleStatus {
+  Verified,       ///< no contract-conforming run violates the postcondition
+  CounterExample, ///< a violating assignment was found (in CounterExample)
+  Skipped,        ///< enumeration exceeded the work budget
+  Unsupported,    ///< scenario shape outside the oracle's fragment
+};
+
+struct OracleResult {
+  OracleStatus Status = OracleStatus::Unsupported;
+  std::string Detail; ///< reason for Skipped/Unsupported
+  CMem CounterExample;
+  uint64_t Executions = 0; ///< replays actually performed
+};
+
+struct OracleOptions {
+  /// Rough cap on the number of replays; enumeration stops (Skipped) when
+  /// exceeded mid-flight.
+  uint64_t WorkBudget = 4000000;
+  /// Input filter mirroring a VerifyOptions::ExtraConstraint.
+  InputPredicate Extra;
+};
+
+/// Upper bound on the number of replays bruteForceVerify would perform
+/// (UINT64_MAX when the scenario is outside the supported fragment).
+uint64_t bruteForceWorkEstimate(const Scenario &S);
+
+/// Exhaustively decides the scenario. Requires a finite error budget and
+/// weight constraints that partition the decoder output variables (true
+/// for every builder in verifier/Scenarios).
+OracleResult bruteForceVerify(const Scenario &S, const OracleOptions &O = {});
+
+} // namespace veriqec::testing
+
+#endif // VERIQEC_TESTING_BRUTEFORCEORACLE_H

@@ -1,0 +1,240 @@
+//===- testing/DifferentialHarness.cpp - Cross-engine differential ---------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testing/DifferentialHarness.h"
+
+#include "decoder/Decoder.h"
+#include "engine/CubeEngine.h"
+#include "engine/VerificationEngine.h"
+#include "sim/SamplingTester.h"
+#include "support/Timer.h"
+#include "testing/BruteForceOracle.h"
+#include "testing/ModelChecker.h"
+
+using namespace veriqec;
+using namespace veriqec::testing;
+using namespace veriqec::smt;
+
+namespace {
+
+char verdictOf(const VerificationResult &R) {
+  if (!R.StructuralOk)
+    return 'E';
+  if (R.Aborted)
+    return 'A';
+  return R.Verified ? 'V' : 'F';
+}
+
+/// Validates one SAT model at both the Boolean and the tableau level.
+void validateModel(const FuzzCase &C, const VerifyOptions &VO,
+                   const std::string &Config,
+                   const std::unordered_map<std::string, bool> &Model,
+                   CaseReport &Report) {
+  BoolContext Ctx;
+  BuiltVc Vc = engine::buildScenarioVc(Ctx, C.Scn, VO);
+  if (!Vc.Ok) {
+    Report.Discrepancies.push_back(Config + ": VC rebuild failed: " +
+                                   Vc.Error);
+    return;
+  }
+  ModelCheckResult MC = evaluateUnderModel(Ctx, Vc.NegatedVc, Model);
+  if (MC.MissingVars)
+    Report.Discrepancies.push_back(
+        Config + ": model misses " + std::to_string(MC.MissingVars) +
+        " context variables");
+  if (!MC.Satisfies)
+    Report.Discrepancies.push_back(
+        Config + ": model does not satisfy the negated VC "
+                 "(encoder or solver certificate bug)");
+  CertificateCheck CC =
+      replayCounterExample(C.Scn, Model, C.Constraint.predicate(C.Scn));
+  if (!CC.Genuine)
+    Report.Discrepancies.push_back(Config + ": counterexample replay: " +
+                                   CC.Why);
+}
+
+/// The harness's own cube discharge: one reused solver (from the
+/// injectable factory) walks the ET cube enumeration under assumptions —
+/// the exact reuse pattern that exposed the PR 1 soundness bug — with
+/// each UNSAT cube optionally re-solved by a fresh baseline solver.
+ConfigVerdict runDirectReuse(const FuzzCase &C, const VerifyOptions &VO,
+                             const HarnessOptions &O, CaseReport &Report) {
+  ConfigVerdict Out;
+  Out.Name = "cube-reuse-direct";
+  BoolContext Ctx;
+  BuiltVc Vc = engine::buildScenarioVc(Ctx, C.Scn, VO);
+  if (!Vc.Ok) {
+    Out.Verdict = 'E';
+    Out.Detail = Vc.Error;
+    return Out;
+  }
+  EncodedProblem Enc(Ctx, Vc.NegatedVc,
+                     CardinalityEncoding::SequentialCounter);
+  std::vector<sat::Var> SplitVars;
+  for (const std::string &Name : C.Scn.ErrorVars)
+    SplitVars.push_back(Enc.varOfName(Name));
+  uint32_t Dist = std::max<uint32_t>(
+      2, C.Scn.MaxErrors == ~uint32_t{0} ? 2 : 2 * C.Scn.MaxErrors + 1);
+  std::vector<std::vector<sat::Lit>> Cubes = engine::enumerateCubes(
+      SplitVars, Dist, static_cast<uint32_t>(C.Scn.NumQubits),
+      C.Scn.MaxErrors);
+
+  std::unique_ptr<sat::Solver> Reused =
+      O.SolverFactory ? O.SolverFactory() : std::make_unique<sat::Solver>();
+  Enc.loadInto(*Reused);
+  if (O.RandomSeed)
+    Reused->setRandomSeed(O.RandomSeed);
+
+  bool Recheck = O.RecheckUnsatCubes && Cubes.size() <= O.MaxCubesRecheck;
+  for (size_t I = 0; I != Cubes.size(); ++I) {
+    sat::SolveResult R = Reused->solve(Cubes[I]);
+    if (R == sat::SolveResult::Sat) {
+      std::unordered_map<std::string, bool> Model;
+      Enc.readModel(*Reused, Model);
+      validateModel(C, VO, Out.Name, Model, Report);
+      Out.Verdict = 'F';
+      return Out;
+    }
+    if (R == sat::SolveResult::Aborted) {
+      Out.Verdict = 'A';
+      return Out;
+    }
+    if (Recheck) {
+      sat::Solver Fresh = Enc.makeSolver();
+      if (Fresh.solve(Cubes[I]) == sat::SolveResult::Sat) {
+        Report.Discrepancies.push_back(
+            Out.Name + ": cube #" + std::to_string(I) +
+            " flipped SAT -> UNSAT under solver reuse "
+            "(assumption-handling soundness bug)");
+        std::unordered_map<std::string, bool> Model;
+        Enc.readModel(Fresh, Model);
+        validateModel(C, VO, Out.Name + "(fresh)", Model, Report);
+        Out.Verdict = 'F';
+        return Out;
+      }
+    }
+  }
+  Out.Verdict = 'V';
+  return Out;
+}
+
+} // namespace
+
+CaseReport veriqec::testing::runDifferential(const FuzzCase &C,
+                                             const HarnessOptions &O) {
+  CaseReport Report;
+  Report.Seed = C.Seed;
+  Report.Description = C.describe();
+  Timer Clock;
+
+  VerifyOptions Base;
+  Base.RandomSeed = O.RandomSeed;
+  Base.ExtraConstraint = C.Constraint.builder(C.Scn);
+
+  struct EngineConfig {
+    std::string Name;
+    VerifyOptions Opts;
+  };
+  std::vector<EngineConfig> Configs;
+  Configs.push_back({"sequential", Base});
+  {
+    VerifyOptions VO = Base;
+    VO.Parallel = true;
+    VO.Threads = 1;
+    Configs.push_back({"cube-j1", VO});
+  }
+  if (O.Jobs > 1) {
+    VerifyOptions VO = Base;
+    VO.Parallel = true;
+    VO.Threads = O.Jobs;
+    Configs.push_back({"cube-j" + std::to_string(O.Jobs), VO});
+  }
+  {
+    VerifyOptions VO = Base;
+    VO.Parallel = true;
+    VO.Threads = 2;
+    VO.SplitThreshold = static_cast<uint32_t>(2 * C.Scn.NumQubits);
+    Configs.push_back({"cube-deep-split", VO});
+  }
+  // The pairwise encoding is O(n^(k+1)); only sane on small instances.
+  if (C.Scn.ErrorVars.size() <= 24 && C.Scn.MaxErrors <= 2) {
+    VerifyOptions VO = Base;
+    VO.CardEnc = CardinalityEncoding::PairwiseNaive;
+    Configs.push_back({"seq-pairwise", VO});
+  }
+
+  for (const EngineConfig &Cfg : Configs) {
+    VerificationResult R = verifyScenario(C.Scn, Cfg.Opts);
+    ConfigVerdict V;
+    V.Name = Cfg.Name;
+    V.Verdict = verdictOf(R);
+    V.Detail = R.Error;
+    if (V.Verdict == 'F' && !R.CounterExample.empty())
+      validateModel(C, Cfg.Opts, Cfg.Name, R.CounterExample, Report);
+    Report.Verdicts.push_back(std::move(V));
+  }
+
+  Report.Verdicts.push_back(runDirectReuse(C, Base, O, Report));
+
+  // Verdict consensus across every configuration.
+  Report.Consensus = Report.Verdicts.front().Verdict;
+  for (const ConfigVerdict &V : Report.Verdicts)
+    if (V.Verdict != Report.Consensus) {
+      std::string Disagreement = "verdicts disagree:";
+      for (const ConfigVerdict &W : Report.Verdicts) {
+        Disagreement += " " + W.Name + "=";
+        Disagreement += W.Verdict;
+      }
+      Report.Discrepancies.push_back(std::move(Disagreement));
+      Report.Consensus = '?';
+      break;
+    }
+
+  // Brute-force oracle on small instances.
+  if (Report.Consensus == 'V' || Report.Consensus == 'F') {
+    uint64_t Estimate = bruteForceWorkEstimate(C.Scn);
+    if (Estimate <= O.BruteBudget) {
+      OracleOptions OO;
+      OO.WorkBudget = O.BruteBudget;
+      OO.Extra = C.Constraint.predicate(C.Scn);
+      OracleResult Oracle = bruteForceVerify(C.Scn, OO);
+      Report.BruteExecutions = Oracle.Executions;
+      if (Oracle.Status == OracleStatus::Verified ||
+          Oracle.Status == OracleStatus::CounterExample) {
+        Report.BruteRan = true;
+        char OracleVerdict =
+            Oracle.Status == OracleStatus::Verified ? 'V' : 'F';
+        if (OracleVerdict != Report.Consensus)
+          Report.Discrepancies.push_back(
+              std::string("brute-force oracle says ") + OracleVerdict +
+              " but engines agreed on " + Report.Consensus);
+      }
+    }
+  }
+
+  // Sampling refuter: a verified memory scenario must survive random
+  // trials against a concrete (contract-conforming) minimum-weight
+  // decoder.
+  if (Report.Consensus == 'V' && C.Shape == FuzzShape::Memory &&
+      C.Constraint.K == ConstraintSpec::Kind::None && O.SamplingTrials) {
+    LookupDecoder Dec(C.Code, C.MaxErrors);
+    Rng R(C.Seed ^ 0x5a5a5a5a5a5a5a5aull);
+    SamplingOptions SO;
+    SO.OnlyKind = C.ErrorKind;
+    SO.XBasis = C.Basis == LogicalBasis::X;
+    SamplingReport SR = sampleMemoryCorrection(
+        C.Code, Dec, C.MaxErrors, O.SamplingTrials, R, SO);
+    Report.SamplingRan = true;
+    if (SR.Failures)
+      Report.Discrepancies.push_back(
+          "sampling refuted the verified verdict (" +
+          std::to_string(SR.Failures) + "/" + std::to_string(SR.Samples) +
+          " trials hit a logical error)");
+  }
+
+  Report.Seconds = Clock.seconds();
+  return Report;
+}

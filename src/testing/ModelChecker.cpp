@@ -1,0 +1,26 @@
+//===- testing/ModelChecker.cpp - Certificate evaluation -------------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testing/ModelChecker.h"
+
+using namespace veriqec;
+using namespace veriqec::testing;
+
+ModelCheckResult veriqec::testing::evaluateUnderModel(
+    const smt::BoolContext &Ctx, smt::ExprRef Root,
+    const std::unordered_map<std::string, bool> &Model) {
+  ModelCheckResult Out;
+  std::vector<bool> Values(Ctx.numVariables(), false);
+  for (uint32_t Id = 0; Id != Ctx.numVariables(); ++Id) {
+    auto It = Model.find(Ctx.varName(Id));
+    if (It == Model.end())
+      ++Out.MissingVars;
+    else
+      Values[Id] = It->second;
+  }
+  Out.Satisfies = Ctx.evaluate(Root, Values);
+  return Out;
+}

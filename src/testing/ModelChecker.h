@@ -1,0 +1,44 @@
+//===- testing/ModelChecker.h - Certificate evaluation ----------*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Validates SAT certificates at the Boolean level: a model claimed by
+/// the solver is re-evaluated against the original BoolExpr DAG with the
+/// context's own evaluator, bypassing the CNF encoding and the solver
+/// entirely. A model that does not satisfy the root expression convicts
+/// the encoder or the solver.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_TESTING_MODELCHECKER_H
+#define VERIQEC_TESTING_MODELCHECKER_H
+
+#include "smt/BoolExpr.h"
+
+#include <string>
+#include <unordered_map>
+
+namespace veriqec::testing {
+
+/// Result of evaluating an expression under a named-variable model.
+struct ModelCheckResult {
+  bool Satisfies = false; ///< the root evaluates to true under the model
+  /// Named variables of the context that the model did not assign (they
+  /// default to false; nonzero counts usually indicate a mismatched
+  /// context).
+  size_t MissingVars = 0;
+};
+
+/// Evaluates \p Root under \p Model. Model entries whose names are not
+/// context variables are ignored; context variables absent from the model
+/// default to false and are counted in MissingVars.
+ModelCheckResult
+evaluateUnderModel(const smt::BoolContext &Ctx, smt::ExprRef Root,
+                   const std::unordered_map<std::string, bool> &Model);
+
+} // namespace veriqec::testing
+
+#endif // VERIQEC_TESTING_MODELCHECKER_H

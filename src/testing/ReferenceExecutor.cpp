@@ -1,0 +1,296 @@
+//===- testing/ReferenceExecutor.cpp - Concrete scenario replay ------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testing/ReferenceExecutor.h"
+
+#include "gf2/BitMatrix.h"
+#include "pauli/Tableau.h"
+#include "support/Rng.h"
+
+using namespace veriqec;
+using namespace veriqec::testing;
+
+namespace {
+
+bool bitOf(const CMem &Mem, const std::string &Name) {
+  auto It = Mem.find(Name);
+  return It != Mem.end() && (It->second & 1) != 0;
+}
+
+/// Symplectic row [z | x] of a Pauli, so that dotParity against a [x | z]
+/// candidate row computes the anticommutation parity.
+BitVector swappedRow(const Pauli &P) {
+  size_t N = P.numQubits();
+  BitVector Row(2 * N);
+  for (size_t Q = 0; Q != N; ++Q) {
+    if (P.zBits().get(Q))
+      Row.set(Q);
+    if (P.xBits().get(Q))
+      Row.set(N + Q);
+  }
+  return Row;
+}
+
+Pauli pauliFromRow(const BitVector &Row) {
+  size_t N = Row.size() / 2;
+  Pauli P(N);
+  for (size_t Q = 0; Q != N; ++Q) {
+    bool X = Row.get(Q), Z = Row.get(N + Q);
+    if (X && Z)
+      P.setKind(Q, PauliKind::Y);
+    else if (X)
+      P.setKind(Q, PauliKind::X);
+    else if (Z)
+      P.setKind(Q, PauliKind::Z);
+  }
+  return P.abs();
+}
+
+/// The whole execution state, threaded through the statement walk.
+struct Executor {
+  const Scenario &S;
+  ReplayResult &Out;
+  Tableau State;
+  Rng R{0x5eed5eed};
+
+  Executor(const Scenario &Scn, ReplayResult &Result)
+      : S(Scn), Out(Result), State(Scn.NumQubits) {}
+
+  bool fail(std::string Why) {
+    Out.Error = std::move(Why);
+    return false;
+  }
+
+  /// Desired measurement outcome of a GenSpec under the current memory:
+  /// the state must be stabilized by (-1)^(PhaseConstant + PhaseVar) Base,
+  /// i.e. measuring Base must yield that phase as its outcome.
+  bool desiredOutcome(const GenSpec &G) const {
+    bool V = G.PhaseConstant;
+    if (!G.PhaseVar.empty())
+      V ^= bitOf(Out.Mem, G.PhaseVar);
+    return V;
+  }
+
+  /// Prepares the precondition state: measure every Pre generator (any
+  /// outcomes), then apply one Pauli fix-up whose anticommutation pattern
+  /// flips exactly the generators that came out with the wrong sign. The
+  /// fix-up exists because the Pre set has full rank, and is found by a
+  /// GF(2) solve over the symplectic form.
+  bool prepare() {
+    std::vector<bool> Observed;
+    for (const GenSpec &G : S.Pre) {
+      if (G.Base.numQubits() != S.NumQubits)
+        return fail("precondition generator size mismatch");
+      Observed.push_back(State.measure(G.Base, R));
+    }
+    BitVector Flips(S.Pre.size());
+    bool AnyFlip = false;
+    for (size_t I = 0; I != S.Pre.size(); ++I)
+      if (Observed[I] != desiredOutcome(S.Pre[I])) {
+        Flips.set(I);
+        AnyFlip = true;
+      }
+    if (AnyFlip) {
+      BitMatrix M(0, 2 * S.NumQubits);
+      for (const GenSpec &G : S.Pre)
+        M.appendRow(swappedRow(G.Base));
+      std::optional<BitVector> Fix = M.solve(Flips);
+      if (!Fix)
+        return fail("precondition fix-up has no solution (dependent Pre?)");
+      State.applyPauli(pauliFromRow(*Fix));
+    }
+    for (const GenSpec &G : S.Pre) {
+      std::optional<bool> Det = State.deterministicOutcome(G.Base);
+      if (!Det || *Det != desiredOutcome(G))
+        return fail("precondition preparation failed for " +
+                    G.Base.toString());
+    }
+    return true;
+  }
+
+  size_t qubitOf(const CExprPtr &E, bool &Okay) {
+    int64_t V = E ? E->evaluate(Out.Mem) : -1;
+    if (V < 0 || static_cast<size_t>(V) >= S.NumQubits) {
+      Okay = false;
+      return 0;
+    }
+    Okay = true;
+    return static_cast<size_t>(V);
+  }
+
+  bool applyUnitary(GateKind G, const CExprPtr &Q0E, const CExprPtr &Q1E) {
+    if (!isCliffordGate(G))
+      return fail("reference executor cannot apply non-Clifford gate");
+    bool Okay = true;
+    size_t Q0 = qubitOf(Q0E, Okay);
+    if (!Okay)
+      return fail("qubit index out of range");
+    if (isTwoQubitGate(G)) {
+      size_t Q1 = qubitOf(Q1E, Okay);
+      if (!Okay)
+        return fail("qubit index out of range");
+      State.applyGate(G, Q0, Q1);
+    } else {
+      State.applyGate(G, Q0);
+    }
+    return true;
+  }
+
+  bool exec(const StmtPtr &St) {
+    switch (St->Kind) {
+    case StmtKind::Skip:
+      return true;
+    case StmtKind::Seq:
+      for (const StmtPtr &Child : St->Body)
+        if (!exec(Child))
+          return false;
+      return true;
+    case StmtKind::Unitary:
+      return applyUnitary(St->Gate, St->Qubit0, St->Qubit1);
+    case StmtKind::GuardedGate:
+      if (!St->Guard->evaluateBool(Out.Mem))
+        return true;
+      return applyUnitary(St->Gate, St->Qubit0, St->Qubit1);
+    case StmtKind::Init: {
+      bool Okay = true;
+      size_t Q = qubitOf(St->Qubit0, Okay);
+      if (!Okay)
+        return fail("qubit index out of range");
+      State.reset(Q, R);
+      return true;
+    }
+    case StmtKind::Assign:
+      Out.Mem[St->Targets[0]] = St->Value->evaluate(Out.Mem);
+      return true;
+    case StmtKind::Measure: {
+      Pauli P = St->Measured.resolve(S.NumQubits, Out.Mem);
+      std::optional<bool> Det = State.deterministicOutcome(P);
+      if (!Det)
+        return fail("non-deterministic measurement of " + P.toString());
+      bool Outcome = *Det ^ St->Measured.phaseBitValue(Out.Mem);
+      Out.Mem[St->Targets[0]] = Outcome;
+      Out.MeasureLog.emplace_back(St->Targets[0], Outcome);
+      return true;
+    }
+    case StmtKind::DecoderCall:
+      // Decoder outputs are inputs of the replay (they are universally
+      // quantified in the VC); they must have been provided.
+      for (const std::string &Target : St->Targets)
+        if (!Out.Mem.count(Target))
+          return fail("decoder output '" + Target + "' not assigned");
+      return true;
+    case StmtKind::If:
+      return exec(St->Cond->evaluateBool(Out.Mem) ? St->Body[0]
+                                                  : St->Body[1]);
+    case StmtKind::While:
+      for (size_t Guard = 0; St->Cond->evaluateBool(Out.Mem); ++Guard) {
+        if (Guard > 100000)
+          return fail("while loop exceeded the replay iteration cap");
+        if (!exec(St->Body[0]))
+          return false;
+      }
+      return true;
+    case StmtKind::For:
+      return fail("for statement in a supposedly flattened program");
+    }
+    return fail("unknown statement kind");
+  }
+
+  void run() {
+    if (!prepare() || !exec(S.Program))
+      return;
+    Out.PostconditionHolds = true;
+    for (const GenSpec &G : S.Post) {
+      std::optional<bool> Det = State.deterministicOutcome(G.Base);
+      if (!Det || *Det != desiredOutcome(G))
+        Out.PostconditionHolds = false;
+    }
+    Out.Ok = true;
+  }
+};
+
+} // namespace
+
+ReplayResult veriqec::testing::executeScenario(const Scenario &S,
+                                               const CMem &Inputs) {
+  ReplayResult Out;
+  Out.Mem = Inputs;
+  Executor E(S, Out);
+  E.run();
+  return Out;
+}
+
+bool veriqec::testing::scenarioContractHolds(const Scenario &S,
+                                             const CMem &Mem) {
+  if (S.MaxErrors != ~uint32_t{0}) {
+    uint64_t Total = 0;
+    for (const std::string &E : S.ErrorVars)
+      Total += bitOf(Mem, E);
+    if (Total > S.MaxErrors)
+      return false;
+  }
+  for (const ParityConstraint &P : S.Parity) {
+    bool Sum = false;
+    for (const std::string &T : P.Terms)
+      Sum ^= bitOf(Mem, T);
+    if (Sum != bitOf(Mem, P.EqualsVar))
+      return false;
+  }
+  for (const WeightConstraint &W : S.Weights) {
+    uint64_t Lhs = 0;
+    for (const std::string &V : W.Lhs)
+      Lhs += bitOf(Mem, V);
+    for (const auto &[A, B] : W.LhsPairs)
+      Lhs += bitOf(Mem, A) || bitOf(Mem, B);
+    uint64_t Rhs = W.RhsConstant;
+    if (!W.UseConstant) {
+      Rhs = 0;
+      for (const std::string &V : W.Rhs)
+        Rhs += bitOf(Mem, V);
+    }
+    if (Lhs > Rhs)
+      return false;
+  }
+  return true;
+}
+
+CertificateCheck veriqec::testing::replayCounterExample(
+    const Scenario &S, const std::unordered_map<std::string, bool> &Model,
+    const InputPredicate &Extra) {
+  CertificateCheck Check;
+  CMem Inputs;
+  for (const auto &[Name, Value] : Model)
+    Inputs[Name] = Value;
+
+  if (Extra && !Extra(Inputs)) {
+    Check.Why = "model violates the extra user constraint";
+    return Check;
+  }
+
+  ReplayResult R = executeScenario(S, Inputs);
+  if (!R.Ok) {
+    Check.Why = "replay failed: " + R.Error;
+    return Check;
+  }
+  for (const auto &[Name, Outcome] : R.MeasureLog) {
+    auto It = Model.find(Name);
+    if (It != Model.end() && It->second != Outcome) {
+      Check.Why = "measured value of '" + Name +
+                  "' disagrees between the symbolic flow and the tableau";
+      return Check;
+    }
+  }
+  if (!scenarioContractHolds(S, R.Mem)) {
+    Check.Why = "model violates the scenario contract";
+    return Check;
+  }
+  if (R.PostconditionHolds) {
+    Check.Why = "model satisfies the postcondition (not a counterexample)";
+    return Check;
+  }
+  Check.Genuine = true;
+  return Check;
+}

@@ -1,0 +1,77 @@
+//===- testing/ReferenceExecutor.h - Concrete scenario replay ---*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An independent reference semantics for verification scenarios: given a
+/// complete classical input assignment (error indicators, decoder outputs,
+/// symbolic phase bits), the scenario's program is executed concretely on
+/// the stabilizer tableau and the postcondition phase equations are
+/// checked on the resulting state. Nothing here touches the symbolic
+/// flow, the VC builder or the SAT layer, which is the point: the fuzzing
+/// oracles replay engine verdicts against this executor, so a bug in any
+/// of those layers shows up as a replay mismatch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_TESTING_REFERENCEEXECUTOR_H
+#define VERIQEC_TESTING_REFERENCEEXECUTOR_H
+
+#include "verifier/Scenarios.h"
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace veriqec::testing {
+
+/// Classical predicate over an input assignment; the oracle-side mirror
+/// of a VerifyOptions::ExtraConstraint.
+using InputPredicate = std::function<bool(const CMem &)>;
+
+/// Outcome of concretely executing a scenario under one assignment.
+struct ReplayResult {
+  bool Ok = false;    ///< executed without structural problems
+  std::string Error;  ///< when !Ok
+  bool PostconditionHolds = false;
+  /// Inputs plus every measured value (measurement targets overwrite any
+  /// input value of the same name).
+  CMem Mem;
+  /// Measurement log in program order (variable, outcome).
+  std::vector<std::pair<std::string, bool>> MeasureLog;
+};
+
+/// Prepares the precondition state, runs the program with the classical
+/// bits of \p Inputs, and checks the postcondition. Measurements must be
+/// deterministic (true for every scenario the builders produce); a
+/// genuinely random outcome is reported as an execution error.
+ReplayResult executeScenario(const Scenario &S, const CMem &Inputs);
+
+/// The scenario's classical assumptions under a complete memory: error
+/// budget, syndrome-match parities and minimum-weight bounds. Variables
+/// missing from \p Mem count as 0.
+bool scenarioContractHolds(const Scenario &S, const CMem &Mem);
+
+/// Verdict of validating one SAT counterexample model.
+struct CertificateCheck {
+  bool Genuine = false;
+  std::string Why; ///< failure reason when !Genuine
+};
+
+/// Replays a solver counterexample through the reference executor: the
+/// model must execute cleanly, reproduce every measured value it claims,
+/// satisfy the scenario contract (and \p Extra, when given), and violate
+/// the postcondition. Anything else means some layer above the solver
+/// lied.
+CertificateCheck
+replayCounterExample(const Scenario &S,
+                     const std::unordered_map<std::string, bool> &Model,
+                     const InputPredicate &Extra = {});
+
+} // namespace veriqec::testing
+
+#endif // VERIQEC_TESTING_REFERENCEEXECUTOR_H

@@ -1,0 +1,273 @@
+//===- testing/ScenarioFuzzer.cpp - Random scenario generation -------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "testing/ScenarioFuzzer.h"
+
+#include "gf2/BitMatrix.h"
+#include "support/Rng.h"
+
+#include <algorithm>
+
+using namespace veriqec;
+using namespace veriqec::testing;
+
+const char *veriqec::testing::shapeName(FuzzShape Shape) {
+  switch (Shape) {
+  case FuzzShape::Memory:
+    return "memory";
+  case FuzzShape::LogicalH:
+    return "logical-h";
+  case FuzzShape::MultiCycle:
+    return "multicycle";
+  case FuzzShape::CorrectionStep:
+    return "correction-step";
+  case FuzzShape::Ghz:
+    return "ghz";
+  case FuzzShape::Cnot:
+    return "cnot";
+  }
+  return "?";
+}
+
+std::function<smt::ExprRef(smt::BoolContext &)>
+ConstraintSpec::builder(const Scenario &S) const {
+  if (K == Kind::None)
+    return {};
+  std::vector<std::string> Names;
+  for (size_t I : Indices)
+    Names.push_back(S.ErrorVars[I]);
+  Kind Which = K;
+  return [Names, Which](smt::BoolContext &Ctx) {
+    std::vector<smt::ExprRef> Vars;
+    for (const std::string &N : Names)
+      Vars.push_back(Ctx.mkVar(N));
+    if (Which == Kind::ForbidQubits) {
+      std::vector<smt::ExprRef> Negs;
+      for (smt::ExprRef V : Vars)
+        Negs.push_back(Ctx.mkNot(V));
+      return Ctx.mkAnd(std::move(Negs));
+    }
+    return Ctx.mkAtMost(std::move(Vars), 1);
+  };
+}
+
+InputPredicate ConstraintSpec::predicate(const Scenario &S) const {
+  if (K == Kind::None)
+    return {};
+  std::vector<std::string> Names;
+  for (size_t I : Indices)
+    Names.push_back(S.ErrorVars[I]);
+  Kind Which = K;
+  return [Names, Which](const CMem &Mem) {
+    uint32_t Ones = 0;
+    for (const std::string &N : Names) {
+      auto It = Mem.find(N);
+      Ones += It != Mem.end() && (It->second & 1);
+    }
+    return Which == Kind::ForbidQubits ? Ones == 0 : Ones <= 1;
+  };
+}
+
+std::string ConstraintSpec::describe() const {
+  if (K == Kind::None)
+    return "none";
+  std::string Out =
+      K == Kind::ForbidQubits ? "forbid{" : "at-most-one{";
+  for (size_t I = 0; I != Indices.size(); ++I)
+    Out += (I ? "," : "") + std::to_string(Indices[I]);
+  return Out + "}";
+}
+
+std::string FuzzCase::describe() const {
+  std::string Out = "seed=" + std::to_string(Seed) + " code=" + Code.Name +
+                    "[[" + std::to_string(Code.NumQubits) + "," +
+                    std::to_string(Code.NumLogical) + "," +
+                    std::to_string(Code.Distance) + "]] shape=" +
+                    shapeName(Shape);
+  Out += std::string(" error=") + (ErrorKind == PauliKind::X   ? "X"
+                                   : ErrorKind == PauliKind::Y ? "Y"
+                                                               : "Z");
+  Out += std::string(" basis=") + (Basis == LogicalBasis::X ? "X" : "Z");
+  Out += " t=" + std::to_string(MaxErrors);
+  if (Shape == FuzzShape::MultiCycle)
+    Out += " cycles=" + std::to_string(Cycles);
+  Out += " constraint=" + Constraint.describe();
+  return Out;
+}
+
+bool veriqec::testing::isHSelfDual(const StabilizerCode &Code) {
+  if (!Code.isCss())
+    return false;
+  BitMatrix Sym = Code.symplecticMatrix();
+  size_t N = Code.NumQubits;
+  for (const Pauli &G : Code.Generators) {
+    // Transversal H swaps the X and Z halves of the symplectic row.
+    BitVector Swapped(2 * N);
+    for (size_t Q = 0; Q != N; ++Q) {
+      if (G.zBits().get(Q))
+        Swapped.set(Q);
+      if (G.xBits().get(Q))
+        Swapped.set(N + Q);
+    }
+    if (!Sym.rowSpaceContains(Swapped))
+      return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Draws a random CSS code: a random X check matrix, and Z checks picked
+/// from its GF(2) nullspace so the generators commute by construction.
+/// Returns nullopt when the draw degenerates (no logical qubit left).
+std::optional<StabilizerCode> drawRandomCss(Rng &R, size_t N,
+                                            uint64_t Seed) {
+  size_t MaxXChecks = N - 2;
+  size_t NumX = 1 + R.nextBelow(MaxXChecks);
+  BitMatrix Hx(0, N);
+  for (size_t I = 0; I != NumX; ++I) {
+    BitVector Row(N);
+    for (size_t Q = 0; Q != N; ++Q)
+      if (R.nextBool())
+        Row.set(Q);
+    if (Row.none())
+      Row.set(R.nextBelow(N));
+    Hx.appendRow(std::move(Row));
+  }
+  std::vector<BitVector> Basis = Hx.nullspaceBasis();
+  if (Basis.size() < 2)
+    return std::nullopt; // need >= 1 Z check and >= 1 logical qubit
+  // Shuffle and keep a strict subset so at least one logical survives.
+  for (size_t I = Basis.size(); I-- > 1;)
+    std::swap(Basis[I], Basis[R.nextBelow(I + 1)]);
+  size_t NumZ = 1 + R.nextBelow(Basis.size() - 1);
+  BitMatrix Hz(0, N);
+  for (size_t I = 0; I != NumZ; ++I)
+    Hz.appendRow(Basis[I]);
+
+  StabilizerCode Code = StabilizerCode::fromCss(
+      "fuzz-css-" + std::to_string(Seed), Hx, Hz);
+  if (Code.NumLogical < 1 || Code.validate())
+    return std::nullopt;
+  size_t Probe = std::min<size_t>(4, N);
+  size_t D = estimateDistance(Code, Probe);
+  Code.Distance = D ? D : Probe + 1;
+  Code.DistanceIsEstimate = true;
+  return Code;
+}
+
+StabilizerCode drawCode(Rng &R, const FuzzerOptions &O, uint64_t Seed) {
+  if (O.RandomCodes && O.MaxQubits >= 4 && R.nextBelow(3) == 0) {
+    size_t N = 4 + R.nextBelow(O.MaxQubits - 3);
+    for (int Attempt = 0; Attempt != 8; ++Attempt)
+      if (std::optional<StabilizerCode> Code =
+              drawRandomCss(R, N, Seed + static_cast<uint64_t>(Attempt)))
+        return *Code;
+  }
+  std::vector<StabilizerCode> Registry;
+  auto Add = [&](StabilizerCode C) {
+    if (C.NumQubits <= O.MaxQubits)
+      Registry.push_back(std::move(C));
+  };
+  Add(makeRepetitionCode(3));
+  Add(makeRepetitionCode(5));
+  Add(makeFiveQubitCode());
+  Add(makeSixQubitCode());
+  Add(makeSteaneCode());
+  Add(makeReedMullerCode(3));
+  Add(makeCube832());
+  Add(makeRotatedSurfaceCode(3));
+  Add(makeXzzxSurfaceCode(3, 3));
+  if (Registry.empty())
+    return makeRepetitionCode(3);
+  return Registry[R.nextBelow(Registry.size())];
+}
+
+FuzzShape drawShape(Rng &R, const StabilizerCode &Code,
+                    const FuzzerOptions &O) {
+  size_t N = Code.NumQubits;
+  std::vector<FuzzShape> Pool = {FuzzShape::Memory, FuzzShape::Memory,
+                                 FuzzShape::Memory,
+                                 FuzzShape::MultiCycle,
+                                 FuzzShape::CorrectionStep};
+  if (isHSelfDual(Code)) {
+    Pool.push_back(FuzzShape::LogicalH);
+    Pool.push_back(FuzzShape::LogicalH);
+  }
+  // The GHZ gadget opens with a transversal H on block 0; the logical
+  // CNOT needs a CSS code for the transversal CNOT to be logical.
+  if (3 * N <= O.MaxQubits && isHSelfDual(Code))
+    Pool.push_back(FuzzShape::Ghz);
+  if (2 * N <= O.MaxQubits && Code.isCss())
+    Pool.push_back(FuzzShape::Cnot);
+  return Pool[R.nextBelow(Pool.size())];
+}
+
+ConstraintSpec drawConstraint(Rng &R, size_t NumErrorVars) {
+  ConstraintSpec Spec;
+  if (NumErrorVars == 0 || R.nextBelow(10) < 6)
+    return Spec;
+  if (R.nextBelow(2) == 0) {
+    Spec.K = ConstraintSpec::Kind::ForbidQubits;
+    size_t Count = 1 + R.nextBelow(std::max<size_t>(1, NumErrorVars / 4));
+    while (Spec.Indices.size() < Count) {
+      size_t I = R.nextBelow(NumErrorVars);
+      if (std::find(Spec.Indices.begin(), Spec.Indices.end(), I) ==
+          Spec.Indices.end())
+        Spec.Indices.push_back(I);
+    }
+    std::sort(Spec.Indices.begin(), Spec.Indices.end());
+  } else {
+    Spec.K = ConstraintSpec::Kind::AtMostOneInWindow;
+    size_t Start = R.nextBelow(NumErrorVars);
+    size_t Len = std::min(NumErrorVars - Start, 2 + R.nextBelow(4));
+    for (size_t I = 0; I != Len; ++I)
+      Spec.Indices.push_back(Start + I);
+  }
+  return Spec;
+}
+
+} // namespace
+
+FuzzCase veriqec::testing::generateFuzzCase(uint64_t Seed,
+                                            const FuzzerOptions &O) {
+  Rng R(Seed ^ 0x76657269716563ull); // "veriqec"
+  FuzzCase C;
+  C.Seed = Seed;
+  C.Code = drawCode(R, O, Seed);
+  C.Shape = drawShape(R, C.Code, O);
+  C.ErrorKind = static_cast<PauliKind>(1 + R.nextBelow(3));
+  C.Basis = R.nextBool() ? LogicalBasis::X : LogicalBasis::Z;
+  uint32_t MaxT = std::max<uint32_t>(1, O.MaxErrorBudget);
+  C.MaxErrors = 1 + static_cast<uint32_t>(R.nextBelow(MaxT));
+  C.Cycles = 2;
+
+  switch (C.Shape) {
+  case FuzzShape::Memory:
+    C.Scn = makeMemoryScenario(C.Code, C.ErrorKind, C.Basis, C.MaxErrors);
+    break;
+  case FuzzShape::LogicalH:
+    C.Scn = makeLogicalHScenario(C.Code, C.ErrorKind, C.Basis, C.MaxErrors);
+    break;
+  case FuzzShape::MultiCycle:
+    C.Scn = makeMultiCycleScenario(C.Code, C.ErrorKind, C.Basis, C.Cycles,
+                                   C.MaxErrors);
+    break;
+  case FuzzShape::CorrectionStep:
+    C.Scn = makeCorrectionStepErrorScenario(C.Code, C.ErrorKind, C.Basis,
+                                            C.MaxErrors);
+    break;
+  case FuzzShape::Ghz:
+    C.Scn = makeGhzScenario(C.Code, C.ErrorKind, C.Basis, C.MaxErrors);
+    break;
+  case FuzzShape::Cnot:
+    C.Scn = makeLogicalCnotScenario(C.Code, C.ErrorKind, C.Basis,
+                                    C.MaxErrors);
+    break;
+  }
+  C.Constraint = drawConstraint(R, C.Scn.ErrorVars.size());
+  return C;
+}

@@ -1,0 +1,95 @@
+//===- testing/ScenarioFuzzer.h - Random scenario generation ----*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded random generation of verification scenarios for the
+/// differential harness: a random stabilizer code (registry classics plus
+/// freshly drawn random CSS codes), a random fault-tolerance scenario
+/// shape, a random injected Pauli letter, logical basis, error budget and
+/// optionally a random user error constraint. Every case is a pure
+/// function of its 64-bit seed, so any failure the harness reports is
+/// reproducible from the seed alone.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_TESTING_SCENARIOFUZZER_H
+#define VERIQEC_TESTING_SCENARIOFUZZER_H
+
+#include "qec/Codes.h"
+#include "smt/BoolExpr.h"
+#include "testing/ReferenceExecutor.h"
+#include "verifier/Scenarios.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace veriqec::testing {
+
+/// The scenario families the fuzzer draws from (the Pauli-error shapes of
+/// verifier/Scenarios; the non-Pauli T shape is excluded because the
+/// tableau-based oracles cannot replay non-Clifford errors).
+enum class FuzzShape {
+  Memory,
+  LogicalH,
+  MultiCycle,
+  CorrectionStep,
+  Ghz,
+  Cnot,
+};
+
+const char *shapeName(FuzzShape Shape);
+
+/// A randomly drawn user error constraint, kept as data so the same
+/// restriction can be handed to the VC builder (as a BoolExpr) and to the
+/// oracles (as an input predicate).
+struct ConstraintSpec {
+  enum class Kind { None, ForbidQubits, AtMostOneInWindow };
+  Kind K = Kind::None;
+  std::vector<size_t> Indices; ///< indices into Scenario::ErrorVars
+
+  /// VC-side form, closed over the error variable names of \p S.
+  std::function<smt::ExprRef(smt::BoolContext &)>
+  builder(const Scenario &S) const;
+
+  /// Oracle-side form (empty function when K == None).
+  InputPredicate predicate(const Scenario &S) const;
+
+  std::string describe() const;
+};
+
+struct FuzzerOptions {
+  size_t MaxQubits = 9;        ///< cap on the scenario's *total* qubits
+  uint32_t MaxErrorBudget = 2; ///< cap on the drawn MaxErrors
+  bool RandomCodes = true;     ///< also draw fresh random CSS codes
+};
+
+/// One generated case: the ingredients plus the built scenario.
+struct FuzzCase {
+  uint64_t Seed = 0;
+  StabilizerCode Code;
+  FuzzShape Shape = FuzzShape::Memory;
+  PauliKind ErrorKind = PauliKind::Y;
+  LogicalBasis Basis = LogicalBasis::Z;
+  uint32_t MaxErrors = 1;
+  size_t Cycles = 2;
+  ConstraintSpec Constraint;
+  Scenario Scn;
+
+  std::string describe() const;
+};
+
+/// Deterministically generates the case of \p Seed.
+FuzzCase generateFuzzCase(uint64_t Seed, const FuzzerOptions &O = {});
+
+/// True if transversal H maps the stabilizer group of \p Code to itself
+/// (the requirement of the logical-H scenario builder).
+bool isHSelfDual(const StabilizerCode &Code);
+
+} // namespace veriqec::testing
+
+#endif // VERIQEC_TESTING_SCENARIOFUZZER_H

@@ -88,6 +88,7 @@ DetectionResult veriqec::verifyDetection(const StabilizerCode &Code,
   SolveOptions SO;
   SO.CardEnc = Opts.CardEnc;
   SO.ConflictBudget = Opts.ConflictBudget;
+  SO.RandomSeed = Opts.RandomSeed;
   SolveOutcome Outcome;
   ExprRef Root = Ctx.mkAnd(std::move(Cs));
   if (Opts.Parallel) {
@@ -107,6 +108,7 @@ DetectionResult veriqec::verifyDetection(const StabilizerCode &Code,
 
   Result.Stats = Outcome.Stats;
   Result.Detects = Outcome.Result == sat::SolveResult::Unsat;
+  Result.Aborted = Outcome.Result == sat::SolveResult::Aborted;
   if (Outcome.Result == sat::SolveResult::Sat) {
     Pauli P(N);
     for (size_t Q = 0; Q != N; ++Q) {

@@ -36,6 +36,10 @@ struct VerifyOptions {
   smt::CardinalityEncoding CardEnc =
       smt::CardinalityEncoding::SequentialCounter;
   uint64_t ConflictBudget = 0;
+  /// Nonzero seeds the solvers' random branching tie-breaks so a run (in
+  /// particular a fuzz failure) is exactly reproducible; 0 keeps the
+  /// deterministic default order.
+  uint64_t RandomSeed = 0;
   /// Optional user error constraint (locality/discreteness, Section 7.2),
   /// conjoined with the assumptions.
   std::function<smt::ExprRef(smt::BoolContext &)> ExtraConstraint;
@@ -77,6 +81,9 @@ std::vector<VerificationResult> verifyAll(std::span<const Scenario> Scenarios,
 /// 1..MaxWeight is simultaneously syndrome-free and logically acting.
 struct DetectionResult {
   bool Detects = false; ///< true = property holds (UNSAT)
+  /// The solver gave up (conflict budget exhausted): !Detects then means
+  /// "inconclusive", not "an undetectable error exists".
+  bool Aborted = false;
   /// When the property fails: the offending logical operator.
   std::optional<Pauli> CounterExample;
   sat::SolverStats Stats;

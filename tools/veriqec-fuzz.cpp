@@ -1,0 +1,213 @@
+//===- tools/veriqec-fuzz.cpp - Differential fuzzing driver ----------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Seeded differential fuzzing of the whole verification stack: generate
+/// random scenarios (random codes, shapes, error models, budgets, user
+/// constraints), run each through every engine configuration, validate
+/// every counterexample certificate, and cross-check verdicts against the
+/// brute-force and sampling oracles. Exit code 0 = no discrepancy,
+/// 1 = discrepancies found (seeds reported, and appended to
+/// --out-failures when given), 2 = usage error.
+///
+//===----------------------------------------------------------------------===//
+
+#include "support/Json.h"
+#include "testing/DifferentialHarness.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace veriqec;
+using namespace veriqec::testing;
+
+namespace {
+
+struct FuzzCliOptions {
+  uint64_t Seeds = 100;
+  uint64_t BaseSeed = 1;
+  size_t MaxQubits = 9;
+  uint32_t MaxErrors = 2;
+  size_t Jobs = 4;
+  uint64_t BruteBudget = 300000;
+  uint64_t SamplingTrials = 1500;
+  bool Json = false;
+  bool Verbose = false;
+  std::string OutFailures;
+};
+
+void printUsage(std::FILE *To) {
+  std::fprintf(
+      To,
+      "usage: veriqec-fuzz [options]\n"
+      "\n"
+      "  --seeds N          number of random cases (default 100)\n"
+      "  --seed S           base seed; case i uses seed S+i (default 1)\n"
+      "  --max-qubits N     cap on total scenario qubits (default 9)\n"
+      "  --max-errors T     cap on the drawn error budget (default 2)\n"
+      "  --jobs N           widest parallel configuration (default 4)\n"
+      "  --brute-budget N   brute-force oracle replay cap (default 300000)\n"
+      "  --samples N        sampling-refuter trials, 0 = off (default 1500)\n"
+      "  --out-failures F   append failing seeds to file F, one per line\n"
+      "  --json             machine-readable report on stdout\n"
+      "  --verbose          print every case, not just failures\n");
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  FuzzCliOptions Cli;
+  std::vector<std::string> Args(Argv + 1, Argv + Argc);
+  auto needValue = [&](size_t &I) -> const std::string * {
+    if (I + 1 >= Args.size()) {
+      std::fprintf(stderr, "veriqec-fuzz: %s needs a value\n",
+                   Args[I].c_str());
+      return nullptr;
+    }
+    return &Args[++I];
+  };
+  for (size_t I = 0; I < Args.size(); ++I) {
+    const std::string &A = Args[I];
+    const std::string *V = nullptr;
+    if (A == "--json") {
+      Cli.Json = true;
+    } else if (A == "--verbose") {
+      Cli.Verbose = true;
+    } else if (A == "--seeds") {
+      if (!(V = needValue(I)))
+        return 2;
+      Cli.Seeds = std::strtoull(V->c_str(), nullptr, 10);
+    } else if (A == "--seed") {
+      if (!(V = needValue(I)))
+        return 2;
+      Cli.BaseSeed = std::strtoull(V->c_str(), nullptr, 10);
+    } else if (A == "--max-qubits") {
+      if (!(V = needValue(I)))
+        return 2;
+      Cli.MaxQubits = std::strtoul(V->c_str(), nullptr, 10);
+    } else if (A == "--max-errors") {
+      if (!(V = needValue(I)))
+        return 2;
+      Cli.MaxErrors =
+          static_cast<uint32_t>(std::strtoul(V->c_str(), nullptr, 10));
+    } else if (A == "--jobs") {
+      if (!(V = needValue(I)))
+        return 2;
+      Cli.Jobs = std::strtoul(V->c_str(), nullptr, 10);
+    } else if (A == "--brute-budget") {
+      if (!(V = needValue(I)))
+        return 2;
+      Cli.BruteBudget = std::strtoull(V->c_str(), nullptr, 10);
+    } else if (A == "--samples") {
+      if (!(V = needValue(I)))
+        return 2;
+      Cli.SamplingTrials = std::strtoull(V->c_str(), nullptr, 10);
+    } else if (A == "--out-failures") {
+      if (!(V = needValue(I)))
+        return 2;
+      Cli.OutFailures = *V;
+    } else if (A == "--help" || A == "-h") {
+      printUsage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "veriqec-fuzz: unknown option '%s'\n", A.c_str());
+      printUsage(stderr);
+      return 2;
+    }
+  }
+  if (Cli.MaxQubits < 3) {
+    std::fprintf(stderr, "veriqec-fuzz: --max-qubits must be >= 3\n");
+    return 2;
+  }
+
+  FuzzerOptions FO;
+  FO.MaxQubits = Cli.MaxQubits;
+  FO.MaxErrorBudget = Cli.MaxErrors;
+  HarnessOptions HO;
+  HO.Jobs = Cli.Jobs;
+  HO.BruteBudget = Cli.BruteBudget;
+  HO.SamplingTrials = Cli.SamplingTrials;
+
+  uint64_t Clean = 0, Verified = 0, Failed = 0, Other = 0;
+  uint64_t BruteRuns = 0, SamplingRuns = 0;
+  double Seconds = 0;
+  std::vector<uint64_t> FailingSeeds;
+
+  if (Cli.Json)
+    std::printf("{\"base_seed\": %llu, \"cases\": [\n",
+                static_cast<unsigned long long>(Cli.BaseSeed));
+  for (uint64_t I = 0; I != Cli.Seeds; ++I) {
+    uint64_t Seed = Cli.BaseSeed + I;
+    FuzzCase Case = generateFuzzCase(Seed, FO);
+    HO.RandomSeed = Seed;
+    CaseReport Report = runDifferential(Case, HO);
+
+    Clean += Report.clean();
+    Verified += Report.Consensus == 'V';
+    Failed += Report.Consensus == 'F';
+    Other += Report.Consensus != 'V' && Report.Consensus != 'F';
+    BruteRuns += Report.BruteRan;
+    SamplingRuns += Report.SamplingRan;
+    Seconds += Report.Seconds;
+    if (!Report.clean())
+      FailingSeeds.push_back(Seed);
+
+    if (Cli.Json) {
+      std::printf("  {\"seed\": %llu, \"case\": \"%s\", "
+                  "\"consensus\": \"%c\", \"clean\": %s",
+                  static_cast<unsigned long long>(Seed),
+                  jsonEscape(Report.Description).c_str(), Report.Consensus,
+                  Report.clean() ? "true" : "false");
+      if (!Report.clean()) {
+        std::printf(", \"discrepancies\": [");
+        for (size_t D = 0; D != Report.Discrepancies.size(); ++D)
+          std::printf("%s\"%s\"", D ? ", " : "",
+                      jsonEscape(Report.Discrepancies[D]).c_str());
+        std::printf("]");
+      }
+      std::printf("}%s\n", I + 1 == Cli.Seeds ? "" : ",");
+    } else if (Cli.Verbose || !Report.clean()) {
+      std::printf("%s %s consensus=%c%s\n",
+                  Report.clean() ? "ok  " : "FAIL",
+                  Report.Description.c_str(), Report.Consensus,
+                  Report.BruteRan ? " [brute]" : "");
+      for (const std::string &D : Report.Discrepancies)
+        std::printf("     %s\n", D.c_str());
+    }
+  }
+
+  if (Cli.Json) {
+    std::printf("], \"clean\": %llu, \"discrepant\": %llu}\n",
+                static_cast<unsigned long long>(Clean),
+                static_cast<unsigned long long>(Cli.Seeds - Clean));
+  } else {
+    std::printf("fuzz: %llu cases (%llu verified, %llu refuted, %llu "
+                "other), %llu clean, %llu discrepant; oracle coverage: "
+                "%llu brute, %llu sampling; %.1f s\n",
+                static_cast<unsigned long long>(Cli.Seeds),
+                static_cast<unsigned long long>(Verified),
+                static_cast<unsigned long long>(Failed),
+                static_cast<unsigned long long>(Other),
+                static_cast<unsigned long long>(Clean),
+                static_cast<unsigned long long>(Cli.Seeds - Clean),
+                static_cast<unsigned long long>(BruteRuns),
+                static_cast<unsigned long long>(SamplingRuns), Seconds);
+    for (uint64_t Seed : FailingSeeds)
+      std::printf("reproduce with: veriqec-fuzz --seeds 1 --seed %llu\n",
+                  static_cast<unsigned long long>(Seed));
+  }
+
+  if (!FailingSeeds.empty() && !Cli.OutFailures.empty()) {
+    std::ofstream Out(Cli.OutFailures, std::ios::app);
+    for (uint64_t Seed : FailingSeeds)
+      Out << Seed << "\n";
+  }
+  return FailingSeeds.empty() ? 0 : 1;
+}

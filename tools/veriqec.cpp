@@ -9,15 +9,18 @@
 /// scenarios by name, verify a single triple or a whole batch over the
 /// work-stealing engine, check the precise-detection property, or parse a
 /// program file from the paper's concrete syntax. Supports --jobs,
-/// --split-threshold, --card-enc and --json; exit code 0 = everything
-/// verified, 1 = a counterexample was found, 2 = usage or structural
-/// error.
+/// --split-threshold, --card-enc, --seed and --json; exit code 0 =
+/// everything verified, 1 = a counterexample was found, 2 = usage or
+/// structural error, 3 = inconclusive (a conflict budget was exhausted
+/// before a verdict).
 ///
 //===----------------------------------------------------------------------===//
 
 #include "engine/VerificationEngine.h"
 #include "prog/Parser.h"
 #include "qec/Codes.h"
+#include "support/Json.h"
+#include "support/Rng.h"
 #include "verifier/Verifier.h"
 
 #include <cstdio>
@@ -52,6 +55,7 @@ struct CliOptions {
   smt::CardinalityEncoding CardEnc =
       smt::CardinalityEncoding::SequentialCounter;
   uint64_t ConflictBudget = 0;
+  uint64_t Seed = 0;
   bool Json = false;
 };
 
@@ -89,6 +93,8 @@ void printUsage(std::FILE *To) {
       "  --split-threshold T   ET threshold (default: number of qubits)\n"
       "  --card-enc seq|pairwise   cardinality encoding (default seq)\n"
       "  --budget N            conflict budget per solver (default none)\n"
+      "  --seed N              seed solver tie-breaking and shuffle the\n"
+      "                        batch order (0 = deterministic default)\n"
       "\n"
       "output:\n"
       "  --json                machine-readable results on stdout\n");
@@ -218,26 +224,6 @@ bool expandSuite(CliOptions &Cli) {
 }
 
 // -- Output ------------------------------------------------------------------
-
-std::string jsonEscape(const std::string &S) {
-  std::string Out;
-  for (char C : S) {
-    unsigned char U = static_cast<unsigned char>(C);
-    if (C == '"' || C == '\\') {
-      Out += '\\';
-      Out += C;
-    } else if (C == '\n') {
-      Out += "\\n";
-    } else if (U < 0x20) {
-      char Buf[8];
-      std::snprintf(Buf, sizeof(Buf), "\\u%04x", U);
-      Out += Buf;
-    } else {
-      Out += C;
-    }
-  }
-  return Out;
-}
 
 struct RunRecord {
   std::string Code;
@@ -407,12 +393,24 @@ int runVerify(const CliOptions &Cli) {
     return 2;
   }
 
+  // Seeded suite shuffle: exercises different batch multiplexing orders
+  // while keeping every run exactly reproducible from the seed.
+  if (Cli.Seed && Scenarios.size() > 1) {
+    Rng R(Cli.Seed);
+    for (size_t I = Scenarios.size(); I-- > 1;) {
+      size_t J = R.nextBelow(I + 1);
+      std::swap(Scenarios[I], Scenarios[J]);
+      std::swap(Records[I], Records[J]);
+    }
+  }
+
   VerifyOptions VO;
   VO.Parallel = !Cli.Sequential;
   VO.Threads = Cli.Jobs;
   VO.SplitThreshold = Cli.SplitThreshold;
   VO.CardEnc = Cli.CardEnc;
   VO.ConflictBudget = Cli.ConflictBudget;
+  VO.RandomSeed = Cli.Seed;
 
   engine::VerificationEngine Engine(Cli.Jobs);
   std::vector<VerificationResult> Results =
@@ -420,14 +418,15 @@ int runVerify(const CliOptions &Cli) {
   for (size_t I = 0; I != Results.size(); ++I)
     Records[I].Result = std::move(Results[I]);
 
-  bool AnyFailed = false, AnyError = false;
+  bool AnyFailed = false, AnyError = false, AnyAborted = false;
   sat::SolverStats Total;
   double TotalSeconds = 0;
   for (const RunRecord &R : Records) {
+    AnyError |= !R.Result.StructuralOk;
     // Aborted (budget-exhausted) runs are inconclusive, not refuted:
-    // report them as errors rather than counterexamples.
-    AnyError |= !R.Result.StructuralOk ||
-                (R.Result.StructuralOk && R.Result.Aborted);
+    // they get their own exit code so CI can tell "counterexample" from
+    // "ran out of budget".
+    AnyAborted |= R.Result.StructuralOk && R.Result.Aborted;
     AnyFailed |= R.Result.StructuralOk && !R.Result.Verified &&
                  !R.Result.Aborted;
     Total.Conflicts += R.Result.Stats.Conflicts;
@@ -437,10 +436,11 @@ int runVerify(const CliOptions &Cli) {
   }
 
   if (Cli.Json) {
-    std::printf("[\n");
+    std::printf("{\"seed\": %llu, \"results\": [\n",
+                static_cast<unsigned long long>(Cli.Seed));
     for (size_t I = 0; I != Records.size(); ++I)
       printRecordJson(Records[I], I + 1 == Records.size());
-    std::printf("]\n");
+    std::printf("]}\n");
   } else {
     for (const RunRecord &R : Records)
       printRecordText(R);
@@ -451,14 +451,15 @@ int runVerify(const CliOptions &Cli) {
                   static_cast<unsigned long long>(Total.Conflicts),
                   Engine.numWorkers());
   }
-  return AnyError ? 2 : AnyFailed ? 1 : 0;
+  return AnyError ? 2 : AnyFailed ? 1 : AnyAborted ? 3 : 0;
 }
 
 int runDetect(const CliOptions &Cli) {
-  int Exit = 0;
+  bool AnyMisses = false, AnyAborted = false;
   bool First = true;
   if (Cli.Json)
-    std::printf("[\n");
+    std::printf("{\"seed\": %llu, \"results\": [\n",
+                static_cast<unsigned long long>(Cli.Seed));
   for (size_t I = 0; I != Cli.Codes.size(); ++I) {
     const std::string &CodeName = Cli.Codes[I];
     std::optional<StabilizerCode> Code = makeCodeByName(CodeName);
@@ -475,14 +476,16 @@ int runDetect(const CliOptions &Cli) {
     VO.SplitThreshold = Cli.SplitThreshold;
     VO.CardEnc = Cli.CardEnc;
     VO.ConflictBudget = Cli.ConflictBudget;
+    VO.RandomSeed = Cli.Seed;
     DetectionResult R = verifyDetection(*Code, MaxWeight, VO);
-    if (!R.Detects)
-      Exit = 1;
+    AnyAborted |= R.Aborted;
+    AnyMisses |= !R.Detects && !R.Aborted;
     if (Cli.Json) {
       std::printf("%s  {\"code\": \"%s\", \"max_weight\": %zu, "
-                  "\"detects\": %s, \"seconds\": %.6f%s}",
+                  "\"detects\": %s, \"aborted\": %s, \"seconds\": %.6f%s}",
                   First ? "" : ",\n", jsonEscape(CodeName).c_str(), MaxWeight,
-                  R.Detects ? "true" : "false", R.Seconds,
+                  R.Detects ? "true" : "false", R.Aborted ? "true" : "false",
+                  R.Seconds,
                   R.CounterExample
                       ? (", \"counterexample\": \"" +
                          jsonEscape(R.CounterExample->toString()) + "\"")
@@ -491,7 +494,10 @@ int runDetect(const CliOptions &Cli) {
       First = false;
     } else {
       std::printf("%-20s weight<=%zu  %s  (%.1f ms)\n", CodeName.c_str(),
-                  MaxWeight, R.Detects ? "DETECTS" : "MISSES",
+                  MaxWeight,
+                  R.Aborted   ? "ABORTED"
+                  : R.Detects ? "DETECTS"
+                              : "MISSES",
                   R.Seconds * 1e3);
       if (R.CounterExample)
         std::printf("  undetected logical operator: %s\n",
@@ -499,8 +505,8 @@ int runDetect(const CliOptions &Cli) {
     }
   }
   if (Cli.Json)
-    std::printf("\n]\n");
-  return Exit;
+    std::printf("\n]}\n");
+  return AnyMisses ? 1 : AnyAborted ? 3 : 0;
 }
 
 } // namespace
@@ -575,7 +581,8 @@ int main(int Argc, char **Argv) {
     } else if (A == "--max-errors") {
       if (!(V = needValue(I)))
         return 2;
-      Cli.MaxErrors = static_cast<uint32_t>(std::strtoul(V->c_str(), nullptr, 10));
+      Cli.MaxErrors =
+          static_cast<uint32_t>(std::strtoul(V->c_str(), nullptr, 10));
     } else if (A == "--cycles") {
       if (!(V = needValue(I)))
         return 2;
@@ -597,6 +604,10 @@ int main(int Argc, char **Argv) {
       if (!(V = needValue(I)))
         return 2;
       Cli.ConflictBudget = std::strtoull(V->c_str(), nullptr, 10);
+    } else if (A == "--seed") {
+      if (!(V = needValue(I)))
+        return 2;
+      Cli.Seed = std::strtoull(V->c_str(), nullptr, 10);
     } else if (A == "--card-enc") {
       if (!(V = needValue(I)))
         return 2;
