@@ -9,6 +9,7 @@
 #include "support/Assert.h"
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <memory>
 #include <mutex>
 
@@ -48,19 +49,39 @@ void enumerateCubesRec(const std::vector<Var> &SplitVars, uint32_t Distance,
 /// Shared state of one problem while its cubes are in flight.
 struct ProblemRun {
   const CubeProblem *Input = nullptr;
-  std::unique_ptr<smt::EncodedProblem> Encoded;
+  std::unique_ptr<smt::VerificationProblem> Encoded;
   std::vector<std::vector<Lit>> Cubes;
 
   /// Set by the first SAT cube; the workers' solvers poll it as their
   /// abort flag, so in-flight sibling solves stop mid-search too.
   std::atomic<bool> Cancel{false};
+  /// Set when a cube's UNSAT refutation used none of the cube's own
+  /// assumption literals (sat::Solver::conflictCore): the whole problem
+  /// is UNSAT and the remaining cubes are redundant.
+  std::atomic<bool> GlobalUnsat{false};
   std::atomic<bool> AnyAborted{false};
   std::atomic<uint64_t> Solved{0};
+  std::atomic<uint64_t> Pruned{0};
   std::atomic<uint64_t> Remaining{0};
+
+  /// UNSAT cores that used only a strict subset of their cube's
+  /// assumption literals. Any later cube containing such a core is UNSAT
+  /// without solving — with the ET enumeration's shared prefixes this
+  /// regularly discharges whole subtrees of sibling cubes. The master
+  /// list is guarded by CoreMutex and append-only; workers scan their
+  /// own snapshot (refreshed only when CoreCount says it is stale), so
+  /// the common case costs one relaxed load per cube, not a lock.
+  /// Capped so snapshot refreshes and subset checks stay cheap.
+  std::vector<std::vector<Lit>> RefutedCores;
+  std::atomic<size_t> CoreCount{0};
+  std::mutex CoreMutex;
+  static constexpr size_t MaxRefutedCores = 256;
 
   /// One lazily-built solver slot per pool worker. A slot is only ever
   /// touched by the worker whose index it is, so no locking.
   std::vector<std::unique_ptr<sat::Solver>> Slots;
+  /// Per-worker snapshots of RefutedCores (owner-only, like Slots).
+  std::vector<std::vector<std::vector<Lit>>> CoreSnapshots;
 
   /// Clause exchange between the slots: lemmas learned on one worker's
   /// cubes are valid for every sibling cube and imported lazily.
@@ -71,39 +92,98 @@ struct ProblemRun {
   Timer Clock;
 };
 
-void runCube(ProblemRun &Run, size_t CubeIdx, WaitGroup &Wg) {
+/// True iff every literal of \p Core occurs in the sorted \p CubeSorted.
+bool coreSubsumesCube(const std::vector<Lit> &Core,
+                      const std::vector<Lit> &CubeSorted) {
+  for (Lit L : Core)
+    if (!std::binary_search(CubeSorted.begin(), CubeSorted.end(), L))
+      return false;
+  return true;
+}
+
+void runCube(ProblemRun &Run, size_t CubeIdx) {
   if (!Run.Cancel.load(std::memory_order_relaxed)) {
     int Worker = ThreadPool::currentWorkerIndex();
     if (Worker < 0)
       fatalError("cube task executed off the pool");
-    std::unique_ptr<sat::Solver> &Slot = Run.Slots[Worker];
-    if (!Slot) {
-      Slot = std::make_unique<sat::Solver>(Run.Encoded->makeSolver());
-      Slot->setAbortFlag(&Run.Cancel);
-      Slot->attachSharedPool(&Run.LearntPool, Worker);
-      if (Run.Input->Opts.ConflictBudget)
-        Slot->setConflictBudget(Run.Input->Opts.ConflictBudget);
-      if (Run.Input->Opts.RandomSeed)
-        Slot->setRandomSeed(Run.Input->Opts.RandomSeed +
-                            static_cast<uint64_t>(Worker) + 1);
-    }
-    SolveResult R = Slot->solve(Run.Cubes[CubeIdx]);
-    if (R != SolveResult::Aborted)
-      Run.Solved.fetch_add(1, std::memory_order_relaxed);
-    if (R == SolveResult::Sat) {
-      std::lock_guard<std::mutex> Lock(Run.Mutex);
-      if (!Run.Cancel.exchange(true)) {
-        Run.Out.Result = SolveResult::Sat;
-        Run.Encoded->readModel(*Slot, Run.Out.Model);
+    const std::vector<Lit> &Cube = Run.Cubes[CubeIdx];
+    bool Subsumed = false;
+    if (Run.CoreCount.load(std::memory_order_acquire) != 0) {
+      std::vector<std::vector<Lit>> &Snapshot = Run.CoreSnapshots[Worker];
+      if (Snapshot.size() <
+          Run.CoreCount.load(std::memory_order_acquire)) {
+        std::lock_guard<std::mutex> Lock(Run.CoreMutex);
+        Snapshot = Run.RefutedCores;
       }
-    } else if (R == SolveResult::Aborted &&
-               !Run.Cancel.load(std::memory_order_relaxed)) {
-      Run.AnyAborted.store(true, std::memory_order_relaxed);
+      std::vector<Lit> CubeSorted = Cube;
+      std::sort(CubeSorted.begin(), CubeSorted.end());
+      for (const std::vector<Lit> &Core : Snapshot)
+        if (coreSubsumesCube(Core, CubeSorted)) {
+          Subsumed = true;
+          break;
+        }
+    }
+    // GF(2) unit propagation over the preprocessor's reduced rows can
+    // refute a cube outright — no solver, no conflicts. A stored sibling
+    // core that fits inside this cube does the same.
+    if (Subsumed || Run.Encoded->cubeRefuted(Cube)) {
+      Run.Solved.fetch_add(1, std::memory_order_relaxed);
+      Run.Pruned.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      std::unique_ptr<sat::Solver> &Slot = Run.Slots[Worker];
+      if (!Slot) {
+        Slot = std::make_unique<sat::Solver>(Run.Encoded->makeSolver());
+        // One bound per problem: harden the weight layer as root-level
+        // units in this worker's solver (the shared CnfFormula stays
+        // bound-independent).
+        if (!Run.Input->Opts.BudgetVars.empty())
+          Run.Encoded->assertWeightBound(*Slot,
+                                         Run.Input->Opts.BudgetBound);
+        Slot->setAbortFlag(&Run.Cancel);
+        Slot->attachSharedPool(&Run.LearntPool, Worker);
+        if (Run.Input->Opts.ConflictBudget)
+          Slot->setConflictBudget(Run.Input->Opts.ConflictBudget);
+        if (Run.Input->Opts.RandomSeed)
+          Slot->setRandomSeed(Run.Input->Opts.RandomSeed +
+                              static_cast<uint64_t>(Worker) + 1);
+      }
+      SolveResult R = Slot->solve(Cube);
+      if (R != SolveResult::Aborted)
+        Run.Solved.fetch_add(1, std::memory_order_relaxed);
+      if (R == SolveResult::Sat) {
+        std::lock_guard<std::mutex> Lock(Run.Mutex);
+        if (!Run.Cancel.exchange(true)) {
+          Run.Out.Result = SolveResult::Sat;
+          Run.Encoded->readModel(*Slot, Run.Out.Model);
+        }
+      } else if (R == SolveResult::Unsat) {
+        const std::vector<Lit> &Core = Slot->conflictCore();
+        if (Core.empty() && !Cube.empty()) {
+          // The refutation used no assumptions at all: the problem is
+          // UNSAT under its root clauses alone and the siblings are
+          // redundant.
+          Run.GlobalUnsat.store(true, std::memory_order_relaxed);
+          Run.Cancel.store(true, std::memory_order_relaxed);
+        } else if (!Core.empty() && Core.size() + 1 < Cube.size()) {
+          // A strict-subset core refutes every sibling cube containing
+          // it; remember it so they are pruned without a solver. (The
+          // +1 slack: a core one literal short of the cube subsumes
+          // almost nothing, not worth the per-cube checks.)
+          std::lock_guard<std::mutex> Lock(Run.CoreMutex);
+          if (Run.RefutedCores.size() < ProblemRun::MaxRefutedCores) {
+            Run.RefutedCores.push_back(Core);
+            Run.CoreCount.store(Run.RefutedCores.size(),
+                                std::memory_order_release);
+          }
+        }
+      } else if (R == SolveResult::Aborted &&
+                 !Run.Cancel.load(std::memory_order_relaxed)) {
+        Run.AnyAborted.store(true, std::memory_order_relaxed);
+      }
     }
   }
   if (Run.Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
     Run.Out.SolveSeconds = Run.Clock.seconds();
-  Wg.done();
 }
 
 } // namespace
@@ -160,6 +240,7 @@ CubeEngine::solveAll(std::span<const CubeProblem> Problems) {
     auto Run = std::make_unique<ProblemRun>();
     Run->Input = &P;
     Run->Slots.resize(Workers.numWorkers());
+    Run->CoreSnapshots.resize(Workers.numWorkers());
     Runs.push_back(std::move(Run));
   }
 
@@ -171,8 +252,15 @@ CubeEngine::solveAll(std::span<const CubeProblem> Problems) {
     ProblemRun *Run = RunPtr.get();
     Workers.submit([Run, &EncodeWg] {
       const smt::SolveOptions &O = Run->Input->Opts;
-      Run->Encoded = std::make_unique<smt::EncodedProblem>(
-          *Run->Input->Ctx, Run->Input->Root, O.CardEnc);
+      Run->Encoded = std::make_unique<smt::VerificationProblem>(
+          *Run->Input->Ctx, Run->Input->Root,
+          smt::makeProblemOptions(*Run->Input->Ctx, O));
+      if (Run->Encoded->TriviallyUnsat) {
+        // Refuted during preprocessing: no cubes, no solver.
+        Run->Cubes.clear();
+        EncodeWg.done();
+        return;
+      }
       std::vector<Var> SplitVars;
       for (const std::string &Name : O.SplitVars)
         SplitVars.push_back(Run->Encoded->varOfName(Name));
@@ -184,29 +272,43 @@ CubeEngine::solveAll(std::span<const CubeProblem> Problems) {
   }
   EncodeWg.wait();
 
-  // Phase 2: every cube of every problem becomes one task. Each worker
-  // receives a *contiguous* chunk of the ET enumeration: neighbouring
-  // cubes share long assumption prefixes, so a worker's reusable solver
-  // amortizes its learned clauses across its chunk instead of hopping
-  // around the prefix tree. Work stealing rebalances the tail (thieves
-  // take from the victim's far end, keeping the chunks contiguous).
+  // Phase 2: the cubes of every problem are dispatched as *contiguous
+  // range* tasks — a few per worker, not one per cube, so the ET
+  // enumeration's tens of thousands of mostly-trivial cubes do not pay
+  // per-task queue and allocation overhead. Contiguity also means
+  // neighbouring cubes share long assumption prefixes, which both the
+  // worker's reusable solver (learnt clauses) and the incremental
+  // assumption-trail reuse in sat::Solver exploit. Work stealing
+  // rebalances whole ranges (thieves take from the victim's far end,
+  // keeping ranges contiguous).
   WaitGroup CubeWg;
   size_t ProblemIdx = 0;
+  size_t NumWorkers = Workers.numWorkers();
+  // Several ranges per worker so stealing can still balance uneven
+  // hardness within one problem.
+  constexpr size_t RangesPerWorker = 8;
   for (std::unique_ptr<ProblemRun> &RunPtr : Runs) {
     ProblemRun *Run = RunPtr.get();
     size_t N = Run->Cubes.size();
     Run->Out.NumCubes = N;
     Run->Remaining.store(N, std::memory_order_relaxed);
     Run->Clock = Timer();
-    CubeWg.add(N);
-    size_t NumWorkers = Workers.numWorkers();
-    size_t Chunk = (N + NumWorkers - 1) / NumWorkers;
-    for (size_t C = 0; C != N; ++C)
-      // Offset successive problems' chunks so a batch of small problems
+    size_t NumRanges = std::min(N, NumWorkers * RangesPerWorker);
+    size_t Chunk = NumRanges ? (N + NumRanges - 1) / NumRanges : 0;
+    size_t PerWorker = (NumRanges + NumWorkers - 1) / NumWorkers;
+    CubeWg.add(NumRanges);
+    for (size_t G = 0; G != NumRanges; ++G) {
+      size_t Begin = std::min(N, G * Chunk);
+      size_t End = std::min(N, Begin + Chunk);
+      // Offset successive problems' ranges so a batch of small problems
       // still spreads across all workers.
-      Workers.submitTo(ProblemIdx + C / Chunk, [Run, C, &CubeWg] {
-        runCube(*Run, C, CubeWg);
-      });
+      Workers.submitTo(ProblemIdx + G / PerWorker,
+                       [Run, Begin, End, &CubeWg] {
+                         for (size_t C = Begin; C < End; ++C)
+                           runCube(*Run, C);
+                         CubeWg.done();
+                       });
+    }
     ++ProblemIdx;
   }
   CubeWg.wait();
@@ -227,9 +329,16 @@ CubeEngine::solveAll(std::span<const CubeProblem> Problems) {
       Run.Out.Stats.Restarts += S.Restarts;
     }
     Run.Out.CubesSolved = Run.Solved.load();
+    Run.Out.CubesPruned = Run.Pruned.load();
+    Run.Out.Prep = Run.Encoded->Prep;
+    Run.Out.CnfVars = Run.Encoded->Cnf.NumVars;
+    Run.Out.CnfClauses = Run.Encoded->Cnf.Clauses.size();
     if (Run.Out.Result != SolveResult::Sat)
-      Run.Out.Result = Run.AnyAborted.load() ? SolveResult::Aborted
-                                             : SolveResult::Unsat;
+      // A core-certified global refutation outranks sibling aborts: the
+      // cubes cancelled mid-search were redundant, not inconclusive.
+      Run.Out.Result = Run.GlobalUnsat.load()  ? SolveResult::Unsat
+                       : Run.AnyAborted.load() ? SolveResult::Aborted
+                                               : SolveResult::Unsat;
     Outcomes.push_back(std::move(Run.Out));
   }
   return Outcomes;

@@ -50,7 +50,10 @@ Var Solver::newVar() {
 }
 
 bool Solver::addClause(std::vector<Lit> Lits) {
-  assert(decisionLevel() == 0 && "clauses must be added at the root level");
+  // Solving leaves the assumption-prefix trail alive between calls;
+  // adding a clause is a root-level operation, so drop back first.
+  if (decisionLevel() != 0)
+    backtrack(0);
   if (!OkState)
     return false;
 
@@ -94,6 +97,16 @@ bool Solver::addClause(std::vector<Lit> Lits) {
 void Solver::attachClause(ClauseRef Ref) {
   const Clause &C = Clauses[Ref];
   assert(C.size() >= 2 && "attaching a short clause");
+  if (C.size() == 2) {
+    // Binary clauses live entirely in their watchers (the blocker IS the
+    // other literal; the ~Ref encoding marks the watcher as binary):
+    // propagation never touches the clause memory, which is most of the
+    // watch traffic — Tseitin gate and counter encodings are dominated
+    // by 2-literal clauses.
+    Watches[(~C[0]).Code].push_back({binaryMark(Ref), C[1]});
+    Watches[(~C[1]).Code].push_back({binaryMark(Ref), C[0]});
+    return;
+  }
   Watches[(~C[0]).Code].push_back({Ref, C[1]});
   Watches[(~C[1]).Code].push_back({Ref, C[0]});
 }
@@ -117,6 +130,26 @@ Solver::ClauseRef Solver::propagate() {
       // Fast path: the blocker literal already satisfies the clause.
       if (valueOf(W.Blocker) == LBool::True) {
         WatchList[KeepIdx++] = W;
+        continue;
+      }
+      if (isBinaryMark(W.Ref)) {
+        // Binary clause, resolved from the watcher alone (the clause
+        // memory is only touched when it actually implies something).
+        WatchList[KeepIdx++] = W;
+        ClauseRef Real = fromBinaryMark(W.Ref);
+        if (valueOf(W.Blocker) == LBool::False) {
+          for (size_t J = I + 1; J != WatchList.size(); ++J)
+            WatchList[KeepIdx++] = WatchList[J];
+          WatchList.resize(KeepIdx);
+          PropagateHead = Trail.size();
+          return Real;
+        }
+        // Reason clauses keep their implied literal at position 0
+        // (analyze() and litRedundant() rely on it).
+        Clause &C = Clauses[Real];
+        if (C[0] != W.Blocker)
+          std::swap(C.Lits[0], C.Lits[1]);
+        enqueue(W.Blocker, Real);
         continue;
       }
       Clause &C = Clauses[W.Ref];
@@ -386,13 +419,60 @@ void Solver::importSharedClauses() {
   }
 }
 
+void Solver::analyzeFinal(Lit Failed) {
+  ConflictCore.clear();
+  ConflictCore.push_back(Failed);
+  if (decisionLevel() == 0 || Level[Failed.var()] == 0)
+    return; // ~Failed is root-implied: the core is the assumption alone
+  // Walk the reason cone of ~Failed down the trail; decisions reached
+  // below the current (all-assumption) prefix are the used assumptions.
+  Seen[Failed.var()] = 1;
+  for (size_t I = Trail.size(); I-- > static_cast<size_t>(TrailLim[0]);) {
+    Var V = Trail[I].var();
+    if (!Seen[V])
+      continue;
+    Seen[V] = 0;
+    if (Reason[V] == NoReason) {
+      ConflictCore.push_back(Trail[I]);
+      continue;
+    }
+    const Clause &C = Clauses[Reason[V]];
+    for (size_t J = 0; J != C.size(); ++J)
+      if (C[J].var() != V && Level[C[J].var()] > 0)
+        Seen[C[J].var()] = 1;
+  }
+}
+
 SolveResult Solver::solve(const std::vector<Lit> &Assumptions) {
+  ConflictCore.clear();
   if (!OkState)
     return SolveResult::Unsat;
-  backtrack(0);
-  importSharedClauses();
-  if (!OkState)
-    return SolveResult::Unsat;
+  // Clause import must happen at the root; only pay the full backtrack
+  // when a sibling actually published something.
+  if (SharedPool && SharedPool->hasNewsFor(PoolOwnerId, PoolCursor)) {
+    backtrack(0);
+    importSharedClauses();
+    if (!OkState)
+      return SolveResult::Unsat;
+  }
+  if (PropagateHead != Trail.size()) {
+    // A budget-aborted call left propagation pending; restart from the
+    // root and re-scan rather than reason about a half-propagated trail.
+    backtrack(0);
+    PropagateHead = 0;
+  }
+  // Incremental assumption-prefix reuse: keep the trail levels of the
+  // longest common prefix with the previous call's assumptions (level
+  // i+1 is PrevAssumptions[i]'s decision level — search decisions only
+  // ever sit above the full assumption prefix).
+  size_t Keep = 0;
+  size_t MaxKeep =
+      std::min({Assumptions.size(), PrevAssumptions.size(),
+                static_cast<size_t>(decisionLevel())});
+  while (Keep < MaxKeep && Assumptions[Keep] == PrevAssumptions[Keep])
+    ++Keep;
+  backtrack(static_cast<int32_t>(Keep));
+  PrevAssumptions = Assumptions;
 
   uint64_t RestartIdx = 1;
   uint64_t ConflictsUntilRestart = 100 * lubySequence(RestartIdx);
@@ -412,17 +492,31 @@ SolveResult Solver::solve(const std::vector<Lit> &Assumptions) {
         OkState = false;
         return SolveResult::Unsat;
       }
-      // Backjumping below the assumption prefix is fine: the rolled-back
-      // assumptions are re-decided by the extension step below, and the
-      // learnt clause stays valid across calls (unsatisfiability *under
-      // the assumptions* only ever surfaces as an assumption literal
-      // evaluating false, or a level-0 conflict).
       int32_t BtLevel = 0;
       analyze(Confl, Learnt, BtLevel);
       if (SharedPool && Learnt.size() <= PoolMaxShareLen)
         SharedPool->publish(PoolOwnerId, Learnt);
+      // Chronological cap (restricted Nadel–Ryvchin): a backjump never
+      // tears down the assumption prefix. The learnt clause is still
+      // asserting at any level in [BtLevel, dl-1] — every other literal
+      // sits at a level <= BtLevel — so enqueueing at the capped level
+      // is sound; assigned levels merely become upper bounds on the
+      // true implication level, which every consumer treats
+      // conservatively. Without the cap, near-root backjumps force a
+      // full re-decide + re-propagate of the prefix after almost every
+      // conflict, which dominates cube-path runtime. Unit learnts keep
+      // the full jump to the root: they are permanent facts and
+      // re-deriving the prefix once is cheaper than losing them.
+      // (Backjumps below the prefix can still happen — via unit
+      // learnts — and stay sound: the rolled-back assumptions are
+      // re-decided by the extension step below.)
+      if (Learnt.size() > 1) {
+        int32_t Prefix = static_cast<int32_t>(
+            std::min(Assumptions.size(), TrailLim.size()));
+        BtLevel = std::max(BtLevel, std::min(Prefix, decisionLevel() - 1));
+      }
       backtrack(BtLevel);
-      if (static_cast<size_t>(decisionLevel()) < Assumptions.size() &&
+      if (static_cast<size_t>(decisionLevel()) <= Assumptions.size() &&
           declareUnsatOnPrefixBackjump())
         return SolveResult::Unsat; // the re-introducible PR 1 bug (seam)
       if (Learnt.size() == 1) {
@@ -458,8 +552,10 @@ SolveResult Solver::solve(const std::vector<Lit> &Assumptions) {
     if (static_cast<size_t>(decisionLevel()) < Assumptions.size()) {
       Lit A = Assumptions[decisionLevel()];
       LBool V = valueOf(A);
-      if (V == LBool::False)
+      if (V == LBool::False) {
+        analyzeFinal(A);
         return SolveResult::Unsat;
+      }
       TrailLim.push_back(static_cast<int32_t>(Trail.size()));
       if (V == LBool::Undef)
         enqueue(A, NoReason);

@@ -65,6 +65,17 @@ public:
         Out.push_back(Entries[Cursor].second);
   }
 
+  /// True iff fetch() would deliver anything; skips \p Cursor past the
+  /// owner's own entries so repeated polling stays O(1) amortized. Lets
+  /// a solver keep its assumption-prefix trail alive across solve()
+  /// calls instead of unconditionally returning to the root to import.
+  bool hasNewsFor(int Owner, size_t &Cursor) const {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    while (Cursor < Entries.size() && Entries[Cursor].first == Owner)
+      ++Cursor;
+    return Cursor < Entries.size();
+  }
+
 private:
   const size_t MaxEntries;
   std::atomic<bool> Full{false};
@@ -155,6 +166,15 @@ public:
     TieRng = Rng(Seed);
   }
 
+  /// After solve() returned Unsat: the subset of that call's assumptions
+  /// the refutation actually used (the failed core, MiniSat's
+  /// analyzeFinal). An empty core means the clause database refutes the
+  /// formula regardless of assumptions — the cube engine uses this to
+  /// conclude a whole problem is UNSAT from a single cube, and the
+  /// distance search to stop tightening a weight selector that no longer
+  /// matters. Contents are unspecified after Sat/Aborted.
+  const std::vector<Lit> &conflictCore() const { return ConflictCore; }
+
   const SolverStats &stats() const { return Stats; }
 
 protected:
@@ -162,18 +182,27 @@ protected:
   Solver &operator=(const Solver &) = default;
 
   /// Test seam for the fuzzing harness: called when a conflict-driven
-  /// backjump lands below the assumption prefix. Returning true declares
-  /// UNSAT right there — the PR 1 soundness bug, which silently flipped
-  /// satisfiable cubes under solver reuse. The production solver always
-  /// returns false (the prefix is re-extended by the search loop);
-  /// harness tests override this to prove the differential oracles catch
-  /// the bug.
+  /// backjump lands at or below the assumption prefix. Returning true
+  /// declares UNSAT right there — the PR 1 soundness bug family
+  /// (mistaking a backjump into the prefix for unsatisfiability), which
+  /// silently flips satisfiable cubes under solver reuse. The production
+  /// solver always returns false (the prefix survives the capped
+  /// backjump, or is re-extended by the search loop); harness tests
+  /// override this to prove the differential oracles catch the bug.
   virtual bool declareUnsatOnPrefixBackjump() const { return false; }
 
 private:
   // -- Internal state ------------------------------------------------------
   using ClauseRef = int32_t;
   static constexpr ClauseRef NoReason = -1;
+
+  /// Binary clauses are encoded entirely in their watchers: the blocker
+  /// is the other literal and the reference is marked (mapped below -1,
+  /// clear of NoReason) so propagation can decide satisfied / unit /
+  /// conflicting without loading the clause.
+  static constexpr ClauseRef binaryMark(ClauseRef R) { return -R - 2; }
+  static constexpr bool isBinaryMark(ClauseRef R) { return R <= -2; }
+  static constexpr ClauseRef fromBinaryMark(ClauseRef R) { return -R - 2; }
 
   struct Watcher {
     ClauseRef Ref;
@@ -217,6 +246,15 @@ private:
   // Scratch used by conflict analysis.
   std::vector<uint8_t> Seen;
 
+  std::vector<Lit> ConflictCore;
+
+  /// The previous solve() call's assumptions: consecutive calls keep the
+  /// trail of their longest common assumption prefix alive instead of
+  /// re-deciding and re-propagating it from the root (the cube engine's
+  /// ET enumeration hands each worker thousands of cubes sharing long
+  /// prefixes).
+  std::vector<Lit> PrevAssumptions;
+
   // -- Core algorithms -----------------------------------------------------
   LBool valueOf(Lit L) const {
     LBool V = Assigns[L.var()];
@@ -229,6 +267,7 @@ private:
   void enqueue(Lit L, ClauseRef From);
   ClauseRef propagate();
   void analyze(ClauseRef Confl, std::vector<Lit> &Learnt, int32_t &BtLevel);
+  void analyzeFinal(Lit Failed);
   bool litRedundant(Lit L, uint32_t AbstractLevels);
   void backtrack(int32_t ToLevel);
   Lit pickBranchLit();

@@ -63,6 +63,13 @@ ExprRef BoolContext::mkVar(const std::string &Name) {
   return R;
 }
 
+uint32_t BoolContext::varIdOf(const std::string &Name) const {
+  auto It = VarByName.find(Name);
+  if (It == VarByName.end())
+    fatalError("unknown context variable: " + Name);
+  return It->second;
+}
+
 ExprRef BoolContext::mkNot(ExprRef A) {
   const BoolNode &N = Nodes[A];
   if (N.Kind == BoolKind::Const)

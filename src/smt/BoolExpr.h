@@ -72,6 +72,15 @@ public:
     return VarByName.count(Name) != 0;
   }
 
+  /// Id of an existing variable (fatal if unknown) — const lookup for
+  /// layers that must not grow the context.
+  uint32_t varIdOf(const std::string &Name) const;
+
+  /// ExprRef of an existing variable (fatal if unknown).
+  ExprRef varRef(const std::string &Name) const {
+    return VarRefs[varIdOf(Name)];
+  }
+
   ExprRef mkNot(ExprRef A);
   ExprRef mkAnd(std::vector<ExprRef> Kids);
   ExprRef mkOr(std::vector<ExprRef> Kids);

@@ -70,6 +70,47 @@ Lit CnfEncoder::mkXorLits(Lit A, Lit B) {
   return Y;
 }
 
+Lit CnfEncoder::parityLit(const std::vector<Lit> &Lits, size_t Begin,
+                          size_t End) {
+  if (End - Begin == 1)
+    return Lits[Begin];
+  size_t Mid = Begin + (End - Begin) / 2;
+  return mkXorLits(parityLit(Lits, Begin, Mid), parityLit(Lits, Mid, End));
+}
+
+void CnfEncoder::assertParity(const std::vector<Lit> &Lits, bool Odd) {
+  size_t N = Lits.size();
+  if (N == 0) {
+    if (Odd)
+      Out.add({}); // 0 == 1: unsatisfiable
+    return;
+  }
+  if (N == 1) {
+    Out.add({Odd ? Lits[0] : ~Lits[0]});
+    return;
+  }
+  if (N == 3) {
+    // Direct aux-free ternary parity; flipping one literal flips parity.
+    Lit A = Odd ? Lits[0] : ~Lits[0], B = Lits[1], C = Lits[2];
+    Out.add({A, B, C});
+    Out.add({A, ~B, ~C});
+    Out.add({~A, B, ~C});
+    Out.add({~A, ~B, C});
+    return;
+  }
+  // Balanced split; equating the two halves' parity literals with two
+  // binary clauses saves the topmost auxiliary variable.
+  Lit A = parityLit(Lits, 0, N / 2);
+  Lit B = parityLit(Lits, N / 2, N);
+  if (Odd) {
+    Out.add({A, B});
+    Out.add({~A, ~B});
+  } else {
+    Out.add({A, ~B});
+    Out.add({~A, B});
+  }
+}
+
 const std::vector<Lit> &
 CnfEncoder::unaryCounter(const std::vector<Lit> &Inputs, size_t MaxJ) {
   MaxJ = std::min(MaxJ, Inputs.size());
@@ -78,23 +119,30 @@ CnfEncoder::unaryCounter(const std::vector<Lit> &Inputs, size_t MaxJ) {
   for (Lit L : Inputs)
     Key.push_back(L.Code);
 
-  auto It = CounterCache.find(Key);
-  if (It != CounterCache.end() && It->second.size() >= MaxJ)
-    return It->second;
-  // (Re)build the full counter once; further thresholds reuse it.
-  MaxJ = Inputs.size();
+  // Registers: Cols[i][j-1] <=> (first i+1 inputs have >= j ones). The
+  // whole register bank is cached, and a deeper request EXTENDS it in
+  // place — row j only reads rows j and j-1 of the previous column —
+  // so request order never matters and nothing is re-encoded. Counters
+  // are built only to the deepest depth ever requested: a truncated
+  // counter is O(n*MaxJ) auxiliaries, and the weight-budget caps keep
+  // MaxJ tiny on the verification hot path.
+  std::vector<std::vector<Lit>> &Cols = CounterCache[Key];
+  size_t Have = Cols.empty() ? 0 : Cols.back().size();
+  if (!Cols.empty() && Have >= MaxJ)
+    return Cols.back();
+  Cols.resize(Inputs.size());
 
-  // Registers: Prev[j-1] <=> (first i inputs have >= j ones).
   Lit True = trueLit();
   Lit False = ~True;
-  std::vector<Lit> Prev; // i = 0: empty prefix has >= j ones only for j = 0
   for (size_t I = 0; I != Inputs.size(); ++I) {
-    std::vector<Lit> Next(MaxJ, False);
+    std::vector<Lit> &Cur = Cols[I];
     size_t Cap = std::min(MaxJ, I + 1);
-    for (size_t J = 1; J <= Cap; ++J) {
-      Lit GePrevJ = (J <= Prev.size() && J <= I) ? Prev[J - 1] : False;
-      Lit GePrevJm1 = (J == 1) ? True : ((J - 1 <= I) ? Prev[J - 2] : False);
-      // Next[j] <=> GePrevJ | (x_i & GePrevJm1)
+    for (size_t J = Cur.size() + 1; J <= Cap; ++J) {
+      // Prev = Cols[I-1]: counts over the first I inputs.
+      Lit GePrevJ = (I > 0 && J <= I) ? Cols[I - 1][J - 1] : False;
+      Lit GePrevJm1 =
+          (J == 1) ? True : ((I > 0 && J - 1 <= I) ? Cols[I - 1][J - 2] : False);
+      // Cur[j] <=> GePrevJ | (x_i & GePrevJm1)
       Lit Carry;
       if (GePrevJm1 == True)
         Carry = Inputs[I];
@@ -103,17 +151,14 @@ CnfEncoder::unaryCounter(const std::vector<Lit> &Inputs, size_t MaxJ) {
       else
         Carry = mkAndLits({Inputs[I], GePrevJm1});
       if (GePrevJ == False)
-        Next[J - 1] = Carry;
+        Cur.push_back(Carry);
       else if (Carry == False)
-        Next[J - 1] = GePrevJ;
+        Cur.push_back(GePrevJ);
       else
-        Next[J - 1] = mkOrLits({GePrevJ, Carry});
+        Cur.push_back(mkOrLits({GePrevJ, Carry}));
     }
-    Prev = std::move(Next);
   }
-  auto [Slot, Inserted] = CounterCache.insert_or_assign(Key, std::move(Prev));
-  (void)Inserted;
-  return Slot->second;
+  return Cols.back();
 }
 
 Lit CnfEncoder::encodeCardinalityGE(const std::vector<Lit> &Inputs,
@@ -213,16 +258,37 @@ Lit CnfEncoder::encode(ExprRef R) {
     for (size_t I = N.K; I != N.Kids.size(); ++I)
       B.push_back(encode(N.Kids[I]));
     // sum(A) <= sum(B)  <=>  for every threshold j: sum(A) >= j implies
-    // sum(B) >= j.
-    const std::vector<Lit> &CA = unaryCounter(A, A.size());
+    // sum(B) >= j. When the right-hand side consists solely of budget
+    // terms whose sum is pinned below CounterCap (setBudgetTruncation),
+    // thresholds above the cap are implied by the threshold-Cap
+    // implication (it forces sum(A) < Cap) and are not encoded — this
+    // keeps the counters shallow.
+    size_t Depth = A.size();
+    if (CounterCap) {
+      // Truncation is valid only when sum(RHS) provably stays below the
+      // cap: every RHS term must be a budget term AND distinct — a
+      // repeated term is counted with multiplicity by the sum, so a
+      // duplicate could push sum(RHS) past the budget bound.
+      std::unordered_set<ExprRef> SeenRhs;
+      bool RhsIsBudget = true;
+      for (size_t I = N.K; I != N.Kids.size(); ++I)
+        if (!BudgetSet.count(N.Kids[I]) ||
+            !SeenRhs.insert(N.Kids[I]).second) {
+          RhsIsBudget = false;
+          break;
+        }
+      if (RhsIsBudget)
+        Depth = std::min(Depth, CounterCap);
+    }
+    const std::vector<Lit> &CA = unaryCounter(A, Depth);
     std::vector<Lit> Imps;
-    for (size_t J = 1; J <= A.size(); ++J) {
+    for (size_t J = 1; J <= Depth; ++J) {
       Lit GeA = CA[J - 1];
       Lit GeB;
       if (J > B.size())
         GeB = ~trueLit();
       else
-        GeB = unaryCounter(B, B.size())[J - 1];
+        GeB = unaryCounter(B, std::min(B.size(), Depth))[J - 1];
       Imps.push_back(mkOrLits({~GeA, GeB}));
     }
     Result = mkAndLits(Imps);

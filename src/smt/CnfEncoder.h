@@ -21,6 +21,7 @@
 
 #include <map>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 namespace veriqec::smt {
@@ -63,14 +64,50 @@ public:
   /// mapping if needed.
   sat::Var satVarOf(uint32_t BoolVarId);
 
+  /// Asserts XOR over \p Lits == \p Odd as a top-level fact: unit/binary
+  /// clauses for short rows, a direct aux-free encoding for ternary rows,
+  /// and a balanced tree of XOR gates above that. This is how the
+  /// preprocessor's reduced GF(2) rows reach the solver.
+  void assertParity(const std::vector<sat::Lit> &Lits, bool Odd);
+
+  /// Two-sided unary counter over \p Inputs: result[j-1] <=> (sum >= j)
+  /// for j = 1..min(MaxJ, Inputs.size()) (MaxJ = 0 means full depth).
+  /// Shares the counter cache with cardinality atoms over the same
+  /// inputs. This is the substrate of the assumption-activated weight
+  /// layers: one encoding serves every bound up to its depth, because
+  /// assuming ~result[K] enforces sum <= K and result[K-1] enforces
+  /// sum >= K at solve time.
+  const std::vector<sat::Lit> &counterOver(const std::vector<sat::Lit> &Inputs,
+                                           size_t MaxJ = 0) {
+    return unaryCounter(Inputs, MaxJ ? MaxJ : Inputs.size());
+  }
+
+  /// Enables budget-driven counter truncation: the caller guarantees
+  /// (by a root-level unit on the budget counter) that the sum over
+  /// \p BudgetTerms never reaches \p Cap. SumLeqSum atoms whose
+  /// right-hand side consists solely of budget terms then only encode
+  /// comparison thresholds up to Cap — the threshold-Cap implication
+  /// pins the left sum below Cap, making every higher threshold vacuous
+  /// — which keeps the unary counters shallow (O(n*Cap) instead of
+  /// O(n^2) auxiliaries on the verification hot path).
+  void setBudgetTruncation(size_t Cap,
+                           const std::vector<ExprRef> &BudgetTerms) {
+    CounterCap = Cap;
+    BudgetSet.insert(BudgetTerms.begin(), BudgetTerms.end());
+  }
+
 private:
+  sat::Lit parityLit(const std::vector<sat::Lit> &Lits, size_t Begin,
+                     size_t End);
   sat::Lit trueLit();
   sat::Lit mkAndLits(const std::vector<sat::Lit> &Lits);
   sat::Lit mkOrLits(const std::vector<sat::Lit> &Lits);
   sat::Lit mkXorLits(sat::Lit A, sat::Lit B);
 
   /// Unary counter over \p Inputs: result[j-1] <=> (sum >= j), for
-  /// j = 1..MaxJ. Cached per input list.
+  /// j = 1..MaxJ. The full register bank is cached per input list and
+  /// deepened in place on a later deeper request, so request order does
+  /// not matter and nothing is ever re-encoded.
   const std::vector<sat::Lit> &unaryCounter(const std::vector<sat::Lit> &Inputs,
                                             size_t MaxJ);
 
@@ -81,7 +118,12 @@ private:
   CnfFormula &Out;
   CardinalityEncoding CardEnc;
   std::unordered_map<ExprRef, sat::Lit> Memo;
-  std::map<std::vector<int32_t>, std::vector<sat::Lit>> CounterCache;
+  /// Per input list: the counter register bank, Cols[i][j-1] <=>
+  /// (first i+1 inputs have >= j ones), deepened on demand.
+  std::map<std::vector<int32_t>, std::vector<std::vector<sat::Lit>>>
+      CounterCache;
+  size_t CounterCap = 0;
+  std::unordered_set<ExprRef> BudgetSet;
   sat::Lit CachedTrue = sat::Lit::undef();
 };
 

@@ -12,58 +12,177 @@
 #include "support/Assert.h"
 #include "support/Timer.h"
 
+#include <unordered_set>
+
 using namespace veriqec;
 using namespace veriqec::smt;
+using sat::Lit;
 using sat::SolveResult;
 using sat::Var;
 
-EncodedProblem::EncodedProblem(const BoolContext &Ctx, ExprRef Root,
-                               CardinalityEncoding CardEnc) {
-  CnfEncoder Encoder(Ctx, Cnf, CardEnc);
-  // Materialize every named variable so models are always total (a
-  // variable can be optimized away by constant folding yet still be
-  // interesting to the caller).
-  for (uint32_t Id = 0; Id != Ctx.numVariables(); ++Id)
-    NamedVars.emplace_back(Ctx.varName(Id), Encoder.satVarOf(Id));
-  Encoder.assertTrue(Root);
+VerificationProblem::VerificationProblem(const BoolContext &Ctx_, ExprRef Root,
+                                         const ProblemOptions &Opts)
+    : Ctx(&Ctx_) {
+  PreprocessOptions PO;
+  PO.Enable = Opts.Preprocess;
+  for (const std::string &Name : Opts.ProtectedVars)
+    PO.KeepVarIds.push_back(Ctx_.varIdOf(Name));
+  PO.KeepUsedExprs = Opts.BudgetTerms;
+  PreprocessedFormula P = preprocess(Ctx_, Root, PO);
+  Prep = P.Stats;
+  TriviallyUnsat = P.TriviallyUnsat;
+  Eliminated = std::move(P.Eliminated);
+  Pruner = ParityPropagator(P.Rows);
+
+  CnfEncoder Encoder(Ctx_, Cnf, Opts.CardEnc);
+  if (Opts.CounterCap)
+    Encoder.setBudgetTruncation(Opts.CounterCap, Opts.BudgetTerms);
+  // Materialize every non-eliminated named variable so models are always
+  // total (a variable can be optimized away by constant folding yet still
+  // be interesting to the caller); eliminated variables are reconstructed
+  // at model read-back instead.
+  std::unordered_set<uint32_t> Dropped;
+  for (const VarReconstruction &R : Eliminated)
+    Dropped.insert(R.VarId);
+  for (uint32_t Id = 0; Id != Ctx_.numVariables(); ++Id) {
+    if (Dropped.count(Id))
+      continue;
+    Var V = Encoder.satVarOf(Id);
+    NamedVars.emplace_back(Ctx_.varName(Id), V);
+    BoolVarOfSat.emplace(V, Id);
+  }
+  if (TriviallyUnsat)
+    return; // refuted before any clause exists
+
+  // Reduced parity rows, the irreducible residue, then the weight layer.
+  std::vector<Lit> RowLits;
+  for (const ParityRow &R : P.Rows) {
+    RowLits.clear();
+    for (uint32_t V : R.Vars)
+      RowLits.push_back(sat::mkLit(Encoder.satVarOf(V)));
+    Encoder.assertParity(RowLits, R.Rhs);
+  }
+  for (ExprRef C : P.Residue)
+    Encoder.assertTrue(C);
+  if (!Opts.BudgetTerms.empty()) {
+    std::vector<Lit> Terms;
+    Terms.reserve(Opts.BudgetTerms.size());
+    for (ExprRef T : Opts.BudgetTerms)
+      Terms.push_back(Encoder.encode(T));
+    BudgetCounter = Encoder.counterOver(Terms, Opts.CounterCap);
+    NumBudgetTerms = Terms.size();
+  }
 }
 
-sat::Solver EncodedProblem::makeSolver() const {
+sat::Solver VerificationProblem::makeSolver() const {
   sat::Solver S;
   loadInto(S);
   return S;
 }
 
-void EncodedProblem::loadInto(sat::Solver &S) const {
+void VerificationProblem::loadInto(sat::Solver &S) const {
   for (size_t I = 0; I != Cnf.NumVars; ++I)
     S.newVar();
   for (const auto &C : Cnf.Clauses)
     S.addClause(C);
 }
 
-void EncodedProblem::readModel(
+void VerificationProblem::readModel(
     const sat::Solver &S, std::unordered_map<std::string, bool> &Model) const {
   for (const auto &[Name, V] : NamedVars)
     Model[Name] = S.modelValue(V);
+  // Eliminated variables, replayed in REVERSE elimination order: a
+  // record's dependencies are either surviving variables (already in the
+  // model) or variables eliminated later (already reconstructed).
+  for (auto It = Eliminated.rbegin(); It != Eliminated.rend(); ++It) {
+    bool B = It->Constant;
+    for (uint32_t D : It->Deps)
+      B ^= Model.at(Ctx->varName(D));
+    Model[Ctx->varName(It->VarId)] = B;
+  }
 }
 
-Var EncodedProblem::varOfName(const std::string &Name) const {
+Var VerificationProblem::varOfName(const std::string &Name) const {
   for (const auto &[N, V] : NamedVars)
     if (N == Name)
       return V;
   fatalError("unknown split variable: " + Name);
 }
 
+void VerificationProblem::appendWeightAssumptions(uint32_t MaxW,
+                                                 std::vector<Lit> &Out,
+                                                 uint32_t MinW) const {
+  assert(NumBudgetTerms != 0 && "problem built without a weight layer");
+  if (MinW > 0) {
+    assert(MinW <= BudgetCounter.size() && "bound beyond the counter depth");
+    Out.push_back(BudgetCounter[MinW - 1]);
+  }
+  if (MaxW < NumBudgetTerms) {
+    assert(MaxW < BudgetCounter.size() && "bound beyond the counter depth");
+    Out.push_back(~BudgetCounter[MaxW]);
+  }
+}
+
+void VerificationProblem::assertWeightBound(sat::Solver &S, uint32_t MaxW,
+                                            uint32_t MinW) const {
+  std::vector<Lit> Units;
+  appendWeightAssumptions(MaxW, Units, MinW);
+  for (Lit L : Units)
+    S.addClause(L);
+}
+
+bool VerificationProblem::cubeRefuted(std::span<const Lit> Cube) const {
+  if (Pruner.numRows() == 0 || Cube.empty())
+    return false;
+  std::vector<std::pair<uint32_t, bool>> Fixed;
+  Fixed.reserve(Cube.size());
+  for (Lit L : Cube) {
+    auto It = BoolVarOfSat.find(L.var());
+    if (It != BoolVarOfSat.end())
+      Fixed.emplace_back(It->second, !L.negated());
+  }
+  return Pruner.refutes(Fixed);
+}
+
+ProblemOptions veriqec::smt::makeProblemOptions(const BoolContext &Ctx,
+                                                const SolveOptions &Opts) {
+  ProblemOptions PO;
+  PO.CardEnc = Opts.CardEnc;
+  PO.Preprocess = Opts.Preprocess;
+  PO.ProtectedVars = Opts.SplitVars;
+  for (const std::string &Name : Opts.BudgetVars)
+    PO.BudgetTerms.push_back(Ctx.varRef(Name));
+  if (!Opts.BudgetVars.empty())
+    // Every consumer hardens the bound at the root (assertWeightBound),
+    // so counters past it are dead weight.
+    PO.CounterCap = static_cast<size_t>(Opts.BudgetBound) + 1;
+  return PO;
+}
+
 SolveOutcome veriqec::smt::solveExpr(const BoolContext &Ctx, ExprRef Root,
                                      const SolveOptions &Opts) {
   Timer Clock;
-  EncodedProblem Problem(Ctx, Root, Opts.CardEnc);
+  VerificationProblem Problem(Ctx, Root, makeProblemOptions(Ctx, Opts));
+
+  SolveOutcome Outcome;
+  Outcome.Prep = Problem.Prep;
+  Outcome.CnfVars = Problem.Cnf.NumVars;
+  Outcome.CnfClauses = Problem.Cnf.Clauses.size();
+  if (Problem.TriviallyUnsat) {
+    Outcome.Result = SolveResult::Unsat;
+    Outcome.SolveSeconds = Clock.seconds();
+    return Outcome;
+  }
+
   sat::Solver S = Problem.makeSolver();
+  // One bound per solver: harden it at the root (encode-once, activate
+  // per solver; the CnfFormula itself stays bound-independent).
+  if (!Opts.BudgetVars.empty())
+    Problem.assertWeightBound(S, Opts.BudgetBound);
   if (Opts.ConflictBudget)
     S.setConflictBudget(Opts.ConflictBudget);
   if (Opts.RandomSeed)
     S.setRandomSeed(Opts.RandomSeed);
-  SolveOutcome Outcome;
   Outcome.Result = S.solve();
   Outcome.Stats = S.stats();
   if (Outcome.Result == SolveResult::Sat)

@@ -12,6 +12,12 @@
 /// threshold; each resulting cube is an independent SAT call; a SAT cube
 /// aborts the siblings and surfaces its counterexample model.
 ///
+/// Both drivers run on VerificationProblem, the reusable middle of the
+/// pipeline: GF(2)/XOR preprocessing (smt/Preprocessor.h), then one CNF
+/// encoding shared read-only by every worker and cube, with the weight
+/// budget as an assumption-activated counter layer so different bounds
+/// reuse the same solver and its learnt clauses.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef VERIQEC_SMT_CUBESOLVER_H
@@ -20,7 +26,9 @@
 #include "sat/Solver.h"
 #include "smt/BoolExpr.h"
 #include "smt/CnfEncoder.h"
+#include "smt/Preprocessor.h"
 
+#include <span>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -38,6 +46,13 @@ struct SolveOutcome {
   uint64_t NumCubes = 1;
   /// Cubes actually solved; < NumCubes when a SAT cube cancelled the rest.
   uint64_t CubesSolved = 1;
+  /// Cubes refuted by GF(2) propagation before any SAT call (included in
+  /// CubesSolved).
+  uint64_t CubesPruned = 0;
+  /// Preprocessing telemetry and CNF size (for --bench-out).
+  PreprocessStats Prep;
+  size_t CnfVars = 0;
+  size_t CnfClauses = 0;
   /// Wall time of the SAT discharge (excludes VC assembly).
   double SolveSeconds = 0;
 };
@@ -45,11 +60,21 @@ struct SolveOutcome {
 /// Options shared by the sequential and parallel drivers.
 struct SolveOptions {
   CardinalityEncoding CardEnc = CardinalityEncoding::SequentialCounter;
+  /// GF(2)/XOR preprocessing before CNF encoding (see smt/Preprocessor.h).
+  bool Preprocess = true;
   uint64_t ConflictBudget = 0; ///< 0 = unlimited
   /// Nonzero seeds the solver's random branching tie-breaks (each engine
   /// worker derives its own stream from this), making runs reproducible
   /// for fuzzing; 0 keeps the deterministic pure-VSIDS order.
   uint64_t RandomSeed = 0;
+
+  /// Assumption-activated weight layer: when BudgetVars is non-empty the
+  /// Root expression must NOT contain the corresponding cardinality atom;
+  /// sum(BudgetVars) <= BudgetBound is enforced with counter assumptions
+  /// at solve time instead, so re-solves under other bounds reuse the
+  /// encoding and learnt clauses.
+  std::vector<std::string> BudgetVars;
+  uint32_t BudgetBound = ~uint32_t{0};
 
   // Parallel-only knobs.
   size_t NumThreads = 0; ///< 0 = hardware concurrency
@@ -65,19 +90,47 @@ struct SolveOptions {
   uint32_t MaxOnes = ~uint32_t{0};
 };
 
-/// CNF encoding of one (context, root) problem plus the mapping needed to
-/// read models back and to translate split-variable names into assumption
-/// literals. Immutable after construction, so the engine's workers share
-/// one instance per problem: each worker instantiates its own Solver from
-/// the encoded clauses once and then discharges every cube it picks up
-/// with assumptions, reusing learned clauses across cubes instead of
-/// re-encoding the shared prefix.
-struct EncodedProblem {
+/// How a VerificationProblem is built from a (context, root) pair.
+struct ProblemOptions {
+  CardinalityEncoding CardEnc = CardinalityEncoding::SequentialCounter;
+  /// GF(2)/XOR preprocessing (extraction, elimination, trivial-UNSAT).
+  bool Preprocess = true;
+  /// Variables that must survive preprocessing as CNF variables — cube
+  /// split variables, whose assumption literals would otherwise dangle.
+  std::vector<std::string> ProtectedVars;
+  /// When non-empty, a two-sided unary counter over these terms is
+  /// encoded once and weight bounds become solve-time assumptions
+  /// (appendWeightAssumptions). Terms may be arbitrary expressions (e.g.
+  /// per-qubit support x_q | z_q for the distance search).
+  std::vector<ExprRef> BudgetTerms;
+  /// Nonzero caps every counter touching the budget at this depth
+  /// (CnfEncoder::setBudgetTruncation): valid when the solve enforces
+  /// sum(BudgetTerms) < CounterCap at the root (assertWeightBound), which
+  /// shrinks the cardinality machinery from O(n^2) to O(n*Cap). Leave 0
+  /// for searches that probe many bounds (distance mode).
+  size_t CounterCap = 0;
+};
+
+/// The reusable middle of the verification pipeline: one (context, root)
+/// problem preprocessed and encoded once, plus everything needed to read
+/// models back (including reconstruction of preprocessor-eliminated
+/// variables), translate split-variable names into assumption literals,
+/// refute cubes by GF(2) propagation, and activate weight bounds by
+/// assumption. Immutable after construction, so the engine's workers
+/// share one instance per problem: each worker instantiates its own
+/// Solver from the encoded clauses once and then discharges every cube it
+/// picks up with assumptions, reusing learned clauses across cubes
+/// instead of re-encoding the shared prefix.
+struct VerificationProblem {
   CnfFormula Cnf;
   std::vector<std::pair<std::string, sat::Var>> NamedVars;
+  /// The preprocessor refuted the conjunction outright; the CNF is empty
+  /// and no solver needs to run.
+  bool TriviallyUnsat = false;
+  PreprocessStats Prep;
 
-  EncodedProblem(const BoolContext &Ctx, ExprRef Root,
-                 CardinalityEncoding CardEnc);
+  VerificationProblem(const BoolContext &Ctx, ExprRef Root,
+                      const ProblemOptions &Opts = {});
 
   /// A fresh solver loaded with the encoded clauses.
   sat::Solver makeSolver() const;
@@ -87,13 +140,55 @@ struct EncodedProblem {
   /// testing harness's injectable subclasses) cannot diverge from it.
   void loadInto(sat::Solver &S) const;
 
-  /// Reads the named-variable assignment out of a Sat solver.
+  /// Reads the named-variable assignment out of a Sat solver; variables
+  /// the preprocessor eliminated are reconstructed from their GF(2)
+  /// defining rows, so models stay total.
   void readModel(const sat::Solver &S,
                  std::unordered_map<std::string, bool> &Model) const;
 
   /// CNF variable of a named BoolContext variable (fatal if unknown).
   sat::Var varOfName(const std::string &Name) const;
+
+  /// Appends assumptions enforcing MinW <= sum(BudgetTerms) <= MaxW to
+  /// \p Out (bounds at or beyond the trivial ones contribute nothing).
+  /// Only valid when the problem was built with BudgetTerms. Use for
+  /// searches that probe MANY bounds on one solver (learnt clauses
+  /// survive across bounds); a solver serving a single bound should
+  /// harden it with assertWeightBound instead.
+  void appendWeightAssumptions(uint32_t MaxW, std::vector<sat::Lit> &Out,
+                               uint32_t MinW = 0) const;
+
+  /// Asserts MinW <= sum(BudgetTerms) <= MaxW as root-level unit clauses
+  /// of \p S. Root-level units propagate once and permanently simplify
+  /// the search — much stronger than re-deciding the bound as an
+  /// assumption on every solve — while the bound-independent CnfFormula
+  /// is still encoded only once and shared by solvers with different
+  /// bounds.
+  void assertWeightBound(sat::Solver &S, uint32_t MaxW,
+                         uint32_t MinW = 0) const;
+
+  /// True iff the cube (assumption literals over protected variables) is
+  /// provably inconsistent with the preprocessor's reduced parity rows —
+  /// the cube is UNSAT without any SAT call.
+  bool cubeRefuted(std::span<const sat::Lit> Cube) const;
+
+private:
+  const BoolContext *Ctx = nullptr;
+  std::vector<VarReconstruction> Eliminated;
+  ParityPropagator Pruner;
+  std::vector<sat::Lit> BudgetCounter;
+  size_t NumBudgetTerms = 0;
+  std::unordered_map<int32_t, uint32_t> BoolVarOfSat;
 };
+
+/// The one SolveOptions -> ProblemOptions translation shared by the
+/// sequential driver and the cube engine, so the two pipelines cannot
+/// desynchronize: split variables become protected, budget variables
+/// become counter terms, and — because both paths harden the bound at
+/// the root via assertWeightBound — the counters are truncated just
+/// past it.
+ProblemOptions makeProblemOptions(const BoolContext &Ctx,
+                                  const SolveOptions &Opts);
 
 /// Solves \p Root (checking satisfiability) on one thread.
 SolveOutcome solveExpr(const BoolContext &Ctx, ExprRef Root,

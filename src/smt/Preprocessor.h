@@ -1,0 +1,122 @@
+//===- smt/Preprocessor.h - GF(2)/XOR-aware preprocessing -------*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Algebraic preprocessing of verification conditions before CNF encoding.
+/// The negations of QEC verification conditions are dominated by GF(2)
+/// syndrome equations — exactly the structure a CDCL solver handles worst
+/// once Tseitin-flattened. The preprocessor lifts the parity subsystem of
+/// a BoolExpr conjunction into a gf2::BitMatrix, Gaussian-eliminates it,
+/// detects trivial unsatisfiability, drops variables that occur only in
+/// the linear subsystem (recording how to reconstruct their values from a
+/// model of the residue), and hands the encoder the irreducible residue
+/// plus the reduced row basis. The kept rows double as a fast GF(2)
+/// unit-propagation oracle that refutes cube assumption sets before a SAT
+/// solver ever runs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_SMT_PREPROCESSOR_H
+#define VERIQEC_SMT_PREPROCESSOR_H
+
+#include "smt/BoolExpr.h"
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace veriqec::smt {
+
+/// One linear GF(2) equation over BoolContext variables:
+/// XOR over Vars == Rhs. Vars are sorted and duplicate-free.
+struct ParityRow {
+  std::vector<uint32_t> Vars;
+  bool Rhs = false;
+};
+
+/// How to rebuild an eliminated variable from a model of the residue:
+/// value(VarId) = XOR over value(Deps) + Constant. Records are emitted in
+/// elimination order; a record's Deps may contain variables eliminated
+/// LATER, so reconstruction replays the records in reverse.
+struct VarReconstruction {
+  uint32_t VarId = 0;
+  std::vector<uint32_t> Deps;
+  bool Constant = false;
+};
+
+/// Telemetry of one preprocessing run (surfaced by --bench-out).
+struct PreprocessStats {
+  /// Conjuncts of the top-level AND recognized as parity equations.
+  size_t LinearConjuncts = 0;
+  /// Distinct variables of the parity subsystem.
+  size_t LinearVars = 0;
+  /// Rows of the reduced basis that stay in the encoding.
+  size_t RowsKept = 0;
+  /// Single-variable rows (turn into unit clauses).
+  size_t UnitsFixed = 0;
+  /// Variables dropped from the encoding entirely.
+  size_t VarsEliminated = 0;
+  /// Conjuncts the linear lift could not absorb.
+  size_t ResidueConjuncts = 0;
+  bool TriviallyUnsat = false;
+};
+
+struct PreprocessOptions {
+  /// Master switch; disabled, preprocess() returns the whole input as
+  /// residue (the legacy pipeline).
+  bool Enable = true;
+  /// Variables that must survive as encoder variables regardless of
+  /// occurrence (cube split variables, weight-layer inputs).
+  std::vector<uint32_t> KeepVarIds;
+  /// Expressions encoded outside the preprocessed conjunction (e.g. the
+  /// weight layer's counter inputs); every variable they reach is pinned.
+  std::vector<ExprRef> KeepUsedExprs;
+};
+
+/// Result of preprocessing one conjunction: the formula is equivalent to
+/// AND(Residue) ∧ AND(Rows) ∧ (the dropped defining rows of Eliminated),
+/// and every model of Residue ∧ Rows extends uniquely to the eliminated
+/// variables via the reconstruction records.
+struct PreprocessedFormula {
+  bool TriviallyUnsat = false;
+  std::vector<ExprRef> Residue;
+  std::vector<ParityRow> Rows;
+  std::vector<VarReconstruction> Eliminated;
+  PreprocessStats Stats;
+};
+
+/// Lifts and reduces the parity subsystem of \p Root (interpreted as a
+/// top-level conjunction in \p Ctx).
+PreprocessedFormula preprocess(const BoolContext &Ctx, ExprRef Root,
+                               const PreprocessOptions &Opts = {});
+
+/// GF(2) unit-propagation refutation oracle over a fixed row set: given a
+/// partial assignment (cube), repeatedly substitutes known values and
+/// propagates rows with a single unknown until fixpoint; a fully-assigned
+/// row with the wrong parity refutes the cube. Sound (only provably
+/// inconsistent cubes are refuted) but incomplete — full consistency would
+/// need per-cube Gaussian elimination.
+class ParityPropagator {
+public:
+  ParityPropagator() = default;
+  explicit ParityPropagator(std::vector<ParityRow> Rows);
+
+  size_t numRows() const { return Rows.size(); }
+
+  /// True iff the assignment {VarId -> Value} provably contradicts the
+  /// rows. Thread-safe (scratch is thread-local).
+  bool refutes(std::span<const std::pair<uint32_t, bool>> Fixed) const;
+
+private:
+  std::vector<ParityRow> Rows;
+  /// Rows indexed by variable (positions into Rows), for the worklist.
+  std::vector<std::vector<uint32_t>> RowsOfVar;
+  uint32_t MaxVarId = 0;
+};
+
+} // namespace veriqec::smt
+
+#endif // VERIQEC_SMT_PREPROCESSOR_H

@@ -71,8 +71,18 @@ ConfigVerdict runDirectReuse(const FuzzCase &C, const VerifyOptions &VO,
     Out.Detail = Vc.Error;
     return Out;
   }
-  EncodedProblem Enc(Ctx, Vc.NegatedVc,
-                     CardinalityEncoding::SequentialCounter);
+  // Preprocessing stays ON here: the reused solver then exercises model
+  // reconstruction (eliminated-variable read-back) under the exact
+  // assumption-reuse pattern the engine runs, while the split variables
+  // are pinned so the cube literals cannot dangle.
+  ProblemOptions PO;
+  PO.Preprocess = true;
+  PO.ProtectedVars = C.Scn.ErrorVars;
+  VerificationProblem Enc(Ctx, Vc.NegatedVc, PO);
+  if (Enc.TriviallyUnsat) {
+    Out.Verdict = 'V';
+    return Out;
+  }
   std::vector<sat::Var> SplitVars;
   for (const std::string &Name : C.Scn.ErrorVars)
     SplitVars.push_back(Enc.varOfName(Name));
@@ -141,10 +151,25 @@ CaseReport veriqec::testing::runDifferential(const FuzzCase &C,
   std::vector<EngineConfig> Configs;
   Configs.push_back({"sequential", Base});
   {
+    // The legacy monolithic-Tseitin pipeline: no GF(2) preprocessing, no
+    // weight layer. Everything downstream cross-checks verdicts and
+    // reconstructed counterexample models against this path.
+    VerifyOptions VO = Base;
+    VO.Preprocess = false;
+    Configs.push_back({"seq-noprep", VO});
+  }
+  {
     VerifyOptions VO = Base;
     VO.Parallel = true;
     VO.Threads = 1;
     Configs.push_back({"cube-j1", VO});
+  }
+  {
+    VerifyOptions VO = Base;
+    VO.Parallel = true;
+    VO.Threads = 1;
+    VO.Preprocess = false;
+    Configs.push_back({"cube-j1-noprep", VO});
   }
   if (O.Jobs > 1) {
     VerifyOptions VO = Base;

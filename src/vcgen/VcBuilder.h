@@ -78,6 +78,15 @@ struct BuiltVc {
   bool Ok = false;
   std::string Error;
   smt::ExprRef NegatedVc = 0; ///< SAT = counterexample, UNSAT = verified
+  /// NegatedVc without the total-error-budget cardinality atom. The
+  /// engine encodes this one and enforces sum(BudgetVars) <= BudgetBound
+  /// through the assumption-activated weight layer instead, so the same
+  /// encoding (and a worker's learnt clauses) serves every bound.
+  /// Equal to NegatedVc when the spec carries no budget.
+  smt::ExprRef NegatedVcBase = 0;
+  /// Error indicator variables under the budget; empty = no budget.
+  std::vector<std::string> BudgetVars;
+  uint32_t BudgetBound = ~uint32_t{0};
   size_t NumGoals = 0;
 };
 

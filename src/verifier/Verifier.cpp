@@ -14,6 +14,8 @@
 #include "engine/VerificationEngine.h"
 #include "support/Timer.h"
 
+#include <algorithm>
+
 using namespace veriqec;
 using namespace veriqec::smt;
 
@@ -47,6 +49,78 @@ veriqec::verifyAll(std::span<const Scenario> Scenarios,
   });
 }
 
+namespace {
+
+/// Shared symbolic skeleton of the detection / distance workloads: an
+/// unknown Pauli (x_q, z_q per qubit) that commutes with every generator
+/// (pure parity rows — the preprocessor's home turf) yet anticommutes
+/// with some logical operator.
+struct UndetectableLogicalVc {
+  BoolContext Ctx;
+  std::vector<ExprRef> XVars, ZVars, Support;
+  std::vector<ExprRef> Constraints;
+};
+
+void buildUndetectableLogicalVc(const StabilizerCode &Code,
+                                UndetectableLogicalVc &Out,
+                                PauliFamily Family = PauliFamily::Any) {
+  size_t N = Code.NumQubits;
+  BoolContext &Ctx = Out.Ctx;
+  for (size_t Q = 0; Q != N; ++Q) {
+    Out.XVars.push_back(Family == PauliFamily::ZOnly
+                            ? Ctx.mkFalse()
+                            : Ctx.mkVar("x" + std::to_string(Q)));
+    Out.ZVars.push_back(Family == PauliFamily::XOnly
+                            ? Ctx.mkFalse()
+                            : Ctx.mkVar("z" + std::to_string(Q)));
+    Out.Support.push_back(Ctx.mkOr(Out.XVars[Q], Out.ZVars[Q]));
+  }
+  auto anticommutes = [&](const Pauli &G) {
+    std::vector<ExprRef> Terms;
+    for (size_t Q = 0; Q != N; ++Q) {
+      if (G.zBits().get(Q))
+        Terms.push_back(Out.XVars[Q]);
+      if (G.xBits().get(Q))
+        Terms.push_back(Out.ZVars[Q]);
+    }
+    return Terms.empty() ? Ctx.mkFalse() : Ctx.mkXor(std::move(Terms));
+  };
+  for (const Pauli &G : Code.Generators)
+    Out.Constraints.push_back(Ctx.mkNot(anticommutes(G)));
+  std::vector<ExprRef> Logical;
+  for (size_t J = 0; J != Code.NumLogical; ++J) {
+    Logical.push_back(anticommutes(Code.LogicalX[J]));
+    Logical.push_back(anticommutes(Code.LogicalZ[J]));
+  }
+  Out.Constraints.push_back(Ctx.mkOr(std::move(Logical)));
+}
+
+/// Model lookup defaulting to false — family-restricted searches never
+/// create the suppressed letter's variables.
+bool modelBit(const std::unordered_map<std::string, bool> &Model,
+              const std::string &Name) {
+  auto It = Model.find(Name);
+  return It != Model.end() && It->second;
+}
+
+Pauli pauliFromModel(const std::unordered_map<std::string, bool> &Model,
+                     size_t N) {
+  Pauli P(N);
+  for (size_t Q = 0; Q != N; ++Q) {
+    bool X = modelBit(Model, "x" + std::to_string(Q));
+    bool Z = modelBit(Model, "z" + std::to_string(Q));
+    if (X && Z)
+      P.setKind(Q, PauliKind::Y);
+    else if (X)
+      P.setKind(Q, PauliKind::X);
+    else if (Z)
+      P.setKind(Q, PauliKind::Z);
+  }
+  return P.abs();
+}
+
+} // namespace
+
 DetectionResult veriqec::verifyDetection(const StabilizerCode &Code,
                                          size_t MaxWeight,
                                          const VerifyOptions &Opts) {
@@ -54,39 +128,18 @@ DetectionResult veriqec::verifyDetection(const StabilizerCode &Code,
   Timer Clock;
   size_t N = Code.NumQubits;
 
-  BoolContext Ctx;
-  std::vector<ExprRef> XVars, ZVars, Support;
-  for (size_t Q = 0; Q != N; ++Q) {
-    XVars.push_back(Ctx.mkVar("x" + std::to_string(Q)));
-    ZVars.push_back(Ctx.mkVar("z" + std::to_string(Q)));
-    Support.push_back(Ctx.mkOr(XVars[Q], ZVars[Q]));
-  }
-  auto anticommutes = [&](const Pauli &G) {
-    std::vector<ExprRef> Terms;
-    for (size_t Q = 0; Q != N; ++Q) {
-      if (G.zBits().get(Q))
-        Terms.push_back(XVars[Q]);
-      if (G.xBits().get(Q))
-        Terms.push_back(ZVars[Q]);
-    }
-    return Terms.empty() ? Ctx.mkFalse() : Ctx.mkXor(std::move(Terms));
-  };
-
-  std::vector<ExprRef> Cs;
-  // All syndromes zero, logically acting, weight within 1..MaxWeight.
-  for (const Pauli &G : Code.Generators)
-    Cs.push_back(Ctx.mkNot(anticommutes(G)));
-  std::vector<ExprRef> Logical;
-  for (size_t J = 0; J != Code.NumLogical; ++J) {
-    Logical.push_back(anticommutes(Code.LogicalX[J]));
-    Logical.push_back(anticommutes(Code.LogicalZ[J]));
-  }
-  Cs.push_back(Ctx.mkOr(std::move(Logical)));
-  Cs.push_back(Ctx.mkAtLeast(Support, 1));
-  Cs.push_back(Ctx.mkAtMost(Support, static_cast<uint32_t>(MaxWeight)));
+  UndetectableLogicalVc D;
+  buildUndetectableLogicalVc(Code, D);
+  BoolContext &Ctx = D.Ctx;
+  std::vector<ExprRef> Cs = D.Constraints;
+  // Weight within 1..MaxWeight (the two atoms share one counter bank;
+  // unaryCounter deepens it on demand, so request order is free).
+  Cs.push_back(Ctx.mkAtMost(D.Support, static_cast<uint32_t>(MaxWeight)));
+  Cs.push_back(Ctx.mkAtLeast(D.Support, 1));
 
   SolveOptions SO;
   SO.CardEnc = Opts.CardEnc;
+  SO.Preprocess = Opts.Preprocess;
   SO.ConflictBudget = Opts.ConflictBudget;
   SO.RandomSeed = Opts.RandomSeed;
   SolveOutcome Outcome;
@@ -97,9 +150,10 @@ DetectionResult veriqec::verifyDetection(const StabilizerCode &Code,
       SO.SplitVars.push_back("x" + std::to_string(Q));
     SO.DistanceHint = static_cast<uint32_t>(
         Code.Distance ? Code.Distance : MaxWeight + 1);
-    SO.SplitThreshold = Opts.SplitThreshold
-                            ? Opts.SplitThreshold
-                            : static_cast<uint32_t>(N);
+    // Same budget-exhaustion cutoff as the engine's scenario path.
+    uint32_t Auto = static_cast<uint32_t>(std::min<uint64_t>(
+        N, 2ull * SO.DistanceHint * MaxWeight + 4));
+    SO.SplitThreshold = Opts.SplitThreshold ? Opts.SplitThreshold : Auto;
     SO.MaxOnes = static_cast<uint32_t>(MaxWeight);
     Outcome = solveExprParallel(Ctx, Root, SO);
   } else {
@@ -109,20 +163,103 @@ DetectionResult veriqec::verifyDetection(const StabilizerCode &Code,
   Result.Stats = Outcome.Stats;
   Result.Detects = Outcome.Result == sat::SolveResult::Unsat;
   Result.Aborted = Outcome.Result == sat::SolveResult::Aborted;
-  if (Outcome.Result == sat::SolveResult::Sat) {
-    Pauli P(N);
-    for (size_t Q = 0; Q != N; ++Q) {
-      bool X = Outcome.Model.at("x" + std::to_string(Q));
-      bool Z = Outcome.Model.at("z" + std::to_string(Q));
-      if (X && Z)
-        P.setKind(Q, PauliKind::Y);
-      else if (X)
-        P.setKind(Q, PauliKind::X);
-      else if (Z)
-        P.setKind(Q, PauliKind::Z);
-    }
-    Result.CounterExample = P.abs();
-  }
+  if (Outcome.Result == sat::SolveResult::Sat)
+    Result.CounterExample = pauliFromModel(Outcome.Model, N);
   Result.Seconds = Clock.seconds();
+  return Result;
+}
+
+DistanceResult veriqec::computeDistance(const StabilizerCode &Code,
+                                        const VerifyOptions &Opts,
+                                        PauliFamily Family) {
+  DistanceResult Result;
+  Timer Clock;
+  size_t N = Code.NumQubits;
+  if (Code.NumLogical == 0) {
+    Result.Error = "code has no logical qubits";
+    return Result;
+  }
+
+  UndetectableLogicalVc D;
+  buildUndetectableLogicalVc(Code, D, Family);
+
+  // Encode once: the parity system plus the logical-action residue, with
+  // the per-qubit supports feeding the assumption-activated weight layer.
+  // Every probe of the search is then a pure assumption change on one
+  // solver, which keeps all learnt clauses live across bounds.
+  ProblemOptions PO;
+  PO.CardEnc = CardinalityEncoding::SequentialCounter;
+  PO.Preprocess = Opts.Preprocess;
+  PO.BudgetTerms = D.Support;
+  VerificationProblem Problem(D.Ctx, D.Ctx.mkAnd(D.Constraints), PO);
+  Result.Prep = Problem.Prep;
+  if (Problem.TriviallyUnsat) {
+    Result.Error = "undetectable-logical system is inconsistent";
+    Result.Seconds = Clock.seconds();
+    return Result;
+  }
+
+  sat::Solver S = Problem.makeSolver();
+  if (Opts.ConflictBudget)
+    S.setConflictBudget(Opts.ConflictBudget);
+  if (Opts.RandomSeed)
+    S.setRandomSeed(Opts.RandomSeed);
+
+  auto modelWeight = [&](const std::unordered_map<std::string, bool> &M) {
+    size_t W = 0;
+    for (size_t Q = 0; Q != N; ++Q)
+      W += modelBit(M, "x" + std::to_string(Q)) ||
+           modelBit(M, "z" + std::to_string(Q));
+    return W;
+  };
+  auto finish = [&](sat::SolveResult R) {
+    Result.Stats = S.stats();
+    Result.Aborted = R == sat::SolveResult::Aborted;
+    Result.Seconds = Clock.seconds();
+  };
+
+  // Existence probe (weight >= 1, unbounded above): every code with a
+  // logical qubit has an undetectable logical operator of weight <= n.
+  std::vector<sat::Lit> Assumptions;
+  Problem.appendWeightAssumptions(static_cast<uint32_t>(N), Assumptions, 1);
+  ++Result.SolverCalls;
+  sat::SolveResult R = S.solve(Assumptions);
+  if (R != sat::SolveResult::Sat) {
+    finish(R);
+    if (!Result.Aborted)
+      Result.Error = "no undetectable logical operator exists";
+    return Result;
+  }
+  std::unordered_map<std::string, bool> Best;
+  Problem.readModel(S, Best);
+  size_t Lo = 1, Hi = modelWeight(Best);
+
+  // Binary search for the least satisfiable weight bound; a SAT probe
+  // tightens Hi to the witness's actual weight, not just the bound.
+  while (Lo < Hi) {
+    size_t Mid = Lo + (Hi - Lo) / 2;
+    Assumptions.clear();
+    Problem.appendWeightAssumptions(static_cast<uint32_t>(Mid), Assumptions,
+                                    1);
+    ++Result.SolverCalls;
+    R = S.solve(Assumptions);
+    if (R == sat::SolveResult::Aborted) {
+      finish(R);
+      return Result;
+    }
+    if (R == sat::SolveResult::Sat) {
+      std::unordered_map<std::string, bool> M;
+      Problem.readModel(S, M);
+      Hi = modelWeight(M);
+      Best = std::move(M);
+    } else {
+      Lo = Mid + 1;
+    }
+  }
+
+  Result.Distance = Lo;
+  Result.Witness = pauliFromModel(Best, N);
+  Result.Ok = true;
+  finish(R);
   return Result;
 }

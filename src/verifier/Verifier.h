@@ -35,6 +35,10 @@ struct VerifyOptions {
   uint32_t SplitThreshold = 0;   ///< 0 = auto (the number of qubits)
   smt::CardinalityEncoding CardEnc =
       smt::CardinalityEncoding::SequentialCounter;
+  /// GF(2)/XOR preprocessing of the VC before CNF encoding (syndrome
+  /// equations are Gaussian-eliminated, defined variables dropped); off
+  /// reproduces the legacy monolithic-Tseitin pipeline.
+  bool Preprocess = true;
   uint64_t ConflictBudget = 0;
   /// Nonzero seeds the solvers' random branching tie-breaks so a run (in
   /// particular a fuzz failure) is exactly reproducible; 0 keeps the
@@ -61,6 +65,12 @@ struct VerificationResult {
   /// Cubes actually discharged; < NumCubes when the first SAT cube
   /// cancelled its outstanding siblings.
   uint64_t CubesSolved = 1;
+  /// Cubes refuted by GF(2) propagation with no SAT call.
+  uint64_t CubesPruned = 0;
+  /// Preprocessing telemetry and CNF size for this scenario's encoding.
+  smt::PreprocessStats Prep;
+  size_t CnfVars = 0;
+  size_t CnfClauses = 0;
   size_t NumGoals = 0;
   double Seconds = 0;
 };
@@ -92,6 +102,40 @@ struct DetectionResult {
 
 DetectionResult verifyDetection(const StabilizerCode &Code, size_t MaxWeight,
                                 const VerifyOptions &Opts = {});
+
+/// Which Pauli family the distance search ranges over. Any is the true
+/// stabilizer distance; XOnly/ZOnly restrict to pure-X / pure-Z logical
+/// operators (the registry documents the X-type distance for
+/// bit-flip-only codes such as repetition<N>).
+enum class PauliFamily { Any, XOnly, ZOnly };
+
+/// Result of a code-distance search (the `veriqec distance` workload).
+struct DistanceResult {
+  bool Ok = false;   ///< search ran to completion
+  std::string Error; ///< when !Ok && !Aborted
+  /// The conflict budget ran out before the search converged.
+  bool Aborted = false;
+  /// Minimum weight of an undetectable logical operator.
+  size_t Distance = 0;
+  /// A logical operator attaining the minimum.
+  std::optional<Pauli> Witness;
+  sat::SolverStats Stats;
+  /// Incremental SAT calls the binary search issued (all on one solver).
+  uint64_t SolverCalls = 0;
+  smt::PreprocessStats Prep;
+  double Seconds = 0;
+};
+
+/// Computes the code distance by incremental binary search over the
+/// weight bound: the undetectable-logical constraint system is
+/// preprocessed and encoded ONCE, with a two-sided unary counter over the
+/// per-qubit supports; each probe activates "1 <= weight <= W" purely by
+/// assumptions, so a single solver (and its learnt clauses) serves the
+/// whole search. Contrast qec/StabilizerCode.h's estimateDistance, which
+/// re-encodes from scratch at every weight.
+DistanceResult computeDistance(const StabilizerCode &Code,
+                               const VerifyOptions &Opts = {},
+                               PauliFamily Family = PauliFamily::Any);
 
 } // namespace veriqec
 

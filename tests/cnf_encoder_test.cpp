@@ -29,7 +29,11 @@ namespace {
 /// iterated solving with blocking clauses.
 uint64_t countModels(const BoolContext &Ctx, ExprRef Root,
                      CardinalityEncoding Enc) {
-  EncodedProblem Problem(Ctx, Root, Enc);
+  ProblemOptions PO;
+  PO.CardEnc = Enc;
+  VerificationProblem Problem(Ctx, Root, PO);
+  if (Problem.TriviallyUnsat)
+    return 0;
   sat::Solver S = Problem.makeSolver();
   uint64_t Count = 0;
   while (S.solve() == sat::SolveResult::Sat) {

@@ -141,7 +141,12 @@ TEST(CubeEngine, VerdictIsThreadCountInvariant) {
         EXPECT_TRUE(Ctx.evaluate(Root, Assignment))
             << "threads=" << Threads;
       } else {
-        EXPECT_EQ(Out.CubesSolved, Out.NumCubes) << "threads=" << Threads;
+        // All cubes are accounted for, though not necessarily all solved:
+        // an UNSAT cube whose refutation used none of its own assumption
+        // literals (sat::Solver::conflictCore) proves the whole problem
+        // UNSAT and cancels its siblings.
+        EXPECT_GE(Out.CubesSolved, 1u) << "threads=" << Threads;
+        EXPECT_LE(Out.CubesSolved, Out.NumCubes) << "threads=" << Threads;
       }
     }
   }

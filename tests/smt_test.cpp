@@ -250,7 +250,18 @@ TEST(CubeSolver, ParallelUnsatAgreesWithSequential) {
   SolveOutcome Seq = solveExpr(Ctx, Root);
   EXPECT_EQ(Seq.Result, SolveResult::Unsat);
   EXPECT_EQ(Par.Result, SolveResult::Unsat);
-  EXPECT_GT(Par.NumCubes, 1u);
+  // A pure parity contradiction never reaches a solver: Gaussian
+  // elimination refutes it during preprocessing, before cube enumeration.
+  EXPECT_TRUE(Par.Prep.TriviallyUnsat);
+  EXPECT_EQ(Par.NumCubes, 0u);
+  EXPECT_EQ(Par.Stats.Conflicts, 0u);
+
+  // With preprocessing off, the legacy pipeline must still agree — the
+  // hard way, through the cube enumeration.
+  Opts.Preprocess = false;
+  SolveOutcome Legacy = solveExprParallel(Ctx, Root, Opts);
+  EXPECT_EQ(Legacy.Result, SolveResult::Unsat);
+  EXPECT_GT(Legacy.NumCubes, 1u);
 }
 
 TEST(CubeSolver, ParallelSatFindsModel) {

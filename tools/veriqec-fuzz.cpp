@@ -7,9 +7,12 @@
 /// \file
 /// Seeded differential fuzzing of the whole verification stack: generate
 /// random scenarios (random codes, shapes, error models, budgets, user
-/// constraints), run each through every engine configuration, validate
-/// every counterexample certificate, and cross-check verdicts against the
-/// brute-force and sampling oracles. Exit code 0 = no discrepancy,
+/// constraints), run each through every engine configuration — the
+/// GF(2)-preprocessed pipeline is cross-checked against the legacy
+/// unpreprocessed path, sequential and cube-and-conquer alike — validate
+/// every counterexample certificate (including reconstructed
+/// preprocessor-eliminated variables), and cross-check verdicts against
+/// the brute-force and sampling oracles. Exit code 0 = no discrepancy,
 /// 1 = discrepancies found (seeds reported, and appended to
 /// --out-failures when given), 2 = usage error.
 ///

@@ -51,12 +51,14 @@ struct CliOptions {
   size_t MaxWeight = 0; // detect: 0 = distance - 1
   size_t Jobs = 0;
   bool Sequential = false;
+  bool NoPreprocess = false;
   uint32_t SplitThreshold = 0;
   smt::CardinalityEncoding CardEnc =
       smt::CardinalityEncoding::SequentialCounter;
   uint64_t ConflictBudget = 0;
   uint64_t Seed = 0;
   bool Json = false;
+  std::string BenchOut;
 };
 
 void printUsage(std::FILE *To) {
@@ -69,6 +71,10 @@ void printUsage(std::FILE *To) {
       "  verify                verify scenarios (batch when several are\n"
       "                        selected; all cubes share one pool)\n"
       "  detect                precise-detection property (Eqn. 15)\n"
+      "  distance              code distance by incremental binary search\n"
+      "                        over an assumption-activated weight bound\n"
+      "                        (exit 1 if a computed distance contradicts\n"
+      "                        the registry's documented one)\n"
       "  parse <file>          parse a program file and pretty-print it\n"
       "\n"
       "selection:\n"
@@ -90,6 +96,8 @@ void printUsage(std::FILE *To) {
       "engine:\n"
       "  --jobs N              worker threads (default: hardware)\n"
       "  --sequential          disable cube-and-conquer splitting\n"
+      "  --no-preprocess       disable GF(2)/XOR preprocessing (legacy\n"
+      "                        monolithic Tseitin pipeline)\n"
       "  --split-threshold T   ET threshold (default: number of qubits)\n"
       "  --card-enc seq|pairwise   cardinality encoding (default seq)\n"
       "  --budget N            conflict budget per solver (default none)\n"
@@ -97,7 +105,10 @@ void printUsage(std::FILE *To) {
       "                        batch order (0 = deterministic default)\n"
       "\n"
       "output:\n"
-      "  --json                machine-readable results on stdout\n");
+      "  --json                machine-readable results on stdout\n"
+      "  --bench-out FILE      write per-scenario benchmark records\n"
+      "                        (wall-clock, conflicts, cubes, encoder and\n"
+      "                        preprocessor stats) as JSON to FILE\n");
 }
 
 bool splitList(const std::string &Arg, std::vector<std::string> &Out) {
@@ -296,6 +307,76 @@ void printRecordJson(const RunRecord &R, bool Last) {
   std::printf("}%s\n", Last ? "" : ",");
 }
 
+/// Writes the machine-readable benchmark trajectory file (--bench-out):
+/// one record per scenario with wall-clock, solver, cube and
+/// encoder/preprocessor statistics, plus the engine configuration that
+/// produced them.
+bool writeBenchOut(const CliOptions &Cli, const std::vector<RunRecord> &Records,
+                   size_t Workers) {
+  std::ofstream Out(Cli.BenchOut);
+  if (!Out) {
+    std::fprintf(stderr, "veriqec: cannot write %s\n", Cli.BenchOut.c_str());
+    return false;
+  }
+  char Buf[512];
+  Out << "{\n  \"config\": {";
+  std::snprintf(Buf, sizeof(Buf),
+                "\"command\": \"verify\", \"jobs\": %zu, \"workers\": %zu, "
+                "\"sequential\": %s, \"preprocess\": %s, "
+                "\"split_threshold\": %u, \"card_enc\": \"%s\", "
+                "\"conflict_budget\": %llu, \"seed\": %llu",
+                Cli.Jobs, Workers, Cli.Sequential ? "true" : "false",
+                Cli.NoPreprocess ? "false" : "true", Cli.SplitThreshold,
+                Cli.CardEnc == smt::CardinalityEncoding::SequentialCounter
+                    ? "seq"
+                    : "pairwise",
+                static_cast<unsigned long long>(Cli.ConflictBudget),
+                static_cast<unsigned long long>(Cli.Seed));
+  Out << Buf << "},\n  \"results\": [\n";
+  for (size_t I = 0; I != Records.size(); ++I) {
+    const RunRecord &R = Records[I];
+    Out << "    {\"code\": \"" << jsonEscape(R.Code) << "\", \"scenario\": \""
+        << jsonEscape(R.Scenario) << "\", \"basis\": \"" << R.Basis
+        << "\", \"qubits\": " << R.NumQubits;
+    if (!R.Result.StructuralOk) {
+      Out << ", \"error\": \"" << jsonEscape(R.Result.Error) << "\"}";
+    } else {
+      const VerificationResult &V = R.Result;
+      std::snprintf(
+          Buf, sizeof(Buf),
+          ", \"verified\": %s, \"aborted\": %s, \"seconds\": %.6f, "
+          "\"goals\": %zu, \"cubes\": %llu, \"cubes_solved\": %llu, "
+          "\"cubes_pruned\": %llu, \"conflicts\": %llu, \"decisions\": %llu, "
+          "\"propagations\": %llu, \"learned\": %llu, \"restarts\": %llu, "
+          "\"cnf_vars\": %zu, \"cnf_clauses\": %zu",
+          V.Verified ? "true" : "false", V.Aborted ? "true" : "false",
+          V.Seconds, V.NumGoals, static_cast<unsigned long long>(V.NumCubes),
+          static_cast<unsigned long long>(V.CubesSolved),
+          static_cast<unsigned long long>(V.CubesPruned),
+          static_cast<unsigned long long>(V.Stats.Conflicts),
+          static_cast<unsigned long long>(V.Stats.Decisions),
+          static_cast<unsigned long long>(V.Stats.Propagations),
+          static_cast<unsigned long long>(V.Stats.LearnedClauses),
+          static_cast<unsigned long long>(V.Stats.Restarts), V.CnfVars,
+          V.CnfClauses);
+      Out << Buf;
+      std::snprintf(
+          Buf, sizeof(Buf),
+          ", \"prep\": {\"linear_conjuncts\": %zu, \"linear_vars\": %zu, "
+          "\"rows_kept\": %zu, \"units_fixed\": %zu, "
+          "\"vars_eliminated\": %zu, \"residue_conjuncts\": %zu, "
+          "\"trivially_unsat\": %s}}",
+          V.Prep.LinearConjuncts, V.Prep.LinearVars, V.Prep.RowsKept,
+          V.Prep.UnitsFixed, V.Prep.VarsEliminated, V.Prep.ResidueConjuncts,
+          V.Prep.TriviallyUnsat ? "true" : "false");
+      Out << Buf;
+    }
+    Out << (I + 1 == Records.size() ? "\n" : ",\n");
+  }
+  Out << "  ]\n}\n";
+  return static_cast<bool>(Out);
+}
+
 // -- Commands ----------------------------------------------------------------
 
 int runListCodes() {
@@ -409,6 +490,7 @@ int runVerify(const CliOptions &Cli) {
   VO.Threads = Cli.Jobs;
   VO.SplitThreshold = Cli.SplitThreshold;
   VO.CardEnc = Cli.CardEnc;
+  VO.Preprocess = !Cli.NoPreprocess;
   VO.ConflictBudget = Cli.ConflictBudget;
   VO.RandomSeed = Cli.Seed;
 
@@ -451,7 +533,98 @@ int runVerify(const CliOptions &Cli) {
                   static_cast<unsigned long long>(Total.Conflicts),
                   Engine.numWorkers());
   }
+  if (!Cli.BenchOut.empty() && !writeBenchOut(Cli, Records,
+                                              Engine.numWorkers()))
+    return 2;
   return AnyError ? 2 : AnyFailed ? 1 : AnyAborted ? 3 : 0;
+}
+
+int runDistance(const CliOptions &Cli) {
+  bool AnyMismatch = false, AnyAborted = false, AnyError = false;
+  if (Cli.Json)
+    std::printf("{\"seed\": %llu, \"results\": [\n",
+                static_cast<unsigned long long>(Cli.Seed));
+  for (size_t I = 0; I != Cli.Codes.size(); ++I) {
+    const std::string &CodeName = Cli.Codes[I];
+    std::optional<StabilizerCode> Code = makeCodeByName(CodeName);
+    if (!Code) {
+      std::fprintf(stderr, "veriqec: unknown code '%s'\n", CodeName.c_str());
+      return 2;
+    }
+    VerifyOptions VO;
+    VO.Preprocess = !Cli.NoPreprocess;
+    VO.ConflictBudget = Cli.ConflictBudget;
+    VO.RandomSeed = Cli.Seed;
+    DistanceResult R = computeDistance(*Code, VO);
+    AnyAborted |= R.Aborted;
+    AnyError |= !R.Ok && !R.Aborted;
+    // A registry distance flagged as an estimate is not binding: report
+    // the difference (the printed "estimate" qualifier says why) but do
+    // not fail the run over it.
+    bool Mismatch = R.Ok && Code->Distance && !Code->DistanceIsEstimate &&
+                    R.Distance != Code->Distance;
+    // Some registry entries document a restricted-error-family distance
+    // (repetition<N> documents the bit-flip distance, reached by pure-X
+    // logicals only); accept the documented number if a family-
+    // restricted search attains it.
+    std::string FamilyMatch;
+    if (Mismatch) {
+      for (auto [Family, Name] :
+           {std::pair{PauliFamily::XOnly, "x"},
+            std::pair{PauliFamily::ZOnly, "z"}}) {
+        DistanceResult F = computeDistance(*Code, VO, Family);
+        if (F.Ok && F.Distance == Code->Distance) {
+          Mismatch = false;
+          FamilyMatch = Name;
+          break;
+        }
+      }
+    }
+    AnyMismatch |= Mismatch;
+    if (Cli.Json) {
+      std::printf(
+          "%s  {\"code\": \"%s\", \"ok\": %s, \"aborted\": %s, "
+          "\"distance\": %zu, \"documented\": %zu, \"matches\": %s, "
+          "\"solver_calls\": %llu, \"conflicts\": %llu, \"seconds\": %.6f",
+          I ? ",\n" : "", jsonEscape(CodeName).c_str(), R.Ok ? "true" : "false",
+          R.Aborted ? "true" : "false", R.Distance, Code->Distance,
+          // A failed or aborted search agrees with nothing.
+          R.Ok && !Mismatch ? "true" : "false",
+          static_cast<unsigned long long>(R.SolverCalls),
+          static_cast<unsigned long long>(R.Stats.Conflicts), R.Seconds);
+      if (!FamilyMatch.empty())
+        std::printf(", \"documented_family\": \"%s\"", FamilyMatch.c_str());
+      if (R.Witness)
+        std::printf(", \"witness\": \"%s\"",
+                    jsonEscape(R.Witness->toString()).c_str());
+      std::printf("}");
+    } else if (!R.Ok && !R.Aborted) {
+      std::printf("%-20s ERROR: %s\n", CodeName.c_str(), R.Error.c_str());
+    } else {
+      // When the documented number belongs to a restricted family, say
+      // so: "distance 1 (documented 5)" with a silent success would
+      // read as a contradiction.
+      std::string Documented = std::to_string(Code->Distance);
+      if (!FamilyMatch.empty())
+        Documented += " = " + FamilyMatch + "-family";
+      if (Code->DistanceIsEstimate)
+        Documented += ", estimate";
+      std::printf("%-20s distance %-3zu %s(documented %s)  %llu calls, "
+                  "%llu conflicts  (%.1f ms)\n",
+                  CodeName.c_str(), R.Distance,
+                  R.Aborted ? "ABORTED " : Mismatch ? "MISMATCH " : "",
+                  Documented.c_str(),
+                  static_cast<unsigned long long>(R.SolverCalls),
+                  static_cast<unsigned long long>(R.Stats.Conflicts),
+                  R.Seconds * 1e3);
+      if (R.Witness)
+        std::printf("  minimal logical operator: %s\n",
+                    R.Witness->toString().c_str());
+    }
+  }
+  if (Cli.Json)
+    std::printf("\n]}\n");
+  return AnyError ? 2 : AnyMismatch ? 1 : AnyAborted ? 3 : 0;
 }
 
 int runDetect(const CliOptions &Cli) {
@@ -475,6 +648,7 @@ int runDetect(const CliOptions &Cli) {
     VO.Threads = Cli.Jobs;
     VO.SplitThreshold = Cli.SplitThreshold;
     VO.CardEnc = Cli.CardEnc;
+    VO.Preprocess = !Cli.NoPreprocess;
     VO.ConflictBudget = Cli.ConflictBudget;
     VO.RandomSeed = Cli.Seed;
     DetectionResult R = verifyDetection(*Code, MaxWeight, VO);
@@ -535,6 +709,12 @@ int main(int Argc, char **Argv) {
       Cli.Json = true;
     } else if (A == "--sequential") {
       Cli.Sequential = true;
+    } else if (A == "--no-preprocess") {
+      Cli.NoPreprocess = true;
+    } else if (A == "--bench-out") {
+      if (!(V = needValue(I)))
+        return 2;
+      Cli.BenchOut = *V;
     } else if (A == "--code") {
       if (!(V = needValue(I)))
         return 2;
@@ -637,6 +817,14 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  if (!Cli.BenchOut.empty() && Cli.Command != "verify") {
+    // Refuse rather than silently not writing the file a CI step will
+    // try to parse.
+    std::fprintf(stderr, "veriqec: --bench-out is only supported by the "
+                         "verify command\n");
+    return 2;
+  }
+
   if (Cli.Command == "list-codes")
     return runListCodes();
   if (Cli.Command == "parse") {
@@ -654,6 +842,13 @@ int main(int Argc, char **Argv) {
       return 2;
     }
     return runDetect(Cli);
+  }
+  if (Cli.Command == "distance") {
+    if (Cli.Codes.empty()) {
+      std::fprintf(stderr, "veriqec: distance needs --code\n");
+      return 2;
+    }
+    return runDistance(Cli);
   }
   std::fprintf(stderr, "veriqec: unknown command '%s'\n",
                Cli.Command.c_str());
