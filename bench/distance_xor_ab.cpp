@@ -1,0 +1,74 @@
+//===- bench/distance_xor_ab.cpp - Distance-mode XOR A/B ------------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `veriqec distance` workload on the LDPC registry rows, with the
+/// native XOR engine on and off — the tracked numbers behind the
+/// Gauss-in-the-loop claim (BENCH_table3.json, `distance_xor_ab`). The
+/// CNF-encoded baseline is only benchmarked on the rows where it
+/// terminates in benchmark-friendly time; tanner1/tanner1-full without
+/// XOR run 41 s / 86 s on the reference box and are left to the tracked
+/// JSON rather than ruining every bench sweep.
+///
+//===----------------------------------------------------------------------===//
+
+#include "qec/Codes.h"
+#include "verifier/Verifier.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace veriqec;
+
+namespace {
+
+void runDistance(benchmark::State &State, StabilizerCode (*Make)(),
+                 bool NativeXor) {
+  StabilizerCode Code = Make();
+  State.SetLabel(Code.Name + (NativeXor ? " xor=on" : " xor=off"));
+  VerifyOptions Opts;
+  Opts.Xor = NativeXor ? smt::XorMode::On : smt::XorMode::Off;
+  for (auto _ : State) {
+    DistanceResult R = computeDistance(Code, Opts);
+    if (!R.Ok || R.Distance != Code.Distance) {
+      State.SkipWithError(("distance search failed for " + Code.Name).c_str());
+      return;
+    }
+    State.counters["conflicts"] = static_cast<double>(R.Stats.Conflicts);
+    State.counters["solver_calls"] = static_cast<double>(R.SolverCalls);
+    State.counters["xor_elims"] =
+        static_cast<double>(R.Stats.XorEliminations);
+  }
+}
+
+void BM_DistanceHgp98Xor(benchmark::State &State) {
+  runDistance(State, makeHgp98, true);
+}
+void BM_DistanceHgp98Cnf(benchmark::State &State) {
+  runDistance(State, makeHgp98, false);
+}
+void BM_DistanceTanner2Xor(benchmark::State &State) {
+  runDistance(State, makeTannerIISubstitute, true);
+}
+void BM_DistanceTanner2Cnf(benchmark::State &State) {
+  runDistance(State, makeTannerIISubstitute, false);
+}
+void BM_DistanceTanner1Xor(benchmark::State &State) {
+  runDistance(State, makeTannerISubstitute, true);
+}
+void BM_DistanceTanner1FullXor(benchmark::State &State) {
+  runDistance(State, makeTannerIFull, true);
+}
+
+} // namespace
+
+BENCHMARK(BM_DistanceHgp98Xor)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DistanceHgp98Cnf)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DistanceTanner2Xor)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DistanceTanner2Cnf)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DistanceTanner1Xor)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DistanceTanner1FullXor)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

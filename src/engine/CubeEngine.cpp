@@ -61,7 +61,13 @@ struct ProblemRun {
   std::atomic<bool> GlobalUnsat{false};
   std::atomic<bool> AnyAborted{false};
   std::atomic<uint64_t> Solved{0};
-  std::atomic<uint64_t> Pruned{0};
+  /// Cubes refuted with no SAT call, by cause: the GF(2) parity oracle
+  /// (elimination-strength when the problem runs native XOR) vs. a
+  /// sibling's stored UNSAT core. Split so the refutation rate of each
+  /// mechanism is visible in --bench-out instead of vanishing into one
+  /// per-worker sum.
+  std::atomic<uint64_t> PrunedGf2{0};
+  std::atomic<uint64_t> PrunedCore{0};
   std::atomic<uint64_t> Remaining{0};
 
   /// UNSAT cores that used only a strict subset of their cube's
@@ -123,12 +129,15 @@ void runCube(ProblemRun &Run, size_t CubeIdx) {
           break;
         }
     }
-    // GF(2) unit propagation over the preprocessor's reduced rows can
-    // refute a cube outright — no solver, no conflicts. A stored sibling
-    // core that fits inside this cube does the same.
-    if (Subsumed || Run.Encoded->cubeRefuted(Cube)) {
+    // GF(2) propagation (with elimination under native XOR) over the
+    // preprocessor's reduced rows can refute a cube outright — no
+    // solver, no conflicts. A stored sibling core that fits inside this
+    // cube does the same.
+    bool Gf2Refuted = !Subsumed && Run.Encoded->cubeRefuted(Cube);
+    if (Subsumed || Gf2Refuted) {
       Run.Solved.fetch_add(1, std::memory_order_relaxed);
-      Run.Pruned.fetch_add(1, std::memory_order_relaxed);
+      (Subsumed ? Run.PrunedCore : Run.PrunedGf2)
+          .fetch_add(1, std::memory_order_relaxed);
     } else {
       std::unique_ptr<sat::Solver> &Slot = Run.Slots[Worker];
       if (!Slot) {
@@ -327,9 +336,14 @@ CubeEngine::solveAll(std::span<const CubeProblem> Problems) {
       Run.Out.Stats.Conflicts += S.Conflicts;
       Run.Out.Stats.LearnedClauses += S.LearnedClauses;
       Run.Out.Stats.Restarts += S.Restarts;
+      Run.Out.Stats.XorPropagations += S.XorPropagations;
+      Run.Out.Stats.XorConflicts += S.XorConflicts;
+      Run.Out.Stats.XorEliminations += S.XorEliminations;
     }
     Run.Out.CubesSolved = Run.Solved.load();
-    Run.Out.CubesPruned = Run.Pruned.load();
+    Run.Out.CubesPrunedGf2 = Run.PrunedGf2.load();
+    Run.Out.CubesPrunedCore = Run.PrunedCore.load();
+    Run.Out.CubesPruned = Run.Out.CubesPrunedGf2 + Run.Out.CubesPrunedCore;
     Run.Out.Prep = Run.Encoded->Prep;
     Run.Out.CnfVars = Run.Encoded->Cnf.NumVars;
     Run.Out.CnfClauses = Run.Encoded->Cnf.Clauses.size();

@@ -47,6 +47,7 @@ SolveOptions makeSolveOptions(const Scenario &S, const VerifyOptions &Opts) {
   SolveOptions SO;
   SO.CardEnc = Opts.CardEnc;
   SO.Preprocess = Opts.Preprocess;
+  SO.Xor = Opts.Xor;
   SO.ConflictBudget = Opts.ConflictBudget;
   SO.RandomSeed = Opts.RandomSeed;
   if (Opts.Parallel && !S.ErrorVars.empty()) {
@@ -74,6 +75,8 @@ void applyOutcome(SolveOutcome &&Outcome, PreparedScenario &P) {
   P.Result.NumCubes = Outcome.NumCubes;
   P.Result.CubesSolved = Outcome.CubesSolved;
   P.Result.CubesPruned = Outcome.CubesPruned;
+  P.Result.CubesPrunedGf2 = Outcome.CubesPrunedGf2;
+  P.Result.CubesPrunedCore = Outcome.CubesPrunedCore;
   P.Result.Prep = Outcome.Prep;
   P.Result.CnfVars = Outcome.CnfVars;
   P.Result.CnfClauses = Outcome.CnfClauses;

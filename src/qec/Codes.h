@@ -104,6 +104,14 @@ StabilizerCode makeHgp98();
 /// [[210,24,4]].
 StabilizerCode makeTannerISubstitute();
 
+/// Paper-scale variant of the Tanner I substitute: hypergraph product of
+/// the circulant Hamming [7] and circulant [31] (1 + x^2 + x^5) matrices,
+/// [[434,30,4]] — more qubits than the paper's Tanner code I row (343).
+/// The distance-mode stress row: its dense GF(2) residue is intractable
+/// for CNF-encoded parity chains and needs the solver's native XOR
+/// engine (`--xor on`).
+StabilizerCode makeTannerIFull();
+
 /// High-rate substitute for Tanner code II ([[125,53,4]]): hypergraph
 /// product of the extended-Hamming [8,4,4] self-dual matrix with itself,
 /// [[80,16,4]].

@@ -90,6 +90,16 @@ StabilizerCode veriqec::makeTannerISubstitute() {
   return Code;
 }
 
+StabilizerCode veriqec::makeTannerIFull() {
+  // Product of the circulant Hamming [7] matrix with the circulant [31]
+  // matrix of the primitive polynomial 1 + x^2 + x^5 (rank 26; kernel is
+  // the [31,5,16] simplex code). Distance inherits the [7,3,4] factor:
+  // min(4, 16) = 4, tool-verified by `veriqec distance`.
+  BitMatrix H7 = circulant(7, 0b1011);
+  BitMatrix H31 = circulant(31, 0b100101);
+  return makeHypergraphProductCode("tanner-i-full", H7, H31, /*Distance=*/4);
+}
+
 StabilizerCode veriqec::makeTannerIISubstitute() {
   // Self-product of the [8,4,4] extended Hamming parity-check matrix ->
   // [[80,16,4]]; stands in for the Tanner code II row (high-rate

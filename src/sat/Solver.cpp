@@ -94,6 +94,68 @@ bool Solver::addClause(std::vector<Lit> Lits) {
   return true;
 }
 
+bool Solver::addXorClause(const std::vector<Lit> &Lits, bool Odd) {
+  if (decisionLevel() != 0)
+    backtrack(0);
+  if (!OkState)
+    return false;
+  bool Rhs = Odd;
+  std::vector<Var> Vars;
+  Vars.reserve(Lits.size());
+  for (Lit L : Lits) {
+    assert(L.var() >= 0 && static_cast<size_t>(L.var()) < numVars() &&
+           "XOR literal over unknown variable");
+    Rhs ^= L.negated();
+    Vars.push_back(L.var());
+  }
+  std::sort(Vars.begin(), Vars.end());
+  std::vector<Var> Kept;
+  for (size_t I = 0; I != Vars.size();) {
+    size_t J = I;
+    while (J != Vars.size() && Vars[J] == Vars[I])
+      ++J;
+    if ((J - I) & 1)
+      Kept.push_back(Vars[I]);
+    I = J;
+  }
+  if (Kept.empty()) {
+    if (Rhs)
+      OkState = false;
+    return OkState;
+  }
+  Gauss.addRow(std::move(Kept), Rhs);
+  return true;
+}
+
+Solver::ClauseRef Solver::materializeXorClause(std::vector<Lit> Lits) {
+  Clause C;
+  C.Lits = std::move(Lits);
+  C.Learned = true;
+  C.Activity = ClauseInc;
+  // Empty/unit justifications cannot carry watches; tombstone them so
+  // the reduceDB rebuild skips them. Their literals stay readable for
+  // conflict analysis (Deleted only unhooks, it does not erase).
+  C.Deleted = C.Lits.size() < 2;
+  Clauses.push_back(std::move(C));
+  return static_cast<ClauseRef>(Clauses.size() - 1);
+}
+
+Solver::ClauseRef Solver::propagateFixpoint() {
+  while (true) {
+    ClauseRef Confl = propagate();
+    if (Confl != NoReason || !Gauss.hasRows())
+      return Confl;
+    size_t Before = Trail.size();
+    Confl = Gauss.propagate(*this);
+    if (Confl != NoReason)
+      return Confl;
+    if (Trail.size() == Before)
+      return NoReason;
+    // The XOR engine enqueued implications: give CNF propagation
+    // another pass, then return to the engine, until neither moves.
+  }
+}
+
 void Solver::attachClause(ClauseRef Ref) {
   const Clause &C = Clauses[Ref];
   assert(C.size() >= 2 && "attaching a short clause");
@@ -333,6 +395,7 @@ void Solver::backtrack(int32_t ToLevel) {
   Trail.resize(Bound);
   TrailLim.resize(ToLevel);
   PropagateHead = Trail.size();
+  Gauss.onBacktrack(Trail.size());
 }
 
 Lit Solver::pickBranchLit() {
@@ -455,6 +518,17 @@ SolveResult Solver::solve(const std::vector<Lit> &Assumptions) {
     if (!OkState)
       return SolveResult::Unsat;
   }
+  if (Gauss.hasRows() && Gauss.needsFinalize()) {
+    // XOR rows were (re)registered since the last basis build: rebuild
+    // it (and its consistency verdict) at the root. The engine re-syncs
+    // against the whole trail afterwards, so root units added before
+    // the rows are folded in on the first propagation.
+    backtrack(0);
+    if (!Gauss.finalize()) {
+      OkState = false;
+      return SolveResult::Unsat;
+    }
+  }
   if (PropagateHead != Trail.size()) {
     // A budget-aborted call left propagation pending; restart from the
     // root and re-scan rather than reason about a half-propagated trail.
@@ -483,9 +557,22 @@ SolveResult Solver::solve(const std::vector<Lit> &Assumptions) {
     if (AbortFlag && AbortFlag->load(std::memory_order_relaxed))
       return SolveResult::Aborted;
 
-    ClauseRef Confl = propagate();
+    ClauseRef Confl = propagateFixpoint();
     if (Confl != NoReason) {
       ++Stats.Conflicts;
+      if (Gauss.hasRows()) {
+        // XOR conflicts can surface lazily (cross-row eliminations run
+        // intermittently), so the conflict clause may contain no literal
+        // of the current decision level — which analyze() requires.
+        // Dropping to the clause's highest level first restores the
+        // invariant for every conflict source; for CNF conflicts this is
+        // a no-op (eager propagation detects them at their own level).
+        int32_t MaxLvl = 0;
+        for (Lit L : Clauses[Confl].Lits)
+          MaxLvl = std::max(MaxLvl, Level[L.var()]);
+        if (MaxLvl < decisionLevel())
+          backtrack(MaxLvl);
+      }
       if (decisionLevel() == 0) {
         // Conflict with no decisions (assumptions included): the formula
         // itself is unsatisfiable, for this and every future call.

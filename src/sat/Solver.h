@@ -16,6 +16,7 @@
 #ifndef VERIQEC_SAT_SOLVER_H
 #define VERIQEC_SAT_SOLVER_H
 
+#include "sat/GaussEngine.h"
 #include "sat/SatTypes.h"
 #include "support/Rng.h"
 
@@ -90,6 +91,12 @@ struct SolverStats {
   uint64_t Conflicts = 0;
   uint64_t LearnedClauses = 0;
   uint64_t Restarts = 0;
+  /// Literals implied by the native XOR engine (sat/GaussEngine.h).
+  uint64_t XorPropagations = 0;
+  /// Conflicts the XOR engine detected before CNF propagation could.
+  uint64_t XorConflicts = 0;
+  /// Cross-row eliminations of the residual GF(2) system.
+  uint64_t XorEliminations = 0;
 };
 
 /// CDCL SAT solver. Typical usage:
@@ -126,6 +133,17 @@ public:
   bool addClause(Lit A, Lit B, Lit C) {
     return addClause(std::vector<Lit>{A, B, C});
   }
+
+  /// Adds a native XOR constraint: XOR over \p Lits == \p Odd. Negated
+  /// literals fold into the parity, duplicate variables cancel in pairs.
+  /// The constraint is handled by the Gauss-in-the-loop engine instead of
+  /// a CNF encoding: no auxiliary variables, and cross-constraint GF(2)
+  /// elimination during search. Returns false if the formula became
+  /// trivially unsatisfiable (empty XOR with odd parity).
+  bool addXorClause(const std::vector<Lit> &Lits, bool Odd);
+
+  /// Rows of the XOR basis (0 before the first solve builds it).
+  size_t numXorRows() const { return Gauss.numRows(); }
 
   /// Solves under the given assumptions (checked before any decision).
   SolveResult solve(const std::vector<Lit> &Assumptions = {});
@@ -191,7 +209,18 @@ protected:
   /// override this to prove the differential oracles catch the bug.
   virtual bool declareUnsatOnPrefixBackjump() const { return false; }
 
+  /// Test seam for the fuzzing harness: when true, every XOR reason
+  /// clause with at least two dependencies is materialized with one
+  /// dependency silently dropped — an under-justified reason whose
+  /// resolvents over-prune the search, the characteristic way a buggy
+  /// Gaussian reason computation goes wrong (it silently flips SAT cubes
+  /// to UNSAT). The production solver never corrupts; harness tests
+  /// override this to prove the differential oracles catch the bug.
+  virtual bool corruptXorReasonClause() const { return false; }
+
 private:
+  friend class GaussEngine;
+
   // -- Internal state ------------------------------------------------------
   using ClauseRef = int32_t;
   static constexpr ClauseRef NoReason = -1;
@@ -248,6 +277,10 @@ private:
 
   std::vector<Lit> ConflictCore;
 
+  /// Native XOR constraints (empty for pure-CNF formulas; every method
+  /// call on an empty engine is a cheap no-op).
+  GaussEngine Gauss;
+
   /// The previous solve() call's assumptions: consecutive calls keep the
   /// trail of their longest common assumption prefix alive instead of
   /// re-deciding and re-propagating it from the root (the cube engine's
@@ -266,6 +299,12 @@ private:
 
   void enqueue(Lit L, ClauseRef From);
   ClauseRef propagate();
+  /// CNF propagation and XOR propagation to their joint fixpoint.
+  ClauseRef propagateFixpoint();
+  /// Registers a clause implied by the XOR system as a reason/conflict
+  /// justification for conflict analysis. Never watched at creation
+  /// (sizes < 2 are tombstoned so the reduceDB watch rebuild skips them).
+  ClauseRef materializeXorClause(std::vector<Lit> Lits);
   void analyze(ClauseRef Confl, std::vector<Lit> &Learnt, int32_t &BtLevel);
   void analyzeFinal(Lit Failed);
   bool litRedundant(Lit L, uint32_t AbstractLevels);

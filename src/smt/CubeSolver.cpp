@@ -33,6 +33,7 @@ VerificationProblem::VerificationProblem(const BoolContext &Ctx_, ExprRef Root,
   TriviallyUnsat = P.TriviallyUnsat;
   Eliminated = std::move(P.Eliminated);
   Pruner = ParityPropagator(P.Rows);
+  PruneByElimination = Opts.NativeXor;
 
   CnfEncoder Encoder(Ctx_, Cnf, Opts.CardEnc);
   if (Opts.CounterCap)
@@ -54,9 +55,19 @@ VerificationProblem::VerificationProblem(const BoolContext &Ctx_, ExprRef Root,
   if (TriviallyUnsat)
     return; // refuted before any clause exists
 
-  // Reduced parity rows, the irreducible residue, then the weight layer.
+  // Reduced parity rows — native XOR constraints for the solver's
+  // Gauss engine, or CNF parity chains when NativeXor is off — then the
+  // irreducible residue, then the weight layer.
   std::vector<Lit> RowLits;
   for (const ParityRow &R : P.Rows) {
+    if (Opts.NativeXor) {
+      std::vector<sat::Var> RowVars;
+      RowVars.reserve(R.Vars.size());
+      for (uint32_t V : R.Vars)
+        RowVars.push_back(Encoder.satVarOf(V));
+      XorRows.emplace_back(std::move(RowVars), R.Rhs);
+      continue;
+    }
     RowLits.clear();
     for (uint32_t V : R.Vars)
       RowLits.push_back(sat::mkLit(Encoder.satVarOf(V)));
@@ -85,6 +96,13 @@ void VerificationProblem::loadInto(sat::Solver &S) const {
     S.newVar();
   for (const auto &C : Cnf.Clauses)
     S.addClause(C);
+  std::vector<Lit> RowLits;
+  for (const auto &[Vars, Rhs] : XorRows) {
+    RowLits.clear();
+    for (sat::Var V : Vars)
+      RowLits.push_back(sat::mkLit(V));
+    S.addXorClause(RowLits, Rhs);
+  }
 }
 
 void VerificationProblem::readModel(
@@ -141,7 +159,8 @@ bool VerificationProblem::cubeRefuted(std::span<const Lit> Cube) const {
     if (It != BoolVarOfSat.end())
       Fixed.emplace_back(It->second, !L.negated());
   }
-  return Pruner.refutes(Fixed);
+  return PruneByElimination ? Pruner.refutesByElimination(Fixed)
+                            : Pruner.refutes(Fixed);
 }
 
 ProblemOptions veriqec::smt::makeProblemOptions(const BoolContext &Ctx,
@@ -149,6 +168,7 @@ ProblemOptions veriqec::smt::makeProblemOptions(const BoolContext &Ctx,
   ProblemOptions PO;
   PO.CardEnc = Opts.CardEnc;
   PO.Preprocess = Opts.Preprocess;
+  PO.NativeXor = Opts.Xor == XorMode::On;
   PO.ProtectedVars = Opts.SplitVars;
   for (const std::string &Name : Opts.BudgetVars)
     PO.BudgetTerms.push_back(Ctx.varRef(Name));

@@ -46,9 +46,12 @@ struct SolveOutcome {
   uint64_t NumCubes = 1;
   /// Cubes actually solved; < NumCubes when a SAT cube cancelled the rest.
   uint64_t CubesSolved = 1;
-  /// Cubes refuted by GF(2) propagation before any SAT call (included in
-  /// CubesSolved).
+  /// Cubes refuted before any SAT call (included in CubesSolved):
+  /// CubesPrunedGf2 by the GF(2) parity oracle, CubesPrunedCore by a
+  /// sibling cube's stored UNSAT core. CubesPruned is their sum.
   uint64_t CubesPruned = 0;
+  uint64_t CubesPrunedGf2 = 0;
+  uint64_t CubesPrunedCore = 0;
   /// Preprocessing telemetry and CNF size (for --bench-out).
   PreprocessStats Prep;
   size_t CnfVars = 0;
@@ -57,11 +60,27 @@ struct SolveOutcome {
   double SolveSeconds = 0;
 };
 
+/// Native XOR policy. On keeps the preprocessor's parity rows as
+/// Gauss-in-the-loop solver constraints (sat/GaussEngine.h) and
+/// upgrades cube pruning to full GF(2) elimination; Off CNF-encodes the
+/// rows (the pre-XOR pipeline). Auto lets the workload decide: the
+/// distance search — whose constraint system is almost pure parity and
+/// where the engine is worth 6-60x on the LDPC rows — resolves to On,
+/// while scenario verification — where the residue dominates and the
+/// CNF parity auxiliaries actually help VSIDS/learning (measured ~3x
+/// fewer conflicts on surface7 t=3) — resolves to Off.
+enum class XorMode { Auto, On, Off };
+
 /// Options shared by the sequential and parallel drivers.
 struct SolveOptions {
   CardinalityEncoding CardEnc = CardinalityEncoding::SequentialCounter;
   /// GF(2)/XOR preprocessing before CNF encoding (see smt/Preprocessor.h).
   bool Preprocess = true;
+  /// Native XOR policy; Auto resolves to Off at this generic layer
+  /// (expression workloads are scenario-shaped unless the caller knows
+  /// better). Only effective with Preprocess on (without the lift there
+  /// are no rows to keep native).
+  XorMode Xor = XorMode::Auto;
   uint64_t ConflictBudget = 0; ///< 0 = unlimited
   /// Nonzero seeds the solver's random branching tie-breaks (each engine
   /// worker derives its own stream from this), making runs reproducible
@@ -95,6 +114,13 @@ struct ProblemOptions {
   CardinalityEncoding CardEnc = CardinalityEncoding::SequentialCounter;
   /// GF(2)/XOR preprocessing (extraction, elimination, trivial-UNSAT).
   bool Preprocess = true;
+  /// Hand kept parity rows to solvers as native XOR constraints
+  /// (Solver::addXorClause) rather than CNF-encoding them; also selects
+  /// elimination-strength cube refutation. This is the resolved form of
+  /// XorMode (the drivers translate their policy here); the default is
+  /// On so direct VerificationProblem users and the property tests
+  /// exercise the engine.
+  bool NativeXor = true;
   /// Variables that must survive preprocessing as CNF variables — cube
   /// split variables, whose assumption literals would otherwise dangle.
   std::vector<std::string> ProtectedVars;
@@ -124,6 +150,11 @@ struct ProblemOptions {
 struct VerificationProblem {
   CnfFormula Cnf;
   std::vector<std::pair<std::string, sat::Var>> NamedVars;
+  /// The preprocessor's kept parity rows when built with NativeXor: CNF
+  /// variables per row plus the right-hand side, loaded into every
+  /// solver as native XOR constraints by loadInto(). Empty otherwise
+  /// (the rows are then part of Cnf).
+  std::vector<std::pair<std::vector<sat::Var>, bool>> XorRows;
   /// The preprocessor refuted the conjunction outright; the CNF is empty
   /// and no solver needs to run.
   bool TriviallyUnsat = false;
@@ -176,6 +207,10 @@ private:
   const BoolContext *Ctx = nullptr;
   std::vector<VarReconstruction> Eliminated;
   ParityPropagator Pruner;
+  /// Elimination-strength cube refutation (tracks ProblemOptions::
+  /// NativeXor: the solver reasons by elimination, so the pruner should
+  /// refute everything the solver would).
+  bool PruneByElimination = false;
   std::vector<sat::Lit> BudgetCounter;
   size_t NumBudgetTerms = 0;
   std::unordered_map<int32_t, uint32_t> BoolVarOfSat;

@@ -275,6 +275,16 @@ ParityPropagator::ParityPropagator(std::vector<ParityRow> RowsIn)
 
 bool ParityPropagator::refutes(
     std::span<const std::pair<uint32_t, bool>> Fixed) const {
+  return refutesImpl(Fixed, /*Eliminate=*/false);
+}
+
+bool ParityPropagator::refutesByElimination(
+    std::span<const std::pair<uint32_t, bool>> Fixed) const {
+  return refutesImpl(Fixed, /*Eliminate=*/true);
+}
+
+bool ParityPropagator::refutesImpl(
+    std::span<const std::pair<uint32_t, bool>> Fixed, bool Eliminate) const {
   if (Rows.empty() || Fixed.empty())
     return false;
 
@@ -342,5 +352,62 @@ bool ParityPropagator::refutes(
         return true;
     }
   }
-  return false;
+  if (!Eliminate)
+    return false;
+
+  // Unit propagation converged without a contradiction: finish the job
+  // with a Gaussian elimination of the rows that still have >= 2
+  // unknowns. Assigned variables fold into the right-hand side, so the
+  // matrix ranges over the unknown columns only; a zero row with an odd
+  // right-hand side is a linear combination the propagation chain could
+  // not see (two rows sharing the same unknowns, say).
+  std::vector<uint32_t> UnknownVars;
+  std::vector<uint32_t> Active;
+  for (size_t RI = 0; RI != Rows.size(); ++RI) {
+    const ParityRow &R = Rows[RI];
+    size_t NumUnknown = 0;
+    for (uint32_t V : R.Vars)
+      if (Stamp[V] != Generation)
+        ++NumUnknown;
+    if (NumUnknown < 2)
+      continue; // resolved (and checked) by the propagation pass
+    Active.push_back(static_cast<uint32_t>(RI));
+    for (uint32_t V : R.Vars)
+      if (Stamp[V] != Generation)
+        UnknownVars.push_back(V);
+  }
+  if (Active.size() < 2)
+    return false;
+  std::sort(UnknownVars.begin(), UnknownVars.end());
+  UnknownVars.erase(std::unique(UnknownVars.begin(), UnknownVars.end()),
+                    UnknownVars.end());
+  size_t NC = UnknownVars.size();
+  auto colOf = [&](uint32_t V) {
+    return static_cast<size_t>(
+        std::lower_bound(UnknownVars.begin(), UnknownVars.end(), V) -
+        UnknownVars.begin());
+  };
+
+  std::vector<BitVector> M;
+  M.reserve(Active.size());
+  for (uint32_t RI : Active) {
+    const ParityRow &R = Rows[RI];
+    BitVector Row(NC + 1);
+    bool Rhs = R.Rhs;
+    for (uint32_t V : R.Vars) {
+      if (Stamp[V] != Generation)
+        Row.flip(colOf(V));
+      else
+        Rhs ^= Value[V] != 0;
+    }
+    if (Rhs)
+      Row.flip(NC);
+    M.push_back(std::move(Row));
+  }
+
+  BitMatrix System = BitMatrix::fromRows(std::move(M));
+  std::vector<size_t> Pivots = System.rowReduce();
+  // A pivot in the right-hand-side column is 0 == 1: the cube
+  // contradicts the rows.
+  return !Pivots.empty() && Pivots.back() == NC;
 }

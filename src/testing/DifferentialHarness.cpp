@@ -71,12 +71,15 @@ ConfigVerdict runDirectReuse(const FuzzCase &C, const VerifyOptions &VO,
     Out.Detail = Vc.Error;
     return Out;
   }
-  // Preprocessing stays ON here: the reused solver then exercises model
-  // reconstruction (eliminated-variable read-back) under the exact
-  // assumption-reuse pattern the engine runs, while the split variables
-  // are pinned so the cube literals cannot dangle.
+  // Preprocessing and native XOR stay ON here: the reused solver then
+  // exercises model reconstruction (eliminated-variable read-back) AND
+  // the Gauss engine under the exact assumption-reuse pattern the
+  // engine runs — this is the configuration through which a corrupted
+  // XOR reason (the injectable solver's seam) must be caught — while
+  // the split variables are pinned so the cube literals cannot dangle.
   ProblemOptions PO;
   PO.Preprocess = true;
+  PO.NativeXor = true;
   PO.ProtectedVars = C.Scn.ErrorVars;
   VerificationProblem Enc(Ctx, Vc.NegatedVc, PO);
   if (Enc.TriviallyUnsat) {
@@ -159,10 +162,27 @@ CaseReport veriqec::testing::runDifferential(const FuzzCase &C,
     Configs.push_back({"seq-noprep", VO});
   }
   {
+    // Native XOR on (scenario workloads resolve XorMode::Auto to off,
+    // so this is the explicit A/B side): the Gauss-in-the-loop engine
+    // (reason clauses, conflict analysis integration, elimination
+    // pruning) is cross-checked against the plain-CNF pipeline on
+    // every case.
+    VerifyOptions VO = Base;
+    VO.Xor = XorMode::On;
+    Configs.push_back({"seq-xor", VO});
+  }
+  {
     VerifyOptions VO = Base;
     VO.Parallel = true;
     VO.Threads = 1;
     Configs.push_back({"cube-j1", VO});
+  }
+  {
+    VerifyOptions VO = Base;
+    VO.Parallel = true;
+    VO.Threads = 1;
+    VO.Xor = XorMode::On;
+    Configs.push_back({"cube-j1-xor", VO});
   }
   {
     VerifyOptions VO = Base;

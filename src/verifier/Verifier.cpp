@@ -140,6 +140,7 @@ DetectionResult veriqec::verifyDetection(const StabilizerCode &Code,
   SolveOptions SO;
   SO.CardEnc = Opts.CardEnc;
   SO.Preprocess = Opts.Preprocess;
+  SO.Xor = Opts.Xor;
   SO.ConflictBudget = Opts.ConflictBudget;
   SO.RandomSeed = Opts.RandomSeed;
   SolveOutcome Outcome;
@@ -190,9 +191,16 @@ DistanceResult veriqec::computeDistance(const StabilizerCode &Code,
   ProblemOptions PO;
   PO.CardEnc = CardinalityEncoding::SequentialCounter;
   PO.Preprocess = Opts.Preprocess;
+  // Auto resolves to ON here: the undetectable-logical system is almost
+  // pure parity, exactly the Gauss engine's home turf (the LDPC rows of
+  // the registry are intractable without it — see BENCH_table3.json).
+  PO.NativeXor = Opts.Xor != XorMode::Off;
   PO.BudgetTerms = D.Support;
   VerificationProblem Problem(D.Ctx, D.Ctx.mkAnd(D.Constraints), PO);
   Result.Prep = Problem.Prep;
+  Result.CnfVars = Problem.Cnf.NumVars;
+  Result.CnfClauses = Problem.Cnf.Clauses.size();
+  Result.XorRows = Problem.XorRows.size();
   if (Problem.TriviallyUnsat) {
     Result.Error = "undetectable-logical system is inconsistent";
     Result.Seconds = Clock.seconds();

@@ -39,6 +39,13 @@ struct VerifyOptions {
   /// equations are Gaussian-eliminated, defined variables dropped); off
   /// reproduces the legacy monolithic-Tseitin pipeline.
   bool Preprocess = true;
+  /// Native XOR reasoning (`--xor on|off`): kept parity rows become
+  /// Gauss-in-the-loop solver constraints instead of CNF parity chains,
+  /// and cube pruning runs full GF(2) elimination. Auto resolves per
+  /// workload — On for the distance search (pure parity, 6-60x on the
+  /// LDPC rows), Off for scenario verification and detection (measured
+  /// neutral-to-negative there). No effect without Preprocess.
+  smt::XorMode Xor = smt::XorMode::Auto;
   uint64_t ConflictBudget = 0;
   /// Nonzero seeds the solvers' random branching tie-breaks so a run (in
   /// particular a fuzz failure) is exactly reproducible; 0 keeps the
@@ -65,8 +72,11 @@ struct VerificationResult {
   /// Cubes actually discharged; < NumCubes when the first SAT cube
   /// cancelled its outstanding siblings.
   uint64_t CubesSolved = 1;
-  /// Cubes refuted by GF(2) propagation with no SAT call.
+  /// Cubes refuted with no SAT call (CubesPrunedGf2 by the GF(2) parity
+  /// oracle + CubesPrunedCore by sibling UNSAT cores).
   uint64_t CubesPruned = 0;
+  uint64_t CubesPrunedGf2 = 0;
+  uint64_t CubesPrunedCore = 0;
   /// Preprocessing telemetry and CNF size for this scenario's encoding.
   smt::PreprocessStats Prep;
   size_t CnfVars = 0;
@@ -123,6 +133,11 @@ struct DistanceResult {
   /// Incremental SAT calls the binary search issued (all on one solver).
   uint64_t SolverCalls = 0;
   smt::PreprocessStats Prep;
+  /// CNF size of the encode-once problem (XOR rows excluded when native).
+  size_t CnfVars = 0;
+  size_t CnfClauses = 0;
+  /// Parity rows the solver carries natively (0 with --xor off).
+  size_t XorRows = 0;
   double Seconds = 0;
 };
 

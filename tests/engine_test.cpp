@@ -28,6 +28,7 @@ using smt::BoolContext;
 using smt::ExprRef;
 using smt::SolveOptions;
 using smt::SolveOutcome;
+using smt::XorMode;
 
 TEST(WorkStealingQueue, OwnerFifoThiefLifo) {
   WorkStealingQueue<int> Q;
@@ -269,4 +270,46 @@ TEST(VerificationEngine, FreeFunctionFacadeHonorsThreadOption) {
   ASSERT_EQ(Rs.size(), 2u);
   EXPECT_TRUE(Rs[0].Verified);
   EXPECT_TRUE(Rs[1].Verified);
+}
+
+TEST(CubeEngine, EliminationPruningBeatsUnitPropagationOnSeededCase) {
+  // The two rows imply e0 ^ e1 = 1 after their shared aux pair cancels,
+  // so the cubes {e0=0,e1=0} and {e0=1,e1=1} are inconsistent — but
+  // every single row still has two unknowns under either cube, which is
+  // exactly what GF(2) *unit propagation* cannot refute and Gaussian
+  // *elimination* can. The AtMost residue pins a and b so the
+  // preprocessor cannot merge the rows at encode time.
+  BoolContext Ctx;
+  ExprRef E0 = Ctx.mkVar("e0"), E1 = Ctx.mkVar("e1");
+  ExprRef A = Ctx.mkVar("a"), B = Ctx.mkVar("b");
+  ExprRef Root = Ctx.mkAnd({
+      Ctx.mkNot(Ctx.mkXor(E0, Ctx.mkXor(A, B))), // e0 ^ a ^ b = 0
+      Ctx.mkXor(E1, Ctx.mkXor(A, B)),            // e1 ^ a ^ b = 1
+      Ctx.mkAtMost({A, B}, 1),
+  });
+  SolveOptions Opts;
+  Opts.SplitVars = {"e0", "e1"};
+  Opts.DistanceHint = 2;
+  Opts.SplitThreshold = 16;
+
+  SolveOptions OnOpts = Opts;
+  OnOpts.Xor = XorMode::On;
+  CubeEngine WithXor(1);
+  SolveOutcome On = WithXor.solve(Ctx, Root, OnOpts);
+  SolveOptions OffOpts = Opts;
+  OffOpts.Xor = XorMode::Off;
+  CubeEngine WithoutXor(1);
+  SolveOutcome Off = WithoutXor.solve(Ctx, Root, OffOpts);
+
+  // Same verdict either way; the satellite property is the pruning rate:
+  // XOR-mode (elimination) cube pruning must dominate unit propagation.
+  EXPECT_EQ(On.Result, sat::SolveResult::Sat);
+  EXPECT_EQ(Off.Result, sat::SolveResult::Sat);
+  EXPECT_GE(On.CubesPrunedGf2, Off.CubesPrunedGf2);
+  EXPECT_GT(On.CubesPrunedGf2, 0u)
+      << "elimination must refute the parity-inconsistent cube";
+  EXPECT_EQ(Off.CubesPrunedGf2, 0u)
+      << "unit propagation alone cannot see the cross-row contradiction";
+  // The split counters are what --bench-out reports; they must add up.
+  EXPECT_EQ(On.CubesPruned, On.CubesPrunedGf2 + On.CubesPrunedCore);
 }

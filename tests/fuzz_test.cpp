@@ -189,6 +189,17 @@ protected:
   bool declareUnsatOnPrefixBackjump() const override { return true; }
 };
 
+/// A corrupted Gauss-in-the-loop engine, re-introduced through the
+/// solver's XOR test seam: every XOR reason clause with two or more
+/// dependencies is materialized with one dependency dropped. The
+/// under-justified reasons resolve into over-strong learnt clauses that
+/// prune satisfiable cubes — the characteristic failure of a buggy
+/// Gaussian reason computation.
+class BuggyXorReasonSolver : public sat::Solver {
+protected:
+  bool corruptXorReasonClause() const override { return true; }
+};
+
 } // namespace
 
 TEST(DifferentialHarness, CatchesReintroducedAssumptionPrefixBug) {
@@ -208,4 +219,23 @@ TEST(DifferentialHarness, CatchesReintroducedAssumptionPrefixBug) {
   }
   EXPECT_TRUE(Caught)
       << "the harness failed to expose the planted assumption-prefix bug";
+}
+
+TEST(DifferentialHarness, CatchesPlantedXorReasonCorruption) {
+  FuzzerOptions FO;
+  FO.MaxQubits = 9;
+  HarnessOptions HO;
+  HO.Jobs = 2;
+  HO.SamplingTrials = 0; // isolate the solver-level oracles
+  HO.BruteBudget = 50000;
+  HO.SolverFactory = [] { return std::make_unique<BuggyXorReasonSolver>(); };
+  bool Caught = false;
+  for (uint64_t Seed = 1; Seed <= 40 && !Caught; ++Seed) {
+    FuzzCase C = generateFuzzCase(Seed, FO);
+    HO.RandomSeed = Seed;
+    CaseReport R = runDifferential(C, HO);
+    Caught = !R.clean();
+  }
+  EXPECT_TRUE(Caught)
+      << "the harness failed to expose the planted XOR reason corruption";
 }

@@ -1,0 +1,351 @@
+//===- tests/gauss_test.cpp - Gauss-in-the-loop XOR engine ----------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Property-test battery for the native XOR subsystem (sat/GaussEngine):
+/// solver-level semantics of addXorClause against exhaustive truth
+/// tables, soundness under assumption reuse, and — the strong property —
+/// verdict *and model count* agreement between the XOR-enabled pipeline
+/// and the plain-CNF encoding on random GF(2) systems, across both
+/// cardinality encodings and with preprocessing on and off. A new
+/// inference engine only ships with an independent cross-check; this
+/// file is that check.
+///
+//===----------------------------------------------------------------------===//
+
+#include "qec/Codes.h"
+#include "sat/Solver.h"
+#include "smt/CubeSolver.h"
+#include "support/Rng.h"
+#include "testing/ModelChecker.h"
+#include "verifier/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace veriqec;
+using namespace veriqec::smt;
+using sat::Lit;
+using sat::SolveResult;
+using sat::Var;
+
+namespace {
+
+/// A random XOR system at the raw solver level.
+struct XorSystem {
+  size_t NumVars = 0;
+  std::vector<std::pair<std::vector<Lit>, bool>> Rows;
+};
+
+XorSystem randomXorSystem(Rng &R, size_t MaxVars, size_t MaxRows) {
+  XorSystem S;
+  S.NumVars = 3 + R.nextBelow(MaxVars - 2);
+  size_t NumRows = 1 + R.nextBelow(MaxRows);
+  for (size_t I = 0; I != NumRows; ++I) {
+    std::vector<Lit> Row;
+    size_t Len = 1 + R.nextBelow(std::min<size_t>(S.NumVars, 5));
+    for (size_t J = 0; J != Len; ++J)
+      Row.push_back(Lit(static_cast<Var>(R.nextBelow(S.NumVars)),
+                        R.nextBool()));
+    S.Rows.emplace_back(std::move(Row), R.nextBool());
+  }
+  return S;
+}
+
+/// Exhaustive truth-table model count of an XOR system.
+uint64_t truthTableCount(const XorSystem &S) {
+  uint64_t Count = 0;
+  for (uint64_t M = 0; M != (uint64_t{1} << S.NumVars); ++M) {
+    bool Ok = true;
+    for (const auto &[Row, Odd] : S.Rows) {
+      bool Parity = false;
+      for (Lit L : Row)
+        Parity ^= (((M >> L.var()) & 1) != 0) != L.negated();
+      if (Parity != Odd) {
+        Ok = false;
+        break;
+      }
+    }
+    Count += Ok;
+  }
+  return Count;
+}
+
+/// Solver-side model count by blocking-clause enumeration.
+uint64_t solverCount(const XorSystem &S, uint64_t Seed = 0) {
+  sat::Solver Solver;
+  std::vector<Var> Vars;
+  for (size_t I = 0; I != S.NumVars; ++I)
+    Vars.push_back(Solver.newVar());
+  for (const auto &[Row, Odd] : S.Rows)
+    if (!Solver.addXorClause(Row, Odd))
+      return 0;
+  if (Seed)
+    Solver.setRandomSeed(Seed);
+  uint64_t Count = 0;
+  while (Solver.solve() == SolveResult::Sat) {
+    ++Count;
+    EXPECT_LE(Count, uint64_t{1} << S.NumVars) << "runaway enumeration";
+    std::vector<Lit> Blocking;
+    for (Var V : Vars)
+      Blocking.push_back(Lit(V, Solver.modelValue(V)));
+    if (!Solver.addClause(std::move(Blocking)))
+      break;
+  }
+  return Count;
+}
+
+std::vector<ExprRef> makeVars(BoolContext &Ctx, size_t N) {
+  std::vector<ExprRef> Vars;
+  for (size_t I = 0; I != N; ++I)
+    Vars.push_back(Ctx.mkVar("v" + std::to_string(I)));
+  return Vars;
+}
+
+/// Model count over the problem's named variables (reconstruction makes
+/// eliminated variables functionally determined, so the count is
+/// invariant under preprocessing AND under the XOR/CNF row choice).
+uint64_t countModels(const BoolContext &Ctx, ExprRef Root,
+                     const ProblemOptions &PO) {
+  VerificationProblem Problem(Ctx, Root, PO);
+  if (Problem.TriviallyUnsat)
+    return 0;
+  sat::Solver S = Problem.makeSolver();
+  uint64_t Count = 0;
+  while (S.solve() == SolveResult::Sat) {
+    ++Count;
+    EXPECT_LE(Count, 1u << 13) << "runaway model enumeration";
+    std::unordered_map<std::string, bool> Model;
+    Problem.readModel(S, Model);
+    veriqec::testing::ModelCheckResult MC =
+        veriqec::testing::evaluateUnderModel(Ctx, Root, Model);
+    EXPECT_TRUE(MC.Satisfies)
+        << "model from the XOR/CNF pipeline violates the root";
+    EXPECT_EQ(MC.MissingVars, 0u);
+    std::vector<Lit> Blocking;
+    for (const auto &[Name, V] : Problem.NamedVars)
+      Blocking.push_back(Lit(V, S.modelValue(V)));
+    if (!S.addClause(std::move(Blocking)))
+      break;
+  }
+  return Count;
+}
+
+/// Random conjunction dominated by parity rows, with a cardinality
+/// residue — the shape of a negated QEC verification condition.
+ExprRef randomParityExpr(BoolContext &Ctx, const std::vector<ExprRef> &Vars,
+                         Rng &R) {
+  std::vector<ExprRef> Conjuncts;
+  size_t NumRows = 2 + R.nextBelow(5);
+  for (size_t I = 0; I != NumRows; ++I) {
+    std::vector<ExprRef> Kids;
+    size_t Len = 2 + R.nextBelow(4);
+    for (size_t J = 0; J != Len; ++J)
+      Kids.push_back(Vars[R.nextBelow(Vars.size())]);
+    ExprRef Row = Ctx.mkXor(std::move(Kids));
+    Conjuncts.push_back(R.nextBool() ? Row : Ctx.mkNot(Row));
+  }
+  if (R.nextBool()) {
+    std::vector<ExprRef> Subset;
+    for (ExprRef V : Vars)
+      if (R.nextBool())
+        Subset.push_back(V);
+    if (Subset.empty())
+      Subset.push_back(Vars[0]);
+    Conjuncts.push_back(
+        Ctx.mkAtMost(std::move(Subset),
+                     static_cast<uint32_t>(R.nextBelow(Vars.size()))));
+  }
+  return Ctx.mkAnd(std::move(Conjuncts));
+}
+
+} // namespace
+
+// -- Solver-level semantics --------------------------------------------------
+
+TEST(GaussEngine, BasicXorSemantics) {
+  sat::Solver S;
+  Var A = S.newVar(), B = S.newVar(), C = S.newVar();
+  // a ^ b ^ c = 1, a ^ b = 0  =>  c = 1, a = b free.
+  ASSERT_TRUE(S.addXorClause({sat::mkLit(A), sat::mkLit(B), sat::mkLit(C)},
+                             true));
+  ASSERT_TRUE(S.addXorClause({sat::mkLit(A), sat::mkLit(B)}, false));
+  ASSERT_EQ(S.solve(), SolveResult::Sat);
+  EXPECT_TRUE(S.modelValue(C));
+  EXPECT_EQ(S.modelValue(A), S.modelValue(B));
+  EXPECT_EQ(S.numXorRows(), 2u);
+
+  // Pinning a = ~b contradicts the second row.
+  ASSERT_EQ(S.solve({sat::mkLit(A), ~sat::mkLit(B)}), SolveResult::Unsat);
+  // And the system is still satisfiable without the assumptions.
+  ASSERT_EQ(S.solve(), SolveResult::Sat);
+}
+
+TEST(GaussEngine, NegatedLiteralsFoldIntoTheParity) {
+  sat::Solver S;
+  Var A = S.newVar(), B = S.newVar();
+  // (~a) ^ b = 0  <=>  a ^ b = 1.
+  ASSERT_TRUE(S.addXorClause({~sat::mkLit(A), sat::mkLit(B)}, false));
+  ASSERT_EQ(S.solve(), SolveResult::Sat);
+  EXPECT_NE(S.modelValue(A), S.modelValue(B));
+}
+
+TEST(GaussEngine, DuplicateVariablesCancel) {
+  sat::Solver S;
+  Var A = S.newVar(), B = S.newVar();
+  // a ^ a ^ b = 1 reduces to b = 1.
+  ASSERT_TRUE(
+      S.addXorClause({sat::mkLit(A), sat::mkLit(A), sat::mkLit(B)}, true));
+  ASSERT_EQ(S.solve(), SolveResult::Sat);
+  EXPECT_TRUE(S.modelValue(B));
+  // a ^ a = 1 is the empty odd XOR: trivially unsatisfiable.
+  sat::Solver T;
+  Var C = T.newVar();
+  EXPECT_FALSE(T.addXorClause({sat::mkLit(C), sat::mkLit(C)}, true));
+  EXPECT_EQ(T.solve(), SolveResult::Unsat);
+}
+
+TEST(GaussEngine, InconsistentRowsAreUnsatBeforeAnyDecision) {
+  sat::Solver S;
+  Var A = S.newVar(), B = S.newVar(), C = S.newVar();
+  ASSERT_TRUE(S.addXorClause({sat::mkLit(A), sat::mkLit(B)}, false));
+  ASSERT_TRUE(S.addXorClause({sat::mkLit(B), sat::mkLit(C)}, false));
+  ASSERT_TRUE(S.addXorClause({sat::mkLit(A), sat::mkLit(C)}, true));
+  EXPECT_EQ(S.solve(), SolveResult::Unsat);
+  EXPECT_EQ(S.stats().Decisions, 0u);
+}
+
+TEST(GaussEngine, MixesWithCnfClauses) {
+  sat::Solver S;
+  Var A = S.newVar(), B = S.newVar(), C = S.newVar();
+  ASSERT_TRUE(S.addXorClause({sat::mkLit(A), sat::mkLit(B), sat::mkLit(C)},
+                             true));
+  ASSERT_TRUE(S.addClause(~sat::mkLit(A)));      // a = 0
+  ASSERT_TRUE(S.addClause(sat::mkLit(B), sat::mkLit(C))); // b | c
+  ASSERT_EQ(S.solve(), SolveResult::Sat);
+  EXPECT_FALSE(S.modelValue(A));
+  EXPECT_NE(S.modelValue(B), S.modelValue(C));
+}
+
+TEST(GaussEngine, RandomSystemsMatchTruthTableCounts) {
+  Rng R(20260729);
+  for (int Case = 0; Case != 200; ++Case) {
+    XorSystem S = randomXorSystem(R, 11, 8);
+    uint64_t Expected = truthTableCount(S);
+    EXPECT_EQ(solverCount(S), Expected) << "case " << Case;
+    if (Case % 4 == 0) {
+      EXPECT_EQ(solverCount(S, /*Seed=*/Case + 1), Expected)
+          << "seeded case " << Case;
+    }
+  }
+}
+
+TEST(GaussEngine, SoundUnderAssumptionReuseAcrossCubes) {
+  // One reused solver walking assumption cubes over an XOR system must
+  // agree with a fresh solver on every cube — the reuse pattern the cube
+  // engine runs, where the PR 1 family of prefix bugs lives.
+  Rng R(987654321);
+  for (int Case = 0; Case != 40; ++Case) {
+    XorSystem S = randomXorSystem(R, 9, 6);
+    sat::Solver Reused;
+    std::vector<Var> Vars;
+    for (size_t I = 0; I != S.NumVars; ++I)
+      Vars.push_back(Reused.newVar());
+    bool Ok = true;
+    for (const auto &[Row, Odd] : S.Rows)
+      Ok &= Reused.addXorClause(Row, Odd);
+    for (uint64_t Cube = 0; Cube != 8 && Ok; ++Cube) {
+      std::vector<Lit> Assumptions;
+      for (size_t B = 0; B != 3 && B < S.NumVars; ++B)
+        Assumptions.push_back(Lit(Vars[B], ((Cube >> B) & 1) == 0));
+      SolveResult Got = Reused.solve(Assumptions);
+      sat::Solver Fresh;
+      for (size_t I = 0; I != S.NumVars; ++I)
+        Fresh.newVar();
+      for (const auto &[Row, Odd] : S.Rows)
+        Fresh.addXorClause(Row, Odd);
+      SolveResult Want = Fresh.solve(Assumptions);
+      EXPECT_EQ(Got, Want) << "case " << Case << " cube " << Cube;
+    }
+  }
+}
+
+TEST(GaussEngine, UnsatCoreOverXorRowsIsGenuine) {
+  sat::Solver S;
+  Var A = S.newVar(), B = S.newVar(), C = S.newVar(), D = S.newVar();
+  ASSERT_TRUE(S.addXorClause({sat::mkLit(A), sat::mkLit(B)}, false));
+  ASSERT_TRUE(S.addXorClause({sat::mkLit(B), sat::mkLit(C)}, false));
+  // Assume a = 1, c = 0 (contradicts the chain), d = 1 (irrelevant).
+  ASSERT_EQ(S.solve({sat::mkLit(D), sat::mkLit(A), ~sat::mkLit(C)}),
+            SolveResult::Unsat);
+  // The core must refute on its own in a fresh solver.
+  std::vector<Lit> Core = S.conflictCore();
+  ASSERT_FALSE(Core.empty());
+  sat::Solver Fresh;
+  for (int I = 0; I != 4; ++I)
+    Fresh.newVar();
+  Fresh.addXorClause({sat::mkLit(A), sat::mkLit(B)}, false);
+  Fresh.addXorClause({sat::mkLit(B), sat::mkLit(C)}, false);
+  EXPECT_EQ(Fresh.solve(Core), SolveResult::Unsat);
+}
+
+// -- Pipeline equisatisfiability --------------------------------------------
+
+TEST(GaussEngine, PipelineAgreesWithPlainCnfOnRandomParitySystems) {
+  Rng R(424242);
+  for (int Case = 0; Case != 60; ++Case) {
+    BoolContext Ctx;
+    std::vector<ExprRef> Vars = makeVars(Ctx, 6 + R.nextBelow(3));
+    ExprRef Root = randomParityExpr(Ctx, Vars, R);
+
+    ProblemOptions XorOn;
+    XorOn.NativeXor = true;
+    ProblemOptions XorOff;
+    XorOff.NativeXor = false;
+    ProblemOptions NoPrep;
+    NoPrep.Preprocess = false;
+
+    uint64_t WithXor = countModels(Ctx, Root, XorOn);
+    EXPECT_EQ(WithXor, countModels(Ctx, Root, XorOff)) << "case " << Case;
+    EXPECT_EQ(WithXor, countModels(Ctx, Root, NoPrep)) << "case " << Case;
+
+    if (Case % 3 == 0) {
+      ProblemOptions Pairwise = XorOn;
+      Pairwise.CardEnc = CardinalityEncoding::PairwiseNaive;
+      EXPECT_EQ(WithXor, countModels(Ctx, Root, Pairwise))
+          << "pairwise case " << Case;
+    }
+  }
+}
+
+TEST(GaussEngine, ScenarioVerdictsAgreeWithXorOnAndOff) {
+  StabilizerCode Code = makeSteaneCode();
+  for (uint32_t Budget : {1u, 2u}) {
+    Scenario S = makeMemoryScenario(Code, PauliKind::Y, LogicalBasis::Z,
+                                    Budget);
+    VerifyOptions On;
+    On.Xor = XorMode::On;
+    VerifyOptions Off;
+    Off.Xor = XorMode::Off;
+    VerificationResult A = verifyScenario(S, On);
+    VerificationResult B = verifyScenario(S, Off);
+    ASSERT_TRUE(A.StructuralOk && B.StructuralOk);
+    EXPECT_EQ(A.Verified, B.Verified) << "budget " << Budget;
+  }
+}
+
+TEST(GaussEngine, DistanceSearchAgreesWithXorOnAndOff) {
+  // computeDistance resolves XorMode::Auto to On; Off is the plain-CNF
+  // baseline.
+  VerifyOptions Off;
+  Off.Xor = XorMode::Off;
+  for (const StabilizerCode &Code :
+       {makeSteaneCode(), makeRotatedSurfaceCode(3), makeCube832()}) {
+    DistanceResult A = computeDistance(Code);
+    DistanceResult B = computeDistance(Code, Off);
+    ASSERT_TRUE(A.Ok && B.Ok) << Code.Name;
+    EXPECT_EQ(A.Distance, B.Distance) << Code.Name;
+  }
+}

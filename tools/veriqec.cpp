@@ -52,6 +52,7 @@ struct CliOptions {
   size_t Jobs = 0;
   bool Sequential = false;
   bool NoPreprocess = false;
+  smt::XorMode Xor = smt::XorMode::Auto;
   uint32_t SplitThreshold = 0;
   smt::CardinalityEncoding CardEnc =
       smt::CardinalityEncoding::SequentialCounter;
@@ -81,8 +82,8 @@ void printUsage(std::FILE *To) {
       "  --code A[,B...]       steane, five-qubit, six-qubit, repetition<N>,\n"
       "                        surface<D>, xzzx<D>, reed-muller<R>,\n"
       "                        gottesman<R>, dodecacode, honeycomb, hgp98,\n"
-      "                        tanner1, tanner2, cube832, carbon,\n"
-      "                        triorthogonal<K>, campbell-howard<K>\n"
+      "                        tanner1, tanner1-full, tanner2, cube832,\n"
+      "                        carbon, triorthogonal<K>, campbell-howard<K>\n"
       "  --scenario A[,B...]   memory, logical-h, multicycle,\n"
       "                        correction-step, ghz, cnot (default memory)\n"
       "  --suite NAME          preset batch: fig4, fig9, table3\n"
@@ -98,6 +99,10 @@ void printUsage(std::FILE *To) {
       "  --sequential          disable cube-and-conquer splitting\n"
       "  --no-preprocess       disable GF(2)/XOR preprocessing (legacy\n"
       "                        monolithic Tseitin pipeline)\n"
+      "  --xor on|off          native Gauss-in-the-loop XOR reasoning in\n"
+      "                        the solver; the default picks per workload\n"
+      "                        (on for distance, off elsewhere). on/off\n"
+      "                        force either side of the A/B\n"
       "  --split-threshold T   ET threshold (default: number of qubits)\n"
       "  --card-enc seq|pairwise   cardinality encoding (default seq)\n"
       "  --budget N            conflict budget per solver (default none)\n"
@@ -150,6 +155,8 @@ std::optional<StabilizerCode> makeCodeByName(const std::string &Name) {
     return makeHgp98();
   if (Name == "tanner1")
     return makeTannerISubstitute();
+  if (Name == "tanner1-full")
+    return makeTannerIFull();
   if (Name == "tanner2")
     return makeTannerIISubstitute();
   if (Name == "cube832")
@@ -322,11 +329,17 @@ bool writeBenchOut(const CliOptions &Cli, const std::vector<RunRecord> &Records,
   Out << "{\n  \"config\": {";
   std::snprintf(Buf, sizeof(Buf),
                 "\"command\": \"verify\", \"jobs\": %zu, \"workers\": %zu, "
-                "\"sequential\": %s, \"preprocess\": %s, "
+                "\"sequential\": %s, \"preprocess\": %s, \"xor\": %s, "
                 "\"split_threshold\": %u, \"card_enc\": \"%s\", "
                 "\"conflict_budget\": %llu, \"seed\": %llu",
                 Cli.Jobs, Workers, Cli.Sequential ? "true" : "false",
-                Cli.NoPreprocess ? "false" : "true", Cli.SplitThreshold,
+                Cli.NoPreprocess ? "false" : "true",
+                // Without preprocessing there are no parity rows to keep
+                // native, so the engine is inert regardless of --xor;
+                // record what the run actually measured.
+                Cli.Xor == smt::XorMode::On && !Cli.NoPreprocess ? "true"
+                                                                 : "false",
+                Cli.SplitThreshold,
                 Cli.CardEnc == smt::CardinalityEncoding::SequentialCounter
                     ? "seq"
                     : "pairwise",
@@ -346,19 +359,28 @@ bool writeBenchOut(const CliOptions &Cli, const std::vector<RunRecord> &Records,
           Buf, sizeof(Buf),
           ", \"verified\": %s, \"aborted\": %s, \"seconds\": %.6f, "
           "\"goals\": %zu, \"cubes\": %llu, \"cubes_solved\": %llu, "
-          "\"cubes_pruned\": %llu, \"conflicts\": %llu, \"decisions\": %llu, "
+          "\"cubes_pruned\": %llu, \"cubes_pruned_gf2\": %llu, "
+          "\"cubes_pruned_core\": %llu, "
+          "\"conflicts\": %llu, \"decisions\": %llu, "
           "\"propagations\": %llu, \"learned\": %llu, \"restarts\": %llu, "
+          "\"xor_propagations\": %llu, \"xor_conflicts\": %llu, "
+          "\"xor_eliminations\": %llu, "
           "\"cnf_vars\": %zu, \"cnf_clauses\": %zu",
           V.Verified ? "true" : "false", V.Aborted ? "true" : "false",
           V.Seconds, V.NumGoals, static_cast<unsigned long long>(V.NumCubes),
           static_cast<unsigned long long>(V.CubesSolved),
           static_cast<unsigned long long>(V.CubesPruned),
+          static_cast<unsigned long long>(V.CubesPrunedGf2),
+          static_cast<unsigned long long>(V.CubesPrunedCore),
           static_cast<unsigned long long>(V.Stats.Conflicts),
           static_cast<unsigned long long>(V.Stats.Decisions),
           static_cast<unsigned long long>(V.Stats.Propagations),
           static_cast<unsigned long long>(V.Stats.LearnedClauses),
-          static_cast<unsigned long long>(V.Stats.Restarts), V.CnfVars,
-          V.CnfClauses);
+          static_cast<unsigned long long>(V.Stats.Restarts),
+          static_cast<unsigned long long>(V.Stats.XorPropagations),
+          static_cast<unsigned long long>(V.Stats.XorConflicts),
+          static_cast<unsigned long long>(V.Stats.XorEliminations),
+          V.CnfVars, V.CnfClauses);
       Out << Buf;
       std::snprintf(
           Buf, sizeof(Buf),
@@ -377,6 +399,66 @@ bool writeBenchOut(const CliOptions &Cli, const std::vector<RunRecord> &Records,
   return static_cast<bool>(Out);
 }
 
+/// One distance-search record for the distance command's --bench-out.
+struct DistanceRecord {
+  std::string Code;
+  size_t NumQubits = 0;
+  DistanceResult Result;
+};
+
+/// Benchmark trajectory file of a distance run: per-code wall-clock,
+/// solver-call and conflict counts plus the XOR-engine statistics, with
+/// the configuration (in particular `xor` on/off) that produced them —
+/// the machine-readable half of the `--xor` A/B comparison.
+bool writeDistanceBenchOut(const CliOptions &Cli,
+                           const std::vector<DistanceRecord> &Records) {
+  std::ofstream Out(Cli.BenchOut);
+  if (!Out) {
+    std::fprintf(stderr, "veriqec: cannot write %s\n", Cli.BenchOut.c_str());
+    return false;
+  }
+  char Buf[512];
+  Out << "{\n  \"config\": {";
+  std::snprintf(Buf, sizeof(Buf),
+                "\"command\": \"distance\", \"preprocess\": %s, \"xor\": %s, "
+                "\"conflict_budget\": %llu, \"seed\": %llu",
+                Cli.NoPreprocess ? "false" : "true",
+                // As in writeBenchOut: --no-preprocess leaves no rows
+                // for the XOR engine, so the run is effectively xor-off.
+                Cli.Xor != smt::XorMode::Off && !Cli.NoPreprocess
+                    ? "true"
+                    : "false",
+                static_cast<unsigned long long>(Cli.ConflictBudget),
+                static_cast<unsigned long long>(Cli.Seed));
+  Out << Buf << "},\n  \"results\": [\n";
+  for (size_t I = 0; I != Records.size(); ++I) {
+    const DistanceRecord &R = Records[I];
+    const DistanceResult &D = R.Result;
+    Out << "    {\"code\": \"" << jsonEscape(R.Code)
+        << "\", \"qubits\": " << R.NumQubits;
+    std::snprintf(
+        Buf, sizeof(Buf),
+        ", \"ok\": %s, \"aborted\": %s, \"distance\": %zu, "
+        "\"seconds\": %.6f, \"solver_calls\": %llu, \"conflicts\": %llu, "
+        "\"decisions\": %llu, \"propagations\": %llu, "
+        "\"xor_propagations\": %llu, \"xor_conflicts\": %llu, "
+        "\"xor_eliminations\": %llu, \"xor_rows\": %zu, "
+        "\"cnf_vars\": %zu, \"cnf_clauses\": %zu}",
+        D.Ok ? "true" : "false", D.Aborted ? "true" : "false", D.Distance,
+        D.Seconds, static_cast<unsigned long long>(D.SolverCalls),
+        static_cast<unsigned long long>(D.Stats.Conflicts),
+        static_cast<unsigned long long>(D.Stats.Decisions),
+        static_cast<unsigned long long>(D.Stats.Propagations),
+        static_cast<unsigned long long>(D.Stats.XorPropagations),
+        static_cast<unsigned long long>(D.Stats.XorConflicts),
+        static_cast<unsigned long long>(D.Stats.XorEliminations), D.XorRows,
+        D.CnfVars, D.CnfClauses);
+    Out << Buf << (I + 1 == Records.size() ? "\n" : ",\n");
+  }
+  Out << "  ]\n}\n";
+  return static_cast<bool>(Out);
+}
+
 // -- Commands ----------------------------------------------------------------
 
 int runListCodes() {
@@ -384,9 +466,9 @@ int runListCodes() {
                          "five-qubit",  "six-qubit",    "surface3",
                          "surface5",    "xzzx3",        "reed-muller3",
                          "gottesman3",  "dodecacode",   "honeycomb",
-                         "hgp98",       "tanner1",      "tanner2",
-                         "cube832",     "carbon",       "triorthogonal2",
-                         "campbell-howard2"};
+                         "hgp98",       "tanner1",      "tanner1-full",
+                         "tanner2",     "cube832",      "carbon",
+                         "triorthogonal2", "campbell-howard2"};
   std::printf("%-20s %-34s n    k   d\n", "name", "construction");
   for (const char *Name : Names) {
     std::optional<StabilizerCode> Code = makeCodeByName(Name);
@@ -491,6 +573,7 @@ int runVerify(const CliOptions &Cli) {
   VO.SplitThreshold = Cli.SplitThreshold;
   VO.CardEnc = Cli.CardEnc;
   VO.Preprocess = !Cli.NoPreprocess;
+  VO.Xor = Cli.Xor;
   VO.ConflictBudget = Cli.ConflictBudget;
   VO.RandomSeed = Cli.Seed;
 
@@ -541,6 +624,7 @@ int runVerify(const CliOptions &Cli) {
 
 int runDistance(const CliOptions &Cli) {
   bool AnyMismatch = false, AnyAborted = false, AnyError = false;
+  std::vector<DistanceRecord> Records;
   if (Cli.Json)
     std::printf("{\"seed\": %llu, \"results\": [\n",
                 static_cast<unsigned long long>(Cli.Seed));
@@ -553,9 +637,11 @@ int runDistance(const CliOptions &Cli) {
     }
     VerifyOptions VO;
     VO.Preprocess = !Cli.NoPreprocess;
+    VO.Xor = Cli.Xor;
     VO.ConflictBudget = Cli.ConflictBudget;
     VO.RandomSeed = Cli.Seed;
     DistanceResult R = computeDistance(*Code, VO);
+    Records.push_back({CodeName, Code->NumQubits, R});
     AnyAborted |= R.Aborted;
     AnyError |= !R.Ok && !R.Aborted;
     // A registry distance flagged as an estimate is not binding: report
@@ -624,6 +710,8 @@ int runDistance(const CliOptions &Cli) {
   }
   if (Cli.Json)
     std::printf("\n]}\n");
+  if (!Cli.BenchOut.empty() && !writeDistanceBenchOut(Cli, Records))
+    return 2;
   return AnyError ? 2 : AnyMismatch ? 1 : AnyAborted ? 3 : 0;
 }
 
@@ -649,6 +737,7 @@ int runDetect(const CliOptions &Cli) {
     VO.SplitThreshold = Cli.SplitThreshold;
     VO.CardEnc = Cli.CardEnc;
     VO.Preprocess = !Cli.NoPreprocess;
+    VO.Xor = Cli.Xor;
     VO.ConflictBudget = Cli.ConflictBudget;
     VO.RandomSeed = Cli.Seed;
     DetectionResult R = verifyDetection(*Code, MaxWeight, VO);
@@ -711,6 +800,17 @@ int main(int Argc, char **Argv) {
       Cli.Sequential = true;
     } else if (A == "--no-preprocess") {
       Cli.NoPreprocess = true;
+    } else if (A == "--xor") {
+      if (!(V = needValue(I)))
+        return 2;
+      if (*V == "on")
+        Cli.Xor = smt::XorMode::On;
+      else if (*V == "off")
+        Cli.Xor = smt::XorMode::Off;
+      else {
+        std::fprintf(stderr, "veriqec: --xor must be on or off\n");
+        return 2;
+      }
     } else if (A == "--bench-out") {
       if (!(V = needValue(I)))
         return 2;
@@ -817,11 +917,12 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
-  if (!Cli.BenchOut.empty() && Cli.Command != "verify") {
+  if (!Cli.BenchOut.empty() && Cli.Command != "verify" &&
+      Cli.Command != "distance") {
     // Refuse rather than silently not writing the file a CI step will
     // try to parse.
     std::fprintf(stderr, "veriqec: --bench-out is only supported by the "
-                         "verify command\n");
+                         "verify and distance commands\n");
     return 2;
   }
 
