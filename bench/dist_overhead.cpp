@@ -1,0 +1,103 @@
+//===- bench/dist_overhead.cpp - Distribution-layer overhead ---------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Measures what the distributed path costs over the in-process engine at
+/// equal parallelism: the same scenario verified (a) on the local cube
+/// engine at one slot and (b) through a coordinator + one single-slot
+/// loopback worker — full problem serialization, batch framing, result
+/// decoding and scheduling, no sockets. The --jobs 1 delta is the pure
+/// codec + scheduler overhead and must stay below 10% on surface9 t=4
+/// (BENCH_table3.json, dist_overhead records); surface7 t=3 tracks the
+/// smaller-problem regime where fixed costs weigh relatively more.
+///
+//===----------------------------------------------------------------------===//
+
+#include "dist/Coordinator.h"
+#include "dist/Transport.h"
+#include "dist/Worker.h"
+#include "engine/VerificationEngine.h"
+#include "qec/Codes.h"
+#include "verifier/Verifier.h"
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+using namespace veriqec;
+
+namespace {
+
+Scenario surfaceMemory(size_t Distance, uint32_t MaxErrors) {
+  StabilizerCode Code = makeRotatedSurfaceCode(Distance);
+  return makeMemoryScenario(Code, PauliKind::Y, LogicalBasis::Z, MaxErrors);
+}
+
+void reportCounters(benchmark::State &State, const VerificationResult &R) {
+  State.counters["cubes"] = static_cast<double>(R.NumCubes);
+  State.counters["conflicts"] = static_cast<double>(R.Stats.Conflicts);
+  State.counters["verified"] = R.Verified ? 1 : 0;
+}
+
+void runInProcess(benchmark::State &State, size_t Distance,
+                  uint32_t MaxErrors) {
+  Scenario S = surfaceMemory(Distance, MaxErrors);
+  VerifyOptions VO;
+  VO.Parallel = true;
+  engine::VerificationEngine Engine(1);
+  VerificationResult Last;
+  for (auto _ : State)
+    Last = Engine.verifyAll({&S, 1}, VO).front();
+  reportCounters(State, Last);
+}
+
+void runLoopbackDist(benchmark::State &State, size_t Distance,
+                     uint32_t MaxErrors) {
+  Scenario S = surfaceMemory(Distance, MaxErrors);
+  VerifyOptions VO;
+  VO.Parallel = true;
+  dist::Coordinator Coord;
+  std::vector<std::thread> Workers = dist::spawnLoopbackWorkers(Coord, 1);
+  if (!Coord.waitForWorkers(1, 10000)) {
+    State.SkipWithError("loopback worker failed to register");
+    Coord.shutdownWorkers();
+    Workers.front().join();
+    return;
+  }
+  engine::VerificationEngine Engine(1);
+  VerificationResult Last;
+  for (auto _ : State)
+    Last = Engine.verifyAll({&S, 1}, VO, Coord).front();
+  reportCounters(State, Last);
+  Coord.shutdownWorkers();
+  Workers.front().join();
+}
+
+void BM_Surface7T3_InProcess(benchmark::State &State) {
+  runInProcess(State, 7, 3);
+}
+void BM_Surface7T3_LoopbackDist(benchmark::State &State) {
+  runLoopbackDist(State, 7, 3);
+}
+void BM_Surface9T4_InProcess(benchmark::State &State) {
+  runInProcess(State, 9, 4);
+}
+void BM_Surface9T4_LoopbackDist(benchmark::State &State) {
+  runLoopbackDist(State, 9, 4);
+}
+
+BENCHMARK(BM_Surface7T3_InProcess)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Surface7T3_LoopbackDist)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Surface9T4_InProcess)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+BENCHMARK(BM_Surface9T4_LoopbackDist)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,446 @@
+//===- dist/Codec.cpp - Versioned binary wire format -----------------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/Codec.h"
+
+#include <algorithm>
+#include <limits>
+
+using namespace veriqec;
+using namespace veriqec::dist;
+using sat::Lit;
+using sat::Var;
+
+namespace {
+
+// -- Shared sub-codecs -------------------------------------------------------
+
+void encodeStats(Encoder &E, const sat::SolverStats &S) {
+  E.u64(S.Decisions);
+  E.u64(S.Propagations);
+  E.u64(S.Conflicts);
+  E.u64(S.LearnedClauses);
+  E.u64(S.Restarts);
+  E.u64(S.XorPropagations);
+  E.u64(S.XorConflicts);
+  E.u64(S.XorEliminations);
+}
+
+sat::SolverStats decodeStats(Decoder &D) {
+  sat::SolverStats S;
+  S.Decisions = D.u64();
+  S.Propagations = D.u64();
+  S.Conflicts = D.u64();
+  S.LearnedClauses = D.u64();
+  S.Restarts = D.u64();
+  S.XorPropagations = D.u64();
+  S.XorConflicts = D.u64();
+  S.XorEliminations = D.u64();
+  return S;
+}
+
+void encodeModel(Encoder &E,
+                 const std::unordered_map<std::string, bool> &Model) {
+  // Sorted for a canonical byte stream (maps have no iteration order).
+  std::vector<std::pair<std::string, bool>> Entries(Model.begin(),
+                                                    Model.end());
+  std::sort(Entries.begin(), Entries.end());
+  E.u32(static_cast<uint32_t>(Entries.size()));
+  for (const auto &[Name, Value] : Entries) {
+    E.str(Name);
+    E.boolean(Value);
+  }
+}
+
+std::unordered_map<std::string, bool> decodeModel(Decoder &D) {
+  std::unordered_map<std::string, bool> Model;
+  uint32_t N = D.count(5); // 4-byte length + >= 0 chars + 1 bool
+  for (uint32_t I = 0; I != N && D.ok(); ++I) {
+    std::string Name = D.str();
+    bool Value = D.boolean();
+    Model.emplace(std::move(Name), Value);
+  }
+  return Model;
+}
+
+void encodeRows(Encoder &E, const std::vector<smt::ParityRow> &Rows) {
+  E.u32(static_cast<uint32_t>(Rows.size()));
+  for (const smt::ParityRow &R : Rows) {
+    E.u32(static_cast<uint32_t>(R.Vars.size()));
+    for (uint32_t V : R.Vars)
+      E.u32(V);
+    E.boolean(R.Rhs);
+  }
+}
+
+std::vector<smt::ParityRow> decodeRows(Decoder &D) {
+  std::vector<smt::ParityRow> Rows;
+  uint32_t N = D.count(5);
+  Rows.reserve(N);
+  for (uint32_t I = 0; I != N && D.ok(); ++I) {
+    smt::ParityRow R;
+    uint32_t M = D.count(4);
+    R.Vars.reserve(M);
+    for (uint32_t J = 0; J != M && D.ok(); ++J)
+      R.Vars.push_back(D.u32());
+    R.Rhs = D.boolean();
+    Rows.push_back(std::move(R));
+  }
+  return Rows;
+}
+
+void encodeConfig(Encoder &E, const engine::CubeRunConfig &C) {
+  E.boolean(C.HardenBudget);
+  E.u32(C.BudgetBound);
+  E.u64(C.ConflictBudget);
+  E.u64(C.RandomSeed);
+}
+
+engine::CubeRunConfig decodeConfig(Decoder &D) {
+  engine::CubeRunConfig C;
+  C.HardenBudget = D.boolean();
+  C.BudgetBound = D.u32();
+  C.ConflictBudget = D.u64();
+  C.RandomSeed = D.u64();
+  return C;
+}
+
+// -- Per-message bodies ------------------------------------------------------
+
+void encodeBody(Encoder &E, const HelloMsg &M) {
+  E.u32(M.Magic);
+  E.u32(M.Version);
+  E.u32(M.Slots);
+}
+
+void encodeBody(Encoder &E, const HelloAckMsg &M) {
+  E.u32(M.Magic);
+  E.u32(M.Version);
+  E.boolean(M.Accepted);
+  E.str(M.Reason);
+}
+
+void encodeBody(Encoder &E, const ProblemMsg &M) {
+  E.u32(M.ProblemId);
+  encodeConfig(E, M.Config);
+  E.boolean(M.Persistent);
+  ProblemCodec::encode(E, *M.Problem);
+}
+
+void encodeBody(Encoder &E, const CubeBatchMsg &M) {
+  E.u32(M.ProblemId);
+  E.u32(M.BatchId);
+  E.litVecs(M.Cubes);
+}
+
+void encodeBody(Encoder &E, const BatchResultMsg &M) {
+  E.u32(M.ProblemId);
+  E.u32(M.BatchId);
+  E.u8(static_cast<uint8_t>(M.Status));
+  encodeModel(E, M.Model);
+  encodeStats(E, M.Stats);
+  E.u64(M.Solved);
+  E.u64(M.PrunedGf2);
+  E.u64(M.PrunedCore);
+  E.litVecs(M.NewCores);
+}
+
+void encodeBody(Encoder &E, const CoresMsg &M) {
+  E.u32(M.ProblemId);
+  E.litVecs(M.Cores);
+}
+
+void encodeBody(Encoder &E, const CancelMsg &M) { E.u32(M.ProblemId); }
+
+void encodeBody(Encoder &E, const StealRequestMsg &M) { E.u32(M.MaxBatches); }
+
+void encodeBody(Encoder &E, const StealReplyMsg &M) {
+  E.u32(static_cast<uint32_t>(M.Batches.size()));
+  for (const auto &[ProblemId, BatchId] : M.Batches) {
+    E.u32(ProblemId);
+    E.u32(BatchId);
+  }
+}
+
+void encodeBody(Encoder &, const ShutdownMsg &) {}
+
+} // namespace
+
+// -- ProblemCodec ------------------------------------------------------------
+
+void ProblemCodec::encode(Encoder &E, const smt::VerificationProblem &P) {
+  E.u64(P.Cnf.NumVars);
+  E.u32(static_cast<uint32_t>(P.Cnf.Clauses.size()));
+  for (const std::vector<Lit> &C : P.Cnf.Clauses)
+    E.lits(C);
+  {
+    std::vector<std::pair<uint32_t, Var>> Entries(P.Cnf.VarOfBoolVar.begin(),
+                                                  P.Cnf.VarOfBoolVar.end());
+    std::sort(Entries.begin(), Entries.end());
+    E.u32(static_cast<uint32_t>(Entries.size()));
+    for (const auto &[BoolId, V] : Entries) {
+      E.u32(BoolId);
+      E.i32(V);
+    }
+  }
+  E.u32(static_cast<uint32_t>(P.NamedVars.size()));
+  for (const auto &[Name, V] : P.NamedVars) {
+    E.str(Name);
+    E.i32(V);
+  }
+  E.u32(static_cast<uint32_t>(P.XorRows.size()));
+  for (const auto &[Vars, Rhs] : P.XorRows) {
+    E.u32(static_cast<uint32_t>(Vars.size()));
+    for (Var V : Vars)
+      E.i32(V);
+    E.boolean(Rhs);
+  }
+  E.boolean(P.TriviallyUnsat);
+  E.u64(P.Prep.LinearConjuncts);
+  E.u64(P.Prep.LinearVars);
+  E.u64(P.Prep.RowsKept);
+  E.u64(P.Prep.UnitsFixed);
+  E.u64(P.Prep.VarsEliminated);
+  E.u64(P.Prep.EquivAliased);
+  E.u64(P.Prep.ResidueConjuncts);
+  E.boolean(P.Prep.TriviallyUnsat);
+  E.u32(static_cast<uint32_t>(P.VarNames.size()));
+  for (const std::string &Name : P.VarNames)
+    E.str(Name);
+  E.u32(static_cast<uint32_t>(P.Eliminated.size()));
+  for (const smt::VarReconstruction &R : P.Eliminated) {
+    E.u32(R.VarId);
+    E.u32(static_cast<uint32_t>(R.Deps.size()));
+    for (uint32_t Dep : R.Deps)
+      E.u32(Dep);
+    E.boolean(R.Constant);
+  }
+  encodeRows(E, P.Pruner.rows());
+  E.boolean(P.PruneByElimination);
+  E.lits(P.BudgetCounter);
+  E.u64(P.NumBudgetTerms);
+  {
+    std::vector<std::pair<int32_t, uint32_t>> Entries(P.BoolVarOfSat.begin(),
+                                                      P.BoolVarOfSat.end());
+    std::sort(Entries.begin(), Entries.end());
+    E.u32(static_cast<uint32_t>(Entries.size()));
+    for (const auto &[SatVar, BoolId] : Entries) {
+      E.i32(SatVar);
+      E.u32(BoolId);
+    }
+  }
+}
+
+std::shared_ptr<smt::VerificationProblem> ProblemCodec::decode(Decoder &D) {
+  // Private constructor: the codec is a friend of the struct.
+  std::shared_ptr<smt::VerificationProblem> P(new smt::VerificationProblem());
+  P->Cnf.NumVars = D.u64();
+  // Everything downstream indexes by CNF variable (solver loading) or
+  // BoolContext id (reconstruction, pruning rows), so both universes are
+  // range-checked against their declared sizes as they are read — a
+  // corrupted id must fail the frame, not balloon an index vector or
+  // walk a solver off its arrays.
+  if (P->Cnf.NumVars >
+      static_cast<uint64_t>(std::numeric_limits<int32_t>::max())) {
+    D.fail();
+    return nullptr;
+  }
+  auto cnfVar = [&](int32_t V) {
+    if (V < 0 || static_cast<uint64_t>(V) >= P->Cnf.NumVars)
+      D.fail();
+    return V;
+  };
+  auto cnfLit = [&](Lit L) {
+    cnfVar(L.var());
+    return L;
+  };
+  uint32_t NumClauses = D.count(4);
+  P->Cnf.Clauses.reserve(NumClauses);
+  for (uint32_t I = 0; I != NumClauses && D.ok(); ++I) {
+    std::vector<Lit> Clause = D.lits();
+    for (Lit L : Clause)
+      cnfLit(L);
+    P->Cnf.Clauses.push_back(std::move(Clause));
+  }
+  uint32_t NumMapped = D.count(8);
+  for (uint32_t I = 0; I != NumMapped && D.ok(); ++I) {
+    uint32_t BoolId = D.u32();
+    P->Cnf.VarOfBoolVar.emplace(BoolId, cnfVar(D.i32()));
+  }
+  uint32_t NumNamed = D.count(8);
+  P->NamedVars.reserve(NumNamed);
+  for (uint32_t I = 0; I != NumNamed && D.ok(); ++I) {
+    std::string Name = D.str();
+    P->NamedVars.emplace_back(std::move(Name), cnfVar(D.i32()));
+  }
+  uint32_t NumXor = D.count(5);
+  P->XorRows.reserve(NumXor);
+  for (uint32_t I = 0; I != NumXor && D.ok(); ++I) {
+    uint32_t M = D.count(4);
+    std::vector<Var> Vars;
+    Vars.reserve(M);
+    for (uint32_t J = 0; J != M && D.ok(); ++J)
+      Vars.push_back(cnfVar(D.i32()));
+    bool Rhs = D.boolean();
+    P->XorRows.emplace_back(std::move(Vars), Rhs);
+  }
+  P->TriviallyUnsat = D.boolean();
+  P->Prep.LinearConjuncts = D.u64();
+  P->Prep.LinearVars = D.u64();
+  P->Prep.RowsKept = D.u64();
+  P->Prep.UnitsFixed = D.u64();
+  P->Prep.VarsEliminated = D.u64();
+  P->Prep.EquivAliased = D.u64();
+  P->Prep.ResidueConjuncts = D.u64();
+  P->Prep.TriviallyUnsat = D.boolean();
+  uint32_t NumNames = D.count(4);
+  P->VarNames.reserve(NumNames);
+  for (uint32_t I = 0; I != NumNames && D.ok(); ++I)
+    P->VarNames.push_back(D.str());
+  auto boolId = [&](uint32_t V) {
+    if (V >= P->VarNames.size())
+      D.fail();
+    return V;
+  };
+  uint32_t NumElim = D.count(9);
+  P->Eliminated.reserve(NumElim);
+  for (uint32_t I = 0; I != NumElim && D.ok(); ++I) {
+    smt::VarReconstruction R;
+    R.VarId = boolId(D.u32());
+    uint32_t M = D.count(4);
+    R.Deps.reserve(M);
+    for (uint32_t J = 0; J != M && D.ok(); ++J)
+      R.Deps.push_back(boolId(D.u32()));
+    R.Constant = D.boolean();
+    P->Eliminated.push_back(std::move(R));
+  }
+  std::vector<smt::ParityRow> PrunerRows = decodeRows(D);
+  for (const smt::ParityRow &R : PrunerRows)
+    for (uint32_t V : R.Vars)
+      boolId(V);
+  if (!D.ok())
+    return nullptr; // before the propagator sizes its per-var index
+  P->Pruner = smt::ParityPropagator(std::move(PrunerRows));
+  P->PruneByElimination = D.boolean();
+  P->BudgetCounter = D.lits();
+  for (Lit L : P->BudgetCounter)
+    cnfLit(L);
+  P->NumBudgetTerms = D.u64();
+  uint32_t NumRev = D.count(8);
+  for (uint32_t I = 0; I != NumRev && D.ok(); ++I) {
+    int32_t SatVar = cnfVar(D.i32());
+    P->BoolVarOfSat.emplace(SatVar, boolId(D.u32()));
+  }
+  if (!D.ok())
+    return nullptr;
+  return P;
+}
+
+// -- Top-level message codec -------------------------------------------------
+
+std::vector<uint8_t> veriqec::dist::encodeMessage(const Message &M) {
+  Encoder E;
+  E.u8(static_cast<uint8_t>(MsgKind::Hello) +
+       static_cast<uint8_t>(M.index()));
+  std::visit([&E](const auto &Body) { encodeBody(E, Body); }, M);
+  return E.take();
+}
+
+bool veriqec::dist::decodeMessage(std::span<const uint8_t> Payload,
+                                  Message &Out) {
+  Decoder D(Payload);
+  switch (static_cast<MsgKind>(D.u8())) {
+  case MsgKind::Hello: {
+    HelloMsg M;
+    M.Magic = D.u32();
+    M.Version = D.u32();
+    M.Slots = D.u32();
+    Out = M;
+    break;
+  }
+  case MsgKind::HelloAck: {
+    HelloAckMsg M;
+    M.Magic = D.u32();
+    M.Version = D.u32();
+    M.Accepted = D.boolean();
+    M.Reason = D.str();
+    Out = std::move(M);
+    break;
+  }
+  case MsgKind::Problem: {
+    ProblemMsg M;
+    M.ProblemId = D.u32();
+    M.Config = decodeConfig(D);
+    M.Persistent = D.boolean();
+    M.Problem = ProblemCodec::decode(D);
+    if (!M.Problem)
+      return false;
+    Out = std::move(M);
+    break;
+  }
+  case MsgKind::CubeBatch: {
+    CubeBatchMsg M;
+    M.ProblemId = D.u32();
+    M.BatchId = D.u32();
+    M.Cubes = D.litVecs();
+    Out = std::move(M);
+    break;
+  }
+  case MsgKind::BatchResult: {
+    BatchResultMsg M;
+    M.ProblemId = D.u32();
+    M.BatchId = D.u32();
+    uint8_t S = D.u8();
+    if (S > static_cast<uint8_t>(BatchStatus::Cancelled))
+      return false;
+    M.Status = static_cast<BatchStatus>(S);
+    M.Model = decodeModel(D);
+    M.Stats = decodeStats(D);
+    M.Solved = D.u64();
+    M.PrunedGf2 = D.u64();
+    M.PrunedCore = D.u64();
+    M.NewCores = D.litVecs();
+    Out = std::move(M);
+    break;
+  }
+  case MsgKind::Cores: {
+    CoresMsg M;
+    M.ProblemId = D.u32();
+    M.Cores = D.litVecs();
+    Out = std::move(M);
+    break;
+  }
+  case MsgKind::Cancel: {
+    CancelMsg M;
+    M.ProblemId = D.u32();
+    Out = M;
+    break;
+  }
+  case MsgKind::StealRequest: {
+    StealRequestMsg M;
+    M.MaxBatches = D.u32();
+    Out = M;
+    break;
+  }
+  case MsgKind::StealReply: {
+    StealReplyMsg M;
+    uint32_t N = D.count(8);
+    M.Batches.reserve(N);
+    for (uint32_t I = 0; I != N && D.ok(); ++I) {
+      uint32_t ProblemId = D.u32();
+      M.Batches.emplace_back(ProblemId, D.u32());
+    }
+    Out = std::move(M);
+    break;
+  }
+  case MsgKind::Shutdown:
+    Out = ShutdownMsg{};
+    break;
+  default:
+    return false;
+  }
+  return D.ok() && D.atEnd();
+}

@@ -1,0 +1,174 @@
+//===- dist/Coordinator.h - Distributed cube scheduling ---------*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The coordinator half of the distributed verification layer — an
+/// engine::CubeBackend whose solver slots live in other processes (or on
+/// other machines). Problems are preprocessed and encoded locally, cubes
+/// enumerated with the slot-targeting split heuristic over the fleet's
+/// TOTAL slot count, and the resulting batches sharded eagerly across
+/// every registered worker. From there the scheduler re-balances:
+///
+///   * an idle worker triggers a steal — the busiest sibling hands back
+///     queued batches, which are re-granted to the idle one;
+///   * strict-subset UNSAT cores reported by one worker are broadcast to
+///     all others, so remote solvers prune sibling subtrees exactly like
+///     the in-process core pruning of engine::CubeRun;
+///   * the first SAT cube cancels the whole problem fleet-wide (in-flight
+///     solves abort mid-search through the cancel flag);
+///   * batches assigned to a dropped or timed-out worker are requeued and
+///     re-granted, so a killed worker costs duplicated work, never a
+///     wrong or missing verdict.
+///
+/// A handle-based incremental API (openProblem/solveCubes/closeProblem)
+/// ships a problem once and then solves many cube sets against the same
+/// remote slot solvers — the distributed form of the distance search's
+/// encode-once/assume-many loop.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_DIST_COORDINATOR_H
+#define VERIQEC_DIST_COORDINATOR_H
+
+#include "dist/Codec.h"
+#include "dist/Transport.h"
+#include "dist/Worker.h"
+#include "engine/CubeEngine.h"
+
+#include <deque>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+namespace veriqec::dist {
+
+struct CoordinatorOptions {
+  /// Shard granularity: target this many batches per fleet slot, so
+  /// stealing has material even after the eager shard.
+  size_t BatchesPerSlot = 4;
+  /// Event-loop poll granularity.
+  int PollMs = 2;
+  /// A worker silent for this long while holding outstanding batches is
+  /// declared dead and its batches requeued. 0 disables the timer (link
+  /// closure still triggers requeue — the common crash signal on TCP).
+  /// CAUTION: this is a SILENCE timer, and a worker sends nothing while
+  /// legitimately grinding a hard batch — only enable it with a bound
+  /// comfortably above the worst-case single-batch solve time (a
+  /// progress heartbeat that would lift this restriction is a ROADMAP
+  /// follow-up).
+  int WorkerTimeoutMs = 0;
+};
+
+/// Observability counters (tested by the kill-a-worker and steal paths).
+struct CoordinatorStats {
+  uint64_t WorkersDropped = 0;
+  uint64_t BatchesRequeued = 0;
+  uint64_t BatchesStolen = 0;
+  uint64_t CoreBroadcasts = 0;
+};
+
+class Coordinator : public engine::CubeBackend {
+public:
+  explicit Coordinator(CoordinatorOptions Opts = {});
+  ~Coordinator() override;
+
+  /// Hands a fresh (pre-handshake) link to the coordinator; the
+  /// handshake completes inside waitForWorkers()/solve pumps.
+  void addWorker(std::unique_ptr<Link> L);
+
+  /// Accepts late-joining workers during runs.
+  void attachListener(std::unique_ptr<Listener> L);
+
+  /// Pumps accepts + handshakes until \p N workers are ready (or the
+  /// deadline passes). True when the fleet reached N.
+  bool waitForWorkers(size_t N, int TimeoutMs);
+
+  size_t numWorkers() const;
+  /// Total remote solver slots (drives the cube-split heuristic).
+  size_t numSlots() const override;
+
+  // engine::CubeBackend: the whole scenario pipeline runs on this.
+  std::vector<smt::SolveOutcome>
+  solveAll(std::span<const engine::CubeProblem> Problems) override;
+
+  /// Incremental API: registers an encoded problem without solving.
+  /// The problem ships lazily to each worker that receives one of its
+  /// batches, exactly once; worker-side slot solvers persist until
+  /// closeProblem().
+  uint32_t openProblem(std::shared_ptr<const smt::VerificationProblem> P,
+                       const engine::CubeRunConfig &Config);
+
+  /// Solves one cube set against an open problem (blocking). Cubes may
+  /// be assumption sets of any origin — the distance search sends its
+  /// weight-bound literals as a single cube per probe.
+  smt::SolveOutcome solveCubes(uint32_t Handle,
+                               std::vector<std::vector<sat::Lit>> Cubes);
+
+  /// Frees worker-side state of an open problem.
+  void closeProblem(uint32_t Handle);
+
+  /// Sends Shutdown to every live worker (they exit their loops).
+  void shutdownWorkers();
+
+  const CoordinatorStats &stats() const { return Stats; }
+
+private:
+  struct WorkerState;
+  struct ActiveProblem;
+  using BatchKey = std::pair<uint32_t, uint32_t>; // (problem, batch)
+
+  void pumpAccept();
+  void pumpHandshakes();
+  /// Drains every worker link; true when at least one message arrived.
+  bool pumpLinks();
+  void handleResult(WorkerState &W, BatchResultMsg &&R);
+  void handleStealReply(WorkerState &W, const StealReplyMsg &R);
+  void grantWork();
+  void stealForIdle();
+  void dropDeadWorkers();
+  void requeueOutstanding(WorkerState &W);
+  void cancelRemaining(ActiveProblem &AP, uint32_t ProblemId);
+  void finishProblem(ActiveProblem &AP);
+  /// Shards one cube set into batches with a FRESH wire-id epoch and
+  /// queues them (shared by solveAll and solveCubes so the epoch
+  /// bookkeeping that rejects stragglers cannot diverge).
+  void shardCubes(uint32_t ProblemId, ActiveProblem &AP,
+                  std::vector<std::vector<sat::Lit>> &&Cubes);
+  /// Runs the event loop until every listed problem finished. Problems
+  /// that cannot make progress (fleet died) finish as Aborted.
+  void runUntilDone(const std::vector<uint32_t> &ProblemIds);
+  WorkerState *pickGrantee();
+  bool sendBatch(WorkerState &W, uint32_t ProblemId, uint32_t BatchId);
+
+  CoordinatorOptions Opts;
+  CoordinatorStats Stats;
+  std::vector<std::unique_ptr<Listener>> Listeners;
+  std::vector<std::unique_ptr<Link>> PendingLinks;
+  std::vector<std::unique_ptr<WorkerState>> Workers;
+  std::unordered_map<uint32_t, std::unique_ptr<ActiveProblem>> Problems;
+  std::deque<BatchKey> Queue;
+  uint32_t NextProblemId = 1;
+};
+
+/// Spawns one in-process loopback worker per entry of \p PerWorker and
+/// registers it with \p C (the fleet-lifecycle boilerplate shared by
+/// `--dist loopback:N`, the differential harness, the benches and the
+/// tests). Join the returned threads AFTER Coordinator::shutdownWorkers()
+/// — shutdown is what makes the worker loops exit.
+std::vector<std::thread> spawnLoopbackWorkers(Coordinator &C,
+                                              std::vector<WorkerOptions>
+                                                  PerWorker);
+
+/// Convenience: \p N identical workers.
+inline std::vector<std::thread>
+spawnLoopbackWorkers(Coordinator &C, size_t N, WorkerOptions Opts = {}) {
+  return spawnLoopbackWorkers(C, std::vector<WorkerOptions>(N, Opts));
+}
+
+} // namespace veriqec::dist
+
+#endif // VERIQEC_DIST_COORDINATOR_H

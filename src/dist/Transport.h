@@ -1,0 +1,99 @@
+//===- dist/Transport.h - Frame transports (TCP, loopback) ------*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Message framing and delivery between coordinator and workers, beneath
+/// the codec: a Link carries whole frames (u32 little-endian length
+/// prefix + payload) in both directions, a Listener accepts new Links.
+/// Two implementations, both dependency-free:
+///
+///   * TCP (poll-based, non-blocking reads with frame reassembly) — the
+///     real multi-node transport behind `veriqec serve` / `veriqec
+///     worker`;
+///   * loopback (two in-process queues under a mutex) — deterministic
+///     in-process workers for tests, fuzzing and `--dist loopback:N`,
+///     exercising the full codec + scheduler path with no sockets.
+///
+/// Failure semantics are uniform: once a peer disappears (socket EOF /
+/// error, or the loopback end destroyed), closed() turns true, sends are
+/// dropped and receive() returns nothing — the coordinator treats such a
+/// link as a dropped worker and requeues its outstanding batches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_DIST_TRANSPORT_H
+#define VERIQEC_DIST_TRANSPORT_H
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace veriqec::dist {
+
+/// A bidirectional frame pipe to one peer. Implementations are
+/// thread-compatible: one thread may send while another receives, but
+/// each direction has at most one user at a time.
+class Link {
+public:
+  virtual ~Link() = default;
+
+  /// Queues one frame payload (the transport adds the length prefix).
+  /// Returns false once the link is closed; a false send means the peer
+  /// will never see the message, not that it may arrive later.
+  virtual bool send(std::span<const uint8_t> Payload) = 0;
+
+  /// Waits up to \p TimeoutMs for one whole frame; true and fills
+  /// \p Payload when one arrived. False on timeout AND on closure —
+  /// disambiguate with closed().
+  virtual bool receive(std::vector<uint8_t> &Payload, int TimeoutMs) = 0;
+
+  /// The peer is gone (or close() was called); no further traffic.
+  virtual bool closed() const = 0;
+
+  virtual void close() = 0;
+};
+
+/// Accepts incoming Links.
+class Listener {
+public:
+  virtual ~Listener() = default;
+
+  /// Waits up to \p TimeoutMs for one connection; nullptr on timeout.
+  virtual std::unique_ptr<Link> accept(int TimeoutMs) = 0;
+
+  /// The port actually bound (useful with port 0 = ephemeral).
+  virtual uint16_t port() const = 0;
+};
+
+/// Binds a TCP listener on "host:port" (port 0 picks an ephemeral one).
+/// nullptr + \p Err on failure.
+std::unique_ptr<Listener> listenTcp(const std::string &HostPort,
+                                    std::string &Err);
+
+/// Connects to a TCP coordinator at "host:port". nullptr + \p Err on
+/// failure (no retries here; callers that race a starting coordinator
+/// loop themselves).
+std::unique_ptr<Link> connectTcp(const std::string &HostPort,
+                                 std::string &Err);
+
+/// Validates a "host:port" string without touching the network — lets a
+/// connect-retry loop fail fast on a typo instead of sniffing error
+/// strings. \p AllowPortZero permits the listener's ephemeral-port form.
+bool validTcpAddress(const std::string &HostPort, bool AllowPortZero,
+                     std::string &Err);
+
+/// An in-process link pair: frames sent on A arrive on B and vice versa.
+struct LoopbackPair {
+  std::unique_ptr<Link> A;
+  std::unique_ptr<Link> B;
+};
+LoopbackPair makeLoopbackPair();
+
+} // namespace veriqec::dist
+
+#endif // VERIQEC_DIST_TRANSPORT_H

@@ -1,0 +1,49 @@
+//===- dist/Worker.h - Remote cube-discharge worker -------------*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The worker half of the distributed verification layer: connects to a
+/// coordinator, receives encoded VerificationProblems and cube batches,
+/// and discharges them on a local thread pool through the exact
+/// engine::CubeRun machinery the in-process scheduler uses — per-slot
+/// reusable solvers, GF(2) cube refutation, sibling-core pruning (fed
+/// additionally by cross-node core broadcasts), budget hardening and
+/// native XOR all behave identically to a local run. The protocol loop
+/// stays responsive while a batch is in flight, so cancellations (a
+/// sibling worker found SAT) abort in-flight solves mid-search and steal
+/// requests hand queued batches back for re-balancing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_DIST_WORKER_H
+#define VERIQEC_DIST_WORKER_H
+
+#include "dist/Transport.h"
+
+#include <cstdint>
+#include <memory>
+
+namespace veriqec::dist {
+
+struct WorkerOptions {
+  /// Local solver slots (threads).
+  size_t Jobs = 1;
+  /// Test hook: after this many batch results, drop the link abruptly
+  /// and exit — simulates a worker crash mid-run for the coordinator's
+  /// requeue path. 0 = run until shutdown.
+  uint64_t MaxBatches = 0;
+  /// Protocol poll granularity while computing.
+  int PollMs = 2;
+};
+
+/// Runs the worker protocol on \p L until the coordinator sends Shutdown
+/// or the link dies. Returns 0 on clean shutdown, 1 on handshake or link
+/// failure, 2 when the MaxBatches crash hook fired.
+int runWorker(std::unique_ptr<Link> L, const WorkerOptions &Opts = {});
+
+} // namespace veriqec::dist
+
+#endif // VERIQEC_DIST_WORKER_H

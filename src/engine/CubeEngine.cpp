@@ -6,6 +6,7 @@
 
 #include "engine/CubeEngine.h"
 
+#include "engine/CubeRun.h"
 #include "support/Assert.h"
 #include "support/Timer.h"
 
@@ -46,153 +47,29 @@ void enumerateCubesRec(const std::vector<Var> &SplitVars, uint32_t Distance,
   }
 }
 
-/// Shared state of one problem while its cubes are in flight.
+/// Shared state of one problem while its cubes are in flight. The
+/// per-cube discharge logic (slot solvers, pruning, cancellation) lives
+/// in CubeRun — shared with the distributed worker — and this wrapper
+/// keeps only what the in-process scheduler needs on top: the cube list,
+/// the outstanding-cube countdown and the assembled outcome.
 struct ProblemRun {
   const CubeProblem *Input = nullptr;
-  std::unique_ptr<smt::VerificationProblem> Encoded;
+  std::shared_ptr<smt::VerificationProblem> Encoded;
   std::vector<std::vector<Lit>> Cubes;
+  std::unique_ptr<CubeRun> Run;
 
-  /// Set by the first SAT cube; the workers' solvers poll it as their
-  /// abort flag, so in-flight sibling solves stop mid-search too.
-  std::atomic<bool> Cancel{false};
-  /// Set when a cube's UNSAT refutation used none of the cube's own
-  /// assumption literals (sat::Solver::conflictCore): the whole problem
-  /// is UNSAT and the remaining cubes are redundant.
-  std::atomic<bool> GlobalUnsat{false};
-  std::atomic<bool> AnyAborted{false};
-  std::atomic<uint64_t> Solved{0};
-  /// Cubes refuted with no SAT call, by cause: the GF(2) parity oracle
-  /// (elimination-strength when the problem runs native XOR) vs. a
-  /// sibling's stored UNSAT core. Split so the refutation rate of each
-  /// mechanism is visible in --bench-out instead of vanishing into one
-  /// per-worker sum.
-  std::atomic<uint64_t> PrunedGf2{0};
-  std::atomic<uint64_t> PrunedCore{0};
   std::atomic<uint64_t> Remaining{0};
-
-  /// UNSAT cores that used only a strict subset of their cube's
-  /// assumption literals. Any later cube containing such a core is UNSAT
-  /// without solving — with the ET enumeration's shared prefixes this
-  /// regularly discharges whole subtrees of sibling cubes. The master
-  /// list is guarded by CoreMutex and append-only; workers scan their
-  /// own snapshot (refreshed only when CoreCount says it is stale), so
-  /// the common case costs one relaxed load per cube, not a lock.
-  /// Capped so snapshot refreshes and subset checks stay cheap.
-  std::vector<std::vector<Lit>> RefutedCores;
-  std::atomic<size_t> CoreCount{0};
-  std::mutex CoreMutex;
-  static constexpr size_t MaxRefutedCores = 256;
-
-  /// One lazily-built solver slot per pool worker. A slot is only ever
-  /// touched by the worker whose index it is, so no locking.
-  std::vector<std::unique_ptr<sat::Solver>> Slots;
-  /// Per-worker snapshots of RefutedCores (owner-only, like Slots).
-  std::vector<std::vector<std::vector<Lit>>> CoreSnapshots;
-
-  /// Clause exchange between the slots: lemmas learned on one worker's
-  /// cubes are valid for every sibling cube and imported lazily.
-  sat::SharedClausePool LearntPool;
-
-  std::mutex Mutex; // guards Out.Model / Out.Result on the SAT path
   SolveOutcome Out;
   Timer Clock;
 };
 
-/// True iff every literal of \p Core occurs in the sorted \p CubeSorted.
-bool coreSubsumesCube(const std::vector<Lit> &Core,
-                      const std::vector<Lit> &CubeSorted) {
-  for (Lit L : Core)
-    if (!std::binary_search(CubeSorted.begin(), CubeSorted.end(), L))
-      return false;
-  return true;
-}
-
-void runCube(ProblemRun &Run, size_t CubeIdx) {
-  if (!Run.Cancel.load(std::memory_order_relaxed)) {
-    int Worker = ThreadPool::currentWorkerIndex();
-    if (Worker < 0)
-      fatalError("cube task executed off the pool");
-    const std::vector<Lit> &Cube = Run.Cubes[CubeIdx];
-    bool Subsumed = false;
-    if (Run.CoreCount.load(std::memory_order_acquire) != 0) {
-      std::vector<std::vector<Lit>> &Snapshot = Run.CoreSnapshots[Worker];
-      if (Snapshot.size() <
-          Run.CoreCount.load(std::memory_order_acquire)) {
-        std::lock_guard<std::mutex> Lock(Run.CoreMutex);
-        Snapshot = Run.RefutedCores;
-      }
-      std::vector<Lit> CubeSorted = Cube;
-      std::sort(CubeSorted.begin(), CubeSorted.end());
-      for (const std::vector<Lit> &Core : Snapshot)
-        if (coreSubsumesCube(Core, CubeSorted)) {
-          Subsumed = true;
-          break;
-        }
-    }
-    // GF(2) propagation (with elimination under native XOR) over the
-    // preprocessor's reduced rows can refute a cube outright — no
-    // solver, no conflicts. A stored sibling core that fits inside this
-    // cube does the same.
-    bool Gf2Refuted = !Subsumed && Run.Encoded->cubeRefuted(Cube);
-    if (Subsumed || Gf2Refuted) {
-      Run.Solved.fetch_add(1, std::memory_order_relaxed);
-      (Subsumed ? Run.PrunedCore : Run.PrunedGf2)
-          .fetch_add(1, std::memory_order_relaxed);
-    } else {
-      std::unique_ptr<sat::Solver> &Slot = Run.Slots[Worker];
-      if (!Slot) {
-        Slot = std::make_unique<sat::Solver>(Run.Encoded->makeSolver());
-        // One bound per problem: harden the weight layer as root-level
-        // units in this worker's solver (the shared CnfFormula stays
-        // bound-independent).
-        if (!Run.Input->Opts.BudgetVars.empty())
-          Run.Encoded->assertWeightBound(*Slot,
-                                         Run.Input->Opts.BudgetBound);
-        Slot->setAbortFlag(&Run.Cancel);
-        Slot->attachSharedPool(&Run.LearntPool, Worker);
-        if (Run.Input->Opts.ConflictBudget)
-          Slot->setConflictBudget(Run.Input->Opts.ConflictBudget);
-        if (Run.Input->Opts.RandomSeed)
-          Slot->setRandomSeed(Run.Input->Opts.RandomSeed +
-                              static_cast<uint64_t>(Worker) + 1);
-      }
-      SolveResult R = Slot->solve(Cube);
-      if (R != SolveResult::Aborted)
-        Run.Solved.fetch_add(1, std::memory_order_relaxed);
-      if (R == SolveResult::Sat) {
-        std::lock_guard<std::mutex> Lock(Run.Mutex);
-        if (!Run.Cancel.exchange(true)) {
-          Run.Out.Result = SolveResult::Sat;
-          Run.Encoded->readModel(*Slot, Run.Out.Model);
-        }
-      } else if (R == SolveResult::Unsat) {
-        const std::vector<Lit> &Core = Slot->conflictCore();
-        if (Core.empty() && !Cube.empty()) {
-          // The refutation used no assumptions at all: the problem is
-          // UNSAT under its root clauses alone and the siblings are
-          // redundant.
-          Run.GlobalUnsat.store(true, std::memory_order_relaxed);
-          Run.Cancel.store(true, std::memory_order_relaxed);
-        } else if (!Core.empty() && Core.size() + 1 < Cube.size()) {
-          // A strict-subset core refutes every sibling cube containing
-          // it; remember it so they are pruned without a solver. (The
-          // +1 slack: a core one literal short of the cube subsumes
-          // almost nothing, not worth the per-cube checks.)
-          std::lock_guard<std::mutex> Lock(Run.CoreMutex);
-          if (Run.RefutedCores.size() < ProblemRun::MaxRefutedCores) {
-            Run.RefutedCores.push_back(Core);
-            Run.CoreCount.store(Run.RefutedCores.size(),
-                                std::memory_order_release);
-          }
-        }
-      } else if (R == SolveResult::Aborted &&
-                 !Run.Cancel.load(std::memory_order_relaxed)) {
-        Run.AnyAborted.store(true, std::memory_order_relaxed);
-      }
-    }
-  }
-  if (Run.Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
-    Run.Out.SolveSeconds = Run.Clock.seconds();
+void dischargeCube(ProblemRun &P, size_t CubeIdx) {
+  int Worker = ThreadPool::currentWorkerIndex();
+  if (Worker < 0)
+    fatalError("cube task executed off the pool");
+  P.Run->runCube(static_cast<size_t>(Worker), P.Cubes[CubeIdx]);
+  if (P.Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
+    P.Out.SolveSeconds = P.Clock.seconds();
 }
 
 } // namespace
@@ -211,6 +88,103 @@ veriqec::engine::enumerateCubes(const std::vector<Var> &SplitVars,
   enumerateCubesRec(SplitVars, Distance, Threshold, MaxOnes, Prefix, 0,
                     Cubes);
   return Cubes;
+}
+
+uint64_t veriqec::engine::countCubes(size_t NumSplitVars, uint32_t Distance,
+                                     uint32_t Threshold, uint32_t MaxOnes,
+                                     uint64_t Cap) {
+  if (Threshold == 0 || NumSplitVars == 0)
+    return 1;
+  Cap = std::max<uint64_t>(Cap, 1);
+  // The subtree below a node depends only on (bits, ones), so the leaf
+  // count is a small DP instead of a walk over the (potentially
+  // enormous) enumeration tree. Ones never exceeds min(bits, MaxOnes).
+  size_t OnesCap =
+      static_cast<size_t>(std::min<uint64_t>(MaxOnes, NumSplitVars));
+  auto saturatingAdd = [Cap](uint64_t A, uint64_t B) {
+    return std::min(Cap, A + B); // both summands are <= Cap <= 2^63
+  };
+  std::vector<uint64_t> Next(OnesCap + 1, 1), Cur(OnesCap + 1, 1);
+  // Bits == NumSplitVars: every node is an exhausted leaf (count 1).
+  for (size_t Bits = NumSplitVars; Bits-- > 0;) {
+    size_t MaxO = std::min(Bits, OnesCap);
+    for (size_t Ones = 0; Ones <= MaxO; ++Ones) {
+      if (2ull * Distance * Ones + Bits > Threshold) {
+        Cur[Ones] = 1; // ET leaf
+        continue;
+      }
+      uint64_t Zero = Next[Ones];
+      uint64_t One = (Ones + 1 <= MaxOnes && Ones + 1 <= OnesCap)
+                         ? Next[Ones + 1]
+                         : 0;
+      Cur[Ones] = saturatingAdd(Zero, One);
+    }
+    std::swap(Cur, Next);
+  }
+  return Next[0];
+}
+
+uint32_t veriqec::engine::pickSplitThreshold(size_t NumSplitVars,
+                                             uint32_t Distance,
+                                             uint32_t MaxThreshold,
+                                             uint32_t MaxOnes,
+                                             size_t TotalSlots,
+                                             uint64_t *CubeCountOut) {
+  // 8 cubes per slot scales the set to the fleet; the floor keeps the
+  // solver-reuse machinery fed on small fleets (see the header comment
+  // for the measured numbers behind both constants).
+  constexpr uint64_t CubesPerSlot = 8, MinAutoCubes = 8192;
+  uint64_t Target =
+      std::max(CubesPerSlot * std::max<size_t>(TotalSlots, 1), MinAutoCubes);
+  uint64_t Cap = 32 * Target;
+  auto count = [&](uint32_t T) {
+    return countCubes(NumSplitVars, Distance, T, MaxOnes, Cap);
+  };
+  uint32_t Chosen = MaxThreshold;
+  if (MaxThreshold > 1 && count(MaxThreshold) >= Target) {
+    uint32_t Lo = 1, Hi = MaxThreshold;
+    while (Lo < Hi) {
+      uint32_t Mid = Lo + (Hi - Lo) / 2;
+      if (count(Mid) >= Target)
+        Hi = Mid;
+      else
+        Lo = Mid + 1;
+    }
+    Chosen = Lo;
+  }
+  if (CubeCountOut)
+    *CubeCountOut = count(Chosen);
+  return Chosen;
+}
+
+PreparedProblem veriqec::engine::prepareCubeProblem(const CubeProblem &P,
+                                                    size_t TotalSlots) {
+  const smt::SolveOptions &O = P.Opts;
+  PreparedProblem Out;
+  Out.Encoded = std::make_shared<smt::VerificationProblem>(
+      *P.Ctx, P.Root, smt::makeProblemOptions(*P.Ctx, O));
+  Out.Config.HardenBudget = !O.BudgetVars.empty();
+  Out.Config.BudgetBound = O.BudgetBound;
+  Out.Config.ConflictBudget = O.ConflictBudget;
+  Out.Config.RandomSeed = O.RandomSeed;
+  if (Out.Encoded->TriviallyUnsat)
+    return Out; // refuted during preprocessing: no cubes, no solver
+  std::vector<Var> SplitVars;
+  for (const std::string &Name : O.SplitVars)
+    SplitVars.push_back(Out.Encoded->varOfName(Name));
+  uint32_t Threshold = O.SplitThreshold;
+  if (O.AutoSplitThreshold && Threshold != 0 && !SplitVars.empty())
+    // Size the cube set to the fleet instead of taking the flat
+    // budget-exhaustion cut: ~8 cubes per slot (with the reuse floor)
+    // keeps stealing able to rebalance uneven hardness without flooding
+    // the queues with near-trivial cubes.
+    Threshold = pickSplitThreshold(SplitVars.size(), O.DistanceHint,
+                                   Threshold, O.MaxOnes, TotalSlots);
+  Out.Cubes =
+      enumerateCubes(SplitVars, O.DistanceHint, Threshold, O.MaxOnes);
+  Out.SplitThresholdUsed =
+      (!SplitVars.empty() && Threshold != 0) ? Threshold : 0;
+  return Out;
 }
 
 SolveOutcome CubeEngine::solve(const smt::BoolContext &Ctx, smt::ExprRef Root,
@@ -248,8 +222,6 @@ CubeEngine::solveAll(std::span<const CubeProblem> Problems) {
   for (const CubeProblem &P : Problems) {
     auto Run = std::make_unique<ProblemRun>();
     Run->Input = &P;
-    Run->Slots.resize(Workers.numWorkers());
-    Run->CoreSnapshots.resize(Workers.numWorkers());
     Runs.push_back(std::move(Run));
   }
 
@@ -257,25 +229,17 @@ CubeEngine::solveAll(std::span<const CubeProblem> Problems) {
   // itself farmed out so a large batch builds its CNFs concurrently.
   WaitGroup EncodeWg;
   EncodeWg.add(Runs.size());
+  size_t NumWorkers = Workers.numWorkers();
   for (std::unique_ptr<ProblemRun> &RunPtr : Runs) {
     ProblemRun *Run = RunPtr.get();
-    Workers.submit([Run, &EncodeWg] {
-      const smt::SolveOptions &O = Run->Input->Opts;
-      Run->Encoded = std::make_unique<smt::VerificationProblem>(
-          *Run->Input->Ctx, Run->Input->Root,
-          smt::makeProblemOptions(*Run->Input->Ctx, O));
-      if (Run->Encoded->TriviallyUnsat) {
-        // Refuted during preprocessing: no cubes, no solver.
-        Run->Cubes.clear();
-        EncodeWg.done();
-        return;
-      }
-      std::vector<Var> SplitVars;
-      for (const std::string &Name : O.SplitVars)
-        SplitVars.push_back(Run->Encoded->varOfName(Name));
-      Run->Cubes =
-          enumerateCubes(SplitVars, O.DistanceHint, O.SplitThreshold,
-                         O.MaxOnes);
+    Workers.submit([Run, NumWorkers, &EncodeWg] {
+      PreparedProblem P = prepareCubeProblem(*Run->Input, NumWorkers);
+      Run->Encoded = std::move(P.Encoded);
+      Run->Cubes = std::move(P.Cubes);
+      Run->Out.SplitThresholdUsed = P.SplitThresholdUsed;
+      if (!Run->Encoded->TriviallyUnsat)
+        Run->Run =
+            std::make_unique<CubeRun>(*Run->Encoded, P.Config, NumWorkers);
       EncodeWg.done();
     });
   }
@@ -292,7 +256,6 @@ CubeEngine::solveAll(std::span<const CubeProblem> Problems) {
   // keeping ranges contiguous).
   WaitGroup CubeWg;
   size_t ProblemIdx = 0;
-  size_t NumWorkers = Workers.numWorkers();
   // Several ranges per worker so stealing can still balance uneven
   // hardness within one problem.
   constexpr size_t RangesPerWorker = 8;
@@ -314,7 +277,7 @@ CubeEngine::solveAll(std::span<const CubeProblem> Problems) {
       Workers.submitTo(ProblemIdx + G / PerWorker,
                        [Run, Begin, End, &CubeWg] {
                          for (size_t C = Begin; C < End; ++C)
-                           runCube(*Run, C);
+                           dischargeCube(*Run, C);
                          CubeWg.done();
                        });
     }
@@ -327,32 +290,34 @@ CubeEngine::solveAll(std::span<const CubeProblem> Problems) {
   Outcomes.reserve(Runs.size());
   for (std::unique_ptr<ProblemRun> &RunPtr : Runs) {
     ProblemRun &Run = *RunPtr;
-    for (const std::unique_ptr<sat::Solver> &Slot : Run.Slots) {
-      if (!Slot)
-        continue;
-      const sat::SolverStats &S = Slot->stats();
-      Run.Out.Stats.Decisions += S.Decisions;
-      Run.Out.Stats.Propagations += S.Propagations;
-      Run.Out.Stats.Conflicts += S.Conflicts;
-      Run.Out.Stats.LearnedClauses += S.LearnedClauses;
-      Run.Out.Stats.Restarts += S.Restarts;
-      Run.Out.Stats.XorPropagations += S.XorPropagations;
-      Run.Out.Stats.XorConflicts += S.XorConflicts;
-      Run.Out.Stats.XorEliminations += S.XorEliminations;
+    if (Run.Run) {
+      CubeRun &R = *Run.Run;
+      R.accumulateStats(Run.Out.Stats);
+      Run.Out.CubesSolved = R.solved();
+      Run.Out.CubesPrunedGf2 = R.prunedGf2();
+      Run.Out.CubesPrunedCore = R.prunedCore();
+      Run.Out.CubesPruned =
+          Run.Out.CubesPrunedGf2 + Run.Out.CubesPrunedCore;
+      if (R.satFound()) {
+        Run.Out.Result = SolveResult::Sat;
+        Run.Out.Model = R.model();
+      } else {
+        // A core-certified global refutation outranks sibling aborts:
+        // the cubes cancelled mid-search were redundant, not
+        // inconclusive.
+        Run.Out.Result = R.globalUnsat()  ? SolveResult::Unsat
+                         : R.anyAborted() ? SolveResult::Aborted
+                                          : SolveResult::Unsat;
+      }
+    } else {
+      // Trivially UNSAT during preprocessing.
+      Run.Out.NumCubes = 0;
+      Run.Out.CubesSolved = 0;
+      Run.Out.Result = SolveResult::Unsat;
     }
-    Run.Out.CubesSolved = Run.Solved.load();
-    Run.Out.CubesPrunedGf2 = Run.PrunedGf2.load();
-    Run.Out.CubesPrunedCore = Run.PrunedCore.load();
-    Run.Out.CubesPruned = Run.Out.CubesPrunedGf2 + Run.Out.CubesPrunedCore;
     Run.Out.Prep = Run.Encoded->Prep;
     Run.Out.CnfVars = Run.Encoded->Cnf.NumVars;
     Run.Out.CnfClauses = Run.Encoded->Cnf.Clauses.size();
-    if (Run.Out.Result != SolveResult::Sat)
-      // A core-certified global refutation outranks sibling aborts: the
-      // cubes cancelled mid-search were redundant, not inconclusive.
-      Run.Out.Result = Run.GlobalUnsat.load()  ? SolveResult::Unsat
-                       : Run.AnyAborted.load() ? SolveResult::Aborted
-                                               : SolveResult::Unsat;
     Outcomes.push_back(std::move(Run.Out));
   }
   return Outcomes;

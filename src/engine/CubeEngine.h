@@ -22,6 +22,7 @@
 #ifndef VERIQEC_ENGINE_CUBEENGINE_H
 #define VERIQEC_ENGINE_CUBEENGINE_H
 
+#include "engine/CubeRun.h"
 #include "engine/ThreadPool.h"
 #include "smt/CubeSolver.h"
 
@@ -42,6 +43,30 @@ std::vector<std::vector<sat::Lit>>
 enumerateCubes(const std::vector<sat::Var> &SplitVars, uint32_t Distance,
                uint32_t Threshold, uint32_t MaxOnes);
 
+/// Exact number of cubes enumerateCubes() would emit for \p NumSplitVars
+/// split variables, computed by a (bits, ones) dynamic program without
+/// materializing anything; saturates at \p Cap so threshold probes stay
+/// cheap.
+uint64_t countCubes(size_t NumSplitVars, uint32_t Distance,
+                    uint32_t Threshold, uint32_t MaxOnes, uint64_t Cap);
+
+/// Cube-split sizing heuristic: the smallest ET threshold whose cube
+/// count reaches max(8x \p TotalSlots, 8192), bounded above by
+/// \p MaxThreshold (the budget-exhaustion cut, which stays the ceiling).
+/// The slot term sizes the cube set to the fleet (local threads x
+/// nodes); the floor keeps the per-slot count high enough that the
+/// reusable solvers' assumption-prefix reuse and sibling-core pruning
+/// have material to work with — measured on surface9 t=4 at one slot,
+/// 305 cubes run 14.9 s and 10.4k cubes 5.2 s, while the old flat cut's
+/// 21k cubes pay 7.6 s of near-trivial dispatch (ROADMAP "cube-split
+/// heuristics"). Monotonicity of the cube count in the threshold makes
+/// a binary search exact. \p CubeCountOut (optional) receives the count
+/// at the chosen threshold, saturated at 32x the target.
+uint32_t pickSplitThreshold(size_t NumSplitVars, uint32_t Distance,
+                            uint32_t MaxThreshold, uint32_t MaxOnes,
+                            size_t TotalSlots,
+                            uint64_t *CubeCountOut = nullptr);
+
 /// One satisfiability problem for the batch API.
 struct CubeProblem {
   const smt::BoolContext *Ctx = nullptr;
@@ -49,7 +74,44 @@ struct CubeProblem {
   smt::SolveOptions Opts;
 };
 
-class CubeEngine {
+/// A CubeProblem encoded and split: the shared immutable problem, its
+/// cube list, the threshold the enumeration actually used, and the
+/// per-problem run configuration. Cubes is empty when the preprocessor
+/// refuted the problem outright (Encoded->TriviallyUnsat).
+struct PreparedProblem {
+  std::shared_ptr<smt::VerificationProblem> Encoded;
+  std::vector<std::vector<sat::Lit>> Cubes;
+  uint32_t SplitThresholdUsed = 0;
+  CubeRunConfig Config;
+};
+
+/// The one CubeProblem -> (encoding, cubes, config) translation, shared
+/// by the in-process engine and the distributed coordinator so the two
+/// schedulers cannot desynchronize (their verdicts are compared in CI):
+/// preprocess + encode, resolve an auto split threshold against
+/// \p TotalSlots (the fleet-wide slot count), enumerate the cubes.
+PreparedProblem prepareCubeProblem(const CubeProblem &P, size_t TotalSlots);
+
+/// Where a batch of cube problems is discharged: in-process on the
+/// work-stealing pool (CubeEngine) or sharded across remote workers
+/// (dist::Coordinator). VerificationEngine::verifyAll is parameterized
+/// on this, so every scenario workload runs unchanged on either
+/// substrate.
+class CubeBackend {
+public:
+  virtual ~CubeBackend() = default;
+
+  /// Solves many independent problems; one outcome per problem, in
+  /// order.
+  virtual std::vector<smt::SolveOutcome>
+  solveAll(std::span<const CubeProblem> Problems) = 0;
+
+  /// Total solver slots behind this backend (local threads x nodes);
+  /// drives the cube-split sizing heuristic.
+  virtual size_t numSlots() const = 0;
+};
+
+class CubeEngine : public CubeBackend {
 public:
   /// \p NumThreads = 0 picks the hardware concurrency. The pool itself
   /// is created on first use, so engines that only ever see
@@ -60,6 +122,7 @@ public:
   }
 
   size_t numWorkers() const { return Width; }
+  size_t numSlots() const override { return Width; }
 
   /// Cube-and-conquer solve of one problem (blocks until decided).
   smt::SolveOutcome solve(const smt::BoolContext &Ctx, smt::ExprRef Root,
@@ -68,7 +131,8 @@ public:
   /// Solves many independent problems over the same pool: every cube of
   /// every problem is in flight together, a SAT cube cancels only its own
   /// problem's siblings, and statistics are aggregated per problem.
-  std::vector<smt::SolveOutcome> solveAll(std::span<const CubeProblem> Problems);
+  std::vector<smt::SolveOutcome>
+  solveAll(std::span<const CubeProblem> Problems) override;
 
   /// Process-wide engine sized to the hardware, created on first use.
   /// The solveExprParallel()/verifyScenario() facades run on it whenever

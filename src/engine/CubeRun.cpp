@@ -1,0 +1,147 @@
+//===- engine/CubeRun.cpp - Shared per-problem cube discharge --------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "engine/CubeRun.h"
+
+#include "support/Assert.h"
+
+#include <algorithm>
+
+using namespace veriqec;
+using namespace veriqec::engine;
+using sat::Lit;
+using sat::SolveResult;
+
+namespace {
+
+/// True iff every literal of \p Core occurs in the sorted \p CubeSorted.
+bool coreSubsumesCube(const std::vector<Lit> &Core,
+                      const std::vector<Lit> &CubeSorted) {
+  for (Lit L : Core)
+    if (!std::binary_search(CubeSorted.begin(), CubeSorted.end(), L))
+      return false;
+  return true;
+}
+
+} // namespace
+
+CubeRun::CubeRun(const smt::VerificationProblem &Problem,
+                 const CubeRunConfig &Cfg, size_t NumSlots)
+    : Problem(Problem), Cfg(Cfg) {
+  Slots.resize(NumSlots);
+  CoreSnapshots.resize(NumSlots);
+}
+
+void CubeRun::storeCore(const std::vector<Lit> &Core, bool Outbound) {
+  std::lock_guard<std::mutex> Lock(CoreMutex);
+  if (RefutedCores.size() >= MaxRefutedCores)
+    return;
+  RefutedCores.push_back(Core);
+  CoreCount.store(RefutedCores.size(), std::memory_order_release);
+  if (Outbound)
+    OutboundCores.push_back(Core);
+}
+
+void CubeRun::addExternalCores(std::span<const std::vector<Lit>> Cores) {
+  for (const std::vector<Lit> &Core : Cores)
+    storeCore(Core, /*Outbound=*/false);
+}
+
+std::vector<std::vector<Lit>> CubeRun::drainOutboundCores() {
+  std::lock_guard<std::mutex> Lock(CoreMutex);
+  std::vector<std::vector<Lit>> Out;
+  Out.swap(OutboundCores);
+  return Out;
+}
+
+void CubeRun::accumulateStats(sat::SolverStats &Out) const {
+  for (const std::unique_ptr<sat::Solver> &Slot : Slots)
+    if (Slot)
+      Out += Slot->stats();
+}
+
+CubeRun::CubeOutcome CubeRun::runCube(size_t Slot,
+                                      const std::vector<Lit> &Cube) {
+  if (cancelled())
+    return CubeOutcome::Cancelled;
+  assert(Slot < Slots.size() && "slot index out of range");
+
+  bool Subsumed = false;
+  if (CoreCount.load(std::memory_order_acquire) != 0) {
+    std::vector<std::vector<Lit>> &Snapshot = CoreSnapshots[Slot];
+    if (Snapshot.size() < CoreCount.load(std::memory_order_acquire)) {
+      std::lock_guard<std::mutex> Lock(CoreMutex);
+      Snapshot = RefutedCores;
+    }
+    std::vector<Lit> CubeSorted = Cube;
+    std::sort(CubeSorted.begin(), CubeSorted.end());
+    for (const std::vector<Lit> &Core : Snapshot)
+      if (coreSubsumesCube(Core, CubeSorted)) {
+        Subsumed = true;
+        break;
+      }
+  }
+  // GF(2) propagation (with elimination under native XOR) over the
+  // preprocessor's reduced rows can refute a cube outright — no solver,
+  // no conflicts. A stored sibling core that fits inside this cube does
+  // the same.
+  if (Subsumed || Problem.cubeRefuted(Cube)) {
+    Solved.fetch_add(1, std::memory_order_relaxed);
+    (Subsumed ? PrunedCore : PrunedGf2)
+        .fetch_add(1, std::memory_order_relaxed);
+    return Subsumed ? CubeOutcome::PrunedCore : CubeOutcome::PrunedGf2;
+  }
+
+  std::unique_ptr<sat::Solver> &Reused = Slots[Slot];
+  if (!Reused) {
+    Reused = std::make_unique<sat::Solver>(Problem.makeSolver());
+    // One bound per problem: harden the weight layer as root-level units
+    // in this slot's solver (the shared CnfFormula stays
+    // bound-independent).
+    if (Cfg.HardenBudget)
+      Problem.assertWeightBound(*Reused, Cfg.BudgetBound);
+    Reused->setAbortFlag(&Cancel);
+    Reused->attachSharedPool(&LearntPool, static_cast<int>(Slot));
+    if (Cfg.ConflictBudget)
+      Reused->setConflictBudget(Cfg.ConflictBudget);
+    if (Cfg.RandomSeed)
+      Reused->setRandomSeed(Cfg.RandomSeed + static_cast<uint64_t>(Slot) + 1);
+  }
+  SolveResult R = Reused->solve(Cube);
+  if (R != SolveResult::Aborted)
+    Solved.fetch_add(1, std::memory_order_relaxed);
+  if (R == SolveResult::Sat) {
+    std::lock_guard<std::mutex> Lock(ModelMutex);
+    if (!Cancel.exchange(true)) {
+      Problem.readModel(*Reused, Model);
+      SatFlag.store(true, std::memory_order_release);
+    }
+    return CubeOutcome::Sat;
+  }
+  if (R == SolveResult::Unsat) {
+    const std::vector<Lit> &Core = Reused->conflictCore();
+    if (Core.empty() && !Cube.empty()) {
+      // The refutation used no assumptions at all: the problem is UNSAT
+      // under its root clauses alone and the siblings are redundant.
+      GlobalUnsat.store(true, std::memory_order_relaxed);
+      Cancel.store(true, std::memory_order_relaxed);
+    } else if (!Core.empty() && Core.size() + 1 < Cube.size()) {
+      // A strict-subset core refutes every sibling cube containing it;
+      // remember it so they are pruned without a solver — and queue it
+      // for cross-node broadcast. (The +1 slack: a core one literal
+      // short of the cube subsumes almost nothing, not worth the
+      // per-cube checks.)
+      storeCore(Core, /*Outbound=*/true);
+    }
+    return CubeOutcome::Unsat;
+  }
+  // Aborted: cancellation mid-search is not a budget abort.
+  if (!cancelled()) {
+    AnyAborted.store(true, std::memory_order_relaxed);
+    return CubeOutcome::Aborted;
+  }
+  return CubeOutcome::Cancelled;
+}

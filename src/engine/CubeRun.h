@@ -1,0 +1,167 @@
+//===- engine/CubeRun.h - Shared per-problem cube discharge -----*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The thread-safe shared state of one problem while its cubes are being
+/// discharged: per-slot reusable solvers (lazily built from the shared
+/// encoding), first-SAT cancellation, global-UNSAT detection via empty
+/// failed-assumption cores, GF(2) cube refutation and sibling-core
+/// subtree pruning, plus cross-slot learned-clause exchange. Extracted
+/// from CubeEngine so the in-process work-stealing scheduler and the
+/// distributed worker (dist/Worker.h) run the identical per-cube logic —
+/// the distributed layer additionally feeds cores in from other nodes
+/// (addExternalCores) and drains locally discovered ones for broadcast
+/// (drainOutboundCores).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_ENGINE_CUBERUN_H
+#define VERIQEC_ENGINE_CUBERUN_H
+
+#include "sat/Solver.h"
+#include "smt/CubeSolver.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+namespace veriqec::engine {
+
+/// Per-problem solve configuration — the serializable subset of
+/// smt::SolveOptions a (possibly remote) cube worker needs.
+struct CubeRunConfig {
+  /// Harden sum(budget terms) <= BudgetBound as root-level units in every
+  /// slot solver (one bound per problem). Off for searches that probe
+  /// many bounds by assumption (the distance search sends the bound
+  /// literals inside each cube instead).
+  bool HardenBudget = false;
+  uint32_t BudgetBound = 0;
+  uint64_t ConflictBudget = 0; ///< 0 = unlimited
+  uint64_t RandomSeed = 0;     ///< 0 = deterministic branching
+};
+
+class CubeRun {
+public:
+  /// What happened to one cube.
+  enum class CubeOutcome {
+    Unsat,      ///< discharged UNSAT by a solver call
+    PrunedGf2,  ///< refuted by the GF(2) parity oracle, no solver call
+    PrunedCore, ///< subsumed by a stored sibling UNSAT core
+    Sat,        ///< satisfiable — model captured, run cancelled
+    Aborted,    ///< solver gave up (conflict budget)
+    Cancelled,  ///< run was cancelled before/while solving this cube
+  };
+
+  /// \p Problem must outlive the run and is shared read-only across
+  /// slots. \p NumSlots bounds the slot indices runCube() accepts.
+  CubeRun(const smt::VerificationProblem &Problem, const CubeRunConfig &Cfg,
+          size_t NumSlots);
+
+  /// Discharges one cube on slot \p Slot. Slots are exclusive: at most
+  /// one thread may use a given slot at any time (the slot owns a
+  /// reusable solver whose learnt clauses carry across cubes); distinct
+  /// slots may run concurrently.
+  CubeOutcome runCube(size_t Slot, const std::vector<sat::Lit> &Cube);
+
+  void cancel() { Cancel.store(true, std::memory_order_relaxed); }
+  bool cancelled() const { return Cancel.load(std::memory_order_relaxed); }
+
+  /// Clears the per-run verdict state (cancel/SAT/global-UNSAT/abort
+  /// flags and the captured model) while keeping slot solvers, learnt
+  /// clauses, stored cores and cumulative counters: the distributed
+  /// worker reuses one CubeRun across many incremental cube sets of a
+  /// persistent problem (the distance search's probes). Call only while
+  /// quiescent.
+  void reset() {
+    Cancel.store(false, std::memory_order_relaxed);
+    GlobalUnsat.store(false, std::memory_order_relaxed);
+    AnyAborted.store(false, std::memory_order_relaxed);
+    SatFlag.store(false, std::memory_order_relaxed);
+    Model.clear();
+  }
+
+  /// A cube's UNSAT refutation used none of its assumption literals: the
+  /// problem is UNSAT under its root clauses alone.
+  bool globalUnsat() const {
+    return GlobalUnsat.load(std::memory_order_relaxed);
+  }
+  /// Some cube aborted on its conflict budget (excludes cancellation).
+  bool anyAborted() const { return AnyAborted.load(std::memory_order_relaxed); }
+  bool satFound() const { return SatFlag.load(std::memory_order_acquire); }
+
+  /// Model of the first SAT cube. Valid when satFound(); call only after
+  /// the run has quiesced (no slot inside runCube()).
+  const std::unordered_map<std::string, bool> &model() const { return Model; }
+
+  uint64_t solved() const { return Solved.load(std::memory_order_relaxed); }
+  uint64_t prunedGf2() const {
+    return PrunedGf2.load(std::memory_order_relaxed);
+  }
+  uint64_t prunedCore() const {
+    return PrunedCore.load(std::memory_order_relaxed);
+  }
+
+  /// Merges cores discovered on OTHER nodes into the pruning list (they
+  /// are not re-broadcast through drainOutboundCores).
+  void addExternalCores(std::span<const std::vector<sat::Lit>> Cores);
+
+  /// Locally discovered strict-subset cores not yet drained — the
+  /// distributed worker ships these to the coordinator for cross-node
+  /// sibling pruning.
+  std::vector<std::vector<sat::Lit>> drainOutboundCores();
+
+  /// Sums the slot solvers' statistics into \p Out. Call only while the
+  /// slots are quiescent (between batches / after the run).
+  void accumulateStats(sat::SolverStats &Out) const;
+
+private:
+  void storeCore(const std::vector<sat::Lit> &Core, bool Outbound);
+
+  const smt::VerificationProblem &Problem;
+  CubeRunConfig Cfg;
+
+  std::atomic<bool> Cancel{false};
+  std::atomic<bool> GlobalUnsat{false};
+  std::atomic<bool> AnyAborted{false};
+  std::atomic<bool> SatFlag{false};
+  std::atomic<uint64_t> Solved{0};
+  std::atomic<uint64_t> PrunedGf2{0};
+  std::atomic<uint64_t> PrunedCore{0};
+
+  /// UNSAT cores that used only a strict subset of their cube's
+  /// assumption literals. Any later cube containing such a core is UNSAT
+  /// without solving — with the ET enumeration's shared prefixes this
+  /// regularly discharges whole subtrees of sibling cubes. The master
+  /// list is guarded by CoreMutex and append-only; slots scan their own
+  /// snapshot (refreshed only when CoreCount says it is stale), so the
+  /// common case costs one relaxed load per cube, not a lock. Capped so
+  /// snapshot refreshes and subset checks stay cheap.
+  std::vector<std::vector<sat::Lit>> RefutedCores;
+  std::vector<std::vector<sat::Lit>> OutboundCores;
+  std::atomic<size_t> CoreCount{0};
+  std::mutex CoreMutex;
+  static constexpr size_t MaxRefutedCores = 256;
+
+  /// One lazily-built solver per slot; a slot is only ever touched by one
+  /// thread at a time, so no locking.
+  std::vector<std::unique_ptr<sat::Solver>> Slots;
+  /// Per-slot snapshots of RefutedCores (owner-only, like Slots).
+  std::vector<std::vector<std::vector<sat::Lit>>> CoreSnapshots;
+
+  /// Clause exchange between the slots: lemmas learned on one slot's
+  /// cubes are valid for every sibling cube and imported lazily.
+  sat::SharedClausePool LearntPool;
+
+  std::mutex ModelMutex; // guards Model on the SAT path
+  std::unordered_map<std::string, bool> Model;
+};
+
+} // namespace veriqec::engine
+
+#endif // VERIQEC_ENGINE_CUBERUN_H

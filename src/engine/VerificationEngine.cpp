@@ -51,6 +51,9 @@ SolveOptions makeSolveOptions(const Scenario &S, const VerifyOptions &Opts) {
   SO.ConflictBudget = Opts.ConflictBudget;
   SO.RandomSeed = Opts.RandomSeed;
   if (Opts.Parallel && !S.ErrorVars.empty()) {
+    // An auto threshold is an upper bound: the backend lowers it so the
+    // cube count targets ~8x its total slots (pickSplitThreshold).
+    SO.AutoSplitThreshold = Opts.SplitThreshold == 0;
     SO.SplitVars = S.ErrorVars;
     SO.DistanceHint = std::max<uint32_t>(
         2, S.MaxErrors == ~uint32_t{0} ? 2 : 2 * S.MaxErrors + 1);
@@ -80,6 +83,7 @@ void applyOutcome(SolveOutcome &&Outcome, PreparedScenario &P) {
   P.Result.Prep = Outcome.Prep;
   P.Result.CnfVars = Outcome.CnfVars;
   P.Result.CnfClauses = Outcome.CnfClauses;
+  P.Result.SplitThresholdUsed = Outcome.SplitThresholdUsed;
   P.Result.Verified = Outcome.Result == sat::SolveResult::Unsat;
   P.Result.Aborted = Outcome.Result == sat::SolveResult::Aborted;
   if (Outcome.Result == sat::SolveResult::Sat)
@@ -134,6 +138,13 @@ VerificationResult VerificationEngine::verify(const Scenario &S,
 std::vector<VerificationResult>
 VerificationEngine::verifyAll(std::span<const Scenario> Scenarios,
                               const VerifyOptions &Opts) {
+  return verifyAll(Scenarios, Opts, Cubes);
+}
+
+std::vector<VerificationResult>
+VerificationEngine::verifyAll(std::span<const Scenario> Scenarios,
+                              const VerifyOptions &Opts,
+                              CubeBackend &Backend) {
   // VC assembly is pure per scenario; build them all first (cheap next to
   // SAT), then hand every structurally-sound VC to the cube scheduler in
   // one batch so all cubes share the pool.
@@ -167,7 +178,7 @@ VerificationEngine::verifyAll(std::span<const Scenario> Scenarios,
     ProblemOf.push_back(I);
   }
 
-  std::vector<SolveOutcome> Outcomes = Cubes.solveAll(Problems);
+  std::vector<SolveOutcome> Outcomes = Backend.solveAll(Problems);
   for (size_t J = 0; J != Outcomes.size(); ++J)
     applyOutcome(std::move(Outcomes[J]), Prepared[ProblemOf[J]]);
 

@@ -52,6 +52,15 @@ public:
   std::vector<VerificationResult> verifyAll(std::span<const Scenario> Scenarios,
                                             const VerifyOptions &Opts = {});
 
+  /// Same pipeline, but the SAT discharge runs on \p Backend instead of
+  /// this engine's pool — this is how a whole scenario workload is
+  /// sharded across remote workers (dist::Coordinator) without the
+  /// verification layers knowing: symbolic flow and VC assembly still
+  /// happen here, only the cube scheduling is swapped out.
+  std::vector<VerificationResult> verifyAll(std::span<const Scenario> Scenarios,
+                                            const VerifyOptions &Opts,
+                                            CubeBackend &Backend);
+
   /// The engine's cube-level scheduler (for expression workloads).
   CubeEngine &cubes() { return Cubes; }
 

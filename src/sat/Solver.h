@@ -97,6 +97,35 @@ struct SolverStats {
   uint64_t XorConflicts = 0;
   /// Cross-row eliminations of the residual GF(2) system.
   uint64_t XorEliminations = 0;
+
+  /// Aggregation and delta are needed in one place per layer (engine
+  /// slot totals, wire-format deltas, coordinator merging, distance
+  /// probes); keeping them here means a new counter cannot be summed in
+  /// one consumer and silently dropped in another.
+  SolverStats &operator+=(const SolverStats &O) {
+    Decisions += O.Decisions;
+    Propagations += O.Propagations;
+    Conflicts += O.Conflicts;
+    LearnedClauses += O.LearnedClauses;
+    Restarts += O.Restarts;
+    XorPropagations += O.XorPropagations;
+    XorConflicts += O.XorConflicts;
+    XorEliminations += O.XorEliminations;
+    return *this;
+  }
+  /// Counter-wise delta (all counters are monotone).
+  SolverStats operator-(const SolverStats &O) const {
+    SolverStats D;
+    D.Decisions = Decisions - O.Decisions;
+    D.Propagations = Propagations - O.Propagations;
+    D.Conflicts = Conflicts - O.Conflicts;
+    D.LearnedClauses = LearnedClauses - O.LearnedClauses;
+    D.Restarts = Restarts - O.Restarts;
+    D.XorPropagations = XorPropagations - O.XorPropagations;
+    D.XorConflicts = XorConflicts - O.XorConflicts;
+    D.XorEliminations = XorEliminations - O.XorEliminations;
+    return D;
+  }
 };
 
 /// CDCL SAT solver. Typical usage:

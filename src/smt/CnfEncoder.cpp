@@ -208,9 +208,17 @@ Lit CnfEncoder::encode(ExprRef R) {
   case BoolKind::Const:
     Result = N.ConstVal ? trueLit() : ~trueLit();
     break;
-  case BoolKind::Var:
-    Result = sat::mkLit(satVarOf(N.VarId));
+  case BoolKind::Var: {
+    auto AIt = Alias.find(N.VarId);
+    if (AIt == Alias.end()) {
+      Result = sat::mkLit(satVarOf(N.VarId));
+    } else {
+      Result = sat::mkLit(satVarOf(AIt->second.first));
+      if (AIt->second.second)
+        Result = ~Result;
+    }
     break;
+  }
   case BoolKind::Not:
     Result = ~encode(N.Kids[0]);
     break;

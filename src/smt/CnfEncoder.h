@@ -64,6 +64,16 @@ public:
   /// mapping if needed.
   sat::Var satVarOf(uint32_t BoolVarId);
 
+  /// Routes every encoding of Bool variable \p VarId through the literal
+  /// of \p ToVarId (negated when \p Negated) instead of materializing a
+  /// CNF variable for it — the encoder half of the preprocessor's
+  /// equivalence-literal substitution (2-literal parity rows x = y /
+  /// x != y). Must be registered before the first encode() call reaches
+  /// the variable; \p ToVarId must not itself be aliased.
+  void aliasVar(uint32_t VarId, uint32_t ToVarId, bool Negated) {
+    Alias.emplace(VarId, std::make_pair(ToVarId, Negated));
+  }
+
   /// Asserts XOR over \p Lits == \p Odd as a top-level fact: unit/binary
   /// clauses for short rows, a direct aux-free encoding for ternary rows,
   /// and a balanced tree of XOR gates above that. This is how the
@@ -118,6 +128,8 @@ private:
   CnfFormula &Out;
   CardinalityEncoding CardEnc;
   std::unordered_map<ExprRef, sat::Lit> Memo;
+  /// Equivalence-substituted variables: VarId -> (partner, negated).
+  std::unordered_map<uint32_t, std::pair<uint32_t, bool>> Alias;
   /// Per input list: the counter register bank, Cols[i][j-1] <=>
   /// (first i+1 inputs have >= j ones), deepened on demand.
   std::map<std::vector<int32_t>, std::vector<std::vector<sat::Lit>>>

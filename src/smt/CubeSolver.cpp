@@ -21,8 +21,10 @@ using sat::SolveResult;
 using sat::Var;
 
 VerificationProblem::VerificationProblem(const BoolContext &Ctx_, ExprRef Root,
-                                         const ProblemOptions &Opts)
-    : Ctx(&Ctx_) {
+                                         const ProblemOptions &Opts) {
+  VarNames.reserve(Ctx_.numVariables());
+  for (uint32_t Id = 0; Id != Ctx_.numVariables(); ++Id)
+    VarNames.push_back(Ctx_.varName(Id));
   PreprocessOptions PO;
   PO.Enable = Opts.Preprocess;
   for (const std::string &Name : Opts.ProtectedVars)
@@ -38,6 +40,11 @@ VerificationProblem::VerificationProblem(const BoolContext &Ctx_, ExprRef Root,
   CnfEncoder Encoder(Ctx_, Cnf, Opts.CardEnc);
   if (Opts.CounterCap)
     Encoder.setBudgetTruncation(Opts.CounterCap, Opts.BudgetTerms);
+  // Equivalence substitutions must be registered before anything is
+  // encoded: every later occurrence of an aliased variable — residue,
+  // budget terms — must resolve to its partner's literal.
+  for (const VarAlias &A : P.Aliases)
+    Encoder.aliasVar(A.VarId, A.ToVarId, A.Negated);
   // Materialize every non-eliminated named variable so models are always
   // total (a variable can be optimized away by constant folding yet still
   // be interesting to the caller); eliminated variables are reconstructed
@@ -115,8 +122,8 @@ void VerificationProblem::readModel(
   for (auto It = Eliminated.rbegin(); It != Eliminated.rend(); ++It) {
     bool B = It->Constant;
     for (uint32_t D : It->Deps)
-      B ^= Model.at(Ctx->varName(D));
-    Model[Ctx->varName(It->VarId)] = B;
+      B ^= Model.at(VarNames[D]);
+    Model[VarNames[It->VarId]] = B;
   }
 }
 

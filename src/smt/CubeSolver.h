@@ -33,6 +33,10 @@
 #include <unordered_map>
 #include <vector>
 
+namespace veriqec::dist {
+class ProblemCodec;
+} // namespace veriqec::dist
+
 namespace veriqec::smt {
 
 /// Outcome of a (possibly parallel) solve.
@@ -56,6 +60,10 @@ struct SolveOutcome {
   PreprocessStats Prep;
   size_t CnfVars = 0;
   size_t CnfClauses = 0;
+  /// The ET threshold the cube enumeration actually ran with (0 when the
+  /// problem was not split). Differs from SolveOptions::SplitThreshold
+  /// when the slot-targeting heuristic picked a tighter cut.
+  uint32_t SplitThresholdUsed = 0;
   /// Wall time of the SAT discharge (excludes VC assembly).
   double SolveSeconds = 0;
 };
@@ -104,6 +112,11 @@ struct SolveOptions {
   /// Enumeration stops once ET exceeds this (the paper uses n, the number
   /// of qubits). 0 disables splitting (one cube).
   uint32_t SplitThreshold = 0;
+  /// SplitThreshold came from the auto policy, not the user: the engine
+  /// may lower it so the emitted cube count targets ~8x the total worker
+  /// slots (engine::pickSplitThreshold) instead of taking the flat
+  /// budget-exhaustion cut. SplitThreshold stays the upper bound.
+  bool AutoSplitThreshold = false;
   /// Cubes whose enumerated ones-count exceeds this are pruned as
   /// infeasible (weight constraint); ~0 disables pruning.
   uint32_t MaxOnes = ~uint32_t{0};
@@ -147,6 +160,12 @@ struct ProblemOptions {
 /// Solver from the encoded clauses once and then discharges every cube it
 /// picks up with assumptions, reusing learned clauses across cubes
 /// instead of re-encoding the shared prefix.
+///
+/// The struct is fully self-contained (no live BoolContext reference):
+/// names, reconstruction records and pruning rows are copied in at build
+/// time, which is what lets the distributed layer serialize a problem,
+/// ship it to a remote worker, and run the identical makeSolver()/
+/// readModel()/cubeRefuted() machinery there.
 struct VerificationProblem {
   CnfFormula Cnf;
   std::vector<std::pair<std::string, sat::Var>> NamedVars;
@@ -204,7 +223,13 @@ struct VerificationProblem {
   bool cubeRefuted(std::span<const sat::Lit> Cube) const;
 
 private:
-  const BoolContext *Ctx = nullptr;
+  /// The wire codec rebuilds instances field-by-field (dist/Codec.cpp).
+  friend class veriqec::dist::ProblemCodec;
+  VerificationProblem() = default;
+
+  /// BoolContext variable id -> name, captured at build time so model
+  /// reconstruction needs no live context.
+  std::vector<std::string> VarNames;
   std::vector<VarReconstruction> Eliminated;
   ParityPropagator Pruner;
   /// Elimination-strength cube refutation (tracks ProblemOptions::

@@ -249,6 +249,96 @@ PreprocessedFormula veriqec::smt::preprocess(const BoolContext &Ctx,
     Out.Eliminated.push_back(std::move(Rec));
   }
 
+  Out.Stats.VarsEliminated = Out.Eliminated.size();
+
+  // -- Equivalence-literal substitution --------------------------------------
+  // A surviving 2-variable row u ^ v = c says v = u ^ c: instead of
+  // keeping the row (a binary XOR the solver re-derives over and over),
+  // substitute v away entirely. The encoder will route every occurrence
+  // of v — residue conjuncts included, which the elimination loop above
+  // must not touch — through u's literal (negated when c = 1), and model
+  // read-back rebuilds v through a reconstruction record. Substituting v
+  // out of the remaining rows (XOR the equivalence in) can cascade new
+  // 2-variable rows, so run to fixpoint. Pinned variables (cube split
+  // variables, whose assumption literals must stay plain CNF variables)
+  // are never substituted away.
+  std::unordered_map<uint32_t, std::pair<uint32_t, bool>> AliasOf;
+  std::vector<uint32_t> AliasOrder;
+  std::vector<uint32_t> EquivWork;
+  for (size_t R = 0; R != Rows.size(); ++R)
+    if (Alive[R] && Rows[R].Vars.size() == 2)
+      EquivWork.push_back(static_cast<uint32_t>(R));
+  while (!EquivWork.empty()) {
+    uint32_t R = EquivWork.back();
+    EquivWork.pop_back();
+    if (!Alive[R] || Rows[R].Vars.size() != 2)
+      continue;
+    uint32_t U = Rows[R].Vars[0], V = Rows[R].Vars[1];
+    bool C = Rows[R].Rhs;
+    uint32_t Victim, Target;
+    if (!Pinned.count(V)) {
+      Victim = V;
+      Target = U;
+    } else if (!Pinned.count(U)) {
+      Victim = U;
+      Target = V;
+    } else {
+      continue; // both ends pinned: the row must survive
+    }
+    Alive[R] = false;
+    AliasOf.emplace(Victim, std::make_pair(Target, C));
+    AliasOrder.push_back(Victim);
+    // XOR the equivalence into every other live row containing the
+    // victim: the victim cancels, the target (possibly) appears.
+    for (uint32_t O : liveRows(Victim)) {
+      if (O == R)
+        continue;
+      ParityRow &Other = Rows[O];
+      ParityRow Sum;
+      Sum.Rhs = Other.Rhs != C;
+      std::set_symmetric_difference(Other.Vars.begin(), Other.Vars.end(),
+                                    Rows[R].Vars.begin(), Rows[R].Vars.end(),
+                                    std::back_inserter(Sum.Vars));
+      Other = std::move(Sum);
+      if (Other.Vars.empty()) {
+        // Row operations preserve the solution space and the dense pass
+        // proved the system consistent, so an empty row is 0 = 0.
+        assert(!Other.Rhs && "inconsistent row surfaced after substitution");
+        Alive[O] = false;
+        continue;
+      }
+      for (uint32_t W : Other.Vars)
+        RowsOf[W].push_back(O);
+      if (Other.Vars.size() == 2)
+        EquivWork.push_back(O);
+    }
+  }
+  // Resolve alias chains (v -> u recorded before u -> w was found): every
+  // published target must be a surviving variable.
+  auto resolveAlias = [&](uint32_t V0, bool Neg0) {
+    uint32_t V = V0;
+    bool Neg = Neg0;
+    for (auto It = AliasOf.find(V); It != AliasOf.end();
+         It = AliasOf.find(V)) {
+      Neg ^= It->second.second;
+      V = It->second.first;
+    }
+    return std::make_pair(V, Neg);
+  };
+  for (uint32_t V : AliasOrder) {
+    auto [Target, Neg] = resolveAlias(AliasOf.at(V).first,
+                                      AliasOf.at(V).second);
+    Out.Aliases.push_back({V, Target, Neg});
+    VarReconstruction Rec;
+    Rec.VarId = V;
+    Rec.Deps = {Target};
+    Rec.Constant = Neg;
+    // Appended after the elimination records: reverse replay rebuilds
+    // aliases first, so earlier elimination records may depend on them.
+    Out.Eliminated.push_back(std::move(Rec));
+  }
+  Out.Stats.EquivAliased = AliasOrder.size();
+
   for (size_t R = 0; R != Rows.size(); ++R) {
     if (!Alive[R])
       continue;
@@ -256,7 +346,6 @@ PreprocessedFormula veriqec::smt::preprocess(const BoolContext &Ctx,
     Out.Rows.push_back(std::move(Rows[R]));
   }
   Out.Stats.RowsKept = Out.Rows.size();
-  Out.Stats.VarsEliminated = Out.Eliminated.size();
   return Out;
 }
 

@@ -59,9 +59,25 @@ struct PreprocessStats {
   size_t UnitsFixed = 0;
   /// Variables dropped from the encoding entirely.
   size_t VarsEliminated = 0;
+  /// Variables substituted away through a 2-literal equivalence row
+  /// (x = y / x != y). Counted separately from VarsEliminated: the
+  /// variable keeps a literal in the CNF (its partner's), it just never
+  /// materializes a CNF variable or a parity row of its own.
+  size_t EquivAliased = 0;
   /// Conjuncts the linear lift could not absorb.
   size_t ResidueConjuncts = 0;
   bool TriviallyUnsat = false;
+};
+
+/// A 2-literal equivalence distilled from a kept parity row u ^ v = c:
+/// VarId (= v) is eliminated from the encoding entirely; every occurrence
+/// of it — rows, residue, budget terms — encodes as the literal of
+/// ToVarId, negated when \p Negated. Model read-back reconstructs the
+/// value through the matching VarReconstruction record.
+struct VarAlias {
+  uint32_t VarId = 0;
+  uint32_t ToVarId = 0;
+  bool Negated = false;
 };
 
 struct PreprocessOptions {
@@ -85,6 +101,11 @@ struct PreprocessedFormula {
   std::vector<ExprRef> Residue;
   std::vector<ParityRow> Rows;
   std::vector<VarReconstruction> Eliminated;
+  /// Equivalence substitutions (2-literal rows) the encoder must apply
+  /// while encoding Residue/Rows; every alias also has a reconstruction
+  /// record in Eliminated. Targets are fully resolved: an alias never
+  /// points at another aliased variable.
+  std::vector<VarAlias> Aliases;
   PreprocessStats Stats;
 };
 
@@ -107,6 +128,10 @@ public:
   explicit ParityPropagator(std::vector<ParityRow> Rows);
 
   size_t numRows() const { return Rows.size(); }
+
+  /// The fixed row set (read-only; the distributed codec serializes it so
+  /// remote workers can rebuild an identical propagator).
+  const std::vector<ParityRow> &rows() const { return Rows; }
 
   /// True iff the assignment {VarId -> Value} provably contradicts the
   /// rows, by unit propagation alone. Thread-safe (scratch is

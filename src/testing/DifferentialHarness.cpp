@@ -7,12 +7,17 @@
 #include "testing/DifferentialHarness.h"
 
 #include "decoder/Decoder.h"
+#include "dist/Coordinator.h"
+#include "dist/Transport.h"
+#include "dist/Worker.h"
 #include "engine/CubeEngine.h"
 #include "engine/VerificationEngine.h"
 #include "sim/SamplingTester.h"
 #include "support/Timer.h"
 #include "testing/BruteForceOracle.h"
 #include "testing/ModelChecker.h"
+
+#include <thread>
 
 using namespace veriqec;
 using namespace veriqec::testing;
@@ -219,6 +224,35 @@ CaseReport veriqec::testing::runDifferential(const FuzzCase &C,
     V.Detail = R.Error;
     if (V.Verdict == 'F' && !R.CounterExample.empty())
       validateModel(C, Cfg.Opts, Cfg.Name, R.CounterExample, Report);
+    Report.Verdicts.push_back(std::move(V));
+  }
+
+  // Distributed loopback: the identical scenario through the wire codec
+  // and the coordinator's sharding/broadcast scheduler. Counterexample
+  // models crossed the wire (read back worker-side, reconstruction
+  // included), so the model validation below checks the codec too.
+  if (O.DistWorkers) {
+    ConfigVerdict V;
+    V.Name = "dist-loopback";
+    dist::Coordinator Coord;
+    std::vector<std::thread> Threads =
+        dist::spawnLoopbackWorkers(Coord, O.DistWorkers);
+    if (!Coord.waitForWorkers(O.DistWorkers, 10000)) {
+      V.Verdict = 'E';
+      V.Detail = "loopback workers failed to register";
+    } else {
+      VerifyOptions VO = Base;
+      VO.Parallel = true;
+      engine::VerificationEngine Prep(1);
+      VerificationResult R = Prep.verifyAll({&C.Scn, 1}, VO, Coord)[0];
+      V.Verdict = verdictOf(R);
+      V.Detail = R.Error;
+      if (V.Verdict == 'F' && !R.CounterExample.empty())
+        validateModel(C, VO, V.Name, R.CounterExample, Report);
+    }
+    Coord.shutdownWorkers();
+    for (std::thread &T : Threads)
+      T.join();
     Report.Verdicts.push_back(std::move(V));
   }
 

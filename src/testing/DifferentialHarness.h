@@ -49,6 +49,12 @@ struct HarnessOptions {
   /// depends on reused solver state is exactly the PR 1 failure mode.
   bool RecheckUnsatCubes = true;
   size_t MaxCubesRecheck = 512;
+  /// Workers of the dist-loopback configuration: the case additionally
+  /// runs through a coordinator + in-process worker fleet behind the
+  /// full wire codec (problem serialization, batch sharding, core
+  /// broadcast, model read-back on the worker side), cross-checked
+  /// against every other configuration. 0 disables.
+  size_t DistWorkers = 2;
 };
 
 /// Verdict letters: V = verified, F = counterexample found, A = aborted,

@@ -11,10 +11,12 @@
 
 #include "verifier/Verifier.h"
 
+#include "dist/Coordinator.h"
 #include "engine/VerificationEngine.h"
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <optional>
 
 using namespace veriqec;
 using namespace veriqec::smt;
@@ -154,6 +156,7 @@ DetectionResult veriqec::verifyDetection(const StabilizerCode &Code,
     // Same budget-exhaustion cutoff as the engine's scenario path.
     uint32_t Auto = static_cast<uint32_t>(std::min<uint64_t>(
         N, 2ull * SO.DistanceHint * MaxWeight + 4));
+    SO.AutoSplitThreshold = Opts.SplitThreshold == 0;
     SO.SplitThreshold = Opts.SplitThreshold ? Opts.SplitThreshold : Auto;
     SO.MaxOnes = static_cast<uint32_t>(MaxWeight);
     Outcome = solveExprParallel(Ctx, Root, SO);
@@ -172,7 +175,8 @@ DetectionResult veriqec::verifyDetection(const StabilizerCode &Code,
 
 DistanceResult veriqec::computeDistance(const StabilizerCode &Code,
                                         const VerifyOptions &Opts,
-                                        PauliFamily Family) {
+                                        PauliFamily Family,
+                                        dist::Coordinator *Remote) {
   DistanceResult Result;
   Timer Clock;
   size_t N = Code.NumQubits;
@@ -207,11 +211,48 @@ DistanceResult veriqec::computeDistance(const StabilizerCode &Code,
     return Result;
   }
 
-  sat::Solver S = Problem.makeSolver();
-  if (Opts.ConflictBudget)
-    S.setConflictBudget(Opts.ConflictBudget);
-  if (Opts.RandomSeed)
-    S.setRandomSeed(Opts.RandomSeed);
+  // One probe = one solve under "1 <= weight <= MaxW" assumptions, on a
+  // persistent solver: locally the reused sat::Solver, remotely the
+  // fleet's slot solver behind an open problem handle (the assumptions
+  // ride inside a one-cube batch). Either way learnt clauses survive
+  // across bounds.
+  std::optional<sat::Solver> Local;
+  std::shared_ptr<smt::VerificationProblem> Shipped;
+  uint32_t Handle = 0;
+  if (Remote) {
+    Shipped = std::make_shared<smt::VerificationProblem>(std::move(Problem));
+    engine::CubeRunConfig Cfg;
+    Cfg.ConflictBudget = Opts.ConflictBudget;
+    Cfg.RandomSeed = Opts.RandomSeed;
+    Handle = Remote->openProblem(Shipped, Cfg);
+  } else {
+    Local.emplace(Problem.makeSolver());
+    if (Opts.ConflictBudget)
+      Local->setConflictBudget(Opts.ConflictBudget);
+    if (Opts.RandomSeed)
+      Local->setRandomSeed(Opts.RandomSeed);
+  }
+  const smt::VerificationProblem &Prob = Remote ? *Shipped : Problem;
+  auto probe = [&](size_t MaxW,
+                   std::unordered_map<std::string, bool> &Model) {
+    std::vector<sat::Lit> Assumptions;
+    Prob.appendWeightAssumptions(static_cast<uint32_t>(MaxW), Assumptions,
+                                 1);
+    ++Result.SolverCalls;
+    if (Remote) {
+      smt::SolveOutcome O =
+          Remote->solveCubes(Handle, {std::move(Assumptions)});
+      // Per-call statistics deltas accumulate into the search total.
+      Result.Stats += O.Stats;
+      if (O.Result == sat::SolveResult::Sat)
+        Model = std::move(O.Model);
+      return O.Result;
+    }
+    sat::SolveResult R = Local->solve(Assumptions);
+    if (R == sat::SolveResult::Sat)
+      Prob.readModel(*Local, Model);
+    return R;
+  };
 
   auto modelWeight = [&](const std::unordered_map<std::string, bool> &M) {
     size_t W = 0;
@@ -221,43 +262,37 @@ DistanceResult veriqec::computeDistance(const StabilizerCode &Code,
     return W;
   };
   auto finish = [&](sat::SolveResult R) {
-    Result.Stats = S.stats();
+    if (!Remote)
+      Result.Stats = Local->stats();
+    else
+      Remote->closeProblem(Handle);
     Result.Aborted = R == sat::SolveResult::Aborted;
     Result.Seconds = Clock.seconds();
   };
 
   // Existence probe (weight >= 1, unbounded above): every code with a
   // logical qubit has an undetectable logical operator of weight <= n.
-  std::vector<sat::Lit> Assumptions;
-  Problem.appendWeightAssumptions(static_cast<uint32_t>(N), Assumptions, 1);
-  ++Result.SolverCalls;
-  sat::SolveResult R = S.solve(Assumptions);
+  std::unordered_map<std::string, bool> Best;
+  sat::SolveResult R = probe(N, Best);
   if (R != sat::SolveResult::Sat) {
     finish(R);
     if (!Result.Aborted)
       Result.Error = "no undetectable logical operator exists";
     return Result;
   }
-  std::unordered_map<std::string, bool> Best;
-  Problem.readModel(S, Best);
   size_t Lo = 1, Hi = modelWeight(Best);
 
   // Binary search for the least satisfiable weight bound; a SAT probe
   // tightens Hi to the witness's actual weight, not just the bound.
   while (Lo < Hi) {
     size_t Mid = Lo + (Hi - Lo) / 2;
-    Assumptions.clear();
-    Problem.appendWeightAssumptions(static_cast<uint32_t>(Mid), Assumptions,
-                                    1);
-    ++Result.SolverCalls;
-    R = S.solve(Assumptions);
+    std::unordered_map<std::string, bool> M;
+    R = probe(Mid, M);
     if (R == sat::SolveResult::Aborted) {
       finish(R);
       return Result;
     }
     if (R == sat::SolveResult::Sat) {
-      std::unordered_map<std::string, bool> M;
-      Problem.readModel(S, M);
       Hi = modelWeight(M);
       Best = std::move(M);
     } else {

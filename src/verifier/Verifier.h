@@ -26,6 +26,10 @@
 #include <unordered_map>
 #include <vector>
 
+namespace veriqec::dist {
+class Coordinator;
+} // namespace veriqec::dist
+
 namespace veriqec {
 
 /// Solver configuration for one verification run.
@@ -81,6 +85,9 @@ struct VerificationResult {
   smt::PreprocessStats Prep;
   size_t CnfVars = 0;
   size_t CnfClauses = 0;
+  /// The ET threshold the cube enumeration actually used (0 = unsplit);
+  /// lower than the auto cap when the slot-targeting heuristic cut it.
+  uint32_t SplitThresholdUsed = 0;
   size_t NumGoals = 0;
   double Seconds = 0;
 };
@@ -148,9 +155,16 @@ struct DistanceResult {
 /// assumptions, so a single solver (and its learnt clauses) serves the
 /// whole search. Contrast qec/StabilizerCode.h's estimateDistance, which
 /// re-encodes from scratch at every weight.
+///
+/// With \p Remote set, the search runs distributed: the encoded problem
+/// ships to the fleet once (dist::Coordinator::openProblem) and every
+/// probe travels as a one-cube batch carrying the weight-bound
+/// assumption literals, so the remote slot solver keeps its learnt
+/// clauses across bounds exactly like the local loop.
 DistanceResult computeDistance(const StabilizerCode &Code,
                                const VerifyOptions &Opts = {},
-                               PauliFamily Family = PauliFamily::Any);
+                               PauliFamily Family = PauliFamily::Any,
+                               dist::Coordinator *Remote = nullptr);
 
 } // namespace veriqec
 

@@ -1,0 +1,477 @@
+//===- tests/dist_test.cpp - Distributed verification layer ----------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+//
+// The dist/ subsystem: codec round trips over fuzzer-generated
+// verification problems, strict rejection of truncated/corrupted frames,
+// the version handshake, loopback and TCP end-to-end verification
+// equality with the in-process engine, worker-drop recovery, cross-node
+// pruning plumbing, the incremental distance handle API, and the
+// cube-split sizing heuristic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "dist/Codec.h"
+#include "dist/Coordinator.h"
+#include "dist/Transport.h"
+#include "dist/Worker.h"
+#include "engine/CubeEngine.h"
+#include "engine/VerificationEngine.h"
+#include "qec/Codes.h"
+#include "testing/ModelChecker.h"
+#include "testing/ScenarioFuzzer.h"
+#include "verifier/Verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+using namespace veriqec;
+using namespace veriqec::dist;
+using sat::Lit;
+namespace vt = veriqec::testing;
+
+namespace {
+
+/// Canonical bytes of a problem message (the codec sorts map entries, so
+/// byte equality is exact structural equality, private fields included).
+std::vector<uint8_t> problemFrame(const smt::VerificationProblem &P) {
+  ProblemMsg M;
+  M.ProblemId = 7;
+  M.Config.HardenBudget = true;
+  M.Config.BudgetBound = 2;
+  M.Config.ConflictBudget = 123;
+  M.Config.RandomSeed = 99;
+  M.Problem = std::const_pointer_cast<smt::VerificationProblem>(
+      std::shared_ptr<const smt::VerificationProblem>(
+          &P, [](const smt::VerificationProblem *) {}));
+  return encodeMessage(M);
+}
+
+/// An in-process fleet: a coordinator with N loopback workers.
+struct Fleet {
+  Coordinator Coord;
+  std::vector<std::thread> Threads;
+
+  explicit Fleet(size_t NumWorkers, size_t JobsPerWorker = 1,
+                 uint64_t MaxBatches = 0, CoordinatorOptions CO = {})
+      : Coord(CO) {
+    std::vector<WorkerOptions> PerWorker(NumWorkers);
+    for (size_t I = 0; I != NumWorkers; ++I) {
+      PerWorker[I].Jobs = JobsPerWorker;
+      // Only the first worker gets the crash hook.
+      PerWorker[I].MaxBatches = I == 0 ? MaxBatches : 0;
+    }
+    Threads = spawnLoopbackWorkers(Coord, std::move(PerWorker));
+    EXPECT_TRUE(Coord.waitForWorkers(NumWorkers, 10000));
+  }
+
+  ~Fleet() {
+    Coord.shutdownWorkers();
+    for (std::thread &T : Threads)
+      T.join();
+  }
+};
+
+} // namespace
+
+// -- Codec -------------------------------------------------------------------
+
+TEST(DistCodec, RoundTripsFuzzerGeneratedProblems) {
+  vt::FuzzerOptions FO;
+  FO.MaxQubits = 8;
+  for (uint64_t Seed = 1; Seed <= 20; ++Seed) {
+    vt::FuzzCase C = vt::generateFuzzCase(Seed, FO);
+    smt::BoolContext Ctx;
+    BuiltVc Vc = engine::buildScenarioVc(Ctx, C.Scn);
+    ASSERT_TRUE(Vc.Ok) << "seed " << Seed;
+    smt::ProblemOptions PO;
+    PO.NativeXor = Seed % 2 == 0;
+    PO.ProtectedVars = C.Scn.ErrorVars;
+    smt::VerificationProblem P(Ctx, Vc.NegatedVc, PO);
+
+    std::vector<uint8_t> Frame = problemFrame(P);
+    Message M;
+    ASSERT_TRUE(decodeMessage(Frame, M)) << "seed " << Seed;
+    ProblemMsg *PM = std::get_if<ProblemMsg>(&M);
+    ASSERT_NE(PM, nullptr);
+    EXPECT_EQ(PM->ProblemId, 7u);
+    EXPECT_TRUE(PM->Config.HardenBudget);
+    EXPECT_EQ(PM->Config.BudgetBound, 2u);
+    EXPECT_EQ(PM->Config.ConflictBudget, 123u);
+    EXPECT_EQ(PM->Config.RandomSeed, 99u);
+
+    // Exact structural equality: the canonical re-encoding is identical
+    // byte-for-byte (covers every private field too).
+    EXPECT_EQ(problemFrame(*PM->Problem), Frame) << "seed " << Seed;
+
+    // Behavioral equality: the decoded problem solves and reads back
+    // models exactly like the original.
+    sat::Solver A = P.makeSolver(), B = PM->Problem->makeSolver();
+    sat::SolveResult RA = A.solve(), RB = B.solve();
+    EXPECT_EQ(RA, RB) << "seed " << Seed;
+    if (RA == sat::SolveResult::Sat && RB == sat::SolveResult::Sat) {
+      std::unordered_map<std::string, bool> MB;
+      PM->Problem->readModel(B, MB);
+      // The decoded problem's model (reconstruction included) satisfies
+      // the original negated VC.
+      vt::ModelCheckResult MC =
+          vt::evaluateUnderModel(Ctx, Vc.NegatedVc, MB);
+      EXPECT_EQ(MC.MissingVars, 0u) << "seed " << Seed;
+      EXPECT_TRUE(MC.Satisfies) << "seed " << Seed;
+    }
+    // Cube refutation agrees on the split literals.
+    if (!C.Scn.ErrorVars.empty()) {
+      std::vector<Lit> Cube;
+      for (const std::string &Name : C.Scn.ErrorVars)
+        Cube.push_back(sat::mkLit(P.varOfName(Name)));
+      EXPECT_EQ(P.cubeRefuted(Cube), PM->Problem->cubeRefuted(Cube));
+    }
+  }
+}
+
+TEST(DistCodec, RoundTripsBatchResultsModelsAndCores) {
+  BatchResultMsg R;
+  R.ProblemId = 3;
+  R.BatchId = 11;
+  R.Status = BatchStatus::Sat;
+  R.Model = {{"e0", true}, {"e1", false}, {"m__3", true}};
+  R.Stats.Conflicts = 17;
+  R.Stats.Propagations = 12345678901234ull;
+  R.Stats.XorEliminations = 5;
+  R.Solved = 41;
+  R.PrunedGf2 = 4;
+  R.PrunedCore = 2;
+  R.NewCores = {{sat::mkLit(3), ~sat::mkLit(7)}, {~sat::mkLit(1)}};
+  std::vector<uint8_t> Frame = encodeMessage(R);
+  Message M;
+  ASSERT_TRUE(decodeMessage(Frame, M));
+  BatchResultMsg *D = std::get_if<BatchResultMsg>(&M);
+  ASSERT_NE(D, nullptr);
+  EXPECT_EQ(D->ProblemId, 3u);
+  EXPECT_EQ(D->BatchId, 11u);
+  EXPECT_EQ(D->Status, BatchStatus::Sat);
+  EXPECT_EQ(D->Model, R.Model);
+  EXPECT_EQ(D->Stats.Conflicts, 17u);
+  EXPECT_EQ(D->Stats.Propagations, 12345678901234ull);
+  EXPECT_EQ(D->Stats.XorEliminations, 5u);
+  EXPECT_EQ(D->Solved, 41u);
+  EXPECT_EQ(D->PrunedGf2, 4u);
+  EXPECT_EQ(D->PrunedCore, 2u);
+  EXPECT_EQ(D->NewCores, R.NewCores);
+}
+
+TEST(DistCodec, RejectsTruncatedFrames) {
+  // Every proper prefix of a small message must be rejected.
+  CubeBatchMsg B;
+  B.ProblemId = 1;
+  B.BatchId = 2;
+  B.Cubes = {{sat::mkLit(0), ~sat::mkLit(1)}, {sat::mkLit(2)}};
+  std::vector<uint8_t> Frame = encodeMessage(B);
+  for (size_t Len = 0; Len != Frame.size(); ++Len) {
+    Message M;
+    EXPECT_FALSE(decodeMessage({Frame.data(), Len}, M))
+        << "prefix of length " << Len << " decoded";
+  }
+  // Ditto for a sampled set of prefixes of a whole problem frame.
+  StabilizerCode Steane = makeSteaneCode();
+  Scenario S = makeMemoryScenario(Steane, PauliKind::Y, LogicalBasis::Z, 1);
+  smt::BoolContext Ctx;
+  BuiltVc Vc = engine::buildScenarioVc(Ctx, S);
+  ASSERT_TRUE(Vc.Ok);
+  smt::VerificationProblem P(Ctx, Vc.NegatedVc, {});
+  std::vector<uint8_t> PF = problemFrame(P);
+  for (size_t Len = 0; Len < PF.size(); Len += 97) {
+    Message M;
+    EXPECT_FALSE(decodeMessage({PF.data(), Len}, M));
+  }
+  // Trailing garbage is rejected too.
+  Frame.push_back(0);
+  Message M;
+  EXPECT_FALSE(decodeMessage(Frame, M));
+}
+
+TEST(DistCodec, SurvivesCorruptedFramesWithoutCrashing) {
+  StabilizerCode Code = makeFiveQubitCode();
+  Scenario S = makeMemoryScenario(Code, PauliKind::Y, LogicalBasis::Z, 1);
+  smt::BoolContext Ctx;
+  BuiltVc Vc = engine::buildScenarioVc(Ctx, S);
+  ASSERT_TRUE(Vc.Ok);
+  smt::VerificationProblem P(Ctx, Vc.NegatedVc, {});
+  std::vector<uint8_t> Frame = problemFrame(P);
+  // Bit flips must never crash or hang the decoder (the ASan CI job
+  // gives this teeth); most corruptions are rejected outright. Sampled
+  // positions — a dense sweep of full problem decodes is minutes under
+  // ASan; the CubeBatch sweep below covers every offset of a frame.
+  size_t Stride = std::max<size_t>(1, Frame.size() / 64);
+  for (size_t Pos = 0; Pos < Frame.size(); Pos += Stride) {
+    std::vector<uint8_t> Bad = Frame;
+    Bad[Pos] ^= 0xff;
+    Message M;
+    (void)decodeMessage(Bad, M);
+  }
+  {
+    CubeBatchMsg B;
+    B.ProblemId = 1;
+    B.BatchId = 2;
+    B.Cubes = {{sat::mkLit(0), ~sat::mkLit(1)}, {sat::mkLit(2)}};
+    std::vector<uint8_t> Small = encodeMessage(B);
+    for (size_t Pos = 0; Pos != Small.size(); ++Pos)
+      for (uint8_t Flip : {uint8_t{0x01}, uint8_t{0x80}, uint8_t{0xff}}) {
+        std::vector<uint8_t> Bad = Small;
+        Bad[Pos] ^= Flip;
+        Message M;
+        (void)decodeMessage(Bad, M);
+      }
+  }
+  // A count field blown up to claim gigabytes must be rejected, not
+  // allocated: the kind byte + problem id + config precede the clause
+  // count (u64 NumVars is next); corrupt the clause-count field.
+  std::vector<uint8_t> Bad = Frame;
+  size_t ClauseCountAt = 1 + 4 + (1 + 4 + 8 + 8) + 8;
+  for (int I = 0; I != 4; ++I)
+    Bad[ClauseCountAt + I] = 0xff;
+  Message M;
+  EXPECT_FALSE(decodeMessage(Bad, M));
+}
+
+// -- Handshake ---------------------------------------------------------------
+
+TEST(DistHandshake, WorkerRejectsVersionMismatchedCoordinator) {
+  LoopbackPair Pair = makeLoopbackPair();
+  std::thread T([End = std::move(Pair.B)]() mutable {
+    EXPECT_EQ(runWorker(std::move(End)), 1);
+  });
+  std::vector<uint8_t> Frame;
+  ASSERT_TRUE(Pair.A->receive(Frame, 5000));
+  Message M;
+  ASSERT_TRUE(decodeMessage(Frame, M));
+  HelloMsg *Hello = std::get_if<HelloMsg>(&M);
+  ASSERT_NE(Hello, nullptr);
+  EXPECT_EQ(Hello->Version, WireVersion);
+  HelloAckMsg Ack;
+  Ack.Version = WireVersion + 1;
+  Ack.Accepted = false;
+  Ack.Reason = "version skew";
+  Pair.A->send(encodeMessage(Ack));
+  T.join();
+}
+
+TEST(DistHandshake, CoordinatorRejectsVersionMismatchedWorker) {
+  Coordinator Coord;
+  LoopbackPair Pair = makeLoopbackPair();
+  Coord.addWorker(std::move(Pair.A));
+  HelloMsg Hello;
+  Hello.Version = WireVersion + 1;
+  Hello.Slots = 4;
+  Pair.B->send(encodeMessage(Hello));
+  EXPECT_FALSE(Coord.waitForWorkers(1, 300));
+  std::vector<uint8_t> Frame;
+  ASSERT_TRUE(Pair.B->receive(Frame, 5000));
+  Message M;
+  ASSERT_TRUE(decodeMessage(Frame, M));
+  HelloAckMsg *Ack = std::get_if<HelloAckMsg>(&M);
+  ASSERT_NE(Ack, nullptr);
+  EXPECT_FALSE(Ack->Accepted);
+  EXPECT_NE(Ack->Reason.find("version"), std::string::npos);
+  EXPECT_EQ(Coord.numWorkers(), 0u);
+}
+
+// -- End-to-end --------------------------------------------------------------
+
+TEST(DistLoopback, VerdictsMatchInProcessEngine) {
+  StabilizerCode Steane = makeSteaneCode();
+  std::vector<Scenario> Scenarios;
+  // A verified case, a counterexample case (budget beyond correctable),
+  // and a multi-cycle case.
+  Scenarios.push_back(
+      makeMemoryScenario(Steane, PauliKind::Y, LogicalBasis::Z, 1));
+  Scenarios.push_back(
+      makeMemoryScenario(Steane, PauliKind::Y, LogicalBasis::Z, 3));
+  Scenarios.push_back(makeMultiCycleScenario(Steane, PauliKind::X,
+                                             LogicalBasis::Z, 2, 1));
+
+  VerifyOptions VO;
+  VO.Parallel = true;
+  engine::VerificationEngine Engine(2);
+  std::vector<VerificationResult> Local = Engine.verifyAll(Scenarios, VO);
+
+  Fleet F(2, 2);
+  std::vector<VerificationResult> Remote =
+      Engine.verifyAll(Scenarios, VO, F.Coord);
+
+  ASSERT_EQ(Local.size(), Remote.size());
+  for (size_t I = 0; I != Scenarios.size(); ++I) {
+    EXPECT_EQ(Local[I].Verified, Remote[I].Verified) << Scenarios[I].Name;
+    EXPECT_EQ(Local[I].Aborted, Remote[I].Aborted) << Scenarios[I].Name;
+    if (!Remote[I].Verified) {
+      // The remote counterexample is a genuine model of the negated VC.
+      ASSERT_FALSE(Remote[I].CounterExample.empty());
+      smt::BoolContext Ctx;
+      BuiltVc Vc = engine::buildScenarioVc(Ctx, Scenarios[I], VO);
+      ASSERT_TRUE(Vc.Ok);
+      vt::ModelCheckResult MC = vt::evaluateUnderModel(
+          Ctx, Vc.NegatedVc, Remote[I].CounterExample);
+      EXPECT_TRUE(MC.Satisfies) << Scenarios[I].Name;
+      EXPECT_EQ(MC.MissingVars, 0u) << Scenarios[I].Name;
+    }
+  }
+}
+
+TEST(DistLoopback, WorkerDropMidRunRecoversToTheCorrectVerdict) {
+  std::vector<Scenario> Scenarios;
+  Scenarios.push_back(makeMemoryScenario(makeRotatedSurfaceCode(3),
+                                         PauliKind::Y, LogicalBasis::Z, 1));
+  // A heavier second scenario keeps the surviving worker busy long past
+  // the crash, so the drop is always observed mid-run.
+  Scenarios.push_back(makeMemoryScenario(makeRotatedSurfaceCode(5),
+                                         PauliKind::X, LogicalBasis::X, 2));
+
+  VerifyOptions VO;
+  VO.Parallel = true;
+  // First worker vanishes after one batch; the second finishes the run.
+  Fleet F(2, 1, /*MaxBatches=*/1);
+  engine::VerificationEngine Engine(1);
+  std::vector<VerificationResult> Remote =
+      Engine.verifyAll(Scenarios, VO, F.Coord);
+  for (const VerificationResult &R : Remote) {
+    EXPECT_TRUE(R.StructuralOk);
+    EXPECT_TRUE(R.Verified);
+    EXPECT_FALSE(R.Aborted);
+  }
+  EXPECT_EQ(F.Coord.stats().WorkersDropped, 1u);
+  EXPECT_GE(F.Coord.stats().BatchesRequeued, 1u);
+}
+
+TEST(DistLoopback, TimedOutWorkerIsDroppedAndItsBatchesRequeued) {
+  CoordinatorOptions CO;
+  // Wide enough that a briefly descheduled LIVE worker is never dropped
+  // on a loaded CI box (its batches take ~1 ms each); the mute worker
+  // stays silent forever, so it always trips the timer.
+  CO.WorkerTimeoutMs = 600;
+  Coordinator Coord(CO);
+  // A mute worker: completes the handshake by hand, then never answers.
+  LoopbackPair Mute = makeLoopbackPair();
+  Coord.addWorker(std::move(Mute.A));
+  HelloMsg Hello;
+  Hello.Slots = 1;
+  Mute.B->send(encodeMessage(Hello));
+  ASSERT_TRUE(Coord.waitForWorkers(1, 2000));
+  // And one real worker that joins late, after the mute one times out.
+  LoopbackPair Live = makeLoopbackPair();
+  Coord.addWorker(std::move(Live.A));
+  std::thread T([End = std::move(Live.B)]() mutable {
+    runWorker(std::move(End));
+  });
+  StabilizerCode Steane = makeSteaneCode();
+  Scenario S = makeMemoryScenario(Steane, PauliKind::Y, LogicalBasis::Z, 1);
+  VerifyOptions VO;
+  VO.Parallel = true;
+  engine::VerificationEngine Engine(1);
+  std::vector<VerificationResult> R = Engine.verifyAll({&S, 1}, VO, Coord);
+  EXPECT_TRUE(R[0].Verified);
+  EXPECT_EQ(Coord.stats().WorkersDropped, 1u);
+  EXPECT_GE(Coord.stats().BatchesRequeued, 1u);
+  Coord.shutdownWorkers();
+  T.join();
+  Mute.B->close();
+}
+
+TEST(DistLoopback, DistanceHandleApiMatchesLocalSearch) {
+  Fleet F(2, 1);
+  for (const StabilizerCode &Code :
+       {makeSteaneCode(), makeFiveQubitCode(), makeRotatedSurfaceCode(3)}) {
+    VerifyOptions VO;
+    DistanceResult Local = computeDistance(Code, VO);
+    DistanceResult Remote =
+        computeDistance(Code, VO, PauliFamily::Any, &F.Coord);
+    ASSERT_TRUE(Local.Ok) << Code.Name;
+    ASSERT_TRUE(Remote.Ok) << Code.Name;
+    EXPECT_EQ(Local.Distance, Remote.Distance) << Code.Name;
+    EXPECT_EQ(Local.SolverCalls, Remote.SolverCalls) << Code.Name;
+    ASSERT_TRUE(Remote.Witness.has_value());
+    EXPECT_EQ(Remote.Witness->weight(), Remote.Distance) << Code.Name;
+  }
+}
+
+TEST(DistTcp, TwoWorkersOverRealSocketsMatchLocalVerdicts) {
+  std::string Err;
+  std::unique_ptr<Listener> L = listenTcp("127.0.0.1:0", Err);
+  if (!L)
+    GTEST_SKIP() << "cannot bind a local TCP socket: " << Err;
+  uint16_t Port = L->port();
+  Coordinator Coord;
+  Coord.attachListener(std::move(L));
+  std::vector<std::thread> Threads;
+  for (int I = 0; I != 2; ++I)
+    Threads.emplace_back([Port] {
+      std::string ConnectErr;
+      std::unique_ptr<Link> W =
+          connectTcp("127.0.0.1:" + std::to_string(Port), ConnectErr);
+      ASSERT_NE(W, nullptr) << ConnectErr;
+      WorkerOptions WO;
+      WO.Jobs = 2;
+      runWorker(std::move(W), WO);
+    });
+  ASSERT_TRUE(Coord.waitForWorkers(2, 10000));
+  EXPECT_EQ(Coord.numSlots(), 4u);
+
+  StabilizerCode Steane = makeSteaneCode();
+  std::vector<Scenario> Scenarios;
+  Scenarios.push_back(
+      makeMemoryScenario(Steane, PauliKind::Y, LogicalBasis::Z, 1));
+  Scenarios.push_back(
+      makeMemoryScenario(Steane, PauliKind::Z, LogicalBasis::X, 3));
+  VerifyOptions VO;
+  VO.Parallel = true;
+  engine::VerificationEngine Engine(1);
+  std::vector<VerificationResult> Remote =
+      Engine.verifyAll(Scenarios, VO, Coord);
+  std::vector<VerificationResult> Local = Engine.verifyAll(Scenarios, VO);
+  for (size_t I = 0; I != Scenarios.size(); ++I) {
+    EXPECT_EQ(Local[I].Verified, Remote[I].Verified) << I;
+    EXPECT_EQ(Local[I].Aborted, Remote[I].Aborted) << I;
+  }
+  Coord.shutdownWorkers();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+// -- Cube-split sizing heuristic ---------------------------------------------
+
+TEST(CubeSplitHeuristic, CountMatchesEnumeration) {
+  for (uint32_t Threshold : {0u, 3u, 9u, 20u, 35u}) {
+    for (uint32_t MaxOnes : {0u, 1u, 2u, ~0u}) {
+      std::vector<sat::Var> Vars;
+      for (sat::Var V = 0; V != 12; ++V)
+        Vars.push_back(V);
+      uint64_t Expect =
+          engine::enumerateCubes(Vars, 5, Threshold, MaxOnes).size();
+      EXPECT_EQ(engine::countCubes(Vars.size(), 5, Threshold, MaxOnes,
+                                   1 << 20),
+                Expect)
+          << "T=" << Threshold << " MaxOnes=" << MaxOnes;
+    }
+  }
+}
+
+TEST(CubeSplitHeuristic, PicksTheSmallestThresholdReachingTheTarget) {
+  // 40 split vars, distance hint 9, budget 4: the flat cut would be
+  // 2*9*4+4 = 76. The heuristic must choose the least threshold whose
+  // cube count reaches the floor/slot target, never exceeding the cap.
+  uint64_t Count = 0;
+  uint32_t T1 = engine::pickSplitThreshold(40, 9, 76, 4, 1, &Count);
+  EXPECT_LE(T1, 76u);
+  EXPECT_GE(Count, 8192u); // the single-slot floor
+  if (T1 > 1) {
+    uint64_t Below = engine::countCubes(40, 9, T1 - 1, 4, 1 << 24);
+    EXPECT_LT(Below, 8192u) << "threshold not minimal";
+  }
+  // More slots never shrink the threshold.
+  uint32_t T2 = engine::pickSplitThreshold(40, 9, 76, 4, 4096, &Count);
+  EXPECT_GE(T2, T1);
+  // A tiny problem can never reach the target: the cap is kept.
+  EXPECT_EQ(engine::pickSplitThreshold(3, 2, 10, 1, 64, &Count), 10u);
+}

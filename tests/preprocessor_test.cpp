@@ -201,6 +201,101 @@ TEST(Preprocessor, ProtectedVariablesSurviveElimination) {
             sat::SolveResult::Unsat);
 }
 
+// -- Equivalence-literal substitution ----------------------------------------
+
+TEST(Preprocessor, EquivalenceRowsSubstituteThroughTheEncoder) {
+  BoolContext Ctx;
+  std::vector<ExprRef> V = makeVars(Ctx, 4);
+  // Both 2-literal rows connect variables the residue also uses, so the
+  // occurrence-based elimination must leave them alone — only the
+  // equivalence substitution can remove them. v0 != v1 and v2 == v3.
+  ExprRef Root = Ctx.mkAnd({
+      Ctx.mkXor(V[0], V[1]),
+      Ctx.mkNot(Ctx.mkXor(V[2], V[3])),
+      Ctx.mkOr(V[0], V[2]),
+      Ctx.mkOr(V[1], V[3]),
+  });
+  PreprocessedFormula P = preprocess(Ctx, Root);
+  EXPECT_EQ(P.Stats.EquivAliased, 2u);
+  EXPECT_EQ(P.Stats.RowsKept, 0u);
+  ASSERT_EQ(P.Aliases.size(), 2u);
+  for (const VarAlias &A : P.Aliases) {
+    // Targets are survivors: never another aliased variable.
+    for (const VarAlias &B : P.Aliases)
+      EXPECT_NE(A.ToVarId, B.VarId);
+    // Every alias has a matching reconstruction record.
+    bool Found = false;
+    for (const VarReconstruction &R : P.Eliminated)
+      Found |= R.VarId == A.VarId && R.Deps.size() == 1 &&
+               R.Deps[0] == A.ToVarId && R.Constant == A.Negated;
+    EXPECT_TRUE(Found);
+  }
+  // The substituted encoding is model-count-equivalent to the legacy
+  // pipeline over the named variables, with total reconstructed models.
+  ProblemOptions On, Off;
+  Off.Preprocess = false;
+  EXPECT_EQ(countModels(Ctx, Root, On), countModels(Ctx, Root, Off));
+}
+
+TEST(Preprocessor, EquivalenceChainsResolveToSurvivingTargets) {
+  BoolContext Ctx;
+  std::vector<ExprRef> V = makeVars(Ctx, 3);
+  // v0 != v1, v1 == v2, all three used by the residue: substitution
+  // cascades (rewriting one row re-exposes a 2-literal row) and the
+  // published targets must be fully resolved.
+  ExprRef Root = Ctx.mkAnd({
+      Ctx.mkXor(V[0], V[1]),
+      Ctx.mkNot(Ctx.mkXor(V[1], V[2])),
+      Ctx.mkOr({V[0], V[1], V[2]}),
+  });
+  PreprocessedFormula P = preprocess(Ctx, Root);
+  EXPECT_EQ(P.Stats.EquivAliased, 2u);
+  EXPECT_EQ(P.Stats.RowsKept, 0u);
+  for (const VarAlias &A : P.Aliases)
+    for (const VarAlias &B : P.Aliases)
+      EXPECT_NE(A.ToVarId, B.VarId) << "alias points at an aliased var";
+  ProblemOptions On, Off;
+  Off.Preprocess = false;
+  EXPECT_EQ(countModels(Ctx, Root, On), countModels(Ctx, Root, Off));
+}
+
+TEST(Preprocessor, PinnedVariablesAreNeverAliased) {
+  BoolContext Ctx;
+  std::vector<ExprRef> V = makeVars(Ctx, 3);
+  ExprRef Root = Ctx.mkAnd({
+      Ctx.mkXor(V[0], V[1]),
+      Ctx.mkOr(V[0], V[2]),
+      Ctx.mkOr(V[1], V[2]),
+  });
+  {
+    // Both ends pinned: the row must survive as a row.
+    PreprocessOptions PO;
+    PO.KeepVarIds = {Ctx.varIdOf("v0"), Ctx.varIdOf("v1")};
+    PreprocessedFormula P = preprocess(Ctx, Root, PO);
+    EXPECT_EQ(P.Stats.EquivAliased, 0u);
+    EXPECT_EQ(P.Stats.RowsKept, 1u);
+  }
+  {
+    // One end pinned: the other is substituted away, toward the pin.
+    PreprocessOptions PO;
+    PO.KeepVarIds = {Ctx.varIdOf("v1")};
+    PreprocessedFormula P = preprocess(Ctx, Root, PO);
+    ASSERT_EQ(P.Aliases.size(), 1u);
+    EXPECT_EQ(P.Aliases[0].VarId, Ctx.varIdOf("v0"));
+    EXPECT_EQ(P.Aliases[0].ToVarId, Ctx.varIdOf("v1"));
+    EXPECT_TRUE(P.Aliases[0].Negated);
+  }
+  // Through the problem layer: protected (split) variables keep plain
+  // CNF variables, and assuming v0 = v1 under protection refutes.
+  ProblemOptions PO;
+  PO.ProtectedVars = {"v0", "v1"};
+  VerificationProblem Problem(Ctx, Root, PO);
+  sat::Solver S = Problem.makeSolver();
+  ASSERT_EQ(S.solve({sat::mkLit(Problem.varOfName("v0")),
+                     sat::mkLit(Problem.varOfName("v1"))}),
+            sat::SolveResult::Unsat);
+}
+
 // -- Cube refutation ---------------------------------------------------------
 
 TEST(Preprocessor, ParityPropagatorRefutesInconsistentCubes) {

@@ -39,6 +39,7 @@ struct FuzzCliOptions {
   size_t MaxQubits = 9;
   uint32_t MaxErrors = 2;
   size_t Jobs = 4;
+  size_t DistWorkers = 2;
   uint64_t BruteBudget = 300000;
   uint64_t SamplingTrials = 1500;
   bool Json = false;
@@ -56,6 +57,9 @@ void printUsage(std::FILE *To) {
       "  --max-qubits N     cap on total scenario qubits (default 9)\n"
       "  --max-errors T     cap on the drawn error budget (default 2)\n"
       "  --jobs N           widest parallel configuration (default 4)\n"
+      "  --dist-workers N   workers of the dist-loopback configuration\n"
+      "                     (full wire codec + scheduler; 0 = off,\n"
+      "                     default 2)\n"
       "  --brute-budget N   brute-force oracle replay cap (default 300000)\n"
       "  --samples N        sampling-refuter trials, 0 = off (default 1500)\n"
       "  --out-failures F   append failing seeds to file F, one per line\n"
@@ -104,6 +108,10 @@ int main(int Argc, char **Argv) {
       if (!(V = needValue(I)))
         return 2;
       Cli.Jobs = std::strtoul(V->c_str(), nullptr, 10);
+    } else if (A == "--dist-workers") {
+      if (!(V = needValue(I)))
+        return 2;
+      Cli.DistWorkers = std::strtoul(V->c_str(), nullptr, 10);
     } else if (A == "--brute-budget") {
       if (!(V = needValue(I)))
         return 2;
@@ -137,6 +145,7 @@ int main(int Argc, char **Argv) {
   HO.Jobs = Cli.Jobs;
   HO.BruteBudget = Cli.BruteBudget;
   HO.SamplingTrials = Cli.SamplingTrials;
+  HO.DistWorkers = Cli.DistWorkers;
 
   uint64_t Clean = 0, Verified = 0, Failed = 0, Other = 0;
   uint64_t BruteRuns = 0, SamplingRuns = 0;

@@ -16,6 +16,9 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "dist/Coordinator.h"
+#include "dist/Transport.h"
+#include "dist/Worker.h"
 #include "engine/VerificationEngine.h"
 #include "prog/Parser.h"
 #include "qec/Codes.h"
@@ -23,13 +26,16 @@
 #include "support/Rng.h"
 #include "verifier/Verifier.h"
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace veriqec;
@@ -60,6 +66,13 @@ struct CliOptions {
   uint64_t Seed = 0;
   bool Json = false;
   std::string BenchOut;
+  /// Distributed execution: "loopback:N" runs N in-process workers over
+  /// the full codec + scheduler path (verify and distance commands).
+  std::string Dist;
+  std::string Listen;          ///< serve: host:port to bind
+  size_t ExpectWorkers = 1;    ///< serve: wait for this many workers
+  std::string Connect;         ///< worker: coordinator host:port
+  uint64_t MaxBatches = 0;     ///< worker: crash-after-N test hook
 };
 
 void printUsage(std::FILE *To) {
@@ -76,6 +89,11 @@ void printUsage(std::FILE *To) {
       "                        over an assumption-activated weight bound\n"
       "                        (exit 1 if a computed distance contradicts\n"
       "                        the registry's documented one)\n"
+      "  serve                 run verify workloads as a coordinator:\n"
+      "                        shard cubes across remote workers\n"
+      "                        (--listen HOST:PORT, --expect-workers N)\n"
+      "  worker                join a coordinator and discharge cubes\n"
+      "                        (--connect HOST:PORT, --jobs N)\n"
       "  parse <file>          parse a program file and pretty-print it\n"
       "\n"
       "selection:\n"
@@ -108,6 +126,16 @@ void printUsage(std::FILE *To) {
       "  --budget N            conflict budget per solver (default none)\n"
       "  --seed N              seed solver tie-breaking and shuffle the\n"
       "                        batch order (0 = deterministic default)\n"
+      "\n"
+      "distributed:\n"
+      "  --dist loopback:N     verify/distance: run N in-process workers\n"
+      "                        behind the full wire codec + scheduler\n"
+      "                        (--jobs sets slots per worker, default 1)\n"
+      "  --listen HOST:PORT    serve: bind the coordinator here\n"
+      "  --expect-workers N    serve: wait for N workers (default 1)\n"
+      "  --connect HOST:PORT   worker: coordinator address\n"
+      "  --max-batches N       worker: drop the link after N batches\n"
+      "                        (crash-recovery testing)\n"
       "\n"
       "output:\n"
       "  --json                machine-readable results on stdout\n"
@@ -178,6 +206,80 @@ std::optional<StabilizerCode> makeCodeByName(const std::string &Name) {
   if (splitStemNumber(Name, "campbell-howard", N))
     return makeCampbellHowardSubstitute(N);
   return std::nullopt;
+}
+
+// -- Distributed execution ---------------------------------------------------
+
+/// A coordinator plus (for loopback mode) its in-process worker threads.
+/// Destruction shuts the fleet down and joins the threads.
+struct DistContext {
+  std::unique_ptr<dist::Coordinator> Coord;
+  std::vector<std::thread> LoopbackThreads;
+
+  ~DistContext() {
+    if (Coord)
+      Coord->shutdownWorkers();
+    for (std::thread &T : LoopbackThreads)
+      if (T.joinable())
+        T.join();
+  }
+};
+
+/// Builds the backend for --dist / serve. True on success; Ctx.Coord
+/// stays null when the run is plain in-process.
+bool setupDist(const CliOptions &Cli, DistContext &Ctx) {
+  if (Cli.Command == "serve") {
+    if (Cli.Listen.empty()) {
+      std::fprintf(stderr, "veriqec: serve needs --listen HOST:PORT\n");
+      return false;
+    }
+    std::string Err;
+    std::unique_ptr<dist::Listener> L = dist::listenTcp(Cli.Listen, Err);
+    if (!L) {
+      std::fprintf(stderr, "veriqec: cannot listen on %s: %s\n",
+                   Cli.Listen.c_str(), Err.c_str());
+      return false;
+    }
+    Ctx.Coord = std::make_unique<dist::Coordinator>();
+    std::fprintf(stderr,
+                 "veriqec: coordinator on port %u, waiting for %zu "
+                 "worker(s)\n",
+                 L->port(), Cli.ExpectWorkers);
+    Ctx.Coord->attachListener(std::move(L));
+    if (!Ctx.Coord->waitForWorkers(Cli.ExpectWorkers, 120000)) {
+      std::fprintf(stderr, "veriqec: workers did not register in time\n");
+      return false;
+    }
+    return true;
+  }
+  if (Cli.Dist.empty())
+    return true;
+  constexpr size_t MaxLoopbackWorkers = 256;
+  size_t N = 0;
+  if (Cli.Dist.rfind("loopback:", 0) == 0) {
+    const char *Num = Cli.Dist.c_str() + 9;
+    char *End = nullptr;
+    // strtoul accepts "-1" (wraps to ULONG_MAX): digits only.
+    if (Num[0] >= '0' && Num[0] <= '9')
+      N = std::strtoul(Num, &End, 10);
+    if (End == nullptr || *End != '\0')
+      N = 0; // trailing garbage: reject the whole value
+  }
+  if (N == 0 || N > MaxLoopbackWorkers) {
+    std::fprintf(stderr,
+                 "veriqec: --dist expects loopback:N (1 <= N <= %zu)\n",
+                 MaxLoopbackWorkers);
+    return false;
+  }
+  Ctx.Coord = std::make_unique<dist::Coordinator>();
+  dist::WorkerOptions WO;
+  WO.Jobs = Cli.Jobs ? Cli.Jobs : 1;
+  Ctx.LoopbackThreads = dist::spawnLoopbackWorkers(*Ctx.Coord, N, WO);
+  if (!Ctx.Coord->waitForWorkers(N, 10000)) {
+    std::fprintf(stderr, "veriqec: loopback workers failed to register\n");
+    return false;
+  }
+  return true;
 }
 
 // -- Scenario construction ---------------------------------------------------
@@ -325,14 +427,19 @@ bool writeBenchOut(const CliOptions &Cli, const std::vector<RunRecord> &Records,
     std::fprintf(stderr, "veriqec: cannot write %s\n", Cli.BenchOut.c_str());
     return false;
   }
-  char Buf[512];
+  char Buf[768];
   Out << "{\n  \"config\": {";
   std::snprintf(Buf, sizeof(Buf),
                 "\"command\": \"verify\", \"jobs\": %zu, \"workers\": %zu, "
+                "\"dist\": \"%s\", "
                 "\"sequential\": %s, \"preprocess\": %s, \"xor\": %s, "
                 "\"split_threshold\": %u, \"card_enc\": \"%s\", "
                 "\"conflict_budget\": %llu, \"seed\": %llu",
-                Cli.Jobs, Workers, Cli.Sequential ? "true" : "false",
+                Cli.Jobs, Workers,
+                Cli.Command == "serve" ? "serve"
+                : Cli.Dist.empty()     ? "local"
+                                       : jsonEscape(Cli.Dist).c_str(),
+                Cli.Sequential ? "true" : "false",
                 Cli.NoPreprocess ? "false" : "true",
                 // Without preprocessing there are no parity rows to keep
                 // native, so the engine is inert regardless of --xor;
@@ -360,7 +467,7 @@ bool writeBenchOut(const CliOptions &Cli, const std::vector<RunRecord> &Records,
           ", \"verified\": %s, \"aborted\": %s, \"seconds\": %.6f, "
           "\"goals\": %zu, \"cubes\": %llu, \"cubes_solved\": %llu, "
           "\"cubes_pruned\": %llu, \"cubes_pruned_gf2\": %llu, "
-          "\"cubes_pruned_core\": %llu, "
+          "\"cubes_pruned_core\": %llu, \"split_threshold_used\": %u, "
           "\"conflicts\": %llu, \"decisions\": %llu, "
           "\"propagations\": %llu, \"learned\": %llu, \"restarts\": %llu, "
           "\"xor_propagations\": %llu, \"xor_conflicts\": %llu, "
@@ -372,6 +479,7 @@ bool writeBenchOut(const CliOptions &Cli, const std::vector<RunRecord> &Records,
           static_cast<unsigned long long>(V.CubesPruned),
           static_cast<unsigned long long>(V.CubesPrunedGf2),
           static_cast<unsigned long long>(V.CubesPrunedCore),
+          V.SplitThresholdUsed,
           static_cast<unsigned long long>(V.Stats.Conflicts),
           static_cast<unsigned long long>(V.Stats.Decisions),
           static_cast<unsigned long long>(V.Stats.Propagations),
@@ -386,10 +494,12 @@ bool writeBenchOut(const CliOptions &Cli, const std::vector<RunRecord> &Records,
           Buf, sizeof(Buf),
           ", \"prep\": {\"linear_conjuncts\": %zu, \"linear_vars\": %zu, "
           "\"rows_kept\": %zu, \"units_fixed\": %zu, "
-          "\"vars_eliminated\": %zu, \"residue_conjuncts\": %zu, "
+          "\"vars_eliminated\": %zu, \"equiv_aliased\": %zu, "
+          "\"residue_conjuncts\": %zu, "
           "\"trivially_unsat\": %s}}",
           V.Prep.LinearConjuncts, V.Prep.LinearVars, V.Prep.RowsKept,
-          V.Prep.UnitsFixed, V.Prep.VarsEliminated, V.Prep.ResidueConjuncts,
+          V.Prep.UnitsFixed, V.Prep.VarsEliminated, V.Prep.EquivAliased,
+          V.Prep.ResidueConjuncts,
           V.Prep.TriviallyUnsat ? "true" : "false");
       Out << Buf;
     }
@@ -417,7 +527,7 @@ bool writeDistanceBenchOut(const CliOptions &Cli,
     std::fprintf(stderr, "veriqec: cannot write %s\n", Cli.BenchOut.c_str());
     return false;
   }
-  char Buf[512];
+  char Buf[768];
   Out << "{\n  \"config\": {";
   std::snprintf(Buf, sizeof(Buf),
                 "\"command\": \"distance\", \"preprocess\": %s, \"xor\": %s, "
@@ -577,9 +687,13 @@ int runVerify(const CliOptions &Cli) {
   VO.ConflictBudget = Cli.ConflictBudget;
   VO.RandomSeed = Cli.Seed;
 
+  DistContext DC;
+  if (!setupDist(Cli, DC))
+    return 2;
   engine::VerificationEngine Engine(Cli.Jobs);
   std::vector<VerificationResult> Results =
-      Engine.verifyAll(Scenarios, VO);
+      DC.Coord ? Engine.verifyAll(Scenarios, VO, *DC.Coord)
+               : Engine.verifyAll(Scenarios, VO);
   for (size_t I = 0; I != Results.size(); ++I)
     Records[I].Result = std::move(Results[I]);
 
@@ -600,6 +714,7 @@ int runVerify(const CliOptions &Cli) {
     TotalSeconds += R.Result.Seconds;
   }
 
+  size_t Workers = DC.Coord ? DC.Coord->numSlots() : Engine.numWorkers();
   if (Cli.Json) {
     std::printf("{\"seed\": %llu, \"results\": [\n",
                 static_cast<unsigned long long>(Cli.Seed));
@@ -611,19 +726,32 @@ int runVerify(const CliOptions &Cli) {
       printRecordText(R);
     if (Records.size() > 1)
       std::printf("batch: %zu scenarios, %.1f ms scenario-time total, "
-                  "%llu conflicts, %zu workers\n",
+                  "%llu conflicts, %zu workers%s\n",
                   Records.size(), TotalSeconds * 1e3,
-                  static_cast<unsigned long long>(Total.Conflicts),
-                  Engine.numWorkers());
+                  static_cast<unsigned long long>(Total.Conflicts), Workers,
+                  DC.Coord ? " (distributed slots)" : "");
+    if (DC.Coord) {
+      const dist::CoordinatorStats &DS = DC.Coord->stats();
+      std::printf("dist: %zu workers, %zu slots, %llu stolen, %llu "
+                  "requeued, %llu dropped, %llu core broadcasts\n",
+                  DC.Coord->numWorkers(), DC.Coord->numSlots(),
+                  static_cast<unsigned long long>(DS.BatchesStolen),
+                  static_cast<unsigned long long>(DS.BatchesRequeued),
+                  static_cast<unsigned long long>(DS.WorkersDropped),
+                  static_cast<unsigned long long>(DS.CoreBroadcasts));
+    }
   }
-  if (!Cli.BenchOut.empty() && !writeBenchOut(Cli, Records,
-                                              Engine.numWorkers()))
+  if (!Cli.BenchOut.empty() && !writeBenchOut(Cli, Records, Workers))
     return 2;
   return AnyError ? 2 : AnyFailed ? 1 : AnyAborted ? 3 : 0;
 }
 
 int runDistance(const CliOptions &Cli) {
   bool AnyMismatch = false, AnyAborted = false, AnyError = false;
+  DistContext DC;
+  if (!setupDist(Cli, DC))
+    return 2;
+  dist::Coordinator *Remote = DC.Coord.get();
   std::vector<DistanceRecord> Records;
   if (Cli.Json)
     std::printf("{\"seed\": %llu, \"results\": [\n",
@@ -640,7 +768,7 @@ int runDistance(const CliOptions &Cli) {
     VO.Xor = Cli.Xor;
     VO.ConflictBudget = Cli.ConflictBudget;
     VO.RandomSeed = Cli.Seed;
-    DistanceResult R = computeDistance(*Code, VO);
+    DistanceResult R = computeDistance(*Code, VO, PauliFamily::Any, Remote);
     Records.push_back({CodeName, Code->NumQubits, R});
     AnyAborted |= R.Aborted;
     AnyError |= !R.Ok && !R.Aborted;
@@ -658,7 +786,7 @@ int runDistance(const CliOptions &Cli) {
       for (auto [Family, Name] :
            {std::pair{PauliFamily::XOnly, "x"},
             std::pair{PauliFamily::ZOnly, "z"}}) {
-        DistanceResult F = computeDistance(*Code, VO, Family);
+        DistanceResult F = computeDistance(*Code, VO, Family, Remote);
         if (F.Ok && F.Distance == Code->Distance) {
           Mismatch = false;
           FamilyMatch = Name;
@@ -772,6 +900,40 @@ int runDetect(const CliOptions &Cli) {
   return AnyMisses ? 1 : AnyAborted ? 3 : 0;
 }
 
+int runWorkerCommand(const CliOptions &Cli) {
+  if (Cli.Connect.empty()) {
+    std::fprintf(stderr, "veriqec: worker needs --connect HOST:PORT\n");
+    return 2;
+  }
+  // A malformed address can never succeed: fail before the retry loop.
+  std::string Err;
+  if (!dist::validTcpAddress(Cli.Connect, /*AllowPortZero=*/false, Err)) {
+    std::fprintf(stderr, "veriqec: %s\n", Err.c_str());
+    return 2;
+  }
+  // Retry the connect: CI starts coordinator and workers concurrently.
+  std::unique_ptr<dist::Link> L;
+  for (int Attempt = 0; Attempt != 50 && !L; ++Attempt) {
+    L = dist::connectTcp(Cli.Connect, Err);
+    if (!L)
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+  if (!L) {
+    std::fprintf(stderr, "veriqec: cannot connect to %s: %s\n",
+                 Cli.Connect.c_str(), Err.c_str());
+    return 2;
+  }
+  dist::WorkerOptions WO;
+  WO.Jobs = Cli.Jobs ? Cli.Jobs : 1;
+  WO.MaxBatches = Cli.MaxBatches;
+  std::fprintf(stderr, "veriqec: worker connected to %s (%zu slot%s)\n",
+               Cli.Connect.c_str(), WO.Jobs, WO.Jobs == 1 ? "" : "s");
+  int R = dist::runWorker(std::move(L), WO);
+  // The MaxBatches crash hook (R == 2) did exactly what was asked; a
+  // handshake/link failure (R == 1) is a real error.
+  return R == 1 ? 1 : 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -815,6 +977,30 @@ int main(int Argc, char **Argv) {
       if (!(V = needValue(I)))
         return 2;
       Cli.BenchOut = *V;
+    } else if (A == "--dist") {
+      if (!(V = needValue(I)))
+        return 2;
+      Cli.Dist = *V;
+    } else if (A == "--listen") {
+      if (!(V = needValue(I)))
+        return 2;
+      Cli.Listen = *V;
+    } else if (A == "--connect") {
+      if (!(V = needValue(I)))
+        return 2;
+      Cli.Connect = *V;
+    } else if (A == "--expect-workers") {
+      if (!(V = needValue(I)))
+        return 2;
+      Cli.ExpectWorkers = std::strtoul(V->c_str(), nullptr, 10);
+      if (Cli.ExpectWorkers == 0) {
+        std::fprintf(stderr, "veriqec: --expect-workers must be >= 1\n");
+        return 2;
+      }
+    } else if (A == "--max-batches") {
+      if (!(V = needValue(I)))
+        return 2;
+      Cli.MaxBatches = std::strtoull(V->c_str(), nullptr, 10);
     } else if (A == "--code") {
       if (!(V = needValue(I)))
         return 2;
@@ -935,8 +1121,17 @@ int main(int Argc, char **Argv) {
     }
     return runParse(Cli);
   }
-  if (Cli.Command == "verify")
+  if (!Cli.Dist.empty() && Cli.Command != "verify" &&
+      Cli.Command != "distance") {
+    std::fprintf(stderr, "veriqec: --dist is only supported by the verify "
+                         "and distance commands\n");
+    return 2;
+  }
+
+  if (Cli.Command == "verify" || Cli.Command == "serve")
     return runVerify(Cli);
+  if (Cli.Command == "worker")
+    return runWorkerCommand(Cli);
   if (Cli.Command == "detect") {
     if (Cli.Codes.empty()) {
       std::fprintf(stderr, "veriqec: detect needs --code\n");
