@@ -97,6 +97,7 @@ void encodeConfig(Encoder &E, const engine::CubeRunConfig &C) {
   E.u32(C.BudgetBound);
   E.u64(C.ConflictBudget);
   E.u64(C.RandomSeed);
+  E.boolean(C.LogProofs);
 }
 
 engine::CubeRunConfig decodeConfig(Decoder &D) {
@@ -105,6 +106,7 @@ engine::CubeRunConfig decodeConfig(Decoder &D) {
   C.BudgetBound = D.u32();
   C.ConflictBudget = D.u64();
   C.RandomSeed = D.u64();
+  C.LogProofs = D.boolean();
   return C;
 }
 
@@ -146,6 +148,11 @@ void encodeBody(Encoder &E, const BatchResultMsg &M) {
   E.u64(M.PrunedGf2);
   E.u64(M.PrunedCore);
   E.litVecs(M.NewCores);
+  E.u32(static_cast<uint32_t>(M.ProofChunks.size()));
+  for (const auto &[Slot, Chunk] : M.ProofChunks) {
+    E.u32(Slot);
+    E.str(Chunk);
+  }
 }
 
 void encodeBody(Encoder &E, const CoresMsg &M) {
@@ -403,6 +410,12 @@ bool veriqec::dist::decodeMessage(std::span<const uint8_t> Payload,
     M.PrunedGf2 = D.u64();
     M.PrunedCore = D.u64();
     M.NewCores = D.litVecs();
+    uint32_t NumChunks = D.count(8); // 4-byte slot + 4-byte length each
+    M.ProofChunks.reserve(NumChunks);
+    for (uint32_t I = 0; I != NumChunks && D.ok(); ++I) {
+      uint32_t Slot = D.u32();
+      M.ProofChunks.emplace_back(Slot, D.str());
+    }
     Out = std::move(M);
     break;
   }

@@ -40,8 +40,9 @@ namespace veriqec::dist {
 /// First bytes of every Hello: rejects non-veriqec peers outright.
 constexpr uint32_t WireMagic = 0x43455156; // "VQEC" little-endian
 /// Bumped on every incompatible wire change; the handshake refuses a
-/// mismatch in either direction.
-constexpr uint32_t WireVersion = 1;
+/// mismatch in either direction. v2: CubeRunConfig::LogProofs and
+/// BatchResultMsg::ProofChunks.
+constexpr uint32_t WireVersion = 2;
 /// Upper bound on one frame payload (a surface-scale problem is a few
 /// MB; anything near this is a corrupt length prefix, not data).
 constexpr uint32_t MaxFrameBytes = 256u << 20;
@@ -272,6 +273,11 @@ struct BatchResultMsg {
   /// Strict-subset UNSAT cores discovered in this batch, for the
   /// coordinator to broadcast to sibling workers.
   std::vector<std::vector<sat::Lit>> NewCores;
+  /// With CubeRunConfig::LogProofs: per-slot proof text accrued since
+  /// the worker's previous report, as (slot, chunk) pairs. Chunks are
+  /// record-atomic; the coordinator concatenates chunks of the same
+  /// (worker, slot) in arrival order into one stream per slot.
+  std::vector<std::pair<uint32_t, std::string>> ProofChunks;
 };
 
 struct CoresMsg {

@@ -6,10 +6,12 @@
 
 #include "dist/Coordinator.h"
 
+#include "proof/ProofLog.h"
 #include "support/Timer.h"
 
 #include <algorithm>
 #include <chrono>
+#include <map>
 #include <set>
 #include <thread>
 
@@ -20,6 +22,10 @@ using Clock = std::chrono::steady_clock;
 
 struct Coordinator::WorkerState {
   std::unique_ptr<Link> L;
+  /// Stable identity for proof-stream bookkeeping: WorkerState objects
+  /// are destroyed when a worker drops, but its shipped proof chunks
+  /// must survive under the same key.
+  uint64_t Serial = 0;
   uint32_t Slots = 0;
   bool Ready = false; ///< handshake complete
   bool Dead = false;
@@ -62,6 +68,12 @@ struct Coordinator::ActiveProblem {
   bool Persistent = false;
   smt::SolveOutcome Outcome;
   std::vector<std::vector<Lit>> Cores; ///< broadcast cache for joiners
+  /// With Config.LogProofs: proof text per (worker serial, slot),
+  /// concatenated in arrival order. A persistent problem accumulates
+  /// across solveCubes epochs — remote slot solvers persist, so later
+  /// derivations resolve against clauses learnt in earlier epochs and
+  /// the streams are only checkable whole.
+  std::map<std::pair<uint64_t, uint32_t>, std::string> ProofStreams;
   Timer ProblemClock;
   static constexpr size_t MaxCores = 256;
 };
@@ -134,6 +146,7 @@ void Coordinator::pumpHandshakes() {
     if (Ack.Accepted) {
       auto W = std::make_unique<WorkerState>();
       W->L = std::move(L);
+      W->Serial = NextWorkerSerial++;
       W->Slots = Hello->Slots;
       W->Ready = true;
       W->LastActivity = Clock::now();
@@ -351,6 +364,25 @@ void Coordinator::finishProblem(ActiveProblem &AP) {
     AP.Outcome.Result = AP.AnyAborted ? sat::SolveResult::Aborted
                                       : sat::SolveResult::Unsat;
   AP.Outcome.SolveSeconds = AP.ProblemClock.seconds();
+  if (AP.Config.LogProofs && AP.Outcome.Result == sat::SolveResult::Unsat) {
+    // Streams are copied, not drained: a persistent problem's next
+    // solveCubes epoch extends them.
+    std::vector<std::string> Streams;
+    Streams.reserve(AP.ProofStreams.size());
+    for (const auto &[Key, Text] : AP.ProofStreams)
+      Streams.push_back(Text);
+    // The cube-coverage count is enforced only for a one-shot problem
+    // that ran to completion: a global refutation cancels siblings
+    // unconcluded, and a persistent problem's cumulative streams
+    // conclude cubes of every epoch so far.
+    AP.Outcome.Proof = proof::assembleProof(
+        proof::buildProofHeader(*AP.Problem, AP.Config.HardenBudget,
+                                AP.Config.BudgetBound),
+        Streams,
+        (AP.Decided || AP.Persistent)
+            ? std::nullopt
+            : std::optional<uint64_t>(AP.Outcome.NumCubes));
+  }
 }
 
 void Coordinator::handleResult(WorkerState &W, BatchResultMsg &&R) {
@@ -359,6 +391,13 @@ void Coordinator::handleResult(WorkerState &W, BatchResultMsg &&R) {
   if (It == Problems.end())
     return;
   ActiveProblem &AP = *It->second;
+  // Proof chunks are appended before ANY early-out: a duplicate or
+  // stale-epoch result still extends its (worker, slot) stream, and
+  // dropping it would leave a gap the checker's deletion serials and
+  // RUP replay cannot cross.
+  if (AP.Config.LogProofs)
+    for (auto &[Slot, Chunk] : R.ProofChunks)
+      AP.ProofStreams[{W.Serial, Slot}] += Chunk;
   size_t Idx = AP.indexOf(R.BatchId);
   if (Idx == SIZE_MAX)
     return; // corrupt id, or a straggler from an earlier cube set
@@ -548,6 +587,8 @@ Coordinator::solveAll(std::span<const engine::CubeProblem> CubeProblems) {
       Seed.Result = sat::SolveResult::Unsat;
       Seed.NumCubes = 0;
       Seed.CubesSolved = 0;
+      if (P.Config.LogProofs)
+        Seed.Proof = proof::buildTrivialProof(*P.Encoded);
       Local[I] = std::move(Seed);
       continue;
     }

@@ -152,6 +152,7 @@ private:
   std::unordered_map<uint32_t, std::unique_ptr<ActiveProblem>> Problems;
   std::deque<BatchKey> Queue;
   uint32_t NextProblemId = 1;
+  uint64_t NextWorkerSerial = 1;
 };
 
 /// Spawns one in-process loopback worker per entry of \p PerWorker and

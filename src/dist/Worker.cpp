@@ -286,6 +286,15 @@ private:
     S.ReportedGf2 = Run.prunedGf2();
     S.ReportedCore = Run.prunedCore();
     R.NewCores = Run.drainOutboundCores();
+    // The batch has quiesced, so the slot logs are stable: ship whatever
+    // each slot derived/concluded since the previous report. Chunk
+    // boundaries are record-aligned; the coordinator concatenates.
+    for (size_t Slot = 0; Slot != Run.numSlots(); ++Slot) {
+      std::string Chunk = Run.drainSlotProof(Slot);
+      if (!Chunk.empty())
+        R.ProofChunks.emplace_back(static_cast<uint32_t>(Slot),
+                                   std::move(Chunk));
+    }
     L->send(encodeMessage(R));
     if (EraseAfterInflight) {
       Problems.erase(Inflight->Batch.ProblemId);

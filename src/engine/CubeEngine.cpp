@@ -7,6 +7,7 @@
 #include "engine/CubeEngine.h"
 
 #include "engine/CubeRun.h"
+#include "proof/ProofLog.h"
 #include "support/Assert.h"
 #include "support/Timer.h"
 
@@ -167,6 +168,7 @@ PreparedProblem veriqec::engine::prepareCubeProblem(const CubeProblem &P,
   Out.Config.BudgetBound = O.BudgetBound;
   Out.Config.ConflictBudget = O.ConflictBudget;
   Out.Config.RandomSeed = O.RandomSeed;
+  Out.Config.LogProofs = O.LogProofs;
   if (Out.Encoded->TriviallyUnsat)
     return Out; // refuted during preprocessing: no cubes, no solver
   std::vector<Var> SplitVars;
@@ -309,11 +311,30 @@ CubeEngine::solveAll(std::span<const CubeProblem> Problems) {
                          : R.anyAborted() ? SolveResult::Aborted
                                           : SolveResult::Unsat;
       }
+      if (Run.Input->Opts.LogProofs &&
+          Run.Out.Result == SolveResult::Unsat) {
+        std::vector<std::string> Streams;
+        Streams.reserve(R.numSlots());
+        for (size_t S = 0; S != R.numSlots(); ++S)
+          Streams.push_back(R.drainSlotProof(S));
+        // Under a global refutation the sibling cubes were cancelled
+        // without conclusions, so the cube count is not enforced.
+        Run.Out.Proof = proof::assembleProof(
+            proof::buildProofHeader(*Run.Encoded,
+                                    !Run.Input->Opts.BudgetVars.empty(),
+                                    Run.Input->Opts.BudgetBound),
+            Streams,
+            R.globalUnsat()
+                ? std::nullopt
+                : std::optional<uint64_t>(Run.Out.NumCubes));
+      }
     } else {
       // Trivially UNSAT during preprocessing.
       Run.Out.NumCubes = 0;
       Run.Out.CubesSolved = 0;
       Run.Out.Result = SolveResult::Unsat;
+      if (Run.Input->Opts.LogProofs)
+        Run.Out.Proof = proof::buildTrivialProof(*Run.Encoded);
     }
     Run.Out.Prep = Run.Encoded->Prep;
     Run.Out.CnfVars = Run.Encoded->Cnf.NumVars;

@@ -33,6 +33,17 @@ CubeRun::CubeRun(const smt::VerificationProblem &Problem,
     : Problem(Problem), Cfg(Cfg) {
   Slots.resize(NumSlots);
   CoreSnapshots.resize(NumSlots);
+  if (Cfg.LogProofs) {
+    SlotLogs.resize(NumSlots);
+    for (std::unique_ptr<proof::SlotProofLog> &Log : SlotLogs)
+      Log = std::make_unique<proof::SlotProofLog>();
+  }
+}
+
+std::string CubeRun::drainSlotProof(size_t Slot) {
+  if (Slot >= SlotLogs.size() || !SlotLogs[Slot])
+    return {};
+  return SlotLogs[Slot]->drain();
 }
 
 void CubeRun::storeCore(const std::vector<Lit> &Core, bool Outbound) {
@@ -70,6 +81,7 @@ CubeRun::CubeOutcome CubeRun::runCube(size_t Slot,
   assert(Slot < Slots.size() && "slot index out of range");
 
   bool Subsumed = false;
+  const std::vector<Lit> *MatchedCore = nullptr;
   if (CoreCount.load(std::memory_order_acquire) != 0) {
     std::vector<std::vector<Lit>> &Snapshot = CoreSnapshots[Slot];
     if (Snapshot.size() < CoreCount.load(std::memory_order_acquire)) {
@@ -81,6 +93,7 @@ CubeRun::CubeOutcome CubeRun::runCube(size_t Slot,
     for (const std::vector<Lit> &Core : Snapshot)
       if (coreSubsumesCube(Core, CubeSorted)) {
         Subsumed = true;
+        MatchedCore = &Core;
         break;
       }
   }
@@ -92,6 +105,18 @@ CubeRun::CubeOutcome CubeRun::runCube(size_t Slot,
     Solved.fetch_add(1, std::memory_order_relaxed);
     (Subsumed ? PrunedCore : PrunedGf2)
         .fetch_add(1, std::memory_order_relaxed);
+    if (Cfg.LogProofs) {
+      if (Subsumed)
+        // The cited core's own q record may live in another slot's
+        // stream (or another node's); the checker validates prunes
+        // against all streams in a second pass.
+        SlotLogs[Slot]->logCorePrune(*MatchedCore, Cube);
+      else
+        // GF(2)-refuted: the whole cube is the core; the checker
+        // re-derives the contradiction by eliminating the header's
+        // x-rows (or unit-propagating the parity CNF) under the cube.
+        SlotLogs[Slot]->logConclusion(Cube, Cube);
+    }
     return Subsumed ? CubeOutcome::PrunedCore : CubeOutcome::PrunedGf2;
   }
 
@@ -104,7 +129,13 @@ CubeRun::CubeOutcome CubeRun::runCube(size_t Slot,
     if (Cfg.HardenBudget)
       Problem.assertWeightBound(*Reused, Cfg.BudgetBound);
     Reused->setAbortFlag(&Cancel);
-    Reused->attachSharedPool(&LearntPool, static_cast<int>(Slot));
+    if (Cfg.LogProofs)
+      // Proof mode forgoes cross-slot lemma exchange: a pool-imported
+      // clause is justified by another slot's derivations, so it would
+      // not replay as RUP inside this slot's stream.
+      Reused->setProofSink(SlotLogs[Slot].get());
+    else
+      Reused->attachSharedPool(&LearntPool, static_cast<int>(Slot));
     if (Cfg.ConflictBudget)
       Reused->setConflictBudget(Cfg.ConflictBudget);
     if (Cfg.RandomSeed)
@@ -123,6 +154,10 @@ CubeRun::CubeOutcome CubeRun::runCube(size_t Slot,
   }
   if (R == SolveResult::Unsat) {
     const std::vector<Lit> &Core = Reused->conflictCore();
+    if (Cfg.LogProofs)
+      // An empty core concludes the whole problem (GlobalUnsat below);
+      // the checker treats it the same way.
+      SlotLogs[Slot]->logConclusion(Core, Cube, Reused->conflictCoreHints());
     if (Core.empty() && !Cube.empty()) {
       // The refutation used no assumptions at all: the problem is UNSAT
       // under its root clauses alone and the siblings are redundant.

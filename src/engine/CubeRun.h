@@ -21,6 +21,7 @@
 #ifndef VERIQEC_ENGINE_CUBERUN_H
 #define VERIQEC_ENGINE_CUBERUN_H
 
+#include "proof/ProofLog.h"
 #include "sat/Solver.h"
 #include "smt/CubeSolver.h"
 
@@ -44,6 +45,11 @@ struct CubeRunConfig {
   uint32_t BudgetBound = 0;
   uint64_t ConflictBudget = 0; ///< 0 = unlimited
   uint64_t RandomSeed = 0;     ///< 0 = deterministic branching
+  /// Attach a proof::SlotProofLog to every slot solver and record a
+  /// conclusion (q/c) per discharged cube. Disables the cross-slot
+  /// learnt-clause pool: an imported lemma is justified by another
+  /// slot's derivation chain and would not be RUP in this stream.
+  bool LogProofs = false;
 };
 
 class CubeRun {
@@ -120,6 +126,16 @@ public:
   /// slots are quiescent (between batches / after the run).
   void accumulateStats(sat::SolverStats &Out) const;
 
+  size_t numSlots() const { return Slots.size(); }
+
+  /// Moves out everything slot \p Slot's proof log has accumulated since
+  /// the last drain (empty when not logging or nothing happened). Record
+  /// boundaries are respected: runCube() writes whole records, so a
+  /// drain between cubes never splits one. Chunks drained from the same
+  /// slot concatenate into one valid stream. Call only while the slot is
+  /// quiescent (owner thread, or between batches).
+  std::string drainSlotProof(size_t Slot);
+
 private:
   void storeCore(const std::vector<sat::Lit> &Core, bool Outbound);
 
@@ -151,6 +167,11 @@ private:
   /// One lazily-built solver per slot; a slot is only ever touched by one
   /// thread at a time, so no locking.
   std::vector<std::unique_ptr<sat::Solver>> Slots;
+  /// One proof stream per slot (owner-only, like Slots); allocated
+  /// eagerly in the constructor when Cfg.LogProofs so pruned cubes have
+  /// somewhere to conclude before the slot solver exists. unique_ptr for
+  /// address stability — the slot solver keeps a raw sink pointer.
+  std::vector<std::unique_ptr<proof::SlotProofLog>> SlotLogs;
   /// Per-slot snapshots of RefutedCores (owner-only, like Slots).
   std::vector<std::vector<std::vector<sat::Lit>>> CoreSnapshots;
 

@@ -50,6 +50,7 @@ SolveOptions makeSolveOptions(const Scenario &S, const VerifyOptions &Opts) {
   SO.Xor = Opts.Xor;
   SO.ConflictBudget = Opts.ConflictBudget;
   SO.RandomSeed = Opts.RandomSeed;
+  SO.LogProofs = Opts.LogProofs;
   if (Opts.Parallel && !S.ErrorVars.empty()) {
     // An auto threshold is an upper bound: the backend lowers it so the
     // cube count targets ~8x its total slots (pickSplitThreshold).
@@ -88,6 +89,7 @@ void applyOutcome(SolveOutcome &&Outcome, PreparedScenario &P) {
   P.Result.Aborted = Outcome.Result == sat::SolveResult::Aborted;
   if (Outcome.Result == sat::SolveResult::Sat)
     P.Result.CounterExample = std::move(Outcome.Model);
+  P.Result.Proof = std::move(Outcome.Proof);
   P.Result.Seconds = P.BuildSeconds + Outcome.SolveSeconds;
 }
 

@@ -1,0 +1,63 @@
+//===- proof/ProofCheck.h - Independent proof checker -----------*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The trusted side of proof-emitting verification: a deliberately tiny,
+/// self-contained checker for the clause proofs the solver stack emits
+/// (see proof/ProofLog.h for the producer). It depends on nothing outside
+/// the standard library — in particular not on src/sat/ — so that a bug
+/// in the solver cannot also hide in the checker.
+///
+/// A proof certifies UNSAT verdicts only. It carries a header (the CNF
+/// the solver was given, native XOR rows, and the GF(2) preprocessor's
+/// replay records) followed by one stream per solver: derived-clause
+/// additions and deletions in DRAT style, plus per-cube conclusions
+/// naming the assumption cube and the failed-assumption core. Additions
+/// are replayed by reverse unit propagation with a GF(2)-elimination
+/// fallback for clauses the XOR engine materialized; conclusions are
+/// replayed by asserting the core and demanding a conflict. Cube
+/// conclusions compose: a core proved in one stream may justify pruning
+/// a subsumed cube in another.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_PROOF_PROOFCHECK_H
+#define VERIQEC_PROOF_PROOFCHECK_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace veriqec::proof {
+
+/// Outcome of checking one proof.
+struct CheckResult {
+  bool Ok = false;
+  /// When !Ok: what failed, with the 1-based line of the offending record.
+  std::string Error;
+
+  // Telemetry (filled as far as checking got).
+  uint64_t NumVars = 0;
+  uint64_t HeaderClauses = 0;
+  uint64_t XorRows = 0;
+  uint64_t ReplayRecords = 0; ///< preprocessor pr/pk/pe records
+  uint64_t Streams = 0;
+  uint64_t Additions = 0;
+  uint64_t Deletions = 0;
+  /// Distinct cubes concluded across all streams (q and c records).
+  uint64_t Conclusions = 0;
+  /// The proof certifies the whole problem UNSAT regardless of cubes
+  /// (an empty-core conclusion or a trivially-unsat header record).
+  bool GlobalUnsat = false;
+};
+
+/// Replays \p Text and returns whether every record checks. Never throws;
+/// malformed input is a rejection with a diagnostic, not a crash.
+CheckResult checkProof(std::string_view Text);
+
+} // namespace veriqec::proof
+
+#endif // VERIQEC_PROOF_PROOFCHECK_H

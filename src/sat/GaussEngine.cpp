@@ -163,7 +163,14 @@ int32_t GaussEngine::processRow(Solver &S, const BitVector &Row) {
   ++S.Stats.XorPropagations;
   Lit Implied = Lits.front();
   if (S.decisionLevel() == 0) {
-    // Root facts need no justification: analysis skips level 0.
+    // Root facts need no justification: analysis skips level 0. A proof
+    // checker does need one, though — at the root every dependency sits
+    // at level 0, so Lits is exactly the unit {Implied}, logged as a
+    // derivation the checker re-justifies from the XOR system.
+    if (S.ProofSink) {
+      S.ProofSink->onDerive(Lits, {});
+      ++S.DeriveCount;
+    }
     S.enqueue(Implied, Solver::NoReason);
     return Solver::NoReason;
   }

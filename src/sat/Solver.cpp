@@ -40,6 +40,7 @@ Var Solver::newVar() {
   SavedPhase.push_back(false);
   Reason.push_back(NoReason);
   Level.push_back(0);
+  TrailPosOf.push_back(0);
   Activity.push_back(0.0);
   Seen.push_back(0);
   Watches.emplace_back();
@@ -54,6 +55,7 @@ bool Solver::addClause(std::vector<Lit> Lits) {
   // adding a clause is a root-level operation, so drop back first.
   if (decisionLevel() != 0)
     backtrack(0);
+  ++AddClauseSeq;
   if (!OkState)
     return false;
 
@@ -90,6 +92,8 @@ bool Solver::addClause(std::vector<Lit> Lits) {
   Clause C;
   C.Lits = std::move(Out);
   Clauses.push_back(std::move(C));
+  OriginIdOf.resize(Clauses.size(), 0);
+  OriginIdOf.back() = AddClauseSeq;
   attachClause(static_cast<ClauseRef>(Clauses.size() - 1));
   return true;
 }
@@ -137,7 +141,11 @@ Solver::ClauseRef Solver::materializeXorClause(std::vector<Lit> Lits) {
   // conflict analysis (Deleted only unhooks, it does not erase).
   C.Deleted = C.Lits.size() < 2;
   Clauses.push_back(std::move(C));
-  return static_cast<ClauseRef>(Clauses.size() - 1);
+  ClauseRef Ref = static_cast<ClauseRef>(Clauses.size() - 1);
+  // XOR-materialized clauses are derivations: the checker re-justifies
+  // them by GF(2) elimination of the header's x-rows.
+  proofDerive(Ref);
+  return Ref;
 }
 
 Solver::ClauseRef Solver::propagateFixpoint() {
@@ -178,6 +186,7 @@ void Solver::enqueue(Lit L, ClauseRef From) {
   Assigns[L.var()] = lboolOf(!L.negated());
   Reason[L.var()] = From;
   Level[L.var()] = decisionLevel();
+  TrailPosOf[L.var()] = static_cast<uint32_t>(Trail.size());
   Trail.push_back(L);
 }
 
@@ -285,12 +294,19 @@ void Solver::analyze(ClauseRef Confl, std::vector<Lit> &Learnt,
                      int32_t &BtLevel) {
   Learnt.clear();
   Learnt.push_back(Lit::undef()); // slot for the asserting literal
+  HintSteps.clear();
   int PathCount = 0;
   Lit P = Lit::undef();
   size_t TrailIdx = Trail.size();
 
   do {
     assert(Confl != NoReason && "analysis needs a reason");
+    if (ProofSink)
+      // Antecedent for the proof: the reason of P (keyed by P's trail
+      // position), or the conflicting clause itself on the first round
+      // (implying nothing, it sorts after every reason).
+      HintSteps.emplace_back(P.isUndef() ? UINT32_MAX : TrailPosOf[P.var()],
+                             Confl);
     Clause &C = Clauses[Confl];
     if (C.Learned)
       bumpClause(C);
@@ -327,7 +343,23 @@ void Solver::analyze(ClauseRef Confl, std::vector<Lit> &Learnt,
     if (Reason[Learnt[I].var()] == NoReason ||
         !litRedundant(Learnt[I], AbstractLevels))
       Learnt[KeepIdx++] = Learnt[I];
+    else if (ProofSink)
+      // The removed literal's whole justification cone joins the
+      // antecedents: a checker replaying the clause never assigns the
+      // literal, so it must re-derive it from the cone's reasons.
+      HintSteps.insert(HintSteps.end(), RedundantSteps.begin(),
+                       RedundantSteps.end());
   Learnt.resize(KeepIdx);
+
+  // Finalize the proof hints: antecedents ordered by the trail position
+  // of the literal they implied make every hint unit (then conflicting)
+  // in turn — each reason only cites literals assigned earlier on the
+  // trail, so by its turn all are either negated clause literals or
+  // already re-derived. An antecedent with no proof identity (an
+  // imported lemma) poisons the list; the checker then falls back to
+  // full propagation.
+  if (ProofSink)
+    finalizeHintIds(HintIds);
 
   // Find the backtrack level: the second-highest level in the clause.
   BtLevel = 0;
@@ -349,12 +381,15 @@ void Solver::analyze(ClauseRef Confl, std::vector<Lit> &Learnt,
 bool Solver::litRedundant(Lit L, uint32_t AbstractLevels) {
   // DFS over the implication graph: L is redundant if every path to a
   // decision passes through already-seen literals.
+  RedundantSteps.clear();
   std::vector<Lit> Stack = {L};
   std::vector<Var> ToClear;
   while (!Stack.empty()) {
     Lit Cur = Stack.back();
     Stack.pop_back();
     assert(Reason[Cur.var()] != NoReason);
+    if (ProofSink)
+      RedundantSteps.emplace_back(TrailPosOf[Cur.var()], Reason[Cur.var()]);
     const Clause &C = Clauses[Reason[Cur.var()]];
     for (size_t I = 1; I != C.size(); ++I) {
       Lit Q = C[I];
@@ -424,6 +459,9 @@ Solver::ClauseRef Solver::learnClause(std::vector<Lit> Lits) {
   C.Activity = ClauseInc;
   Clauses.push_back(std::move(C));
   ClauseRef Ref = static_cast<ClauseRef>(Clauses.size() - 1);
+  // Only ever called right after analyze(), whose antecedent hints
+  // justify exactly this clause.
+  proofDerive(Ref, HintIds);
   attachClause(Ref);
   ++Stats.LearnedClauses;
   return Ref;
@@ -447,8 +485,13 @@ void Solver::reduceDB() {
             [&](ClauseRef A, ClauseRef B) {
               return Clauses[A].Activity < Clauses[B].Activity;
             });
-  for (size_t I = 0; I != Candidates.size() / 2; ++I)
-    Clauses[Candidates[I]].Deleted = true;
+  for (size_t I = 0; I != Candidates.size() / 2; ++I) {
+    ClauseRef Victim = Candidates[I];
+    Clauses[Victim].Deleted = true;
+    if (ProofSink && static_cast<size_t>(Victim) < DeriveSerialOf.size() &&
+        DeriveSerialOf[Victim])
+      ProofSink->onRetire(DeriveSerialOf[Victim]);
+  }
 
   // Rebuild the watch lists without the deleted clauses. The fresh
   // watches land on the first two literals regardless of the current
@@ -478,17 +521,26 @@ void Solver::importSharedClauses() {
     for (size_t I = Before; I < Clauses.size(); ++I) {
       Clauses[I].Learned = true;
       Clauses[I].Activity = ClauseInc;
+      // An import is not a header record; as a hint antecedent it has no
+      // proof identity (proofs and pools do not combine anyway).
+      OriginIdOf[I] = 0;
     }
   }
 }
 
 void Solver::analyzeFinal(Lit Failed) {
   ConflictCore.clear();
+  ConflictCoreHints.clear();
   ConflictCore.push_back(Failed);
   if (decisionLevel() == 0 || Level[Failed.var()] == 0)
     return; // ~Failed is root-implied: the core is the assumption alone
   // Walk the reason cone of ~Failed down the trail; decisions reached
   // below the current (all-assumption) prefix are the used assumptions.
+  // The reasons crossed are the conclusion's proof hints: asserting the
+  // core, each becomes unit in trail order until the reason of ~Failed
+  // itself — whose head literal contradicts the asserted assumption —
+  // closes the replay with a conflict.
+  HintSteps.clear();
   Seen[Failed.var()] = 1;
   for (size_t I = Trail.size(); I-- > static_cast<size_t>(TrailLim[0]);) {
     Var V = Trail[I].var();
@@ -499,15 +551,20 @@ void Solver::analyzeFinal(Lit Failed) {
       ConflictCore.push_back(Trail[I]);
       continue;
     }
+    if (ProofSink)
+      HintSteps.emplace_back(TrailPosOf[V], Reason[V]);
     const Clause &C = Clauses[Reason[V]];
     for (size_t J = 0; J != C.size(); ++J)
       if (C[J].var() != V && Level[C[J].var()] > 0)
         Seen[C[J].var()] = 1;
   }
+  if (ProofSink)
+    finalizeHintIds(ConflictCoreHints);
 }
 
 SolveResult Solver::solve(const std::vector<Lit> &Assumptions) {
   ConflictCore.clear();
+  ConflictCoreHints.clear();
   if (!OkState)
     return SolveResult::Unsat;
   // Clause import must happen at the root; only pay the full backtrack
@@ -607,6 +664,13 @@ SolveResult Solver::solve(const std::vector<Lit> &Assumptions) {
           declareUnsatOnPrefixBackjump())
         return SolveResult::Unsat; // the re-introducible PR 1 bug (seam)
       if (Learnt.size() == 1) {
+        // Unit learnts bypass learnClause (no clause object), but they
+        // are derivations all the same — and the checker needs them as
+        // root facts for every later clause's unit-propagation replay.
+        if (ProofSink) {
+          ProofSink->onDerive(Learnt, HintIds);
+          ++DeriveCount;
+        }
         if (valueOf(Learnt[0]) == LBool::False) {
           OkState = false;
           return SolveResult::Unsat;

@@ -20,10 +20,13 @@
 #include "sat/SatTypes.h"
 #include "support/Rng.h"
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <mutex>
 #include <optional>
+#include <span>
+#include <utility>
 #include <vector>
 
 namespace veriqec::sat {
@@ -82,6 +85,34 @@ private:
   std::atomic<bool> Full{false};
   mutable std::mutex Mutex;
   std::vector<std::pair<int, std::vector<Lit>>> Entries;
+};
+
+/// Observer of the solver's clause derivations, the hook proof logging
+/// hangs on (proof/ProofLog.h implements it). Every clause the solver
+/// derives — CDCL learnt clauses (units included), clauses materialized
+/// by the XOR engine as reasons or conflicts, and root implications of
+/// the XOR system — is reported through onDerive() in derivation order;
+/// the n-th reported clause has serial n (1-based), and onRetire() names
+/// that serial when reduceDB drops the clause. Clauses added through
+/// addClause() are NOT reported: they are the problem statement, which
+/// the proof header already carries.
+///
+/// \p Hints, when non-empty, are the LRAT-style antecedents of a CDCL
+/// learnt clause: the clauses conflict analysis actually resolved,
+/// ordered so a checker that asserts the clause's negation can derive a
+/// unit from each hint in turn and reach a conflict at the last — no
+/// watched-literal search needed. Positive hints name earlier
+/// derivations by serial; negative hints name header clauses (-k is the
+/// k-th clause record of the problem statement). Hints are an
+/// accelerator only: a checker unable to use them (or a derivation
+/// reported without them, like XOR materializations) falls back to full
+/// reverse unit propagation.
+class ClauseProofSink {
+public:
+  virtual ~ClauseProofSink() = default;
+  virtual void onDerive(const std::vector<Lit> &Lits,
+                        std::span<const int64_t> Hints = {}) = 0;
+  virtual void onRetire(uint64_t Serial) = 0;
 };
 
 /// Aggregate statistics for benchmarking and diagnostics.
@@ -213,6 +244,13 @@ public:
     TieRng = Rng(Seed);
   }
 
+  /// Installs (or clears, with nullptr) a derivation observer. Attach
+  /// before the first solve() call on a freshly loaded solver, so the
+  /// observer sees every derived clause from serial 1; do not combine
+  /// with attachSharedPool — imported clauses enter through addClause
+  /// and would be invisible to the proof. Not owned.
+  void setProofSink(ClauseProofSink *Sink) { ProofSink = Sink; }
+
   /// After solve() returned Unsat: the subset of that call's assumptions
   /// the refutation actually used (the failed core, MiniSat's
   /// analyzeFinal). An empty core means the clause database refutes the
@@ -221,6 +259,16 @@ public:
   /// distance search to stop tightening a weight selector that no longer
   /// matters. Contents are unspecified after Sat/Aborted.
   const std::vector<Lit> &conflictCore() const { return ConflictCore; }
+
+  /// Proof hints justifying conflictCore(): the reason clauses of the
+  /// refutation cone, ordered so each becomes unit in turn when the core
+  /// is asserted (the last one conflicting). Empty when no sink is
+  /// attached, when the core came without a cone (root-implied), or when
+  /// an antecedent has no proof identity. Same id scheme as derivation
+  /// hints; the proof's q records carry them.
+  const std::vector<int64_t> &conflictCoreHints() const {
+    return ConflictCoreHints;
+  }
 
   const SolverStats &stats() const { return Stats; }
 
@@ -274,6 +322,9 @@ private:
   std::vector<bool> SavedPhase;
   std::vector<ClauseRef> Reason;
   std::vector<int32_t> Level;
+  /// Trail index of each assigned variable (stale for unassigned ones);
+  /// conflict analysis sorts proof hints by it.
+  std::vector<uint32_t> TrailPosOf;
   std::vector<Lit> Trail;
   std::vector<int32_t> TrailLim;
   size_t PropagateHead = 0;
@@ -300,6 +351,72 @@ private:
   uint32_t PoolMaxShareLen = 8;
   size_t PoolCursor = 0;
   SolverStats Stats;
+
+  /// Proof logging (null = off, the default: the hooks below then cost
+  /// one pointer test each).
+  ClauseProofSink *ProofSink = nullptr;
+  /// Count of derivations reported to the sink; the serial of the most
+  /// recent one.
+  uint64_t DeriveCount = 0;
+  /// Derivation serial per clause index (0 = not a reported derivation);
+  /// lazily sized, only while a sink is attached.
+  std::vector<uint64_t> DeriveSerialOf;
+  /// 1-based addClause() sequence number per clause index (0 = not an
+  /// addClause clause). For clauses stored while the problem statement
+  /// loads, this is exactly the clause's record index in the proof
+  /// header, which is what a negative proof hint names.
+  std::vector<uint32_t> OriginIdOf;
+  /// Count of addClause() calls (stored or simplified away).
+  uint32_t AddClauseSeq = 0;
+  /// Scratch for conflict analysis: the antecedents of the current
+  /// conflict as (trail position of the implied literal, clause) pairs
+  /// (the conflicting clause itself implies nothing and sorts last), and
+  /// the hint ids they map to. Only filled while a sink is attached.
+  std::vector<std::pair<uint32_t, ClauseRef>> HintSteps;
+  std::vector<std::pair<uint32_t, ClauseRef>> RedundantSteps;
+  std::vector<int64_t> HintIds;
+  std::vector<int64_t> ConflictCoreHints;
+
+  /// Reports \p Ref 's literals to the proof sink and binds its serial
+  /// (for the retirement notice when reduceDB drops it).
+  void proofDerive(ClauseRef Ref, std::span<const int64_t> Hints = {}) {
+    if (!ProofSink)
+      return;
+    ProofSink->onDerive(Clauses[Ref].Lits, Hints);
+    DeriveSerialOf.resize(Clauses.size(), 0);
+    DeriveSerialOf[Ref] = ++DeriveCount;
+  }
+
+  /// The proof-hint id of \p Ref: its derivation serial (positive), its
+  /// header record index (negative), or 0 when the clause is neither — a
+  /// lemma imported from a sibling's pool, say — which poisons the
+  /// conflict's hint list (the checker falls back to full propagation).
+  int64_t proofHintIdOf(ClauseRef Ref) const {
+    if (static_cast<size_t>(Ref) < DeriveSerialOf.size() &&
+        DeriveSerialOf[Ref])
+      return static_cast<int64_t>(DeriveSerialOf[Ref]);
+    if (static_cast<size_t>(Ref) < OriginIdOf.size() && OriginIdOf[Ref])
+      return -static_cast<int64_t>(OriginIdOf[Ref]);
+    return 0;
+  }
+
+  /// Sorts the collected HintSteps into replay order (ascending trail
+  /// position of the implied literal), dedups, and maps them to hint
+  /// ids in \p Out. One unmappable antecedent clears the whole list.
+  void finalizeHintIds(std::vector<int64_t> &Out) {
+    std::sort(HintSteps.begin(), HintSteps.end());
+    HintSteps.erase(std::unique(HintSteps.begin(), HintSteps.end()),
+                    HintSteps.end());
+    Out.clear();
+    for (const auto &[Pos, Ref] : HintSteps) {
+      int64_t Id = proofHintIdOf(Ref);
+      if (Id == 0) {
+        Out.clear();
+        return;
+      }
+      Out.push_back(Id);
+    }
+  }
 
   // Scratch used by conflict analysis.
   std::vector<uint8_t> Seen;

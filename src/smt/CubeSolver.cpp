@@ -9,6 +9,7 @@
 
 #include "smt/CubeSolver.h"
 
+#include "proof/ProofLog.h"
 #include "support/Assert.h"
 #include "support/Timer.h"
 
@@ -30,9 +31,11 @@ VerificationProblem::VerificationProblem(const BoolContext &Ctx_, ExprRef Root,
   for (const std::string &Name : Opts.ProtectedVars)
     PO.KeepVarIds.push_back(Ctx_.varIdOf(Name));
   PO.KeepUsedExprs = Opts.BudgetTerms;
+  PO.CaptureOriginalRows = Opts.CaptureProofData;
   PreprocessedFormula P = preprocess(Ctx_, Root, PO);
   Prep = P.Stats;
   TriviallyUnsat = P.TriviallyUnsat;
+  OriginalRows = std::move(P.OriginalRows);
   Eliminated = std::move(P.Eliminated);
   Pruner = ParityPropagator(P.Rows);
   PruneByElimination = Opts.NativeXor;
@@ -183,6 +186,7 @@ ProblemOptions veriqec::smt::makeProblemOptions(const BoolContext &Ctx,
     // Every consumer hardens the bound at the root (assertWeightBound),
     // so counters past it are dead weight.
     PO.CounterCap = static_cast<size_t>(Opts.BudgetBound) + 1;
+  PO.CaptureProofData = Opts.LogProofs;
   return PO;
 }
 
@@ -197,11 +201,16 @@ SolveOutcome veriqec::smt::solveExpr(const BoolContext &Ctx, ExprRef Root,
   Outcome.CnfClauses = Problem.Cnf.Clauses.size();
   if (Problem.TriviallyUnsat) {
     Outcome.Result = SolveResult::Unsat;
+    if (Opts.LogProofs)
+      Outcome.Proof = proof::buildTrivialProof(Problem);
     Outcome.SolveSeconds = Clock.seconds();
     return Outcome;
   }
 
   sat::Solver S = Problem.makeSolver();
+  proof::SlotProofLog Log;
+  if (Opts.LogProofs)
+    S.setProofSink(&Log);
   // One bound per solver: harden it at the root (encode-once, activate
   // per solver; the CnfFormula itself stays bound-independent).
   if (!Opts.BudgetVars.empty())
@@ -214,6 +223,16 @@ SolveOutcome veriqec::smt::solveExpr(const BoolContext &Ctx, ExprRef Root,
   Outcome.Stats = S.stats();
   if (Outcome.Result == SolveResult::Sat)
     Problem.readModel(S, Outcome.Model);
+  else if (Outcome.Result == SolveResult::Unsat && Opts.LogProofs) {
+    // No assumptions were used, so the clause database alone refutes
+    // the problem: one stream, one empty-core conclusion.
+    Log.logConclusion({}, {});
+    const std::string Streams[] = {Log.drain()};
+    Outcome.Proof = proof::assembleProof(
+        proof::buildProofHeader(Problem, !Opts.BudgetVars.empty(),
+                                Opts.BudgetBound),
+        Streams, std::nullopt);
+  }
   Outcome.SolveSeconds = Clock.seconds();
   return Outcome;
 }

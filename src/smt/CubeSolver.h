@@ -66,6 +66,11 @@ struct SolveOutcome {
   uint32_t SplitThresholdUsed = 0;
   /// Wall time of the SAT discharge (excludes VC assembly).
   double SolveSeconds = 0;
+  /// With SolveOptions::LogProofs and an Unsat result: the assembled
+  /// clause proof (proof/ProofLog.h format), checkable by
+  /// proof::checkProof or the standalone veriqec-check tool. Empty
+  /// otherwise (Sat verdicts carry their model as the certificate).
+  std::string Proof;
 };
 
 /// Native XOR policy. On keeps the preprocessor's parity rows as
@@ -94,6 +99,11 @@ struct SolveOptions {
   /// worker derives its own stream from this), making runs reproducible
   /// for fuzzing; 0 keeps the deterministic pure-VSIDS order.
   uint64_t RandomSeed = 0;
+  /// Emit a machine-checkable clause proof for Unsat outcomes
+  /// (SolveOutcome::Proof). Logging disables the shared learnt-clause
+  /// pool — imported lemmas are not replayable from one stream — and
+  /// costs derivation bookkeeping, so it is opt-in.
+  bool LogProofs = false;
 
   /// Assumption-activated weight layer: when BudgetVars is non-empty the
   /// Root expression must NOT contain the corresponding cardinality atom;
@@ -148,6 +158,10 @@ struct ProblemOptions {
   /// shrinks the cardinality machinery from O(n^2) to O(n*Cap). Leave 0
   /// for searches that probe many bounds (distance mode).
   size_t CounterCap = 0;
+  /// Capture the data proof emission needs (the preprocessor's original
+  /// parity rows, VerificationProblem::OriginalRows). The resolved form
+  /// of SolveOptions::LogProofs.
+  bool CaptureProofData = false;
 };
 
 /// The reusable middle of the verification pipeline: one (context, root)
@@ -177,6 +191,10 @@ struct VerificationProblem {
   /// The preprocessor refuted the conjunction outright; the CNF is empty
   /// and no solver needs to run.
   bool TriviallyUnsat = false;
+  /// With ProblemOptions::CaptureProofData: the parity rows as lifted
+  /// from the conjunction before reduction, the base of the proof
+  /// header's replay records. Empty otherwise.
+  std::vector<ParityRow> OriginalRows;
   PreprocessStats Prep;
 
   VerificationProblem(const BoolContext &Ctx, ExprRef Root,
@@ -221,6 +239,14 @@ struct VerificationProblem {
   /// provably inconsistent with the preprocessor's reduced parity rows —
   /// the cube is UNSAT without any SAT call.
   bool cubeRefuted(std::span<const sat::Lit> Cube) const;
+
+  /// Proof-header accessors (proof/ProofLog.h): the kept parity rows the
+  /// cube pruner runs on, and the eliminated-variable records, both in
+  /// BoolContext variable space.
+  const std::vector<ParityRow> &keptRows() const { return Pruner.rows(); }
+  const std::vector<VarReconstruction> &reconstructions() const {
+    return Eliminated;
+  }
 
 private:
   /// The wire codec rebuilds instances field-by-field (dist/Codec.cpp).

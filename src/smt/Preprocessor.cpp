@@ -77,6 +77,8 @@ PreprocessedFormula veriqec::smt::preprocess(const BoolContext &Ctx,
     if (!RootNode.ConstVal) {
       Out.TriviallyUnsat = true;
       Out.Stats.TriviallyUnsat = true;
+      if (Opts.CaptureOriginalRows)
+        Out.OriginalRows.push_back({{}, true}); // the lift of "false"
     }
     return Out; // true: empty conjunction
   }
@@ -103,6 +105,8 @@ PreprocessedFormula veriqec::smt::preprocess(const BoolContext &Ctx,
   }
   Out.Stats.LinearConjuncts = Linear.size();
   Out.Stats.ResidueConjuncts = Out.Residue.size();
+  if (Opts.CaptureOriginalRows)
+    Out.OriginalRows = Linear;
   if (Linear.empty())
     return Out;
 

@@ -12,6 +12,8 @@
 #include "dist/Worker.h"
 #include "engine/CubeEngine.h"
 #include "engine/VerificationEngine.h"
+#include "proof/ProofCheck.h"
+#include "proof/ProofLog.h"
 #include "sim/SamplingTester.h"
 #include "support/Timer.h"
 #include "testing/BruteForceOracle.h"
@@ -61,6 +63,25 @@ void validateModel(const FuzzCase &C, const VerifyOptions &VO,
                                    CC.Why);
 }
 
+/// The proof oracle (HarnessOptions::CheckProofs): every verified
+/// verdict must come with a clause proof the independent checker
+/// accepts. Rejected proofs are kept verbatim for artifact dumping.
+void checkProofOracle(const std::string &Config, const std::string &Proof,
+                      CaseReport &Report) {
+  if (Proof.empty()) {
+    Report.Discrepancies.push_back(Config +
+                                   ": verified verdict carries no proof");
+    return;
+  }
+  proof::CheckResult CR = proof::checkProof(Proof);
+  if (!CR.Ok) {
+    Report.Discrepancies.push_back(Config + ": proof rejected: " + CR.Error);
+    Report.RejectedProofs.emplace_back(Config, Proof);
+    return;
+  }
+  ++Report.ProofsChecked;
+}
+
 /// The harness's own cube discharge: one reused solver (from the
 /// injectable factory) walks the ET cube enumeration under assumptions —
 /// the exact reuse pattern that exposed the PR 1 soundness bug — with
@@ -86,8 +107,13 @@ ConfigVerdict runDirectReuse(const FuzzCase &C, const VerifyOptions &VO,
   PO.Preprocess = true;
   PO.NativeXor = true;
   PO.ProtectedVars = C.Scn.ErrorVars;
+  // The proof header replays the preprocessor's GF(2) bridge, which
+  // needs the original rows captured at encode time.
+  PO.CaptureProofData = O.CheckProofs;
   VerificationProblem Enc(Ctx, Vc.NegatedVc, PO);
   if (Enc.TriviallyUnsat) {
+    if (O.CheckProofs)
+      checkProofOracle(Out.Name, proof::buildTrivialProof(Enc), Report);
     Out.Verdict = 'V';
     return Out;
   }
@@ -100,11 +126,16 @@ ConfigVerdict runDirectReuse(const FuzzCase &C, const VerifyOptions &VO,
       SplitVars, Dist, static_cast<uint32_t>(C.Scn.NumQubits),
       C.Scn.MaxErrors);
 
+  // The proof sink must outlive the solver holding the raw pointer.
+  proof::SlotProofLog Log;
+  uint64_t Concluded = 0;
   std::unique_ptr<sat::Solver> Reused =
       O.SolverFactory ? O.SolverFactory() : std::make_unique<sat::Solver>();
   Enc.loadInto(*Reused);
   if (O.RandomSeed)
     Reused->setRandomSeed(O.RandomSeed);
+  if (O.CheckProofs)
+    Reused->setProofSink(&Log);
 
   bool Recheck = O.RecheckUnsatCubes && Cubes.size() <= O.MaxCubesRecheck;
   for (size_t I = 0; I != Cubes.size(); ++I) {
@@ -120,6 +151,11 @@ ConfigVerdict runDirectReuse(const FuzzCase &C, const VerifyOptions &VO,
       Out.Verdict = 'A';
       return Out;
     }
+    if (O.CheckProofs) {
+      Log.logConclusion(Reused->conflictCore(), Cubes[I],
+                        Reused->conflictCoreHints());
+      ++Concluded;
+    }
     if (Recheck) {
       sat::Solver Fresh = Enc.makeSolver();
       if (Fresh.solve(Cubes[I]) == sat::SolveResult::Sat) {
@@ -134,6 +170,19 @@ ConfigVerdict runDirectReuse(const FuzzCase &C, const VerifyOptions &VO,
         return Out;
       }
     }
+  }
+  // The proof oracle on the direct-reuse stream: this is the
+  // configuration that runs the injectable (possibly planted-buggy)
+  // solver, so a corrupted derivation — e.g. an under-justified XOR
+  // reason from the corruptXorReasonClause seam — surfaces here as a
+  // rejected addition even when every verdict agrees.
+  if (O.CheckProofs) {
+    const std::string Streams[] = {Log.drain()};
+    checkProofOracle(Out.Name,
+                     proof::assembleProof(proof::buildProofHeader(
+                                              Enc, /*HardenBudget=*/false, 0),
+                                          Streams, Concluded),
+                     Report);
   }
   Out.Verdict = 'V';
   return Out;
@@ -151,6 +200,7 @@ CaseReport veriqec::testing::runDifferential(const FuzzCase &C,
   VerifyOptions Base;
   Base.RandomSeed = O.RandomSeed;
   Base.ExtraConstraint = C.Constraint.builder(C.Scn);
+  Base.LogProofs = O.CheckProofs;
 
   struct EngineConfig {
     std::string Name;
@@ -224,6 +274,8 @@ CaseReport veriqec::testing::runDifferential(const FuzzCase &C,
     V.Detail = R.Error;
     if (V.Verdict == 'F' && !R.CounterExample.empty())
       validateModel(C, Cfg.Opts, Cfg.Name, R.CounterExample, Report);
+    if (V.Verdict == 'V' && O.CheckProofs)
+      checkProofOracle(Cfg.Name, R.Proof, Report);
     Report.Verdicts.push_back(std::move(V));
   }
 
@@ -249,6 +301,8 @@ CaseReport veriqec::testing::runDifferential(const FuzzCase &C,
       V.Detail = R.Error;
       if (V.Verdict == 'F' && !R.CounterExample.empty())
         validateModel(C, VO, V.Name, R.CounterExample, Report);
+      if (V.Verdict == 'V' && O.CheckProofs)
+        checkProofOracle(V.Name, R.Proof, Report);
     }
     Coord.shutdownWorkers();
     for (std::thread &T : Threads)

@@ -55,6 +55,11 @@ struct HarnessOptions {
   /// broadcast, model read-back on the worker side), cross-checked
   /// against every other configuration. 0 disables.
   size_t DistWorkers = 2;
+  /// The proof oracle: force clause-proof logging in every engine
+  /// configuration and replay each verified verdict's proof with the
+  /// independent checker. A verified verdict whose proof is missing or
+  /// rejected is a discrepancy like any other.
+  bool CheckProofs = false;
 };
 
 /// Verdict letters: V = verified, F = counterexample found, A = aborted,
@@ -76,6 +81,12 @@ struct CaseReport {
   bool BruteRan = false;
   uint64_t BruteExecutions = 0;
   bool SamplingRan = false;
+  /// Proofs the proof oracle replayed successfully (CheckProofs only).
+  uint64_t ProofsChecked = 0;
+  /// Proofs the checker rejected, as (configuration, proof text) — kept
+  /// verbatim so a fuzz driver can save the offending certificate next
+  /// to the failing seed.
+  std::vector<std::pair<std::string, std::string>> RejectedProofs;
   double Seconds = 0;
 
   bool clean() const { return Discrepancies.empty(); }

@@ -13,6 +13,7 @@
 
 #include "dist/Coordinator.h"
 #include "engine/VerificationEngine.h"
+#include "proof/ProofLog.h"
 #include "support/Timer.h"
 
 #include <algorithm>
@@ -145,6 +146,7 @@ DetectionResult veriqec::verifyDetection(const StabilizerCode &Code,
   SO.Xor = Opts.Xor;
   SO.ConflictBudget = Opts.ConflictBudget;
   SO.RandomSeed = Opts.RandomSeed;
+  SO.LogProofs = Opts.LogProofs;
   SolveOutcome Outcome;
   ExprRef Root = Ctx.mkAnd(std::move(Cs));
   if (Opts.Parallel) {
@@ -167,6 +169,7 @@ DetectionResult veriqec::verifyDetection(const StabilizerCode &Code,
   Result.Stats = Outcome.Stats;
   Result.Detects = Outcome.Result == sat::SolveResult::Unsat;
   Result.Aborted = Outcome.Result == sat::SolveResult::Aborted;
+  Result.Proof = std::move(Outcome.Proof);
   if (Outcome.Result == sat::SolveResult::Sat)
     Result.CounterExample = pauliFromModel(Outcome.Model, N);
   Result.Seconds = Clock.seconds();
@@ -200,6 +203,7 @@ DistanceResult veriqec::computeDistance(const StabilizerCode &Code,
   // the registry are intractable without it — see BENCH_table3.json).
   PO.NativeXor = Opts.Xor != XorMode::Off;
   PO.BudgetTerms = D.Support;
+  PO.CaptureProofData = Opts.LogProofs;
   VerificationProblem Problem(D.Ctx, D.Ctx.mkAnd(D.Constraints), PO);
   Result.Prep = Problem.Prep;
   Result.CnfVars = Problem.Cnf.NumVars;
@@ -216,6 +220,9 @@ DistanceResult veriqec::computeDistance(const StabilizerCode &Code,
   // fleet's slot solver behind an open problem handle (the assumptions
   // ride inside a one-cube batch). Either way learnt clauses survive
   // across bounds.
+  proof::SlotProofLog DistLog; // declared before Local: the solver keeps
+                               // a raw pointer to it until destruction
+  uint64_t UnsatProbes = 0;
   std::optional<sat::Solver> Local;
   std::shared_ptr<smt::VerificationProblem> Shipped;
   uint32_t Handle = 0;
@@ -224,9 +231,12 @@ DistanceResult veriqec::computeDistance(const StabilizerCode &Code,
     engine::CubeRunConfig Cfg;
     Cfg.ConflictBudget = Opts.ConflictBudget;
     Cfg.RandomSeed = Opts.RandomSeed;
+    Cfg.LogProofs = Opts.LogProofs;
     Handle = Remote->openProblem(Shipped, Cfg);
   } else {
     Local.emplace(Problem.makeSolver());
+    if (Opts.LogProofs)
+      Local->setProofSink(&DistLog);
     if (Opts.ConflictBudget)
       Local->setConflictBudget(Opts.ConflictBudget);
     if (Opts.RandomSeed)
@@ -244,11 +254,21 @@ DistanceResult veriqec::computeDistance(const StabilizerCode &Code,
           Remote->solveCubes(Handle, {std::move(Assumptions)});
       // Per-call statistics deltas accumulate into the search total.
       Result.Stats += O.Stats;
+      if (O.Result == sat::SolveResult::Unsat && !O.Proof.empty())
+        // Streams are cumulative across probes (the remote slot solvers
+        // persist), so the LAST UNSAT probe's certificate covers every
+        // earlier one too.
+        Result.Proof = std::move(O.Proof);
       if (O.Result == sat::SolveResult::Sat)
         Model = std::move(O.Model);
       return O.Result;
     }
     sat::SolveResult R = Local->solve(Assumptions);
+    if (R == sat::SolveResult::Unsat && Opts.LogProofs) {
+      DistLog.logConclusion(Local->conflictCore(), Assumptions,
+                            Local->conflictCoreHints());
+      ++UnsatProbes;
+    }
     if (R == sat::SolveResult::Sat)
       Prob.readModel(*Local, Model);
     return R;
@@ -262,10 +282,20 @@ DistanceResult veriqec::computeDistance(const StabilizerCode &Code,
     return W;
   };
   auto finish = [&](sat::SolveResult R) {
-    if (!Remote)
+    if (!Remote) {
       Result.Stats = Local->stats();
-    else
+      if (Opts.LogProofs) {
+        // One persistent solver = one stream; every UNSAT probe's
+        // assumption set is a distinct concluded cube (distinct bounds
+        // select distinct counter literals).
+        const std::string Streams[] = {DistLog.drain()};
+        Result.Proof = proof::assembleProof(
+            proof::buildProofHeader(Prob, /*HardenBudget=*/false, 0),
+            Streams, UnsatProbes);
+      }
+    } else {
       Remote->closeProblem(Handle);
+    }
     Result.Aborted = R == sat::SolveResult::Aborted;
     Result.Seconds = Clock.seconds();
   };

@@ -58,6 +58,11 @@ struct VerifyOptions {
   /// Optional user error constraint (locality/discreteness, Section 7.2),
   /// conjoined with the assumptions.
   std::function<smt::ExprRef(smt::BoolContext &)> ExtraConstraint;
+  /// Emit a machine-checkable clause proof for UNSAT verdicts (the
+  /// Proof fields of the result structs), independently replayable with
+  /// proof::checkProof / the veriqec-check tool. Disables cross-slot
+  /// learnt-clause sharing and adds logging overhead.
+  bool LogProofs = false;
 };
 
 /// Result of a verification run.
@@ -90,6 +95,9 @@ struct VerificationResult {
   uint32_t SplitThresholdUsed = 0;
   size_t NumGoals = 0;
   double Seconds = 0;
+  /// With VerifyOptions::LogProofs and Verified: the clause proof of the
+  /// negated VC's unsatisfiability (empty otherwise).
+  std::string Proof;
 };
 
 /// Verifies one scenario. Facade over engine::VerificationEngine: the
@@ -115,6 +123,8 @@ struct DetectionResult {
   std::optional<Pauli> CounterExample;
   sat::SolverStats Stats;
   double Seconds = 0;
+  /// With VerifyOptions::LogProofs and Detects: the clause proof.
+  std::string Proof;
 };
 
 DetectionResult verifyDetection(const StabilizerCode &Code, size_t MaxWeight,
@@ -146,6 +156,11 @@ struct DistanceResult {
   /// Parity rows the solver carries natively (0 with --xor off).
   size_t XorRows = 0;
   double Seconds = 0;
+  /// With VerifyOptions::LogProofs and Ok: one certificate covering
+  /// every UNSAT probe of the search — each probe's weight-bound
+  /// assumption set is a concluded cube. SAT probes are witnessed by
+  /// the returned model, not the proof.
+  std::string Proof;
 };
 
 /// Computes the code distance by incremental binary search over the

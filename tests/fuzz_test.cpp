@@ -222,20 +222,29 @@ TEST(DifferentialHarness, CatchesReintroducedAssumptionPrefixBug) {
 }
 
 TEST(DifferentialHarness, CatchesPlantedXorReasonCorruption) {
+  // With the proof oracle on, the forgery need not even flip a verdict
+  // to be caught: the under-justified XOR reason clause is logged as a
+  // derivation, and the checker's GF(2) replay refuses it because the
+  // dropped dependency leaves the clause outside the x-rows' span.
   FuzzerOptions FO;
   FO.MaxQubits = 9;
   HarnessOptions HO;
   HO.Jobs = 2;
   HO.SamplingTrials = 0; // isolate the solver-level oracles
   HO.BruteBudget = 50000;
+  HO.CheckProofs = true;
   HO.SolverFactory = [] { return std::make_unique<BuggyXorReasonSolver>(); };
-  bool Caught = false;
-  for (uint64_t Seed = 1; Seed <= 40 && !Caught; ++Seed) {
+  bool Caught = false, CaughtByProof = false;
+  for (uint64_t Seed = 1; Seed <= 40 && !CaughtByProof; ++Seed) {
     FuzzCase C = generateFuzzCase(Seed, FO);
     HO.RandomSeed = Seed;
     CaseReport R = runDifferential(C, HO);
-    Caught = !R.clean();
+    Caught |= !R.clean();
+    for (const std::string &D : R.Discrepancies)
+      CaughtByProof |= D.find("proof rejected") != std::string::npos;
   }
   EXPECT_TRUE(Caught)
       << "the harness failed to expose the planted XOR reason corruption";
+  EXPECT_TRUE(CaughtByProof)
+      << "the proof oracle never rejected an under-justified XOR reason";
 }

@@ -24,6 +24,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <string>
 #include <vector>
@@ -45,6 +46,12 @@ struct FuzzCliOptions {
   bool Json = false;
   bool Verbose = false;
   std::string OutFailures;
+  /// Proof oracle: every verified verdict of every configuration must
+  /// come with a clause proof the independent checker accepts.
+  bool CheckProofs = false;
+  /// Where to dump proofs the checker rejected (next to the failing
+  /// seed in --out-failures, for CI artifact upload).
+  std::string ProofDir;
 };
 
 void printUsage(std::FILE *To) {
@@ -63,6 +70,11 @@ void printUsage(std::FILE *To) {
       "  --brute-budget N   brute-force oracle replay cap (default 300000)\n"
       "  --samples N        sampling-refuter trials, 0 = off (default 1500)\n"
       "  --out-failures F   append failing seeds to file F, one per line\n"
+      "  --check-proofs     proof oracle: log clause proofs in every\n"
+      "                     configuration and replay each verified\n"
+      "                     verdict's proof with the independent checker\n"
+      "  --proof-dir DIR    write rejected proofs to DIR (one file per\n"
+      "                     seed and configuration)\n"
       "  --json             machine-readable report on stdout\n"
       "  --verbose          print every case, not just failures\n");
 }
@@ -124,6 +136,12 @@ int main(int Argc, char **Argv) {
       if (!(V = needValue(I)))
         return 2;
       Cli.OutFailures = *V;
+    } else if (A == "--check-proofs") {
+      Cli.CheckProofs = true;
+    } else if (A == "--proof-dir") {
+      if (!(V = needValue(I)))
+        return 2;
+      Cli.ProofDir = *V;
     } else if (A == "--help" || A == "-h") {
       printUsage(stdout);
       return 0;
@@ -146,9 +164,10 @@ int main(int Argc, char **Argv) {
   HO.BruteBudget = Cli.BruteBudget;
   HO.SamplingTrials = Cli.SamplingTrials;
   HO.DistWorkers = Cli.DistWorkers;
+  HO.CheckProofs = Cli.CheckProofs;
 
   uint64_t Clean = 0, Verified = 0, Failed = 0, Other = 0;
-  uint64_t BruteRuns = 0, SamplingRuns = 0;
+  uint64_t BruteRuns = 0, SamplingRuns = 0, ProofsChecked = 0;
   double Seconds = 0;
   std::vector<uint64_t> FailingSeeds;
 
@@ -167,9 +186,23 @@ int main(int Argc, char **Argv) {
     Other += Report.Consensus != 'V' && Report.Consensus != 'F';
     BruteRuns += Report.BruteRan;
     SamplingRuns += Report.SamplingRan;
+    ProofsChecked += Report.ProofsChecked;
     Seconds += Report.Seconds;
     if (!Report.clean())
       FailingSeeds.push_back(Seed);
+
+    // Save any proof the checker rejected: the certificate itself is the
+    // bug report, so it rides along as a CI artifact next to the seed.
+    if (!Report.RejectedProofs.empty() && !Cli.ProofDir.empty()) {
+      std::error_code Ec;
+      std::filesystem::create_directories(Cli.ProofDir, Ec);
+      for (const auto &[Config, Proof] : Report.RejectedProofs) {
+        std::string Path = Cli.ProofDir + "/seed-" + std::to_string(Seed) +
+                           "-" + Config + ".proof";
+        std::ofstream Out(Path, std::ios::binary);
+        Out << Proof;
+      }
+    }
 
     if (Cli.Json) {
       std::printf("  {\"seed\": %llu, \"case\": \"%s\", "
@@ -202,7 +235,7 @@ int main(int Argc, char **Argv) {
   } else {
     std::printf("fuzz: %llu cases (%llu verified, %llu refuted, %llu "
                 "other), %llu clean, %llu discrepant; oracle coverage: "
-                "%llu brute, %llu sampling; %.1f s\n",
+                "%llu brute, %llu sampling, %llu proofs; %.1f s\n",
                 static_cast<unsigned long long>(Cli.Seeds),
                 static_cast<unsigned long long>(Verified),
                 static_cast<unsigned long long>(Failed),
@@ -210,7 +243,8 @@ int main(int Argc, char **Argv) {
                 static_cast<unsigned long long>(Clean),
                 static_cast<unsigned long long>(Cli.Seeds - Clean),
                 static_cast<unsigned long long>(BruteRuns),
-                static_cast<unsigned long long>(SamplingRuns), Seconds);
+                static_cast<unsigned long long>(SamplingRuns),
+                static_cast<unsigned long long>(ProofsChecked), Seconds);
     for (uint64_t Seed : FailingSeeds)
       std::printf("reproduce with: veriqec-fuzz --seeds 1 --seed %llu\n",
                   static_cast<unsigned long long>(Seed));

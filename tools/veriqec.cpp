@@ -21,6 +21,7 @@
 #include "dist/Worker.h"
 #include "engine/VerificationEngine.h"
 #include "prog/Parser.h"
+#include "proof/ProofCheck.h"
 #include "qec/Codes.h"
 #include "support/Json.h"
 #include "support/Rng.h"
@@ -30,6 +31,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <memory>
 #include <optional>
@@ -66,6 +68,13 @@ struct CliOptions {
   uint64_t Seed = 0;
   bool Json = false;
   std::string BenchOut;
+  /// Proof-emitting verification: log clause proofs and replay every
+  /// UNSAT verdict's proof in-process after the run (verify/distance).
+  bool CheckProofs = false;
+  /// Dump each UNSAT verdict's proof to this directory (implies proof
+  /// logging); the CI mutation smoke corrupts these and feeds them to
+  /// veriqec-check.
+  std::string ProofDir;
   /// Distributed execution: "loopback:N" runs N in-process workers over
   /// the full codec + scheduler path (verify and distance commands).
   std::string Dist;
@@ -141,7 +150,16 @@ void printUsage(std::FILE *To) {
       "  --json                machine-readable results on stdout\n"
       "  --bench-out FILE      write per-scenario benchmark records\n"
       "                        (wall-clock, conflicts, cubes, encoder and\n"
-      "                        preprocessor stats) as JSON to FILE\n");
+      "                        preprocessor stats) as JSON to FILE\n"
+      "\n"
+      "proofs (verify and distance):\n"
+      "  --check-proofs        log machine-checkable clause proofs and\n"
+      "                        replay every UNSAT verdict's proof after\n"
+      "                        the run (exit 2 if any proof is rejected\n"
+      "                        or missing)\n"
+      "  --proof-dir DIR       write each UNSAT verdict's proof to\n"
+      "                        DIR/<name>.proof (implies proof logging;\n"
+      "                        check offline with veriqec-check)\n");
 }
 
 bool splitList(const std::string &Arg, std::vector<std::string> &Out) {
@@ -280,6 +298,45 @@ bool setupDist(const CliOptions &Cli, DistContext &Ctx) {
     return false;
   }
   return true;
+}
+
+// -- Proof handling ----------------------------------------------------------
+
+/// Post-run proof handling for one UNSAT verdict (--check-proofs /
+/// --proof-dir): dumps the proof when a directory was given and replays
+/// it in-process when checking was requested. Returns 0 on success, 2
+/// when the proof is missing, unwritable or rejected.
+int handleProof(const CliOptions &Cli, const std::string &Name,
+                const std::string &Proof) {
+  if (Proof.empty()) {
+    // Proof logging was on and the verdict was UNSAT, so an empty proof
+    // is itself a pipeline bug — exactly what --check-proofs gates on.
+    if (Cli.CheckProofs) {
+      std::fprintf(stderr, "veriqec: %s: UNSAT verdict carries no proof\n",
+                   Name.c_str());
+      return 2;
+    }
+    return 0;
+  }
+  if (!Cli.ProofDir.empty()) {
+    std::error_code Ec;
+    std::filesystem::create_directories(Cli.ProofDir, Ec);
+    std::string Path = Cli.ProofDir + "/" + Name + ".proof";
+    std::ofstream Out(Path, std::ios::binary);
+    if (!(Out << Proof) || !Out.flush()) {
+      std::fprintf(stderr, "veriqec: cannot write %s\n", Path.c_str());
+      return 2;
+    }
+  }
+  if (!Cli.CheckProofs)
+    return 0;
+  proof::CheckResult CR = proof::checkProof(Proof);
+  if (!CR.Ok) {
+    std::fprintf(stderr, "veriqec: %s: proof REJECTED: %s\n", Name.c_str(),
+                 CR.Error.c_str());
+    return 2;
+  }
+  return 0;
 }
 
 // -- Scenario construction ---------------------------------------------------
@@ -686,6 +743,7 @@ int runVerify(const CliOptions &Cli) {
   VO.Xor = Cli.Xor;
   VO.ConflictBudget = Cli.ConflictBudget;
   VO.RandomSeed = Cli.Seed;
+  VO.LogProofs = Cli.CheckProofs || !Cli.ProofDir.empty();
 
   DistContext DC;
   if (!setupDist(Cli, DC))
@@ -743,11 +801,26 @@ int runVerify(const CliOptions &Cli) {
   }
   if (!Cli.BenchOut.empty() && !writeBenchOut(Cli, Records, Workers))
     return 2;
+
+  if (Cli.CheckProofs || !Cli.ProofDir.empty()) {
+    size_t Checked = 0;
+    for (const RunRecord &R : Records) {
+      if (!R.Result.StructuralOk || !R.Result.Verified)
+        continue; // SAT/aborted verdicts are witnessed by models, not proofs
+      if (handleProof(Cli, R.Code + "-" + R.Scenario + "-" + R.Basis,
+                      R.Result.Proof))
+        return 2;
+      ++Checked;
+    }
+    if (Cli.CheckProofs && !Cli.Json)
+      std::printf("proofs: %zu UNSAT verdict(s), all proofs check\n", Checked);
+  }
   return AnyError ? 2 : AnyFailed ? 1 : AnyAborted ? 3 : 0;
 }
 
 int runDistance(const CliOptions &Cli) {
   bool AnyMismatch = false, AnyAborted = false, AnyError = false;
+  bool AnyProofFailed = false;
   DistContext DC;
   if (!setupDist(Cli, DC))
     return 2;
@@ -768,6 +841,7 @@ int runDistance(const CliOptions &Cli) {
     VO.Xor = Cli.Xor;
     VO.ConflictBudget = Cli.ConflictBudget;
     VO.RandomSeed = Cli.Seed;
+    VO.LogProofs = Cli.CheckProofs || !Cli.ProofDir.empty();
     DistanceResult R = computeDistance(*Code, VO, PauliFamily::Any, Remote);
     Records.push_back({CodeName, Code->NumQubits, R});
     AnyAborted |= R.Aborted;
@@ -835,12 +909,24 @@ int runDistance(const CliOptions &Cli) {
         std::printf("  minimal logical operator: %s\n",
                     R.Witness->toString().c_str());
     }
+    if ((Cli.CheckProofs || !Cli.ProofDir.empty()) && R.Ok) {
+      // A distance-1 search can conclude from SAT probes alone (no UNSAT
+      // probe, hence legitimately no proof); any deeper verdict must
+      // prove every weight below the distance impossible.
+      if (R.Distance > 1 || !R.Proof.empty())
+        AnyProofFailed |= handleProof(Cli, CodeName + "-distance", R.Proof) != 0;
+    }
   }
   if (Cli.Json)
     std::printf("\n]}\n");
   if (!Cli.BenchOut.empty() && !writeDistanceBenchOut(Cli, Records))
     return 2;
-  return AnyError ? 2 : AnyMismatch ? 1 : AnyAborted ? 3 : 0;
+  if (Cli.CheckProofs && !Cli.Json && !AnyProofFailed)
+    std::printf("proofs: all distance certificates check\n");
+  return AnyError || AnyProofFailed ? 2
+         : AnyMismatch              ? 1
+         : AnyAborted               ? 3
+                                    : 0;
 }
 
 int runDetect(const CliOptions &Cli) {
@@ -977,6 +1063,12 @@ int main(int Argc, char **Argv) {
       if (!(V = needValue(I)))
         return 2;
       Cli.BenchOut = *V;
+    } else if (A == "--check-proofs") {
+      Cli.CheckProofs = true;
+    } else if (A == "--proof-dir") {
+      if (!(V = needValue(I)))
+        return 2;
+      Cli.ProofDir = *V;
     } else if (A == "--dist") {
       if (!(V = needValue(I)))
         return 2;
@@ -1109,6 +1201,14 @@ int main(int Argc, char **Argv) {
     // try to parse.
     std::fprintf(stderr, "veriqec: --bench-out is only supported by the "
                          "verify and distance commands\n");
+    return 2;
+  }
+  if ((Cli.CheckProofs || !Cli.ProofDir.empty()) && Cli.Command != "verify" &&
+      Cli.Command != "distance" && Cli.Command != "serve") {
+    // Same policy: a CI proof gate that silently never checked anything
+    // would be worse than an error.
+    std::fprintf(stderr, "veriqec: --check-proofs/--proof-dir are only "
+                         "supported by the verify and distance commands\n");
     return 2;
   }
 
