@@ -27,6 +27,10 @@ void encodeStats(Encoder &E, const sat::SolverStats &S) {
   E.u64(S.XorPropagations);
   E.u64(S.XorConflicts);
   E.u64(S.XorEliminations);
+  // WireVersion 3: arena telemetry.
+  E.u64(S.ArenaBytes);
+  E.u64(S.WastedBytes);
+  E.u64(S.Compactions);
 }
 
 sat::SolverStats decodeStats(Decoder &D) {
@@ -39,6 +43,9 @@ sat::SolverStats decodeStats(Decoder &D) {
   S.XorPropagations = D.u64();
   S.XorConflicts = D.u64();
   S.XorEliminations = D.u64();
+  S.ArenaBytes = D.u64();
+  S.WastedBytes = D.u64();
+  S.Compactions = D.u64();
   return S;
 }
 

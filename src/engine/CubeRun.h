@@ -122,6 +122,15 @@ public:
   /// sibling pruning.
   std::vector<std::vector<sat::Lit>> drainOutboundCores();
 
+  /// Rebuilds the variable → pending-cube-count retention view from the
+  /// cube set about to be dispatched; slot solvers pick it up before
+  /// their next cube and bias reduceDB toward lemmas whose variables
+  /// many unsolved cubes assume. Call at batch boundaries (the
+  /// in-process engine once per dispatch, the distributed worker per
+  /// incoming batch); safe while slots run — they swap the fresh view in
+  /// at their next cube.
+  void setPendingCubes(std::span<const std::vector<sat::Lit>> Cubes);
+
   /// Sums the slot solvers' statistics into \p Out. Call only while the
   /// slots are quiescent (between batches / after the run).
   void accumulateStats(sat::SolverStats &Out) const;
@@ -138,6 +147,7 @@ public:
 
 private:
   void storeCore(const std::vector<sat::Lit> &Core, bool Outbound);
+  std::shared_ptr<const std::vector<uint32_t>> retentionView() const;
 
   const smt::VerificationProblem &Problem;
   CubeRunConfig Cfg;
@@ -181,6 +191,11 @@ private:
 
   std::mutex ModelMutex; // guards Model on the SAT path
   std::unordered_map<std::string, bool> Model;
+
+  /// Current variable → pending-cube-count view (see setPendingCubes);
+  /// swapped wholesale under the mutex, shared read-only with solvers.
+  mutable std::mutex RetentionMutex;
+  std::shared_ptr<const std::vector<uint32_t>> RetentionView;
 };
 
 } // namespace veriqec::engine

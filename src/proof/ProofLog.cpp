@@ -63,7 +63,7 @@ void SlotProofLog::appendLits(std::span<const sat::Lit> Lits) {
   Buf += " 0";
 }
 
-void SlotProofLog::onDerive(const std::vector<sat::Lit> &Lits,
+void SlotProofLog::onDerive(std::span<const sat::Lit> Lits,
                             std::span<const int64_t> Hints) {
   Buf += 'a';
   appendLits(Lits);

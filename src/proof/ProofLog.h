@@ -65,7 +65,7 @@ namespace veriqec::proof {
 /// result batch; chunk boundaries are invisible after concatenation).
 class SlotProofLog final : public sat::ClauseProofSink {
 public:
-  void onDerive(const std::vector<sat::Lit> &Lits,
+  void onDerive(std::span<const sat::Lit> Lits,
                 std::span<const int64_t> Hints = {}) override;
   void onRetire(uint64_t Serial) override;
 

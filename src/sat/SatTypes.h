@@ -58,19 +58,6 @@ inline LBool negate(LBool B) {
   return B == LBool::True ? LBool::False : LBool::True;
 }
 
-/// A clause: a disjunction of literals. Learned clauses carry an activity
-/// used by the deletion policy.
-struct Clause {
-  std::vector<Lit> Lits;
-  double Activity = 0.0;
-  bool Learned = false;
-  bool Deleted = false;
-
-  size_t size() const { return Lits.size(); }
-  Lit &operator[](size_t I) { return Lits[I]; }
-  Lit operator[](size_t I) const { return Lits[I]; }
-};
-
 } // namespace veriqec::sat
 
 #endif // VERIQEC_SAT_SATTYPES_H

@@ -31,7 +31,18 @@ uint64_t veriqec::sat::lubySequence(uint64_t I) {
   return 1ull << Seq;
 }
 
-Solver::Solver() = default;
+namespace {
+// Test knob (setDefaultGarbageFraction): the smt/engine layers construct
+// slot solvers internally, so per-instance setGarbageFraction cannot
+// reach them. Written only while no solver is running.
+double DefaultGarbageFrac = 0.2;
+} // namespace
+
+void Solver::setDefaultGarbageFraction(double Frac) {
+  DefaultGarbageFrac = Frac;
+}
+
+Solver::Solver() : GarbageFrac(DefaultGarbageFrac) {}
 
 Var Solver::newVar() {
   Var V = static_cast<Var>(Assigns.size());
@@ -89,12 +100,12 @@ bool Solver::addClause(std::vector<Lit> Lits) {
     return OkState;
   }
 
-  Clause C;
-  C.Lits = std::move(Out);
-  Clauses.push_back(std::move(C));
-  OriginIdOf.resize(Clauses.size(), 0);
-  OriginIdOf.back() = AddClauseSeq;
-  attachClause(static_cast<ClauseRef>(Clauses.size() - 1));
+  ClauseRef Ref = allocClause(Out, /*Learned=*/false);
+  // The proof-id word carries the header record index (negated): what a
+  // negative proof hint names.
+  Arena[Ref].setProofId(-static_cast<int32_t>(AddClauseSeq));
+  ProblemClauses.push_back(Ref);
+  attachClause(Ref);
   return true;
 }
 
@@ -131,24 +142,29 @@ bool Solver::addXorClause(const std::vector<Lit> &Lits, bool Odd) {
   return true;
 }
 
-Solver::ClauseRef Solver::materializeXorClause(std::vector<Lit> Lits) {
-  Clause C;
-  C.Lits = std::move(Lits);
-  C.Learned = true;
-  C.Activity = ClauseInc;
-  // Empty/unit justifications cannot carry watches; tombstone them so
-  // the reduceDB rebuild skips them. Their literals stay readable for
-  // conflict analysis (Deleted only unhooks, it does not erase).
-  C.Deleted = C.Lits.size() < 2;
-  Clauses.push_back(std::move(C));
-  ClauseRef Ref = static_cast<ClauseRef>(Clauses.size() - 1);
+ClauseRef Solver::materializeXorClause(std::vector<Lit> Lits) {
+  ClauseRef Ref = allocClause(Lits, /*Learned=*/true);
+  Arena[Ref].setActivity(static_cast<float>(ClauseInc));
+  if (Lits.size() < 2)
+    // Empty/unit justifications cannot carry watches; tombstone them at
+    // birth. Their literals stay readable for conflict analysis (a
+    // tombstone locked as a trail reason survives compaction), and the
+    // arena reclaims them once nothing references them.
+    Arena.markDeleted(Ref);
+  else
+    // Never watched (the XOR engine re-implies them as needed), but they
+    // are learned clauses all the same: reduceDB candidates.
+    {
+      LearntClauses.push_back(Ref);
+      ++NumLiveLearnts;
+    }
   // XOR-materialized clauses are derivations: the checker re-justifies
   // them by GF(2) elimination of the header's x-rows.
   proofDerive(Ref);
   return Ref;
 }
 
-Solver::ClauseRef Solver::propagateFixpoint() {
+ClauseRef Solver::propagateFixpoint() {
   while (true) {
     ClauseRef Confl = propagate();
     if (Confl != NoReason || !Gauss.hasRows())
@@ -165,7 +181,7 @@ Solver::ClauseRef Solver::propagateFixpoint() {
 }
 
 void Solver::attachClause(ClauseRef Ref) {
-  const Clause &C = Clauses[Ref];
+  const Clause C = Arena[Ref];
   assert(C.size() >= 2 && "attaching a short clause");
   if (C.size() == 2) {
     // Binary clauses live entirely in their watchers (the blocker IS the
@@ -190,7 +206,7 @@ void Solver::enqueue(Lit L, ClauseRef From) {
   Trail.push_back(L);
 }
 
-Solver::ClauseRef Solver::propagate() {
+ClauseRef Solver::propagate() {
   while (PropagateHead < Trail.size()) {
     Lit P = Trail[PropagateHead++];
     ++Stats.Propagations;
@@ -217,19 +233,18 @@ Solver::ClauseRef Solver::propagate() {
         }
         // Reason clauses keep their implied literal at position 0
         // (analyze() and litRedundant() rely on it).
-        Clause &C = Clauses[Real];
+        Clause C = Arena[Real];
         if (C[0] != W.Blocker)
-          std::swap(C.Lits[0], C.Lits[1]);
+          std::swap(C[0], C[1]);
         enqueue(W.Blocker, Real);
         continue;
       }
-      Clause &C = Clauses[W.Ref];
-      if (C.Deleted)
-        continue; // dropped by reduceDB; unhook lazily
+      Clause C = Arena[W.Ref];
+      assert(!C.deleted() && "deleted clause left in a watch list");
       // Normalize so that the false literal ~P is at position 1.
       Lit NotP = ~P;
       if (C[0] == NotP)
-        std::swap(C.Lits[0], C.Lits[1]);
+        std::swap(C[0], C[1]);
       assert(C[1] == NotP && "watch invariant broken");
       // If the other watched literal is true, keep watching.
       if (valueOf(C[0]) == LBool::True) {
@@ -240,7 +255,7 @@ Solver::ClauseRef Solver::propagate() {
       bool FoundWatch = false;
       for (size_t K = 2; K != C.size(); ++K) {
         if (valueOf(C[K]) != LBool::False) {
-          std::swap(C.Lits[1], C.Lits[K]);
+          std::swap(C[1], C[K]);
           Watches[(~C[1]).Code].push_back({W.Ref, C[0]});
           FoundWatch = true;
           break;
@@ -276,11 +291,13 @@ void Solver::bumpVar(Var V) {
     heapUpdate(V);
 }
 
-void Solver::bumpClause(Clause &C) {
-  C.Activity += ClauseInc;
-  if (C.Activity > 1e20) {
-    for (Clause &Cl : Clauses)
-      Cl.Activity *= 1e-20;
+void Solver::bumpClause(Clause C) {
+  C.setActivity(C.activity() + static_cast<float>(ClauseInc));
+  if (C.activity() > 1e20f) {
+    for (ClauseRef R : LearntClauses) {
+      Clause L = Arena[R];
+      L.setActivity(L.activity() * 1e-20f);
+    }
     ClauseInc *= 1e-20;
   }
 }
@@ -307,8 +324,8 @@ void Solver::analyze(ClauseRef Confl, std::vector<Lit> &Learnt,
       // (implying nothing, it sorts after every reason).
       HintSteps.emplace_back(P.isUndef() ? UINT32_MAX : TrailPosOf[P.var()],
                              Confl);
-    Clause &C = Clauses[Confl];
-    if (C.Learned)
+    Clause C = Arena[Confl];
+    if (C.learned())
       bumpClause(C);
     for (size_t I = (P.isUndef() ? 0 : 1); I != C.size(); ++I) {
       Lit Q = C[I];
@@ -390,7 +407,7 @@ bool Solver::litRedundant(Lit L, uint32_t AbstractLevels) {
     assert(Reason[Cur.var()] != NoReason);
     if (ProofSink)
       RedundantSteps.emplace_back(TrailPosOf[Cur.var()], Reason[Cur.var()]);
-    const Clause &C = Clauses[Reason[Cur.var()]];
+    const Clause C = Arena[Reason[Cur.var()]];
     for (size_t I = 1; I != C.size(); ++I) {
       Lit Q = C[I];
       if (Seen[Q.var()] || Level[Q.var()] == 0)
@@ -450,15 +467,13 @@ Lit Solver::pickBranchLit() {
   return Lit::undef();
 }
 
-Solver::ClauseRef Solver::learnClause(std::vector<Lit> Lits) {
+ClauseRef Solver::learnClause(std::vector<Lit> Lits) {
   if (Lits.size() == 1)
     return NoReason; // handled by caller via enqueue at level 0
-  Clause C;
-  C.Lits = std::move(Lits);
-  C.Learned = true;
-  C.Activity = ClauseInc;
-  Clauses.push_back(std::move(C));
-  ClauseRef Ref = static_cast<ClauseRef>(Clauses.size() - 1);
+  ClauseRef Ref = allocClause(Lits, /*Learned=*/true);
+  Arena[Ref].setActivity(static_cast<float>(ClauseInc));
+  LearntClauses.push_back(Ref);
+  ++NumLiveLearnts;
   // Only ever called right after analyze(), whose antecedent hints
   // justify exactly this clause.
   proofDerive(Ref, HintIds);
@@ -468,42 +483,144 @@ Solver::ClauseRef Solver::learnClause(std::vector<Lit> Lits) {
 }
 
 void Solver::reduceDB() {
-  // Collect learned, non-reason clauses and drop the less active half.
+  // Collect learned, non-reason clauses and drop the less retained half.
+  // The caller has already checked the live-learnt trigger (locked
+  // clauses included — see NumLiveLearnts).
   std::unordered_set<ClauseRef> Locked;
   for (Lit L : Trail)
     if (Reason[L.var()] != NoReason)
       Locked.insert(Reason[L.var()]);
 
-  std::vector<ClauseRef> Candidates;
-  for (size_t I = 0; I != Clauses.size(); ++I)
-    if (Clauses[I].Learned && !Clauses[I].Deleted && !Locked.count(I))
-      Candidates.push_back(static_cast<ClauseRef>(I));
-  if (Candidates.size() < MaxLearned)
-    return;
-
-  std::sort(Candidates.begin(), Candidates.end(),
-            [&](ClauseRef A, ClauseRef B) {
-              return Clauses[A].Activity < Clauses[B].Activity;
-            });
-  for (size_t I = 0; I != Candidates.size() / 2; ++I) {
-    ClauseRef Victim = Candidates[I];
-    Clauses[Victim].Deleted = true;
-    if (ProofSink && static_cast<size_t>(Victim) < DeriveSerialOf.size() &&
-        DeriveSerialOf[Victim])
-      ProofSink->onRetire(DeriveSerialOf[Victim]);
+  // Retention order: primarily by how many unsolved cubes a clause's
+  // variables participate in (when the cube driver installed a view),
+  // then by VSIDS activity. A lemma over variables that many pending
+  // cubes assume is shared structure the solver would otherwise
+  // re-derive per cube.
+  const std::vector<uint32_t> *View = RetentionView.get();
+  struct Cand {
+    uint32_t CubeScore;
+    float Act;
+    ClauseRef Ref;
+    bool operator<(const Cand &O) const {
+      if (Act != O.Act)
+        return Act < O.Act;
+      return CubeScore < O.CubeScore;
+    }
+  };
+  std::vector<Cand> Candidates;
+  Candidates.reserve(LearntClauses.size());
+  for (ClauseRef R : LearntClauses) {
+    Clause C = Arena[R];
+    if (C.deleted() || Locked.count(R))
+      continue;
+    uint32_t Score = 0;
+    if (View)
+      for (Lit L : C.lits())
+        if (static_cast<size_t>(L.var()) < View->size())
+          Score = std::max(Score, (*View)[L.var()]);
+    Candidates.push_back({Score, C.activity(), R});
   }
 
-  // Rebuild the watch lists without the deleted clauses. The fresh
-  // watches land on the first two literals regardless of the current
-  // (possibly non-empty) trail, so re-propagate the whole trail to
-  // restore the watch invariant — otherwise units and conflicts under
-  // already-assigned literals are silently missed.
+  size_t NumVictims = Candidates.size() / 2;
+  if (NumVictims == 0)
+    return;
+  std::sort(Candidates.begin(), Candidates.end());
+  for (size_t I = 0; I != NumVictims; ++I) {
+    ClauseRef Victim = Candidates[I].Ref;
+    Clause C = Arena[Victim];
+    if (ProofSink && C.proofId() > 0)
+      ProofSink->onRetire(static_cast<uint64_t>(C.proofId()));
+    Arena.markDeleted(Victim);
+    --NumLiveLearnts;
+  }
+
+  // Drop the victims from the learnt list...
+  LearntClauses.erase(
+      std::remove_if(LearntClauses.begin(), LearntClauses.end(),
+                     [&](ClauseRef R) { return Arena[R].deleted(); }),
+      LearntClauses.end());
+
+  // ... and unlink only them from the watch lists: one erase-remove
+  // sweep, keeping every survivor's watch positions and blockers (the
+  // pre-arena full rebuild reset all watches to the first two literals
+  // and re-propagated the whole trail from scratch on every reduction).
+  for (auto &WL : Watches) {
+    size_t Keep = 0;
+    for (Watcher W : WL) {
+      ClauseRef R = isBinaryMark(W.Ref) ? fromBinaryMark(W.Ref) : W.Ref;
+      if (!Arena[R].deleted())
+        WL[Keep++] = W;
+    }
+    WL.resize(Keep);
+    // Re-normalize the surviving watcher order: binary watchers first
+    // (they resolve without touching clause memory), then arena-offset
+    // order, so problem clauses and older lemmas are tried as reasons
+    // before younger ones. The full rebuild this sweep replaces got
+    // that ordering for free by re-attaching in clause order; dropping
+    // it silently leaves watchers in drifted insertion order, which
+    // costs ~30% extra conflicts on surface9 t=4.
+    std::stable_sort(WL.begin(), WL.end(), [](Watcher A, Watcher B) {
+      bool BinA = isBinaryMark(A.Ref), BinB = isBinaryMark(B.Ref);
+      if (BinA != BinB)
+        return BinA;
+      ClauseRef RA = BinA ? fromBinaryMark(A.Ref) : A.Ref;
+      ClauseRef RB = BinB ? fromBinaryMark(B.Ref) : B.Ref;
+      return RA < RB;
+    });
+  }
+}
+
+void Solver::checkGarbage() {
+  size_t Wasted = Arena.wastedWords();
+  if (Wasted == 0 ||
+      static_cast<double>(Wasted) <
+          GarbageFrac * static_cast<double>(Arena.sizeWords()))
+    return;
+  garbageCollect();
+}
+
+void Solver::garbageCollect() {
+  ClauseArena To;
+  To.reserveWords(Arena.sizeWords() - Arena.wastedWords());
+  relocAll(To);
+  Stats.WastedBytes +=
+      (Arena.sizeWords() - To.sizeWords()) * sizeof(uint32_t);
+  ++Stats.Compactions;
+  Arena = std::move(To);
+}
+
+void Solver::relocAll(ClauseArena &To) {
+  // Watchers (the binary mark round-trips through the relocation).
   for (auto &WL : Watches)
-    WL.clear();
-  for (size_t I = 0; I != Clauses.size(); ++I)
-    if (!Clauses[I].Deleted)
-      attachClause(static_cast<ClauseRef>(I));
-  PropagateHead = 0;
+    for (Watcher &W : WL) {
+      if (isBinaryMark(W.Ref)) {
+        ClauseRef R = fromBinaryMark(W.Ref);
+        Arena.reloc(R, To);
+        W.Ref = binaryMark(R);
+      } else {
+        Arena.reloc(W.Ref, To);
+      }
+    }
+  // Reasons of assigned variables. This keeps deleted-but-locked
+  // tombstones alive (an XOR unit justification of a prefix literal,
+  // say) — their literals must stay readable for conflict analysis.
+  for (Lit L : Trail)
+    if (Reason[L.var()] != NoReason)
+      Arena.reloc(Reason[L.var()], To);
+  // Clause lists. Problem clauses are never deleted; learnt tombstones
+  // nothing relocated above are garbage and fall out of the list (and
+  // the arena) here.
+  for (ClauseRef &R : ProblemClauses)
+    Arena.reloc(R, To);
+  size_t Keep = 0;
+  for (ClauseRef R : LearntClauses) {
+    Clause C = Arena[R];
+    if (C.deleted() && !C.reloced())
+      continue;
+    Arena.reloc(R, To);
+    LearntClauses[Keep++] = R;
+  }
+  LearntClauses.resize(Keep);
 }
 
 void Solver::importSharedClauses() {
@@ -516,14 +633,25 @@ void Solver::importSharedClauses() {
       return;
     // Mark imported lemmas as learned so reduceDB can reclaim cold ones;
     // addClause may simplify a lemma away entirely (satisfied at root).
-    size_t Before = Clauses.size();
+    size_t Before = ProblemClauses.size();
     addClause(std::move(C));
-    for (size_t I = Before; I < Clauses.size(); ++I) {
-      Clauses[I].Learned = true;
-      Clauses[I].Activity = ClauseInc;
-      // An import is not a header record; as a hint antecedent it has no
-      // proof identity (proofs and pools do not combine anyway).
-      OriginIdOf[I] = 0;
+    while (ProblemClauses.size() > Before) {
+      ClauseRef R = ProblemClauses.back();
+      ProblemClauses.pop_back();
+      Clause Cl = Arena[R];
+      // A fresh import can never carry a derivation serial: addClause
+      // only ever writes header-record (negative) ids. The pre-arena
+      // bookkeeping violated this — a recycled clause slot could alias a
+      // stale serial and retire someone else's derivation.
+      assert(Cl.proofId() <= 0 &&
+             "imported clause carries a derivation serial");
+      // An import is not a header record either; as a hint antecedent it
+      // has no proof identity (proofs and pools do not combine anyway).
+      Cl.setProofId(0);
+      Cl.setLearned(true);
+      Cl.setActivity(static_cast<float>(ClauseInc));
+      LearntClauses.push_back(R);
+      ++NumLiveLearnts;
     }
   }
 }
@@ -553,7 +681,7 @@ void Solver::analyzeFinal(Lit Failed) {
     }
     if (ProofSink)
       HintSteps.emplace_back(TrailPosOf[V], Reason[V]);
-    const Clause &C = Clauses[Reason[V]];
+    const Clause C = Arena[Reason[V]];
     for (size_t J = 0; J != C.size(); ++J)
       if (C[J].var() != V && Level[C[J].var()] > 0)
         Seen[C[J].var()] = 1;
@@ -625,7 +753,7 @@ SolveResult Solver::solve(const std::vector<Lit> &Assumptions) {
         // invariant for every conflict source; for CNF conflicts this is
         // a no-op (eager propagation detects them at their own level).
         int32_t MaxLvl = 0;
-        for (Lit L : Clauses[Confl].Lits)
+        for (Lit L : Arena[Confl].lits())
           MaxLvl = std::max(MaxLvl, Level[L.var()]);
         if (MaxLvl < decisionLevel())
           backtrack(MaxLvl);
@@ -679,7 +807,7 @@ SolveResult Solver::solve(const std::vector<Lit> &Assumptions) {
           enqueue(Learnt[0], NoReason);
       } else {
         ClauseRef Ref = learnClause(std::move(Learnt));
-        enqueue(Clauses[Ref][0], Ref);
+        enqueue(Arena[Ref][0], Ref);
         Learnt = {};
       }
       decayActivities();
@@ -694,7 +822,11 @@ SolveResult Solver::solve(const std::vector<Lit> &Assumptions) {
             Stats.Conflicts - ConflictsAtStart + 100 * lubySequence(RestartIdx);
         backtrack(static_cast<int32_t>(
             std::min<size_t>(Assumptions.size(), TrailLim.size())));
-        reduceDB();
+        // Hoisted trigger: restarts below the cap skip reduceDB's
+        // O(trail + learnts) scan entirely.
+        if (NumLiveLearnts >= MaxLearned)
+          reduceDB();
+        checkGarbage();
       }
       continue;
     }

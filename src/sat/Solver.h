@@ -16,6 +16,7 @@
 #ifndef VERIQEC_SAT_SOLVER_H
 #define VERIQEC_SAT_SOLVER_H
 
+#include "sat/ClauseArena.h"
 #include "sat/GaussEngine.h"
 #include "sat/SatTypes.h"
 #include "support/Rng.h"
@@ -23,6 +24,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
@@ -110,7 +112,7 @@ private:
 class ClauseProofSink {
 public:
   virtual ~ClauseProofSink() = default;
-  virtual void onDerive(const std::vector<Lit> &Lits,
+  virtual void onDerive(std::span<const Lit> Lits,
                         std::span<const int64_t> Hints = {}) = 0;
   virtual void onRetire(uint64_t Serial) = 0;
 };
@@ -128,6 +130,13 @@ struct SolverStats {
   uint64_t XorConflicts = 0;
   /// Cross-row eliminations of the residual GF(2) system.
   uint64_t XorEliminations = 0;
+  /// Peak clause-arena footprint in bytes (summed over slot solvers when
+  /// aggregated: the total clause-storage high-water mark of a run).
+  uint64_t ArenaBytes = 0;
+  /// Cumulative bytes reclaimed by arena compaction.
+  uint64_t WastedBytes = 0;
+  /// Arena compactions (garbageCollect() runs).
+  uint64_t Compactions = 0;
 
   /// Aggregation and delta are needed in one place per layer (engine
   /// slot totals, wire-format deltas, coordinator merging, distance
@@ -142,6 +151,9 @@ struct SolverStats {
     XorPropagations += O.XorPropagations;
     XorConflicts += O.XorConflicts;
     XorEliminations += O.XorEliminations;
+    ArenaBytes += O.ArenaBytes;
+    WastedBytes += O.WastedBytes;
+    Compactions += O.Compactions;
     return *this;
   }
   /// Counter-wise delta (all counters are monotone).
@@ -155,6 +167,9 @@ struct SolverStats {
     D.XorPropagations = XorPropagations - O.XorPropagations;
     D.XorConflicts = XorConflicts - O.XorConflicts;
     D.XorEliminations = XorEliminations - O.XorEliminations;
+    D.ArenaBytes = ArenaBytes - O.ArenaBytes;
+    D.WastedBytes = WastedBytes - O.WastedBytes;
+    D.Compactions = Compactions - O.Compactions;
     return D;
   }
 };
@@ -272,6 +287,49 @@ public:
 
   const SolverStats &stats() const { return Stats; }
 
+  /// Installs (or clears, with nullptr) a shared variable →
+  /// pending-cube-count view. While installed, reduceDB retains clauses
+  /// whose variables participate in many *unsolved* cubes in preference
+  /// to pure activity: those lemmas constrain search the solver has not
+  /// run yet, so dropping them means re-deriving them cube after cube.
+  /// The cube driver (engine/CubeRun.h) refreshes the view at batch
+  /// boundaries; without one, retention is pure activity order.
+  void setRetentionView(
+      std::shared_ptr<const std::vector<uint32_t>> View) {
+    RetentionView = std::move(View);
+  }
+
+  /// Arena-compaction trigger: collect when wasted words exceed this
+  /// fraction of the arena (default 0.2, the minisat garbage_frac
+  /// convention). 0 forces a compaction at every restart that has any
+  /// garbage at all — the test batteries use that to shake out
+  /// relocation bugs.
+  void setGarbageFraction(double Frac) { GarbageFrac = Frac; }
+
+  /// Process-wide default for setGarbageFraction, applied to every
+  /// subsequently constructed solver. A test knob (the smt/engine layers
+  /// build their slot solvers internally); set it only while no solver
+  /// is running.
+  static void setDefaultGarbageFraction(double Frac);
+
+  /// Learned-clause cap driving reduceDB (test knob; production default
+  /// 8192).
+  void setMaxLearned(size_t Max) { MaxLearned = Max; }
+
+  /// Compact the arena unconditionally — even with zero waste, so a
+  /// caller can force a full relocation pass between solve() calls.
+  /// Used by the test batteries to prove verdicts, models and proof
+  /// identities survive relocation without having to provoke the
+  /// restart-path trigger on small instances.
+  void forceGarbageCollect() { garbageCollect(); }
+
+  /// Live (non-deleted) learned clauses currently in the database.
+  size_t liveLearnts() const { return NumLiveLearnts; }
+
+  /// Current clause-arena footprint in bytes (Stats.ArenaBytes is the
+  /// peak; the difference is what compaction has handed back).
+  size_t arenaBytes() const { return Arena.sizeBytes(); }
+
 protected:
   Solver(const Solver &) = default;
   Solver &operator=(const Solver &) = default;
@@ -299,7 +357,8 @@ private:
   friend class GaussEngine;
 
   // -- Internal state ------------------------------------------------------
-  using ClauseRef = int32_t;
+  // ClauseRef (sat/ClauseArena.h) is a word offset into Arena; always
+  // >= 0, so the negative range below stays free for the markers.
   static constexpr ClauseRef NoReason = -1;
 
   /// Binary clauses are encoded entirely in their watchers: the blocker
@@ -315,7 +374,18 @@ private:
     Lit Blocker;
   };
 
-  std::vector<Clause> Clauses;
+  /// All clause storage (problem, learnt, XOR-materialized) lives in one
+  /// relocating arena; the two lists below index into it. Deleted
+  /// clauses are tombstoned in place and reclaimed by garbageCollect().
+  ClauseArena Arena;
+  std::vector<ClauseRef> ProblemClauses;
+  std::vector<ClauseRef> LearntClauses;
+  /// Non-deleted learned clauses (locked or not) — the reduceDB trigger.
+  /// Counting only unlocked candidates (the pre-arena accounting) lets
+  /// the database grow without bound under long assumption prefixes,
+  /// where most reasons stay locked across restarts.
+  size_t NumLiveLearnts = 0;
+  double GarbageFrac;
   std::vector<std::vector<Watcher>> Watches; // indexed by Lit.Code
   std::vector<LBool> Assigns;                // indexed by Var
   std::vector<LBool> Model;
@@ -356,17 +426,13 @@ private:
   /// one pointer test each).
   ClauseProofSink *ProofSink = nullptr;
   /// Count of derivations reported to the sink; the serial of the most
-  /// recent one.
+  /// recent one. Serials are also stored inside the clause (the proof-id
+  /// word, see ClauseArena.h), so they must fit an int32.
   uint64_t DeriveCount = 0;
-  /// Derivation serial per clause index (0 = not a reported derivation);
-  /// lazily sized, only while a sink is attached.
-  std::vector<uint64_t> DeriveSerialOf;
-  /// 1-based addClause() sequence number per clause index (0 = not an
-  /// addClause clause). For clauses stored while the problem statement
-  /// loads, this is exactly the clause's record index in the proof
-  /// header, which is what a negative proof hint names.
-  std::vector<uint32_t> OriginIdOf;
-  /// Count of addClause() calls (stored or simplified away).
+  /// Count of addClause() calls (stored or simplified away). A stored
+  /// clause's proof-id word carries the negated sequence number: the
+  /// clause's record index in the proof header, which is what a negative
+  /// proof hint names.
   uint32_t AddClauseSeq = 0;
   /// Scratch for conflict analysis: the antecedents of the current
   /// conflict as (trail position of the implied literal, clause) pairs
@@ -378,13 +444,18 @@ private:
   std::vector<int64_t> ConflictCoreHints;
 
   /// Reports \p Ref 's literals to the proof sink and binds its serial
-  /// (for the retirement notice when reduceDB drops it).
+  /// into the clause's proof-id word (for the retirement notice when
+  /// reduceDB drops it; the id relocates with the clause memory).
   void proofDerive(ClauseRef Ref, std::span<const int64_t> Hints = {}) {
     if (!ProofSink)
       return;
-    ProofSink->onDerive(Clauses[Ref].Lits, Hints);
-    DeriveSerialOf.resize(Clauses.size(), 0);
-    DeriveSerialOf[Ref] = ++DeriveCount;
+    Clause C = Arena[Ref];
+    ProofSink->onDerive(C.lits(), Hints);
+    ++DeriveCount;
+    assert(DeriveCount <= static_cast<uint64_t>(
+                              std::numeric_limits<int32_t>::max()) &&
+           "derivation serial exceeds the in-clause id range");
+    C.setProofId(static_cast<int32_t>(DeriveCount));
   }
 
   /// The proof-hint id of \p Ref: its derivation serial (positive), its
@@ -392,12 +463,7 @@ private:
   /// lemma imported from a sibling's pool, say — which poisons the
   /// conflict's hint list (the checker falls back to full propagation).
   int64_t proofHintIdOf(ClauseRef Ref) const {
-    if (static_cast<size_t>(Ref) < DeriveSerialOf.size() &&
-        DeriveSerialOf[Ref])
-      return static_cast<int64_t>(DeriveSerialOf[Ref]);
-    if (static_cast<size_t>(Ref) < OriginIdOf.size() && OriginIdOf[Ref])
-      return -static_cast<int64_t>(OriginIdOf[Ref]);
-    return 0;
+    return Arena[Ref].proofId();
   }
 
   /// Sorts the collected HintSteps into replay order (ascending trail
@@ -434,6 +500,10 @@ private:
   /// prefixes).
   std::vector<Lit> PrevAssumptions;
 
+  /// Variable → pending-cube participation counts for reduceDB retention
+  /// (see setRetentionView); shared read-only with the cube driver.
+  std::shared_ptr<const std::vector<uint32_t>> RetentionView;
+
   // -- Core algorithms -----------------------------------------------------
   LBool valueOf(Lit L) const {
     LBool V = Assigns[L.var()];
@@ -460,6 +530,23 @@ private:
   ClauseRef learnClause(std::vector<Lit> Lits);
   void reduceDB();
 
+  /// Allocates into the arena and keeps the peak-footprint stat current.
+  ClauseRef allocClause(std::span<const Lit> Lits, bool Learned) {
+    ClauseRef Ref = Arena.alloc(Lits, Learned);
+    Stats.ArenaBytes = std::max<uint64_t>(Stats.ArenaBytes,
+                                          Arena.sizeBytes());
+    return Ref;
+  }
+  /// Compacts the arena when the wasted fraction crosses GarbageFrac.
+  /// Only call from a quiescent point (no ClauseRef held in a local):
+  /// the restart path, right after reduceDB.
+  void checkGarbage();
+  void garbageCollect();
+  /// Rewrites every live ClauseRef holder — watch lists, trail reasons,
+  /// both clause lists — into \p To. Clauses reachable from none of them
+  /// (tombstones nothing locks anymore) are dropped.
+  void relocAll(ClauseArena &To);
+
   // Heap helpers.
   void heapInsert(Var V);
   void heapUpdate(Var V);
@@ -469,7 +556,7 @@ private:
   bool heapLess(Var A, Var B) const { return Activity[A] > Activity[B]; }
 
   void bumpVar(Var V);
-  void bumpClause(Clause &C);
+  void bumpClause(Clause C);
   void decayActivities();
 
   /// Pulls clauses published by sibling solvers into the database; must

@@ -13,6 +13,7 @@
 #include "support/Assert.h"
 #include "support/Timer.h"
 
+#include <algorithm>
 #include <unordered_set>
 
 using namespace veriqec;
@@ -171,6 +172,19 @@ bool VerificationProblem::cubeRefuted(std::span<const Lit> Cube) const {
   }
   return PruneByElimination ? Pruner.refutesByElimination(Fixed)
                             : Pruner.refutes(Fixed);
+}
+
+size_t VerificationProblem::parityParticipation(sat::Var V) const {
+  auto It = BoolVarOfSat.find(V);
+  if (It == BoolVarOfSat.end())
+    return 0;
+  uint32_t BoolVar = It->second;
+  size_t Count = 0;
+  for (const ParityRow &Row : Pruner.rows())
+    // Row variables are kept sorted (Preprocessor invariant).
+    if (std::binary_search(Row.Vars.begin(), Row.Vars.end(), BoolVar))
+      ++Count;
+  return Count;
 }
 
 ProblemOptions veriqec::smt::makeProblemOptions(const BoolContext &Ctx,

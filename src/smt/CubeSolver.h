@@ -240,6 +240,13 @@ struct VerificationProblem {
   /// the cube is UNSAT without any SAT call.
   bool cubeRefuted(std::span<const sat::Lit> Cube) const;
 
+  /// Number of kept GF(2) parity rows the CNF variable \p V participates
+  /// in (0 for variables the preprocessor does not track). The cube
+  /// engine orders split variables by this — most-constrained first —
+  /// so each enumerated assignment feeds the parity machinery maximal
+  /// propagation.
+  size_t parityParticipation(sat::Var V) const;
+
   /// Proof-header accessors (proof/ProofLog.h): the kept parity rows the
   /// cube pruner runs on, and the eliminated-variable records, both in
   /// BoolContext variable space.

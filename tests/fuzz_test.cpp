@@ -248,3 +248,30 @@ TEST(DifferentialHarness, CatchesPlantedXorReasonCorruption) {
   EXPECT_TRUE(CaughtByProof)
       << "the proof oracle never rejected an under-justified XOR reason";
 }
+
+TEST(DifferentialHarness, XorReasonCorruptionStillCaughtUnderForcedGc) {
+  // Same planted bug as above, but with the arena collector forced to
+  // compact at every restart of every slot solver: the corrupted XOR
+  // reason clauses are locked tombstones the relocator must keep
+  // readable, and the proof oracle must still reject the forged
+  // derivations after their clause memory has moved.
+  sat::Solver::setDefaultGarbageFraction(0.0);
+  FuzzerOptions FO;
+  FO.MaxQubits = 9;
+  HarnessOptions HO;
+  HO.Jobs = 2;
+  HO.SamplingTrials = 0;
+  HO.BruteBudget = 50000;
+  HO.CheckProofs = true;
+  HO.SolverFactory = [] { return std::make_unique<BuggyXorReasonSolver>(); };
+  bool Caught = false;
+  for (uint64_t Seed = 1; Seed <= 40 && !Caught; ++Seed) {
+    FuzzCase C = generateFuzzCase(Seed, FO);
+    HO.RandomSeed = Seed;
+    CaseReport R = runDifferential(C, HO);
+    Caught = !R.clean();
+  }
+  sat::Solver::setDefaultGarbageFraction(0.2);
+  EXPECT_TRUE(Caught) << "the planted XOR reason corruption went unnoticed "
+                         "once compaction was forced";
+}

@@ -257,3 +257,171 @@ TEST(Solver, ReuseAcrossAssumptionSetsStaysSound) {
     }
   }
 }
+
+// ---- Clause-arena and reduceDB battery -------------------------------------
+
+#include "proof/ProofCheck.h"
+#include "proof/ProofLog.h"
+#include "smt/CubeSolver.h"
+
+namespace {
+
+/// Pigeonhole PHP(Pigeons, Holes): UNSAT when Pigeons > Holes, and hard
+/// enough for CDCL to restart and reduce — the workload the arena
+/// battery needs.
+std::vector<std::vector<Lit>> pigeonholeClauses(size_t Pigeons, size_t Holes,
+                                                size_t &NumVars) {
+  NumVars = Pigeons * Holes;
+  auto VarOf = [Holes](size_t P, size_t H) {
+    return static_cast<Var>(P * Holes + H);
+  };
+  std::vector<std::vector<Lit>> Clauses;
+  for (size_t P = 0; P != Pigeons; ++P) {
+    std::vector<Lit> C;
+    for (size_t H = 0; H != Holes; ++H)
+      C.push_back(mkLit(VarOf(P, H)));
+    Clauses.push_back(std::move(C));
+  }
+  for (size_t H = 0; H != Holes; ++H)
+    for (size_t P = 0; P != Pigeons; ++P)
+      for (size_t Q = P + 1; Q != Pigeons; ++Q)
+        Clauses.push_back({~mkLit(VarOf(P, H)), ~mkLit(VarOf(Q, H))});
+  return Clauses;
+}
+
+} // namespace
+
+TEST(ReduceDB, LearntDbStaysPinnedAndArenaIsCompacted) {
+  // Regression test for the reduceDB accounting bug: the trigger used to
+  // count only unlocked candidates, so the learnt DB (and the memory
+  // behind it) could grow far past MaxLearned, and deleted clauses were
+  // tombstoned but never reclaimed. With the live-learnt trigger and the
+  // arena collector the DB stays pinned near the cap and the arena
+  // shrinks back after compaction.
+  size_t NumVars = 0;
+  std::vector<std::vector<Lit>> Clauses = pigeonholeClauses(9, 8, NumVars);
+  Solver S;
+  for (size_t V = 0; V != NumVars; ++V)
+    S.newVar();
+  for (const auto &C : Clauses)
+    ASSERT_TRUE(S.addClause(C));
+  S.setMaxLearned(64);
+  S.setGarbageFraction(0.2);
+  EXPECT_EQ(S.solve(), SolveResult::Unsat);
+  // Enough work to have cycled the DB many times over.
+  EXPECT_GT(S.stats().Conflicts, 1000u);
+  EXPECT_GT(S.stats().LearnedClauses, S.liveLearnts());
+  // The pin: reductions happen on restarts, so the DB can overshoot the
+  // cap by at most one restart interval of fresh lemmas.
+  EXPECT_LE(S.liveLearnts(), 1024u);
+  // Deleted clauses were really reclaimed, not just tombstoned.
+  EXPECT_GE(S.stats().Compactions, 1u);
+  EXPECT_GT(S.stats().WastedBytes, 0u);
+  EXPECT_LT(S.arenaBytes(), S.stats().ArenaBytes);
+}
+
+TEST(ClauseArena, RelocationPreservesVerdictsAndModelCounts) {
+  // Verdict + model-count equality with compaction forced after every
+  // solver call vs. disabled, across both cardinality encodings and
+  // xor on/off. The forced collector relocates every live clause each
+  // round (watchers, reasons, proof-id words and all), so any stale
+  // ClauseRef shows up as a wrong verdict, a corrupted model, or a
+  // crash.
+  using smt::BoolContext;
+  using smt::CardinalityEncoding;
+  using smt::ExprRef;
+  constexpr size_t N = 8;
+  BoolContext Ctx;
+  std::vector<std::string> Names;
+  std::vector<ExprRef> Vars;
+  for (size_t I = 0; I != N; ++I) {
+    Names.push_back("e" + std::to_string(I));
+    Vars.push_back(Ctx.mkVar(Names.back()));
+  }
+  ExprRef Root = Ctx.mkAnd({Ctx.mkAtMost(Vars, 3), Ctx.mkAtLeast(Vars, 2),
+                            Ctx.mkXor(Vars[0], Vars[N - 1])});
+  // Ground truth over the named variables by exhaustive evaluation.
+  size_t Expected = 0;
+  for (uint64_t Mask = 0; Mask != (uint64_t{1} << N); ++Mask) {
+    std::vector<bool> A;
+    for (size_t I = 0; I != N; ++I)
+      A.push_back((Mask >> I) & 1);
+    Expected += Ctx.evaluate(Root, A);
+  }
+  ASSERT_GT(Expected, 0u);
+
+  for (CardinalityEncoding Enc : {CardinalityEncoding::SequentialCounter,
+                                  CardinalityEncoding::PairwiseNaive}) {
+    for (bool NativeXor : {false, true}) {
+      smt::SolveOptions Opts;
+      Opts.CardEnc = Enc;
+      Opts.Xor = NativeXor ? smt::XorMode::On : smt::XorMode::Off;
+      Opts.SplitVars = Names; // protect every named var from elimination
+      smt::VerificationProblem Problem(
+          Ctx, Root, smt::makeProblemOptions(Ctx, Opts));
+      ASSERT_FALSE(Problem.TriviallyUnsat);
+      for (bool ForceGc : {false, true}) {
+        Solver S = Problem.makeSolver();
+        S.setGarbageFraction(ForceGc ? 0.0 : 1e9);
+        size_t Models = 0;
+        while (S.solve() == SolveResult::Sat) {
+          ++Models;
+          ASSERT_LE(Models, Expected) << "enc " << int(Enc) << " xor "
+                                      << NativeXor << " gc " << ForceGc;
+          std::vector<Lit> Block;
+          for (const auto &[Name, V] : Problem.NamedVars)
+            Block.push_back(S.modelValue(V) ? ~mkLit(V) : mkLit(V));
+          if (!S.addClause(Block))
+            break; // blocking clause empty at root: no models left
+          if (ForceGc)
+            S.forceGarbageCollect();
+        }
+        EXPECT_EQ(Models, Expected) << "enc " << int(Enc) << " xor "
+                                    << NativeXor << " gc " << ForceGc;
+        if (ForceGc) {
+          // The final blocking clause can close the formula at the root,
+          // skipping that round's collection.
+          EXPECT_GE(S.stats().Compactions + 1, Models);
+        }
+      }
+    }
+  }
+}
+
+TEST(ProofRoundTrip, CertificateSurvivesRepeatedCompaction) {
+  // Proof identities live inside clause memory now; this drives enough
+  // reductions and compactions through an UNSAT run that any proof-id
+  // word lost or scrambled by relocation produces a certificate the
+  // checker rejects (dangling d-record, wrong a-record serial).
+  size_t NumVars = 0;
+  std::vector<std::vector<Lit>> Clauses = pigeonholeClauses(8, 7, NumVars);
+  Solver S;
+  proof::SlotProofLog Log;
+  S.setProofSink(&Log);
+  S.setMaxLearned(32);
+  S.setGarbageFraction(0.0);
+  for (size_t V = 0; V != NumVars; ++V)
+    S.newVar();
+  for (const auto &C : Clauses)
+    ASSERT_TRUE(S.addClause(C));
+  EXPECT_EQ(S.solve(), SolveResult::Unsat);
+  ASSERT_GE(S.stats().Compactions, 3u)
+      << "battery must exercise at least three relocation passes";
+  Log.logConclusion({}, {});
+
+  std::string Proof = "p veriqec proof 1\nv " + std::to_string(NumVars) + "\n";
+  for (const auto &C : Clauses) {
+    Proof += 'o';
+    for (Lit L : C) {
+      Proof += ' ';
+      Proof += std::to_string(L.negated() ? -(L.var() + 1) : (L.var() + 1));
+    }
+    Proof += " 0\n";
+  }
+  Proof += "s 0\n";
+  Proof += Log.drain();
+  proof::CheckResult CR = proof::checkProof(Proof);
+  EXPECT_TRUE(CR.Ok) << CR.Error;
+  EXPECT_TRUE(CR.GlobalUnsat);
+  EXPECT_GT(CR.Deletions, 0u);
+}

@@ -484,7 +484,7 @@ bool writeBenchOut(const CliOptions &Cli, const std::vector<RunRecord> &Records,
     std::fprintf(stderr, "veriqec: cannot write %s\n", Cli.BenchOut.c_str());
     return false;
   }
-  char Buf[768];
+  char Buf[1024];
   Out << "{\n  \"config\": {";
   std::snprintf(Buf, sizeof(Buf),
                 "\"command\": \"verify\", \"jobs\": %zu, \"workers\": %zu, "
@@ -529,6 +529,8 @@ bool writeBenchOut(const CliOptions &Cli, const std::vector<RunRecord> &Records,
           "\"propagations\": %llu, \"learned\": %llu, \"restarts\": %llu, "
           "\"xor_propagations\": %llu, \"xor_conflicts\": %llu, "
           "\"xor_eliminations\": %llu, "
+          "\"arena_bytes\": %llu, \"wasted_bytes\": %llu, "
+          "\"compactions\": %llu, "
           "\"cnf_vars\": %zu, \"cnf_clauses\": %zu",
           V.Verified ? "true" : "false", V.Aborted ? "true" : "false",
           V.Seconds, V.NumGoals, static_cast<unsigned long long>(V.NumCubes),
@@ -545,6 +547,9 @@ bool writeBenchOut(const CliOptions &Cli, const std::vector<RunRecord> &Records,
           static_cast<unsigned long long>(V.Stats.XorPropagations),
           static_cast<unsigned long long>(V.Stats.XorConflicts),
           static_cast<unsigned long long>(V.Stats.XorEliminations),
+          static_cast<unsigned long long>(V.Stats.ArenaBytes),
+          static_cast<unsigned long long>(V.Stats.WastedBytes),
+          static_cast<unsigned long long>(V.Stats.Compactions),
           V.CnfVars, V.CnfClauses);
       Out << Buf;
       std::snprintf(
@@ -584,7 +589,7 @@ bool writeDistanceBenchOut(const CliOptions &Cli,
     std::fprintf(stderr, "veriqec: cannot write %s\n", Cli.BenchOut.c_str());
     return false;
   }
-  char Buf[768];
+  char Buf[1024];
   Out << "{\n  \"config\": {";
   std::snprintf(Buf, sizeof(Buf),
                 "\"command\": \"distance\", \"preprocess\": %s, \"xor\": %s, "
@@ -610,6 +615,8 @@ bool writeDistanceBenchOut(const CliOptions &Cli,
         "\"decisions\": %llu, \"propagations\": %llu, "
         "\"xor_propagations\": %llu, \"xor_conflicts\": %llu, "
         "\"xor_eliminations\": %llu, \"xor_rows\": %zu, "
+        "\"arena_bytes\": %llu, \"wasted_bytes\": %llu, "
+        "\"compactions\": %llu, "
         "\"cnf_vars\": %zu, \"cnf_clauses\": %zu}",
         D.Ok ? "true" : "false", D.Aborted ? "true" : "false", D.Distance,
         D.Seconds, static_cast<unsigned long long>(D.SolverCalls),
@@ -619,6 +626,9 @@ bool writeDistanceBenchOut(const CliOptions &Cli,
         static_cast<unsigned long long>(D.Stats.XorPropagations),
         static_cast<unsigned long long>(D.Stats.XorConflicts),
         static_cast<unsigned long long>(D.Stats.XorEliminations), D.XorRows,
+        static_cast<unsigned long long>(D.Stats.ArenaBytes),
+        static_cast<unsigned long long>(D.Stats.WastedBytes),
+        static_cast<unsigned long long>(D.Stats.Compactions),
         D.CnfVars, D.CnfClauses);
     Out << Buf << (I + 1 == Records.size() ? "\n" : ",\n");
   }
