@@ -1,0 +1,97 @@
+//===- bench/chrono_ab.cpp - Chronological backtracking A/B ---------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Chronological backtracking against classic backjumping on the two
+/// workloads that decided the Auto policy (BENCH_table3.json,
+/// `chrono_backtrack`): the incremental tanner1 distance search with
+/// native XOR, where trail-saving across weight-bound probes wins
+/// ~20%, and the surface9 t=4 cube walk, where prefix-crossing chrono
+/// measurably LOSES — deep backjumps below the cube prefix let the
+/// learnt clause assert early, and bt-by-one inflates conflicts ~18%.
+/// Both sides of each A/B run interleaved in one binary so the numbers
+/// share a machine state. The surface benchmarks are heavy (~5 s per
+/// iteration); filter with --benchmark_filter='Tanner' for quick runs.
+///
+//===----------------------------------------------------------------------===//
+
+#include "qec/Codes.h"
+#include "verifier/Verifier.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace veriqec;
+
+namespace {
+
+void runTanner1Distance(benchmark::State &State, smt::ChronoMode Chrono) {
+  StabilizerCode Code = makeTannerISubstitute();
+  State.SetLabel(Code.Name + (Chrono == smt::ChronoMode::On
+                                  ? " xor=on chrono=on"
+                                  : " xor=on chrono=off"));
+  VerifyOptions Opts;
+  Opts.Xor = smt::XorMode::On;
+  Opts.Chrono = Chrono;
+  for (auto _ : State) {
+    DistanceResult R = computeDistance(Code, Opts);
+    if (!R.Ok || R.Distance != Code.Distance) {
+      State.SkipWithError(("distance search failed for " + Code.Name).c_str());
+      return;
+    }
+    State.counters["conflicts"] = static_cast<double>(R.Stats.Conflicts);
+    State.counters["chrono_bts"] =
+        static_cast<double>(R.Stats.ChronoBacktracks);
+    State.counters["saved_lits"] =
+        static_cast<double>(R.Stats.TrailSavedLits);
+  }
+}
+
+void runSurfaceMemory(benchmark::State &State, smt::ChronoMode Chrono) {
+  StabilizerCode Code = makeRotatedSurfaceCode(9);
+  Scenario S = makeMemoryScenario(Code, PauliKind::Y, LogicalBasis::Z, 4);
+  State.SetLabel(std::string("surface9 t=4 j=1 chrono=") +
+                 (Chrono == smt::ChronoMode::On ? "on" : "off"));
+  VerifyOptions VO;
+  VO.Parallel = true;
+  VO.Threads = 1; // per-core number: the tracked JSON row is --jobs 1
+  VO.Chrono = Chrono;
+  for (auto _ : State) {
+    VerificationResult R = verifyScenario(S, VO);
+    if (!R.StructuralOk || !R.Verified) {
+      State.SkipWithError("verification failed");
+      return;
+    }
+    State.counters["cubes"] = static_cast<double>(R.NumCubes);
+    State.counters["conflicts"] = static_cast<double>(R.Stats.Conflicts);
+    State.counters["conflicts_per_cube"] =
+        static_cast<double>(R.Stats.Conflicts) /
+        static_cast<double>(R.CubesSolved ? R.CubesSolved : 1);
+    State.counters["chrono_bts"] =
+        static_cast<double>(R.Stats.ChronoBacktracks);
+  }
+}
+
+void BM_DistanceTanner1Chrono(benchmark::State &State) {
+  runTanner1Distance(State, smt::ChronoMode::On);
+}
+void BM_DistanceTanner1Classic(benchmark::State &State) {
+  runTanner1Distance(State, smt::ChronoMode::Off);
+}
+void BM_Surface9T4Chrono(benchmark::State &State) {
+  runSurfaceMemory(State, smt::ChronoMode::On);
+}
+void BM_Surface9T4Classic(benchmark::State &State) {
+  runSurfaceMemory(State, smt::ChronoMode::Off);
+}
+
+} // namespace
+
+BENCHMARK(BM_DistanceTanner1Chrono)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_DistanceTanner1Classic)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_Surface9T4Chrono)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Surface9T4Classic)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -20,7 +20,10 @@ namespace {
 
 void encodeStats(Encoder &E, const sat::SolverStats &S) {
   E.u64(S.Decisions);
-  E.u64(S.Propagations);
+  // WireVersion 4: the one Propagations counter became the binary/long
+  // split, and the chrono counters joined at the tail.
+  E.u64(S.BinPropagations);
+  E.u64(S.LongPropagations);
   E.u64(S.Conflicts);
   E.u64(S.LearnedClauses);
   E.u64(S.Restarts);
@@ -31,12 +34,16 @@ void encodeStats(Encoder &E, const sat::SolverStats &S) {
   E.u64(S.ArenaBytes);
   E.u64(S.WastedBytes);
   E.u64(S.Compactions);
+  E.u64(S.ChronoBacktracks);
+  E.u64(S.OutOfOrderAssignments);
+  E.u64(S.TrailSavedLits);
 }
 
 sat::SolverStats decodeStats(Decoder &D) {
   sat::SolverStats S;
   S.Decisions = D.u64();
-  S.Propagations = D.u64();
+  S.BinPropagations = D.u64();
+  S.LongPropagations = D.u64();
   S.Conflicts = D.u64();
   S.LearnedClauses = D.u64();
   S.Restarts = D.u64();
@@ -46,6 +53,9 @@ sat::SolverStats decodeStats(Decoder &D) {
   S.ArenaBytes = D.u64();
   S.WastedBytes = D.u64();
   S.Compactions = D.u64();
+  S.ChronoBacktracks = D.u64();
+  S.OutOfOrderAssignments = D.u64();
+  S.TrailSavedLits = D.u64();
   return S;
 }
 
@@ -105,6 +115,8 @@ void encodeConfig(Encoder &E, const engine::CubeRunConfig &C) {
   E.u64(C.ConflictBudget);
   E.u64(C.RandomSeed);
   E.boolean(C.LogProofs);
+  // WireVersion 4.
+  E.boolean(C.Chrono);
 }
 
 engine::CubeRunConfig decodeConfig(Decoder &D) {
@@ -114,6 +126,7 @@ engine::CubeRunConfig decodeConfig(Decoder &D) {
   C.ConflictBudget = D.u64();
   C.RandomSeed = D.u64();
   C.LogProofs = D.boolean();
+  C.Chrono = D.boolean();
   return C;
 }
 

@@ -41,8 +41,10 @@ namespace veriqec::dist {
 constexpr uint32_t WireMagic = 0x43455156; // "VQEC" little-endian
 /// Bumped on every incompatible wire change; the handshake refuses a
 /// mismatch in either direction. v2: CubeRunConfig::LogProofs and
-/// BatchResultMsg::ProofChunks.
-constexpr uint32_t WireVersion = 3;
+/// BatchResultMsg::ProofChunks. v3: arena telemetry in SolverStats.
+/// v4: the binary/long propagation split + chrono counters in
+/// SolverStats and CubeRunConfig::Chrono.
+constexpr uint32_t WireVersion = 4;
 /// Upper bound on one frame payload (a surface-scale problem is a few
 /// MB; anything near this is a corrupt length prefix, not data).
 constexpr uint32_t MaxFrameBytes = 256u << 20;

@@ -120,10 +120,25 @@ public:
 /// Aggregate statistics for benchmarking and diagnostics.
 struct SolverStats {
   uint64_t Decisions = 0;
-  uint64_t Propagations = 0;
+  /// Literals implied through binary watchers (resolved without touching
+  /// clause memory) and through long-clause watch traversal. Together
+  /// with XorPropagations these partition what used to be one
+  /// Propagations counter; propagations() restores the total.
+  uint64_t BinPropagations = 0;
+  uint64_t LongPropagations = 0;
   uint64_t Conflicts = 0;
   uint64_t LearnedClauses = 0;
   uint64_t Restarts = 0;
+  /// Conflicts resolved by stepping back one level (keeping the rest of
+  /// the trail in place) instead of a full non-chronological backjump.
+  uint64_t ChronoBacktracks = 0;
+  /// Assignments enqueued at a level below the current decision level
+  /// (lazy reimplication under chronological backtracking).
+  uint64_t OutOfOrderAssignments = 0;
+  /// Trail literals preserved across backtracks because their level is
+  /// at or below the target (the chrono trail-saving win: each one is a
+  /// propagation the solver did not redo).
+  uint64_t TrailSavedLits = 0;
   /// Literals implied by the native XOR engine (sat/GaussEngine.h).
   uint64_t XorPropagations = 0;
   /// Conflicts the XOR engine detected before CNF propagation could.
@@ -138,16 +153,26 @@ struct SolverStats {
   /// Arena compactions (garbageCollect() runs).
   uint64_t Compactions = 0;
 
+  /// Total implied literals across every propagation engine — the
+  /// headline number displays want, independent of the split above.
+  uint64_t propagations() const {
+    return BinPropagations + LongPropagations + XorPropagations;
+  }
+
   /// Aggregation and delta are needed in one place per layer (engine
   /// slot totals, wire-format deltas, coordinator merging, distance
   /// probes); keeping them here means a new counter cannot be summed in
   /// one consumer and silently dropped in another.
   SolverStats &operator+=(const SolverStats &O) {
     Decisions += O.Decisions;
-    Propagations += O.Propagations;
+    BinPropagations += O.BinPropagations;
+    LongPropagations += O.LongPropagations;
     Conflicts += O.Conflicts;
     LearnedClauses += O.LearnedClauses;
     Restarts += O.Restarts;
+    ChronoBacktracks += O.ChronoBacktracks;
+    OutOfOrderAssignments += O.OutOfOrderAssignments;
+    TrailSavedLits += O.TrailSavedLits;
     XorPropagations += O.XorPropagations;
     XorConflicts += O.XorConflicts;
     XorEliminations += O.XorEliminations;
@@ -160,10 +185,14 @@ struct SolverStats {
   SolverStats operator-(const SolverStats &O) const {
     SolverStats D;
     D.Decisions = Decisions - O.Decisions;
-    D.Propagations = Propagations - O.Propagations;
+    D.BinPropagations = BinPropagations - O.BinPropagations;
+    D.LongPropagations = LongPropagations - O.LongPropagations;
     D.Conflicts = Conflicts - O.Conflicts;
     D.LearnedClauses = LearnedClauses - O.LearnedClauses;
     D.Restarts = Restarts - O.Restarts;
+    D.ChronoBacktracks = ChronoBacktracks - O.ChronoBacktracks;
+    D.OutOfOrderAssignments = OutOfOrderAssignments - O.OutOfOrderAssignments;
+    D.TrailSavedLits = TrailSavedLits - O.TrailSavedLits;
     D.XorPropagations = XorPropagations - O.XorPropagations;
     D.XorConflicts = XorConflicts - O.XorConflicts;
     D.XorEliminations = XorEliminations - O.XorEliminations;
@@ -316,6 +345,21 @@ public:
   /// 8192).
   void setMaxLearned(size_t Max) { MaxLearned = Max; }
 
+  /// Enables chronological backtracking (Nadel & Ryvchin, SAT'18): a
+  /// conflict whose backjump would cross the assumption prefix instead
+  /// steps back a single level, and the learnt clause's asserting
+  /// literal is enqueued out of order at its true implication level
+  /// (lazy reimplication, Möhle & Biere SAT'19).
+  /// Backtracks additionally save every trail literal whose level is at
+  /// or below the target, so sibling-cube solve() calls reuse surviving
+  /// segments beyond the longest-common-prefix logic. Off (the default)
+  /// restores classic non-chronological backjumping. Verdicts and models
+  /// are unaffected either way — only the search path changes.
+  void setChrono(bool Enable) { Chrono = Enable; }
+
+  /// Whether chronological backtracking is enabled.
+  bool chrono() const { return Chrono; }
+
   /// Compact the arena unconditionally — even with zero waste, so a
   /// caller can force a full relocation pass between solve() calls.
   /// Used by the test batteries to prove verdicts, models and proof
@@ -352,6 +396,18 @@ protected:
   /// to UNSAT). The production solver never corrupts; harness tests
   /// override this to prove the differential oracles catch the bug.
   virtual bool corruptXorReasonClause() const { return false; }
+
+  /// Test seam for the fuzzing harness: when true, conflict analysis
+  /// misreads the level of every out-of-order assignment (lazy
+  /// reimplication under chronological backtracking) as root level, so
+  /// the literal silently falls out of the learnt clause — the
+  /// characteristic way a buggy reimplication level computation goes
+  /// wrong. The over-strong lemmas unsoundly prune satisfiable cubes
+  /// and their derivations are non-RUP, so both the differential layer
+  /// and the proof checker have something to catch. The production
+  /// solver never corrupts; harness tests override this to prove both
+  /// oracles do.
+  virtual bool corruptOutOfOrderLevel() const { return false; }
 
 private:
   friend class GaussEngine;
@@ -412,6 +468,13 @@ private:
 
   bool RandomizeBranching = false;
   Rng TieRng;
+
+  /// Chronological backtracking (setChrono). Off by default: the smt /
+  /// engine layers resolve ChronoMode::Auto per workload.
+  bool Chrono = false;
+  /// Scratch for backtrack(): out-of-order literals at or below the
+  /// target level, re-appended after the teardown.
+  std::vector<Lit> SaveScratch;
 
   bool OkState = true;
   uint64_t ConflictBudget = 0;
@@ -513,7 +576,12 @@ private:
     return static_cast<int32_t>(TrailLim.size());
   }
 
-  void enqueue(Lit L, ClauseRef From);
+  /// Assigns \p L with reason \p From at \p AtLevel (the default -1
+  /// means the current decision level). A level below the current one is
+  /// an out-of-order assignment — lazy reimplication under chronological
+  /// backtracking; backtrack() then preserves the literal across
+  /// teardowns above its level.
+  void enqueue(Lit L, ClauseRef From, int32_t AtLevel = -1);
   ClauseRef propagate();
   /// CNF propagation and XOR propagation to their joint fixpoint.
   ClauseRef propagateFixpoint();

@@ -1,0 +1,296 @@
+//===- tests/chrono_test.cpp - Chronological backtracking battery ---------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Soundness battery for chronological backtracking (sat::Solver's
+/// setChrono): verdict and model-count equality against classic
+/// backjumping across both cardinality encodings and xor on/off,
+/// assumption-reuse soundness on a cube walk that actually takes the
+/// chrono path (out-of-order assignments, survivor-preserving
+/// backtracks), proof round-trips with chrono on — hinted conflict
+/// records included — and workload-level equality of the verifier's
+/// distance search, whose long weight-bound prefixes are the workload
+/// chrono exists for.
+///
+//===----------------------------------------------------------------------===//
+
+#include "proof/ProofCheck.h"
+#include "proof/ProofLog.h"
+#include "qec/Codes.h"
+#include "smt/CubeSolver.h"
+#include "verifier/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace veriqec;
+using namespace veriqec::sat;
+
+namespace {
+
+/// Unsatisfiable (Pigeons > Holes) or satisfiable (Pigeons <= Holes)
+/// pigeonhole CNF: at-least-one-hole per pigeon + at-most-one-pigeon per
+/// hole. Dense enough in conflicts that prefix-crossing backjumps — the
+/// chrono trigger — occur under almost any assumption prefix.
+std::vector<std::vector<Lit>> pigeonhole(size_t Pigeons, size_t Holes,
+                                         size_t &NumVars) {
+  NumVars = Pigeons * Holes;
+  auto VarOf = [Holes](size_t P, size_t H) {
+    return static_cast<Var>(P * Holes + H);
+  };
+  std::vector<std::vector<Lit>> Clauses;
+  for (size_t P = 0; P != Pigeons; ++P) {
+    std::vector<Lit> C;
+    for (size_t H = 0; H != Holes; ++H)
+      C.push_back(mkLit(VarOf(P, H)));
+    Clauses.push_back(std::move(C));
+  }
+  for (size_t H = 0; H != Holes; ++H)
+    for (size_t P = 0; P != Pigeons; ++P)
+      for (size_t Q = P + 1; Q != Pigeons; ++Q)
+        Clauses.push_back({~mkLit(VarOf(P, H)), ~mkLit(VarOf(Q, H))});
+  return Clauses;
+}
+
+Solver loadedSolver(size_t NumVars,
+                    const std::vector<std::vector<Lit>> &Clauses) {
+  Solver S;
+  for (size_t V = 0; V != NumVars; ++V)
+    S.newVar();
+  for (const auto &C : Clauses)
+    EXPECT_TRUE(S.addClause(C));
+  return S;
+}
+
+} // namespace
+
+TEST(Chrono, ModelCountsMatchClassicAcrossEncodings) {
+  // Verdict + model-count equality chrono on vs off, across both
+  // cardinality encodings and xor on/off. Models are counted per
+  // assumption cube (all 8 assignments of three named variables) so the
+  // chrono side actually takes prefix-crossing conflicts through the
+  // chrono path rather than degenerating to an assumption-free search.
+  using smt::BoolContext;
+  using smt::CardinalityEncoding;
+  using smt::ExprRef;
+  constexpr size_t N = 8;
+  BoolContext Ctx;
+  std::vector<std::string> Names;
+  std::vector<ExprRef> Vars;
+  for (size_t I = 0; I != N; ++I) {
+    Names.push_back("e" + std::to_string(I));
+    Vars.push_back(Ctx.mkVar(Names.back()));
+  }
+  ExprRef Root = Ctx.mkAnd({Ctx.mkAtMost(Vars, 3), Ctx.mkAtLeast(Vars, 2),
+                            Ctx.mkXor(Vars[0], Vars[N - 1])});
+  size_t Expected = 0;
+  for (uint64_t Mask = 0; Mask != (uint64_t{1} << N); ++Mask) {
+    std::vector<bool> A;
+    for (size_t I = 0; I != N; ++I)
+      A.push_back((Mask >> I) & 1);
+    Expected += Ctx.evaluate(Root, A);
+  }
+  ASSERT_GT(Expected, 0u);
+
+  for (CardinalityEncoding Enc : {CardinalityEncoding::SequentialCounter,
+                                  CardinalityEncoding::PairwiseNaive}) {
+    for (bool NativeXor : {false, true}) {
+      smt::SolveOptions Opts;
+      Opts.CardEnc = Enc;
+      Opts.Xor = NativeXor ? smt::XorMode::On : smt::XorMode::Off;
+      Opts.SplitVars = Names; // protect every named var from elimination
+      smt::VerificationProblem Problem(
+          Ctx, Root, smt::makeProblemOptions(Ctx, Opts));
+      ASSERT_FALSE(Problem.TriviallyUnsat);
+      for (bool Chrono : {false, true}) {
+        Solver S = Problem.makeSolver();
+        S.setChrono(Chrono);
+        size_t Models = 0;
+        for (uint64_t Cube = 0; Cube != 8; ++Cube) {
+          std::vector<Lit> Assume;
+          for (size_t I = 0; I != 3; ++I) {
+            Var V = Problem.varOfName(Names[I]);
+            Assume.push_back((Cube >> I) & 1 ? mkLit(V) : ~mkLit(V));
+          }
+          while (S.solve(Assume) == SolveResult::Sat) {
+            ++Models;
+            ASSERT_LE(Models, Expected)
+                << "enc " << int(Enc) << " xor " << NativeXor << " chrono "
+                << Chrono;
+            std::vector<Lit> Block;
+            for (const auto &[Name, V] : Problem.NamedVars)
+              Block.push_back(S.modelValue(V) ? ~mkLit(V) : mkLit(V));
+            if (!S.addClause(Block))
+              break; // blocking clause empty at root: no models left
+          }
+        }
+        EXPECT_EQ(Models, Expected) << "enc " << int(Enc) << " xor "
+                                    << NativeXor << " chrono " << Chrono;
+      }
+    }
+  }
+}
+
+TEST(Chrono, AssumptionReuseVerdictsMatchFreshClassicSolvers) {
+  // The exact reuse pattern the cube engine runs, with chrono on: one
+  // solver walks every hole assignment of the first two pigeons of an
+  // unsatisfiable pigeonhole instance (plus the satisfiable
+  // one-fewer-pigeon instance), and every verdict is cross-checked
+  // against a fresh chrono-off solver on the same cube. The chrono
+  // machinery must actually engage: the reused solver has to report
+  // chronological backtracks, out-of-order assignments and saved trail
+  // literals, or the battery is vacuous.
+  size_t NumVars = 0;
+  std::vector<std::vector<Lit>> Clauses = pigeonhole(7, 6, NumVars);
+  Solver Reused = loadedSolver(NumVars, Clauses);
+  Reused.setChrono(true);
+  ASSERT_TRUE(Reused.chrono());
+  for (size_t H0 = 0; H0 != 6; ++H0)
+    for (size_t H1 = 0; H1 != 6; ++H1) {
+      std::vector<Lit> Cube = {mkLit(static_cast<Var>(H0)),
+                               mkLit(static_cast<Var>(6 + H1))};
+      SolveResult R = Reused.solve(Cube);
+      EXPECT_EQ(R, SolveResult::Unsat) << "cube " << H0 << "," << H1;
+      // The failed-assumption core must be a subset of the cube.
+      for (Lit L : Reused.conflictCore())
+        EXPECT_TRUE(L == Cube[0] || L == Cube[1]);
+      Solver Fresh = loadedSolver(NumVars, Clauses);
+      EXPECT_EQ(Fresh.solve(Cube), R) << "cube " << H0 << "," << H1
+                                      << " flipped under chrono reuse";
+    }
+  SolverStats Stats = Reused.stats();
+  EXPECT_GT(Stats.ChronoBacktracks, 0u);
+  EXPECT_GT(Stats.OutOfOrderAssignments, 0u);
+  EXPECT_GT(Stats.TrailSavedLits, 0u);
+  EXPECT_EQ(Stats.propagations(),
+            Stats.BinPropagations + Stats.LongPropagations +
+                Stats.XorPropagations);
+
+  // Satisfiable side: every cube of the 6-pigeon instance must stay SAT
+  // under chrono reuse, with a model that satisfies every clause.
+  size_t SatVars = 0;
+  std::vector<std::vector<Lit>> SatClauses = pigeonhole(6, 6, SatVars);
+  Solver SatReused = loadedSolver(SatVars, SatClauses);
+  SatReused.setChrono(true);
+  for (size_t H0 = 0; H0 != 6; ++H0) {
+    std::vector<Lit> Cube = {mkLit(static_cast<Var>(H0))};
+    ASSERT_EQ(SatReused.solve(Cube), SolveResult::Sat) << "hole " << H0;
+    for (const auto &C : SatClauses) {
+      bool SatClause = false;
+      for (Lit L : C)
+        SatClause |= SatReused.modelValue(L.var()) != L.negated();
+      EXPECT_TRUE(SatClause) << "model violates a clause under chrono";
+    }
+    EXPECT_TRUE(SatReused.modelValue(static_cast<Var>(H0)));
+  }
+}
+
+TEST(Chrono, ProofRoundTripWithHintedRecords) {
+  // A chrono-on UNSAT cube walk must still emit certificates the
+  // independent checker accepts: the LRAT-style hints attached to every
+  // derivation and conclusion are sorted by trail position, an order the
+  // survivor-compacting backtrack is required to preserve. The walk
+  // must actually take chronological backtracks for the round-trip to
+  // mean anything.
+  size_t NumVars = 0;
+  std::vector<std::vector<Lit>> Clauses = pigeonhole(8, 7, NumVars);
+  Solver S;
+  proof::SlotProofLog Log;
+  S.setProofSink(&Log);
+  S.setChrono(true);
+  for (size_t V = 0; V != NumVars; ++V)
+    S.newVar();
+  for (const auto &C : Clauses)
+    ASSERT_TRUE(S.addClause(C));
+  uint64_t Concluded = 0;
+  bool GlobalUnsat = false;
+  for (size_t H0 = 0; H0 != 7 && !GlobalUnsat; ++H0)
+    for (size_t H1 = 0; H1 != 7 && !GlobalUnsat; ++H1) {
+      std::vector<Lit> Cube = {mkLit(static_cast<Var>(H0)),
+                               mkLit(static_cast<Var>(7 + H1))};
+      ASSERT_EQ(S.solve(Cube), SolveResult::Unsat);
+      Log.logConclusion(S.conflictCore(), Cube, S.conflictCoreHints());
+      ++Concluded;
+      // Once the empty clause is derived, later cubes add nothing.
+      GlobalUnsat = S.conflictCore().empty();
+    }
+  EXPECT_GT(S.stats().ChronoBacktracks, 0u)
+      << "the proof battery never exercised the chrono path";
+
+  std::string Proof = "p veriqec proof 1\nv " + std::to_string(NumVars) +
+                      "\n";
+  for (const auto &C : Clauses) {
+    Proof += 'o';
+    for (Lit L : C) {
+      Proof += ' ';
+      Proof += std::to_string(L.negated() ? -(L.var() + 1) : (L.var() + 1));
+    }
+    Proof += " 0\n";
+  }
+  Proof += "s 0\n";
+  Proof += Log.drain();
+  proof::CheckResult CR = proof::checkProof(Proof);
+  EXPECT_TRUE(CR.Ok) << CR.Error;
+  EXPECT_EQ(CR.Conclusions, Concluded);
+}
+
+TEST(Chrono, DistanceSearchAgreesAndProvesAcrossModes) {
+  // The workload chrono is on by default for: the incremental distance
+  // search. Distances must be bit-identical chrono on vs off, and the
+  // chrono-on search must still emit a certificate the checker accepts
+  // (every UNSAT probe a concluded cube).
+  struct Case {
+    StabilizerCode Code;
+    size_t Distance;
+  };
+  const Case Cases[] = {{makeSteaneCode(), 3},
+                        {makeFiveQubitCode(), 3},
+                        {makeRepetitionCode(5), 5}};
+  for (const Case &C : Cases) {
+    PauliFamily Family = C.Code.Name.rfind("repetition", 0) == 0
+                             ? PauliFamily::XOnly
+                             : PauliFamily::Any;
+    for (smt::ChronoMode Mode : {smt::ChronoMode::Off, smt::ChronoMode::On}) {
+      VerifyOptions O;
+      O.Chrono = Mode;
+      O.LogProofs = Mode == smt::ChronoMode::On;
+      DistanceResult R = computeDistance(C.Code, O, Family);
+      ASSERT_TRUE(R.Ok) << C.Code.Name << ": " << R.Error;
+      EXPECT_EQ(R.Distance, C.Distance) << C.Code.Name << " chrono "
+                                        << int(Mode);
+      if (O.LogProofs) {
+        ASSERT_FALSE(R.Proof.empty()) << C.Code.Name;
+        proof::CheckResult CR = proof::checkProof(R.Proof);
+        EXPECT_TRUE(CR.Ok) << C.Code.Name << ": " << CR.Error;
+      }
+    }
+  }
+}
+
+TEST(Chrono, ScenarioVerdictsMatchAcrossModes) {
+  // Workload-level A/B: cube-split scenario verification must reach
+  // identical verdicts with chrono forced on, forced off, and auto —
+  // on both a verified scenario and one with a counterexample.
+  StabilizerCode Code = makeSteaneCode();
+  for (uint32_t MaxErrors : {1u, 2u}) {
+    Scenario S =
+        makeMemoryScenario(Code, PauliKind::Y, LogicalBasis::Z, MaxErrors);
+    bool Expected = MaxErrors == 1;
+    for (smt::ChronoMode Mode : {smt::ChronoMode::Auto, smt::ChronoMode::On,
+                                 smt::ChronoMode::Off}) {
+      VerifyOptions O;
+      O.Parallel = true;
+      O.Threads = 2;
+      O.Chrono = Mode;
+      VerificationResult R = verifyScenario(S, O);
+      ASSERT_TRUE(R.StructuralOk) << R.Error;
+      EXPECT_EQ(R.Verified, Expected)
+          << "t=" << MaxErrors << " chrono mode " << int(Mode);
+      if (!Expected) {
+        EXPECT_FALSE(R.CounterExample.empty());
+      }
+    }
+  }
+}

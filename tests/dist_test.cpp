@@ -139,8 +139,12 @@ TEST(DistCodec, RoundTripsBatchResultsModelsAndCores) {
   R.Status = BatchStatus::Sat;
   R.Model = {{"e0", true}, {"e1", false}, {"m__3", true}};
   R.Stats.Conflicts = 17;
-  R.Stats.Propagations = 12345678901234ull;
+  R.Stats.BinPropagations = 12345678901234ull;
+  R.Stats.LongPropagations = 98765432109876ull;
   R.Stats.XorEliminations = 5;
+  R.Stats.ChronoBacktracks = 21;
+  R.Stats.OutOfOrderAssignments = 404;
+  R.Stats.TrailSavedLits = 777;
   R.Solved = 41;
   R.PrunedGf2 = 4;
   R.PrunedCore = 2;
@@ -155,8 +159,12 @@ TEST(DistCodec, RoundTripsBatchResultsModelsAndCores) {
   EXPECT_EQ(D->Status, BatchStatus::Sat);
   EXPECT_EQ(D->Model, R.Model);
   EXPECT_EQ(D->Stats.Conflicts, 17u);
-  EXPECT_EQ(D->Stats.Propagations, 12345678901234ull);
+  EXPECT_EQ(D->Stats.BinPropagations, 12345678901234ull);
+  EXPECT_EQ(D->Stats.LongPropagations, 98765432109876ull);
   EXPECT_EQ(D->Stats.XorEliminations, 5u);
+  EXPECT_EQ(D->Stats.ChronoBacktracks, 21u);
+  EXPECT_EQ(D->Stats.OutOfOrderAssignments, 404u);
+  EXPECT_EQ(D->Stats.TrailSavedLits, 777u);
   EXPECT_EQ(D->Solved, 41u);
   EXPECT_EQ(D->PrunedGf2, 4u);
   EXPECT_EQ(D->PrunedCore, 2u);

@@ -244,7 +244,7 @@ TEST(VerificationEngine, BatchMatchesOneAtATime) {
   for (size_t I = 0; I != Batch.size(); ++I) {
     EXPECT_TRUE(Batch[I].StructuralOk) << Scenarios[I].Name;
     EXPECT_EQ(Batch[I].Verified, Expected[I]) << Scenarios[I].Name;
-    EXPECT_GT(Batch[I].Stats.Propagations, 0u) << Scenarios[I].Name;
+    EXPECT_GT(Batch[I].Stats.propagations(), 0u) << Scenarios[I].Name;
   }
   // A SAT scenario in the batch must not poison its neighbours: the
   // counterexample belongs to the failing scenario only.

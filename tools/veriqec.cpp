@@ -61,6 +61,7 @@ struct CliOptions {
   bool Sequential = false;
   bool NoPreprocess = false;
   smt::XorMode Xor = smt::XorMode::Auto;
+  smt::ChronoMode Chrono = smt::ChronoMode::Auto;
   uint32_t SplitThreshold = 0;
   smt::CardinalityEncoding CardEnc =
       smt::CardinalityEncoding::SequentialCounter;
@@ -130,6 +131,10 @@ void printUsage(std::FILE *To) {
       "                        the solver; the default picks per workload\n"
       "                        (on for distance, off elsewhere). on/off\n"
       "                        force either side of the A/B\n"
+      "  --chrono on|off|auto  chronological backtracking + trail saving\n"
+      "                        in the solvers; the default picks per\n"
+      "                        workload (on for distance, off elsewhere).\n"
+      "                        on/off force either side of the A/B\n"
       "  --split-threshold T   ET threshold (default: number of qubits)\n"
       "  --card-enc seq|pairwise   cardinality encoding (default seq)\n"
       "  --budget N            conflict budget per solver (default none)\n"
@@ -457,7 +462,7 @@ void printRecordJson(const RunRecord &R, bool Last) {
               static_cast<unsigned long long>(R.Result.CubesSolved),
               static_cast<unsigned long long>(R.Result.Stats.Conflicts),
               static_cast<unsigned long long>(R.Result.Stats.Decisions),
-              static_cast<unsigned long long>(R.Result.Stats.Propagations));
+              static_cast<unsigned long long>(R.Result.Stats.propagations()));
   if (!R.Result.Verified && !R.Result.CounterExample.empty()) {
     std::printf(", \"counterexample\": {");
     bool First = true;
@@ -484,12 +489,13 @@ bool writeBenchOut(const CliOptions &Cli, const std::vector<RunRecord> &Records,
     std::fprintf(stderr, "veriqec: cannot write %s\n", Cli.BenchOut.c_str());
     return false;
   }
-  char Buf[1024];
+  char Buf[2048];
   Out << "{\n  \"config\": {";
   std::snprintf(Buf, sizeof(Buf),
                 "\"command\": \"verify\", \"jobs\": %zu, \"workers\": %zu, "
                 "\"dist\": \"%s\", "
                 "\"sequential\": %s, \"preprocess\": %s, \"xor\": %s, "
+                "\"chrono\": %s, "
                 "\"split_threshold\": %u, \"card_enc\": \"%s\", "
                 "\"conflict_budget\": %llu, \"seed\": %llu",
                 Cli.Jobs, Workers,
@@ -503,6 +509,9 @@ bool writeBenchOut(const CliOptions &Cli, const std::vector<RunRecord> &Records,
                 // record what the run actually measured.
                 Cli.Xor == smt::XorMode::On && !Cli.NoPreprocess ? "true"
                                                                  : "false",
+                // The resolved chrono policy: verification resolves
+                // Auto to off (measured negative on the cube path).
+                Cli.Chrono == smt::ChronoMode::On ? "true" : "false",
                 Cli.SplitThreshold,
                 Cli.CardEnc == smt::CardinalityEncoding::SequentialCounter
                     ? "seq"
@@ -526,7 +535,11 @@ bool writeBenchOut(const CliOptions &Cli, const std::vector<RunRecord> &Records,
           "\"cubes_pruned\": %llu, \"cubes_pruned_gf2\": %llu, "
           "\"cubes_pruned_core\": %llu, \"split_threshold_used\": %u, "
           "\"conflicts\": %llu, \"decisions\": %llu, "
-          "\"propagations\": %llu, \"learned\": %llu, \"restarts\": %llu, "
+          "\"propagations\": %llu, \"bin_propagations\": %llu, "
+          "\"long_propagations\": %llu, "
+          "\"learned\": %llu, \"restarts\": %llu, "
+          "\"chrono_backtracks\": %llu, \"out_of_order\": %llu, "
+          "\"trail_saved_lits\": %llu, "
           "\"xor_propagations\": %llu, \"xor_conflicts\": %llu, "
           "\"xor_eliminations\": %llu, "
           "\"arena_bytes\": %llu, \"wasted_bytes\": %llu, "
@@ -541,9 +554,14 @@ bool writeBenchOut(const CliOptions &Cli, const std::vector<RunRecord> &Records,
           V.SplitThresholdUsed,
           static_cast<unsigned long long>(V.Stats.Conflicts),
           static_cast<unsigned long long>(V.Stats.Decisions),
-          static_cast<unsigned long long>(V.Stats.Propagations),
+          static_cast<unsigned long long>(V.Stats.propagations()),
+          static_cast<unsigned long long>(V.Stats.BinPropagations),
+          static_cast<unsigned long long>(V.Stats.LongPropagations),
           static_cast<unsigned long long>(V.Stats.LearnedClauses),
           static_cast<unsigned long long>(V.Stats.Restarts),
+          static_cast<unsigned long long>(V.Stats.ChronoBacktracks),
+          static_cast<unsigned long long>(V.Stats.OutOfOrderAssignments),
+          static_cast<unsigned long long>(V.Stats.TrailSavedLits),
           static_cast<unsigned long long>(V.Stats.XorPropagations),
           static_cast<unsigned long long>(V.Stats.XorConflicts),
           static_cast<unsigned long long>(V.Stats.XorEliminations),
@@ -589,10 +607,11 @@ bool writeDistanceBenchOut(const CliOptions &Cli,
     std::fprintf(stderr, "veriqec: cannot write %s\n", Cli.BenchOut.c_str());
     return false;
   }
-  char Buf[1024];
+  char Buf[2048];
   Out << "{\n  \"config\": {";
   std::snprintf(Buf, sizeof(Buf),
                 "\"command\": \"distance\", \"preprocess\": %s, \"xor\": %s, "
+                "\"chrono\": %s, "
                 "\"conflict_budget\": %llu, \"seed\": %llu",
                 Cli.NoPreprocess ? "false" : "true",
                 // As in writeBenchOut: --no-preprocess leaves no rows
@@ -600,6 +619,8 @@ bool writeDistanceBenchOut(const CliOptions &Cli,
                 Cli.Xor != smt::XorMode::Off && !Cli.NoPreprocess
                     ? "true"
                     : "false",
+                // Distance resolves Auto to on (assumption-heavy probes).
+                Cli.Chrono != smt::ChronoMode::Off ? "true" : "false",
                 static_cast<unsigned long long>(Cli.ConflictBudget),
                 static_cast<unsigned long long>(Cli.Seed));
   Out << Buf << "},\n  \"results\": [\n";
@@ -613,6 +634,9 @@ bool writeDistanceBenchOut(const CliOptions &Cli,
         ", \"ok\": %s, \"aborted\": %s, \"distance\": %zu, "
         "\"seconds\": %.6f, \"solver_calls\": %llu, \"conflicts\": %llu, "
         "\"decisions\": %llu, \"propagations\": %llu, "
+        "\"bin_propagations\": %llu, \"long_propagations\": %llu, "
+        "\"chrono_backtracks\": %llu, \"out_of_order\": %llu, "
+        "\"trail_saved_lits\": %llu, "
         "\"xor_propagations\": %llu, \"xor_conflicts\": %llu, "
         "\"xor_eliminations\": %llu, \"xor_rows\": %zu, "
         "\"arena_bytes\": %llu, \"wasted_bytes\": %llu, "
@@ -622,7 +646,12 @@ bool writeDistanceBenchOut(const CliOptions &Cli,
         D.Seconds, static_cast<unsigned long long>(D.SolverCalls),
         static_cast<unsigned long long>(D.Stats.Conflicts),
         static_cast<unsigned long long>(D.Stats.Decisions),
-        static_cast<unsigned long long>(D.Stats.Propagations),
+        static_cast<unsigned long long>(D.Stats.propagations()),
+        static_cast<unsigned long long>(D.Stats.BinPropagations),
+        static_cast<unsigned long long>(D.Stats.LongPropagations),
+        static_cast<unsigned long long>(D.Stats.ChronoBacktracks),
+        static_cast<unsigned long long>(D.Stats.OutOfOrderAssignments),
+        static_cast<unsigned long long>(D.Stats.TrailSavedLits),
         static_cast<unsigned long long>(D.Stats.XorPropagations),
         static_cast<unsigned long long>(D.Stats.XorConflicts),
         static_cast<unsigned long long>(D.Stats.XorEliminations), D.XorRows,
@@ -751,6 +780,7 @@ int runVerify(const CliOptions &Cli) {
   VO.CardEnc = Cli.CardEnc;
   VO.Preprocess = !Cli.NoPreprocess;
   VO.Xor = Cli.Xor;
+  VO.Chrono = Cli.Chrono;
   VO.ConflictBudget = Cli.ConflictBudget;
   VO.RandomSeed = Cli.Seed;
   VO.LogProofs = Cli.CheckProofs || !Cli.ProofDir.empty();
@@ -778,7 +808,9 @@ int runVerify(const CliOptions &Cli) {
                  !R.Result.Aborted;
     Total.Conflicts += R.Result.Stats.Conflicts;
     Total.Decisions += R.Result.Stats.Decisions;
-    Total.Propagations += R.Result.Stats.Propagations;
+    Total.BinPropagations += R.Result.Stats.BinPropagations;
+    Total.LongPropagations += R.Result.Stats.LongPropagations;
+    Total.XorPropagations += R.Result.Stats.XorPropagations;
     TotalSeconds += R.Result.Seconds;
   }
 
@@ -849,6 +881,7 @@ int runDistance(const CliOptions &Cli) {
     VerifyOptions VO;
     VO.Preprocess = !Cli.NoPreprocess;
     VO.Xor = Cli.Xor;
+    VO.Chrono = Cli.Chrono;
     VO.ConflictBudget = Cli.ConflictBudget;
     VO.RandomSeed = Cli.Seed;
     VO.LogProofs = Cli.CheckProofs || !Cli.ProofDir.empty();
@@ -962,6 +995,7 @@ int runDetect(const CliOptions &Cli) {
     VO.CardEnc = Cli.CardEnc;
     VO.Preprocess = !Cli.NoPreprocess;
     VO.Xor = Cli.Xor;
+    VO.Chrono = Cli.Chrono;
     VO.ConflictBudget = Cli.ConflictBudget;
     VO.RandomSeed = Cli.Seed;
     DetectionResult R = verifyDetection(*Code, MaxWeight, VO);
@@ -1067,6 +1101,19 @@ int main(int Argc, char **Argv) {
         Cli.Xor = smt::XorMode::Off;
       else {
         std::fprintf(stderr, "veriqec: --xor must be on or off\n");
+        return 2;
+      }
+    } else if (A == "--chrono") {
+      if (!(V = needValue(I)))
+        return 2;
+      if (*V == "on")
+        Cli.Chrono = smt::ChronoMode::On;
+      else if (*V == "off")
+        Cli.Chrono = smt::ChronoMode::Off;
+      else if (*V == "auto")
+        Cli.Chrono = smt::ChronoMode::Auto;
+      else {
+        std::fprintf(stderr, "veriqec: --chrono must be on, off or auto\n");
         return 2;
       }
     } else if (A == "--bench-out") {
