@@ -1,0 +1,77 @@
+//===- bench/obs_overhead.cpp - Observability overhead A/B ----------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instrumentation cost on the tracked surface9 t=4 --jobs 1 workload
+/// (BENCH_table3.json, `obs_overhead`): the compiled-in-but-off side
+/// pays one relaxed atomic load per instrumentation site (trace +
+/// metrics gates cold), the enabled side additionally records every
+/// span/instant into the per-thread trace buffers, feeds the per-cube
+/// histograms, and renders the trace JSON at run end. Both sides run
+/// interleaved in one binary so the numbers share a machine state. The
+/// third configuration in the tracked A/B — instrumentation compiled
+/// OUT with -DVERIQEC_DISABLE_OBS — needs its own build; point a second
+/// build dir at CMAKE_CXX_FLAGS=-DVERIQEC_DISABLE_OBS and run this
+/// bench's Off case there.
+///
+//===----------------------------------------------------------------------===//
+
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
+#include "qec/Codes.h"
+#include "verifier/Verifier.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace veriqec;
+
+namespace {
+
+void runSurfaceMemory(benchmark::State &State, bool Obs) {
+  StabilizerCode Code = makeRotatedSurfaceCode(9);
+  Scenario S = makeMemoryScenario(Code, PauliKind::Y, LogicalBasis::Z, 4);
+  State.SetLabel(std::string("surface9 t=4 j=1 obs=") + (Obs ? "on" : "off"));
+  VerifyOptions VO;
+  VO.Parallel = true;
+  VO.Threads = 1; // per-core number: the tracked JSON row is --jobs 1
+  for (auto _ : State) {
+    if (Obs) {
+      obs::beginTrace();
+      obs::setMetricsEnabled(true);
+    }
+    VerificationResult R = verifyScenario(S, VO);
+    if (Obs) {
+      // The render is part of the enabled path's cost: a real --trace
+      // run serializes at run end, inside the user's wall clock.
+      obs::stopTrace();
+      std::string Json = obs::renderTraceJson();
+      benchmark::DoNotOptimize(Json);
+      State.counters["trace_bytes"] = static_cast<double>(Json.size());
+      obs::setMetricsEnabled(false);
+      obs::Registry::global().reset();
+    }
+    if (!R.StructuralOk || !R.Verified) {
+      State.SkipWithError("verification failed");
+      return;
+    }
+    State.counters["cubes"] = static_cast<double>(R.NumCubes);
+    State.counters["conflicts"] = static_cast<double>(R.Stats.Conflicts);
+  }
+}
+
+void BM_Surface9T4ObsOff(benchmark::State &State) {
+  runSurfaceMemory(State, false);
+}
+void BM_Surface9T4ObsOn(benchmark::State &State) {
+  runSurfaceMemory(State, true);
+}
+
+} // namespace
+
+BENCHMARK(BM_Surface9T4ObsOff)->Unit(benchmark::kMillisecond)->Iterations(1);
+BENCHMARK(BM_Surface9T4ObsOn)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+BENCHMARK_MAIN();

@@ -6,6 +6,8 @@
 
 #include "dist/Codec.h"
 
+#include "obs/Trace.h"
+
 #include <algorithm>
 #include <limits>
 
@@ -194,6 +196,14 @@ void encodeBody(Encoder &E, const StealReplyMsg &M) {
 
 void encodeBody(Encoder &, const ShutdownMsg &) {}
 
+void encodeBody(Encoder &E, const HeartbeatMsg &M) {
+  E.u32(M.BatchesInFlight);
+  E.u64(M.CubesDelta);
+  E.u64(M.ConflictsDelta);
+}
+
+void encodeBody(Encoder &E, const EvictedMsg &M) { E.str(M.Reason); }
+
 } // namespace
 
 // -- ProblemCodec ------------------------------------------------------------
@@ -369,15 +379,19 @@ std::shared_ptr<smt::VerificationProblem> ProblemCodec::decode(Decoder &D) {
 // -- Top-level message codec -------------------------------------------------
 
 std::vector<uint8_t> veriqec::dist::encodeMessage(const Message &M) {
+  obs::TraceSpan Span("wire_encode", {{"kind", M.index()}});
   Encoder E;
   E.u8(static_cast<uint8_t>(MsgKind::Hello) +
        static_cast<uint8_t>(M.index()));
   std::visit([&E](const auto &Body) { encodeBody(E, Body); }, M);
-  return E.take();
+  std::vector<uint8_t> Out = E.take();
+  Span.arg("bytes", Out.size());
+  return Out;
 }
 
 bool veriqec::dist::decodeMessage(std::span<const uint8_t> Payload,
                                   Message &Out) {
+  obs::TraceSpan Span("wire_decode", {{"bytes", Payload.size()}});
   Decoder D(Payload);
   switch (static_cast<MsgKind>(D.u8())) {
   case MsgKind::Hello: {
@@ -472,6 +486,20 @@ bool veriqec::dist::decodeMessage(std::span<const uint8_t> Payload,
   case MsgKind::Shutdown:
     Out = ShutdownMsg{};
     break;
+  case MsgKind::Heartbeat: {
+    HeartbeatMsg M;
+    M.BatchesInFlight = D.u32();
+    M.CubesDelta = D.u64();
+    M.ConflictsDelta = D.u64();
+    Out = M;
+    break;
+  }
+  case MsgKind::Evicted: {
+    EvictedMsg M;
+    M.Reason = D.str();
+    Out = std::move(M);
+    break;
+  }
   default:
     return false;
   }

@@ -43,8 +43,9 @@ constexpr uint32_t WireMagic = 0x43455156; // "VQEC" little-endian
 /// mismatch in either direction. v2: CubeRunConfig::LogProofs and
 /// BatchResultMsg::ProofChunks. v3: arena telemetry in SolverStats.
 /// v4: the binary/long propagation split + chrono counters in
-/// SolverStats and CubeRunConfig::Chrono.
-constexpr uint32_t WireVersion = 4;
+/// SolverStats and CubeRunConfig::Chrono. v5: progress Heartbeat
+/// (worker -> coordinator) and Evicted (coordinator -> worker) frames.
+constexpr uint32_t WireVersion = 5;
 /// Upper bound on one frame payload (a surface-scale problem is a few
 /// MB; anything near this is a corrupt length prefix, not data).
 constexpr uint32_t MaxFrameBytes = 256u << 20;
@@ -216,6 +217,8 @@ enum class MsgKind : uint8_t {
   StealRequest,  ///< coordinator -> worker: give back queued batches
   StealReply,    ///< worker -> coordinator: the batch ids it gave back
   Shutdown,      ///< coordinator -> worker: exit cleanly
+  Heartbeat,     ///< worker -> coordinator: periodic progress report
+  Evicted,       ///< coordinator -> worker: dropped, stop grinding
 };
 
 struct HelloMsg {
@@ -305,10 +308,35 @@ struct StealReplyMsg {
 
 struct ShutdownMsg {};
 
+/// Periodic worker -> coordinator progress report (WorkerOptions::
+/// HeartbeatMs). ANY frame refreshes the coordinator's silence timer,
+/// so a heartbeating worker is never declared dead by WorkerTimeoutMs
+/// while it grinds a hard batch; the payload additionally feeds the
+/// coordinator's `--progress` rendering.
+struct HeartbeatMsg {
+  /// Batches started but not yet resulted (0 or 1 today — the worker
+  /// runs one batch at a time — plus its locally queued backlog).
+  uint32_t BatchesInFlight = 0;
+  /// Cubes discharged (solved or pruned) since the previous heartbeat.
+  uint64_t CubesDelta = 0;
+  /// Solver conflicts spent since the previous heartbeat (observed at
+  /// cube granularity: a slot publishes after each cube completes).
+  uint64_t ConflictsDelta = 0;
+};
+
+/// Coordinator -> worker eviction notice, sent just before the link is
+/// closed on a silence timeout. The epoch check already ignores any
+/// result the evicted worker might still send; this frame lets the
+/// worker abort its in-flight solves instead of grinding to the end of
+/// a batch nobody will accept.
+struct EvictedMsg {
+  std::string Reason; ///< human-readable cause (for the worker's stderr)
+};
+
 using Message =
     std::variant<HelloMsg, HelloAckMsg, ProblemMsg, CubeBatchMsg,
                  BatchResultMsg, CoresMsg, CancelMsg, StealRequestMsg,
-                 StealReplyMsg, ShutdownMsg>;
+                 StealReplyMsg, ShutdownMsg, HeartbeatMsg, EvictedMsg>;
 
 /// Encodes one message into a frame payload (kind tag + body).
 std::vector<uint8_t> encodeMessage(const Message &M);

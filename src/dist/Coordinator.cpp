@@ -6,6 +6,7 @@
 
 #include "dist/Coordinator.h"
 
+#include "obs/Progress.h"
 #include "proof/ProofLog.h"
 #include "support/Timer.h"
 
@@ -490,6 +491,14 @@ bool Coordinator::pumpLinks() {
         handleResult(*W, std::move(*R));
       else if (const StealReplyMsg *S = std::get_if<StealReplyMsg>(&M))
         handleStealReply(*W, *S);
+      else if (const HeartbeatMsg *H = std::get_if<HeartbeatMsg>(&M)) {
+        // The LastActivity refresh above is the heartbeat's real job —
+        // it is what keeps a grinding worker off the silence timer. The
+        // payload feeds the live progress line.
+        ++Stats.HeartbeatsReceived;
+        HbCubes += H->CubesDelta;
+        HbConflicts += H->ConflictsDelta;
+      }
       // Anything else from a worker is protocol noise; ignore.
     }
     if (W->L->closed())
@@ -520,6 +529,14 @@ void Coordinator::dropDeadWorkers() {
     if (Opts.WorkerTimeoutMs > 0 && !W->Outstanding.empty() &&
         Now - W->LastActivity >
             std::chrono::milliseconds(Opts.WorkerTimeoutMs)) {
+      // Tell the worker it was written off before cutting the link: its
+      // batches are requeued below, so anything it is still grinding
+      // would be discarded by the epoch check anyway. Queued frames
+      // survive close() on both transports, so this is reliable.
+      EvictedMsg EM;
+      EM.Reason = "silence timeout (" +
+                  std::to_string(Opts.WorkerTimeoutMs) + " ms)";
+      W->L->send(encodeMessage(EM));
       W->L->close();
       W->Dead = true;
     }
@@ -563,9 +580,24 @@ void Coordinator::runUntilDone(const std::vector<uint32_t> &ProblemIds) {
     }
     grantWork();
     stealForIdle();
+    if (obs::progressEnabled()) {
+      size_t BatchesDone = 0, BatchesTotal = 0;
+      for (uint32_t Id : ProblemIds) {
+        ActiveProblem &AP = *Problems.at(Id);
+        BatchesDone += AP.DoneCount;
+        BatchesTotal += AP.BatchDone.size();
+      }
+      obs::progressLine(
+          "dist: workers " + std::to_string(numWorkers()) + "  batches " +
+          std::to_string(BatchesDone) + "/" + std::to_string(BatchesTotal) +
+          "  queued " + std::to_string(Queue.size()) + "  hb cubes " +
+          std::to_string(HbCubes) + " conflicts " +
+          std::to_string(HbConflicts));
+    }
     if (!Busy)
       std::this_thread::sleep_for(std::chrono::milliseconds(Opts.PollMs));
   }
+  obs::progressDone();
 }
 
 std::vector<smt::SolveOutcome>

@@ -53,13 +53,15 @@ struct CoordinatorOptions {
   /// Event-loop poll granularity.
   int PollMs = 2;
   /// A worker silent for this long while holding outstanding batches is
-  /// declared dead and its batches requeued. 0 disables the timer (link
+  /// declared dead: it receives an Evicted frame (so it stops grinding
+  /// work whose results the epoch check would discard anyway), its link
+  /// is closed, and its batches are requeued. 0 disables the timer (link
   /// closure still triggers requeue — the common crash signal on TCP).
-  /// CAUTION: this is a SILENCE timer, and a worker sends nothing while
-  /// legitimately grinding a hard batch — only enable it with a bound
-  /// comfortably above the worst-case single-batch solve time (a
-  /// progress heartbeat that would lift this restriction is a ROADMAP
-  /// follow-up).
+  /// This is a SILENCE timer, but heartbeats count as activity: a worker
+  /// started with WorkerOptions::HeartbeatMs well below this bound can
+  /// grind one batch indefinitely without being declared dead, so the
+  /// timeout only needs to clear the heartbeat interval, not the
+  /// worst-case single-batch solve time.
   int WorkerTimeoutMs = 0;
 };
 
@@ -69,6 +71,7 @@ struct CoordinatorStats {
   uint64_t BatchesRequeued = 0;
   uint64_t BatchesStolen = 0;
   uint64_t CoreBroadcasts = 0;
+  uint64_t HeartbeatsReceived = 0;
 };
 
 class Coordinator : public engine::CubeBackend {
@@ -153,6 +156,10 @@ private:
   std::deque<BatchKey> Queue;
   uint32_t NextProblemId = 1;
   uint64_t NextWorkerSerial = 1;
+  /// Fleet-wide cube/conflict totals reported via heartbeats (batch
+  /// results fold their own deltas into the problem outcomes; these feed
+  /// only the live --progress line, which wants mid-batch movement).
+  uint64_t HbCubes = 0, HbConflicts = 0;
 };
 
 /// Spawns one in-process loopback worker per entry of \p PerWorker and

@@ -79,6 +79,17 @@ public:
           return 0;
         }
         handle(M);
+        if (Evicted) {
+          // The coordinator already requeued everything this worker
+          // holds; grinding on would be wasted work. Cancel, drain the
+          // pool (the result send below no-ops on the closed link), and
+          // surface the eviction as a distinct exit code.
+          for (auto &KV : Problems)
+            KV.second.Run->cancel();
+          finishInflight(/*Block=*/true);
+          L->close();
+          return 3;
+        }
       } else if (L->closed()) {
         // Abrupt closure (coordinator died): abort the in-flight batch
         // and drain it off the pool before tearing the state down.
@@ -88,6 +99,7 @@ public:
         }
         return 1;
       }
+      maybeHeartbeat();
       if (finishInflight(/*Block=*/false)) {
         ++BatchesDone;
         if (Opts.MaxBatches && BatchesDone >= Opts.MaxBatches) {
@@ -172,9 +184,38 @@ private:
         Pending.pop_back();
       }
       L->send(encodeMessage(Reply));
+    } else if (std::holds_alternative<EvictedMsg>(M)) {
+      Evicted = true;
     }
     // Hello/HelloAck/BatchResult/StealReply are peer-direction messages;
     // ignore them.
+  }
+
+  /// Sends a HeartbeatMsg every Opts.HeartbeatMs while work is queued or
+  /// in flight. Deltas are against the last heartbeat (not the last
+  /// batch result), read from CubeRun's relaxed counters — safe while
+  /// slots are mid-solve.
+  void maybeHeartbeat() {
+    if (!Opts.HeartbeatMs || (!Inflight && Pending.empty()))
+      return;
+    auto Now = std::chrono::steady_clock::now();
+    if (LastHeartbeat != std::chrono::steady_clock::time_point{} &&
+        Now - LastHeartbeat < std::chrono::milliseconds(Opts.HeartbeatMs))
+      return;
+    LastHeartbeat = Now;
+    uint64_t Solved = 0, Conflicts = 0;
+    for (const auto &KV : Problems) {
+      Solved += KV.second.Run->solved();
+      Conflicts += KV.second.Run->conflictsObserved();
+    }
+    HeartbeatMsg Hb;
+    Hb.BatchesInFlight =
+        static_cast<uint32_t>((Inflight ? 1 : 0) + Pending.size());
+    Hb.CubesDelta = Solved - HbSolvedReported;
+    Hb.ConflictsDelta = Conflicts - HbConflictsReported;
+    HbSolvedReported = Solved;
+    HbConflictsReported = Conflicts;
+    L->send(encodeMessage(Hb));
   }
 
   void maybeStartBatch() {
@@ -226,13 +267,19 @@ private:
       return; // empty batch: Remaining is 0, finishInflight acks it
     size_t Chunk = (N + NumTasks - 1) / NumTasks;
     InflightBatch *B = Inflight.get();
+    if (Opts.GrindFirstBatchMs && BatchesDone == 0) {
+      GrindArmed = true;
+      GrindDeadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(Opts.GrindFirstBatchMs);
+    }
     for (size_t T = 0; T != NumTasks; ++T) {
       size_t Begin = T * Chunk, End = std::min(N, Begin + Chunk);
       Pool.submitTo(T, [B, Begin, End] {
         int Slot = engine::ThreadPool::currentWorkerIndex();
         for (size_t C = Begin; C < End; ++C) {
           switch (B->State->Run->runCube(static_cast<size_t>(Slot),
-                                         B->Batch.Cubes[C])) {
+                                         B->Batch.Cubes[C], C)) {
           case engine::CubeRun::CubeOutcome::Sat:
             B->AnySat.store(true, std::memory_order_relaxed);
             break;
@@ -260,6 +307,14 @@ private:
         std::this_thread::sleep_for(std::chrono::milliseconds(1));
     } else if (Inflight->Remaining.load(std::memory_order_acquire) != 0) {
       return false;
+    }
+    if (GrindArmed && !Block) {
+      // Grind hook: the cubes are done, but pretend they are not — the
+      // protocol loop keeps polling (and heartbeating, if enabled) with
+      // the batch still counted as in flight.
+      if (std::chrono::steady_clock::now() < GrindDeadline)
+        return false;
+      GrindArmed = false;
     }
     ProblemState &S = *Inflight->State;
     engine::CubeRun &Run = *S.Run;
@@ -314,6 +369,11 @@ private:
   std::unique_ptr<InflightBatch> Inflight;
   bool EraseAfterInflight = false;
   bool StreamCorrupt = false;
+  bool Evicted = false;
+  bool GrindArmed = false;
+  std::chrono::steady_clock::time_point GrindDeadline;
+  std::chrono::steady_clock::time_point LastHeartbeat;
+  uint64_t HbSolvedReported = 0, HbConflictsReported = 0;
   uint64_t BatchesDone = 0;
   /// Declared last: destroyed (and its threads joined) FIRST, so pool
   /// tasks can never outlive the problem/batch state they reference.

@@ -37,11 +37,24 @@ struct WorkerOptions {
   uint64_t MaxBatches = 0;
   /// Protocol poll granularity while computing.
   int PollMs = 2;
+  /// Send a HeartbeatMsg (batches in flight, cube/conflict deltas) this
+  /// often while work is queued or running, so the coordinator can tell
+  /// a grinding worker from a dead one. 0 = no heartbeats (the
+  /// coordinator then falls back to its silence timeout alone).
+  int HeartbeatMs = 0;
+  /// Test hook: hold the first batch's result for this long after its
+  /// cubes finish — simulates a batch that grinds far past the
+  /// coordinator's WorkerTimeoutMs. Heartbeats (if enabled) keep
+  /// flowing, which is exactly what the grinding-vs-dead tests probe.
+  /// 0 = report results immediately.
+  int GrindFirstBatchMs = 0;
 };
 
 /// Runs the worker protocol on \p L until the coordinator sends Shutdown
 /// or the link dies. Returns 0 on clean shutdown, 1 on handshake or link
-/// failure, 2 when the MaxBatches crash hook fired.
+/// failure, 2 when the MaxBatches crash hook fired, 3 when the
+/// coordinator evicted this worker (its batches were requeued elsewhere;
+/// continuing to grind them would be wasted work).
 int runWorker(std::unique_ptr<Link> L, const WorkerOptions &Opts = {});
 
 } // namespace veriqec::dist

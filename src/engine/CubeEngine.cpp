@@ -7,13 +7,18 @@
 #include "engine/CubeEngine.h"
 
 #include "engine/CubeRun.h"
+#include "obs/Progress.h"
+#include "obs/Trace.h"
 #include "proof/ProofLog.h"
 #include "support/Assert.h"
 #include "support/Timer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <memory>
 #include <mutex>
+#include <string>
+#include <thread>
 
 using namespace veriqec;
 using namespace veriqec::engine;
@@ -68,7 +73,7 @@ void dischargeCube(ProblemRun &P, size_t CubeIdx) {
   int Worker = ThreadPool::currentWorkerIndex();
   if (Worker < 0)
     fatalError("cube task executed off the pool");
-  P.Run->runCube(static_cast<size_t>(Worker), P.Cubes[CubeIdx]);
+  P.Run->runCube(static_cast<size_t>(Worker), P.Cubes[CubeIdx], CubeIdx);
   if (P.Remaining.fetch_sub(1, std::memory_order_acq_rel) == 1)
     P.Out.SolveSeconds = P.Clock.seconds();
 }
@@ -215,8 +220,14 @@ PreparedProblem veriqec::engine::prepareCubeProblem(const CubeProblem &P,
     // the queues with near-trivial cubes.
     Threshold = pickSplitThreshold(SplitVars.size(), O.DistanceHint,
                                    Threshold, O.MaxOnes, TotalSlots);
-  Out.Cubes =
-      enumerateCubes(SplitVars, O.DistanceHint, Threshold, O.MaxOnes);
+  {
+    obs::TraceSpan Span("cube_enumerate",
+                        {{"split_vars", SplitVars.size()},
+                         {"threshold", Threshold}});
+    Out.Cubes =
+        enumerateCubes(SplitVars, O.DistanceHint, Threshold, O.MaxOnes);
+    Span.arg("cubes", Out.Cubes.size());
+  }
   Out.SplitThresholdUsed =
       (!SplitVars.empty() && Threshold != 0) ? Threshold : 0;
   return Out;
@@ -321,6 +332,35 @@ CubeEngine::solveAll(std::span<const CubeProblem> Problems) {
                        });
     }
     ++ProblemIdx;
+  }
+  // Live progress (opt-in): poll the runs' relaxed counters from the
+  // calling thread until every cube is accounted for, then fall through
+  // to the real barrier. Remaining hits zero at most a task-epilogue
+  // ahead of CubeWg, so the wait below returns immediately.
+  if (obs::progressEnabled()) {
+    uint64_t Total = 0;
+    for (std::unique_ptr<ProblemRun> &RunPtr : Runs)
+      Total += RunPtr->Out.NumCubes;
+    while (true) {
+      uint64_t Left = 0, Done = 0, Pruned = 0, Conflicts = 0;
+      for (std::unique_ptr<ProblemRun> &RunPtr : Runs) {
+        Left += RunPtr->Remaining.load(std::memory_order_relaxed);
+        if (RunPtr->Run) {
+          Done += RunPtr->Run->solved();
+          Pruned += RunPtr->Run->prunedGf2() + RunPtr->Run->prunedCore();
+          Conflicts += RunPtr->Run->conflictsObserved();
+        }
+      }
+      obs::progressLine("cubes " + std::to_string(Done) + "/" +
+                            std::to_string(Total) + "  pruned " +
+                            std::to_string(Pruned) + "  conflicts " +
+                            std::to_string(Conflicts),
+                        /*Force=*/Left == 0);
+      if (Left == 0)
+        break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    obs::progressDone();
   }
   CubeWg.wait();
 

@@ -6,7 +6,10 @@
 
 #include "engine/CubeRun.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Assert.h"
+#include "support/Timer.h"
 
 #include <algorithm>
 
@@ -33,6 +36,7 @@ CubeRun::CubeRun(const smt::VerificationProblem &Problem,
     : Problem(Problem), Cfg(Cfg) {
   Slots.resize(NumSlots);
   CoreSnapshots.resize(NumSlots);
+  SlotConflictBase.resize(NumSlots, 0);
   if (Cfg.LogProofs) {
     SlotLogs.resize(NumSlots);
     for (std::unique_ptr<proof::SlotProofLog> &Log : SlotLogs)
@@ -96,7 +100,8 @@ void CubeRun::accumulateStats(sat::SolverStats &Out) const {
 }
 
 CubeRun::CubeOutcome CubeRun::runCube(size_t Slot,
-                                      const std::vector<Lit> &Cube) {
+                                      const std::vector<Lit> &Cube,
+                                      uint64_t CubeId) {
   if (cancelled())
     return CubeOutcome::Cancelled;
   assert(Slot < Slots.size() && "slot index out of range");
@@ -141,6 +146,12 @@ CubeRun::CubeOutcome CubeRun::runCube(size_t Slot,
     return Subsumed ? CubeOutcome::PrunedCore : CubeOutcome::PrunedGf2;
   }
 
+  // One span per solver-discharged cube (pruned cubes never reach
+  // here); construction is a relaxed load when tracing is off.
+  obs::TraceSpan Span("cube_solve", {{"slot", Slot}, {"cube", CubeId}});
+  bool Observe = obs::metricsEnabled();
+  Timer CubeClock;
+
   std::unique_ptr<sat::Solver> &Reused = Slots[Slot];
   if (!Reused) {
     Reused = std::make_unique<sat::Solver>(Problem.makeSolver());
@@ -165,6 +176,21 @@ CubeRun::CubeOutcome CubeRun::runCube(size_t Slot,
   }
   Reused->setRetentionView(retentionView());
   SolveResult R = Reused->solve(Cube);
+  // Publish this slot's conflict total at cube granularity: the only
+  // mid-run stats channel, so heartbeat senders never race a solver.
+  uint64_t ConflictsNow = Reused->stats().Conflicts;
+  uint64_t ConflictsDelta = ConflictsNow - SlotConflictBase[Slot];
+  SlotConflictBase[Slot] = ConflictsNow;
+  ConflictsObserved.fetch_add(ConflictsDelta, std::memory_order_relaxed);
+  Span.arg("conflicts", ConflictsDelta);
+  if (Observe) {
+    static obs::Histogram &ConflictHist =
+        obs::Registry::global().histogram("engine.cube_conflicts");
+    static obs::Histogram &WallHist =
+        obs::Registry::global().histogram("engine.cube_wall_us");
+    ConflictHist.observe(ConflictsDelta);
+    WallHist.observe(static_cast<uint64_t>(CubeClock.seconds() * 1e6));
+  }
   if (R != SolveResult::Aborted)
     Solved.fetch_add(1, std::memory_order_relaxed);
   if (R == SolveResult::Sat) {

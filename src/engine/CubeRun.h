@@ -76,8 +76,11 @@ public:
   /// Discharges one cube on slot \p Slot. Slots are exclusive: at most
   /// one thread may use a given slot at any time (the slot owns a
   /// reusable solver whose learnt clauses carry across cubes); distinct
-  /// slots may run concurrently.
-  CubeOutcome runCube(size_t Slot, const std::vector<sat::Lit> &Cube);
+  /// slots may run concurrently. \p CubeId is observability-only: it
+  /// labels this cube's trace span (the enumeration index in-process,
+  /// the batch-relative index on a distributed worker).
+  CubeOutcome runCube(size_t Slot, const std::vector<sat::Lit> &Cube,
+                      uint64_t CubeId = 0);
 
   void cancel() { Cancel.store(true, std::memory_order_relaxed); }
   bool cancelled() const { return Cancel.load(std::memory_order_relaxed); }
@@ -115,6 +118,15 @@ public:
   }
   uint64_t prunedCore() const {
     return PrunedCore.load(std::memory_order_relaxed);
+  }
+
+  /// Solver conflicts spent so far, observed at cube granularity: each
+  /// slot publishes its solver's running total after every cube, so this
+  /// is safe to read while slots are mid-solve (unlike accumulateStats,
+  /// which walks the solvers themselves). Feeds the worker heartbeat's
+  /// conflict delta.
+  uint64_t conflictsObserved() const {
+    return ConflictsObserved.load(std::memory_order_relaxed);
   }
 
   /// Merges cores discovered on OTHER nodes into the pruning list (they
@@ -163,6 +175,9 @@ private:
   std::atomic<uint64_t> Solved{0};
   std::atomic<uint64_t> PrunedGf2{0};
   std::atomic<uint64_t> PrunedCore{0};
+  /// See conflictsObserved(). Owner-only per-slot bases live in
+  /// SlotConflictBase; only the published sum is shared.
+  std::atomic<uint64_t> ConflictsObserved{0};
 
   /// UNSAT cores that used only a strict subset of their cube's
   /// assumption literals. Any later cube containing such a core is UNSAT
@@ -188,6 +203,8 @@ private:
   std::vector<std::unique_ptr<proof::SlotProofLog>> SlotLogs;
   /// Per-slot snapshots of RefutedCores (owner-only, like Slots).
   std::vector<std::vector<std::vector<sat::Lit>>> CoreSnapshots;
+  /// Per-slot last-published solver conflict totals (owner-only).
+  std::vector<uint64_t> SlotConflictBase;
 
   /// Clause exchange between the slots: lemmas learned on one slot's
   /// cubes are valid for every sibling cube and imported lazily.

@@ -6,6 +6,7 @@
 
 #include "engine/VerificationEngine.h"
 
+#include "obs/Trace.h"
 #include "support/Timer.h"
 #include "vcgen/SymbolicFlow.h"
 
@@ -29,6 +30,7 @@ struct PreparedScenario {
 /// Steps 1-2 of the pipeline: symbolic execution and VC assembly.
 void prepareScenario(const Scenario &S, const VerifyOptions &Opts,
                      PreparedScenario &P) {
+  obs::TraceSpan Span("scenario_build", {{"qubits", S.NumQubits}});
   Timer Clock;
   P.Vc = buildScenarioVc(P.Ctx, S, Opts);
   if (!P.Vc.Ok) {
@@ -98,6 +100,7 @@ void applyOutcome(SolveOutcome &&Outcome, PreparedScenario &P) {
 
 BuiltVc veriqec::engine::buildScenarioVc(BoolContext &Ctx, const Scenario &S,
                                          const VerifyOptions &Opts) {
+  obs::TraceSpan Span("vc_gen", {{"qubits", S.NumQubits}});
   SymbolicFlow Flow(S.NumQubits);
   for (const GenSpec &G : S.Pre) {
     PhaseExpr Phase(G.PhaseConstant);

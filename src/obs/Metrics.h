@@ -1,0 +1,170 @@
+//===- obs/Metrics.h - Named counters, gauges and histograms ----*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One registry for every quantitative signal the stack emits: named
+/// counters (monotone totals), gauges (last-written values) and
+/// power-of-two-bucket histograms (per-cube conflict and wall-time
+/// distributions). The end-of-run SolverStats/CoordinatorStats totals
+/// that used to be hand-threaded into each output path are published
+/// here once and snapshotted as JSON into `--bench-out` and
+/// `--metrics-out`.
+///
+/// Cost model mirrors obs/Trace.h: hot-path observation sites
+/// (Histogram::observe, Counter::add) are gated on one relaxed atomic
+/// load and are lock-free atomics past the gate; -DVERIQEC_DISABLE_OBS
+/// folds the gate to constant false. Registry lookups take a mutex —
+/// resolve a metric once (function-local static reference) instead of
+/// looking it up per observation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_OBS_METRICS_H
+#define VERIQEC_OBS_METRICS_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace veriqec::obs {
+
+#ifdef VERIQEC_DISABLE_OBS
+inline constexpr bool metricsEnabled() { return false; }
+#else
+namespace detail {
+extern std::atomic<bool> MetricsOn;
+} // namespace detail
+
+/// True while metrics collection is on — the one relaxed load every
+/// hot-path observation site pays when it is off.
+inline bool metricsEnabled() {
+  return detail::MetricsOn.load(std::memory_order_relaxed);
+}
+#endif
+
+/// Turns hot-path collection on/off. End-of-run publishing (set/inc on
+/// a snapshot boundary) works regardless of the gate.
+void setMetricsEnabled(bool On);
+
+/// Monotone counter.
+class Counter {
+public:
+  /// Hot-path increment: gated, relaxed.
+  void add(uint64_t N = 1) {
+    if (metricsEnabled())
+      V.fetch_add(N, std::memory_order_relaxed);
+  }
+  /// Ungated absolute store for end-of-run publishing of totals that
+  /// were counted elsewhere (SolverStats, CoordinatorStats).
+  void set(uint64_t N) { V.store(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// Last-written value.
+class Gauge {
+public:
+  void set(uint64_t N) { V.store(N, std::memory_order_relaxed); }
+  uint64_t value() const { return V.load(std::memory_order_relaxed); }
+
+private:
+  std::atomic<uint64_t> V{0};
+};
+
+/// Power-of-two-bucket histogram over uint64 samples: bucket B counts
+/// samples in [2^B, 2^(B+1)), with bucket 0 also absorbing zeros.
+/// Tracks count, sum and max exactly; the buckets give the shape.
+class Histogram {
+public:
+  static constexpr size_t NumBuckets = 64;
+
+  /// Hot-path observation: gated, lock-free.
+  void observe(uint64_t Sample) {
+    if (!metricsEnabled())
+      return;
+    Buckets[bucketOf(Sample)].fetch_add(1, std::memory_order_relaxed);
+    Count.fetch_add(1, std::memory_order_relaxed);
+    Sum.fetch_add(Sample, std::memory_order_relaxed);
+    uint64_t Seen = Max.load(std::memory_order_relaxed);
+    while (Sample > Seen &&
+           !Max.compare_exchange_weak(Seen, Sample,
+                                      std::memory_order_relaxed))
+      ;
+  }
+
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return Sum.load(std::memory_order_relaxed); }
+  uint64_t max() const { return Max.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t B) const {
+    return Buckets[B].load(std::memory_order_relaxed);
+  }
+
+  /// Zeroes every cell. Call only while observers are quiescent.
+  void clear() {
+    for (std::atomic<uint64_t> &B : Buckets)
+      B.store(0, std::memory_order_relaxed);
+    Count.store(0, std::memory_order_relaxed);
+    Sum.store(0, std::memory_order_relaxed);
+    Max.store(0, std::memory_order_relaxed);
+  }
+
+  static size_t bucketOf(uint64_t Sample) {
+    size_t B = 0;
+    while (Sample > 1) {
+      Sample >>= 1;
+      ++B;
+    }
+    return B;
+  }
+
+private:
+  std::atomic<uint64_t> Buckets[NumBuckets]{};
+  std::atomic<uint64_t> Count{0};
+  std::atomic<uint64_t> Sum{0};
+  std::atomic<uint64_t> Max{0};
+};
+
+/// The process-wide metric namespace. Instruments are created on first
+/// lookup and live forever (references stay valid); names are unique
+/// across kinds — looking up an existing name as a different kind is a
+/// programming error and fatals.
+class Registry {
+public:
+  static Registry &global();
+
+  Counter &counter(const std::string &Name);
+  Gauge &gauge(const std::string &Name);
+  Histogram &histogram(const std::string &Name);
+
+  /// One JSON object, names sorted: counters/gauges as numbers,
+  /// histograms as {"count","sum","mean","max","buckets":{"2^B": n}}.
+  std::string snapshotJson() const;
+
+  /// Zeroes every instrument's values. Instruments themselves (and any
+  /// cached references to them) persist — hot sites cache a reference in
+  /// a function-local static, so dropping entries would dangle them.
+  void reset();
+
+private:
+  enum class Kind { Counter, Gauge, Histogram };
+  struct Entry {
+    Kind K;
+    std::unique_ptr<Counter> C;
+    std::unique_ptr<Gauge> G;
+    std::unique_ptr<Histogram> H;
+  };
+  mutable std::mutex Mutex;
+  std::map<std::string, Entry> Entries;
+};
+
+} // namespace veriqec::obs
+
+#endif // VERIQEC_OBS_METRICS_H

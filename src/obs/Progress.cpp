@@ -1,0 +1,71 @@
+//===- obs/Progress.cpp - Opt-in live progress line ------------------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Progress.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+
+using namespace veriqec;
+
+namespace {
+
+std::atomic<bool> ProgressOn{false};
+
+struct ProgressState {
+  std::mutex Mutex;
+  std::chrono::steady_clock::time_point LastRender;
+  size_t LastLen = 0;
+  bool Rendered = false;
+};
+
+ProgressState &state() {
+  static ProgressState S;
+  return S;
+}
+
+} // namespace
+
+bool obs::progressEnabled() {
+  return ProgressOn.load(std::memory_order_relaxed);
+}
+
+void obs::setProgressEnabled(bool On) {
+  ProgressOn.store(On, std::memory_order_relaxed);
+}
+
+void obs::progressLine(const std::string &Text, bool Force) {
+  if (!progressEnabled())
+    return;
+  ProgressState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  auto Now = std::chrono::steady_clock::now();
+  if (!Force && S.Rendered &&
+      Now - S.LastRender < std::chrono::milliseconds(200))
+    return;
+  S.LastRender = Now;
+  std::fputc('\r', stderr);
+  std::fputs(Text.c_str(), stderr);
+  // Blank out any tail of a longer previous line.
+  for (size_t I = Text.size(); I < S.LastLen; ++I)
+    std::fputc(' ', stderr);
+  std::fflush(stderr);
+  S.LastLen = Text.size();
+  S.Rendered = true;
+}
+
+void obs::progressDone() {
+  ProgressState &S = state();
+  std::lock_guard<std::mutex> Lock(S.Mutex);
+  if (!S.Rendered)
+    return;
+  std::fputc('\n', stderr);
+  std::fflush(stderr);
+  S.Rendered = false;
+  S.LastLen = 0;
+}

@@ -1,0 +1,38 @@
+//===- obs/Progress.h - Opt-in live progress line ---------------*- C++ -*-===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One carriage-return-overwritten status line on stderr, throttled so
+/// render sites (the coordinator event loop, the in-process cube
+/// monitor) can call it every poll tick. Opt-in via `--progress`; the
+/// verdict output on stdout is untouched, so piped/scripted runs are
+/// unaffected even with the line on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef VERIQEC_OBS_PROGRESS_H
+#define VERIQEC_OBS_PROGRESS_H
+
+#include <string>
+
+namespace veriqec::obs {
+
+/// Whether `--progress` rendering is on (process-wide, set by the CLI).
+bool progressEnabled();
+void setProgressEnabled(bool On);
+
+/// Renders \p Text as the live line (prefixed "\r", space-padded to
+/// cover the previous render). Throttled to ~5 renders/second unless
+/// \p Force; no-op while progress is disabled.
+void progressLine(const std::string &Text, bool Force = false);
+
+/// Terminates the live line with a newline if one was rendered (call
+/// before printing regular output).
+void progressDone();
+
+} // namespace veriqec::obs
+
+#endif // VERIQEC_OBS_PROGRESS_H

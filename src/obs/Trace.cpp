@@ -1,0 +1,190 @@
+//===- obs/Trace.cpp - Chrome trace-event recording ------------------------===//
+//
+// Part of the veriqec project.
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/Trace.h"
+
+#include "support/Json.h"
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+using namespace veriqec;
+using namespace veriqec::obs;
+
+namespace {
+
+struct Event {
+  const char *Name;
+  uint64_t StartUs;
+  uint64_t DurUs;
+  bool Instant;
+  uint8_t NumArgs;
+  TraceArg Args[MaxTraceArgs];
+};
+
+/// Per-thread event buffer. Only its owner thread appends; the flusher
+/// reads under the registry mutex while the owners are quiescent (the
+/// documented contract of endTrace()/renderTraceJson()).
+struct ThreadBuffer {
+  uint32_t Tid = 0;
+  std::vector<Event> Events;
+};
+
+/// Memory bound: a runaway per-cube trace stops recording instead of
+/// eating the heap; the drop count surfaces in the rendered JSON.
+constexpr size_t MaxEventsPerThread = 1u << 20;
+
+struct TraceRegistry {
+  std::mutex Mutex;
+  /// Buffers are never removed: a thread_local pointer into this list
+  /// must stay valid for the thread's whole lifetime (pool threads
+  /// persist across runs).
+  std::vector<std::unique_ptr<ThreadBuffer>> Buffers;
+  std::chrono::steady_clock::time_point Epoch =
+      std::chrono::steady_clock::now();
+  std::atomic<uint64_t> Dropped{0};
+};
+
+TraceRegistry &registry() {
+  static TraceRegistry R;
+  return R;
+}
+
+ThreadBuffer &threadBuffer() {
+  thread_local ThreadBuffer *TB = nullptr;
+  if (!TB) {
+    TraceRegistry &R = registry();
+    std::lock_guard<std::mutex> Lock(R.Mutex);
+    R.Buffers.push_back(std::make_unique<ThreadBuffer>());
+    R.Buffers.back()->Tid = static_cast<uint32_t>(R.Buffers.size());
+    TB = R.Buffers.back().get();
+  }
+  return *TB;
+}
+
+void appendEventJson(std::string &Out, const Event &E, uint32_t Tid) {
+  Out += "{\"name\":\"";
+  Out += jsonEscape(E.Name);
+  Out += E.Instant ? "\",\"ph\":\"i\",\"s\":\"t\"" : "\",\"ph\":\"X\"";
+  Out += ",\"ts\":";
+  Out += std::to_string(E.StartUs);
+  if (!E.Instant) {
+    Out += ",\"dur\":";
+    Out += std::to_string(E.DurUs);
+  }
+  Out += ",\"pid\":1,\"tid\":";
+  Out += std::to_string(Tid);
+  if (E.NumArgs) {
+    Out += ",\"args\":{";
+    for (uint8_t I = 0; I != E.NumArgs; ++I) {
+      if (I)
+        Out += ',';
+      Out += '"';
+      Out += jsonEscape(E.Args[I].Key);
+      Out += "\":";
+      Out += std::to_string(E.Args[I].Value);
+    }
+    Out += '}';
+  }
+  Out += '}';
+}
+
+} // namespace
+
+#ifndef VERIQEC_DISABLE_OBS
+std::atomic<bool> obs::detail::TraceOn{false};
+#endif
+
+uint64_t obs::detail::nowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - registry().Epoch)
+          .count());
+}
+
+void obs::detail::record(const char *Name, uint64_t StartUs, uint64_t DurUs,
+                         bool Instant, const TraceArg *Args, size_t NumArgs) {
+  ThreadBuffer &TB = threadBuffer();
+  if (TB.Events.size() >= MaxEventsPerThread) {
+    registry().Dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Event E;
+  E.Name = Name;
+  E.StartUs = StartUs;
+  E.DurUs = DurUs;
+  E.Instant = Instant;
+  E.NumArgs = static_cast<uint8_t>(std::min(NumArgs, MaxTraceArgs));
+  for (uint8_t I = 0; I != E.NumArgs; ++I)
+    E.Args[I] = Args[I];
+  TB.Events.push_back(E);
+}
+
+void obs::beginTrace() {
+  TraceRegistry &R = registry();
+  {
+    std::lock_guard<std::mutex> Lock(R.Mutex);
+    for (std::unique_ptr<ThreadBuffer> &TB : R.Buffers)
+      TB->Events.clear();
+    R.Epoch = std::chrono::steady_clock::now();
+    R.Dropped.store(0, std::memory_order_relaxed);
+  }
+#ifndef VERIQEC_DISABLE_OBS
+  detail::TraceOn.store(true, std::memory_order_relaxed);
+#endif
+}
+
+void obs::stopTrace() {
+#ifndef VERIQEC_DISABLE_OBS
+  detail::TraceOn.store(false, std::memory_order_relaxed);
+#endif
+}
+
+std::string obs::renderTraceJson() {
+  TraceRegistry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  std::string Out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool First = true;
+  for (const std::unique_ptr<ThreadBuffer> &TB : R.Buffers)
+    for (const Event &E : TB->Events) {
+      if (!First)
+        Out += ',';
+      First = false;
+      appendEventJson(Out, E, TB->Tid);
+    }
+  uint64_t Dropped = R.Dropped.load(std::memory_order_relaxed);
+  if (Dropped) {
+    Event E{};
+    E.Name = "trace_events_dropped";
+    E.Instant = true;
+    E.NumArgs = 1;
+    E.Args[0] = {"count", Dropped};
+    if (!First)
+      Out += ',';
+    appendEventJson(Out, E, 0);
+  }
+  Out += "]}";
+  return Out;
+}
+
+bool obs::endTrace(const std::string &Path, std::string &Err) {
+  stopTrace();
+  std::string Json = renderTraceJson();
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F) {
+    Err = "cannot open " + Path;
+    return false;
+  }
+  bool Ok = std::fwrite(Json.data(), 1, Json.size(), F) == Json.size();
+  if (std::fclose(F) != 0)
+    Ok = false;
+  if (!Ok)
+    Err = "short write to " + Path;
+  return Ok;
+}

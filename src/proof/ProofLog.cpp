@@ -6,6 +6,8 @@
 
 #include "proof/ProofLog.h"
 
+#include "obs/Trace.h"
+
 #include <charconv>
 
 using namespace veriqec;
@@ -148,6 +150,7 @@ std::string veriqec::proof::buildTrivialProof(
 std::string veriqec::proof::assembleProof(std::string Header,
                                           std::span<const std::string> Streams,
                                           std::optional<uint64_t> Conclusions) {
+  obs::TraceSpan Span("proof_assemble", {{"streams", Streams.size()}});
   size_t Slot = 0;
   for (const std::string &S : Streams) {
     size_t Idx = Slot++;

@@ -7,6 +7,7 @@
 #include "sat/GaussEngine.h"
 
 #include "gf2/BitMatrix.h"
+#include "obs/Trace.h"
 #include "sat/Solver.h"
 #include "support/Assert.h"
 
@@ -196,6 +197,7 @@ int32_t GaussEngine::processRow(Solver &S, const BitVector &Row) {
 }
 
 int32_t GaussEngine::deepCheck(Solver &S) {
+  obs::TraceSpan Span("gauss_elim", {{"rows", Rows.size()}});
   AppliedSinceDeep = 0;
   size_t NC = VarOfCol.size();
 

@@ -6,6 +6,8 @@
 
 #include "sat/Solver.h"
 
+#include "obs/Metrics.h"
+#include "obs/Trace.h"
 #include "support/Assert.h"
 
 #include <algorithm>
@@ -557,6 +559,7 @@ ClauseRef Solver::learnClause(std::vector<Lit> Lits) {
 }
 
 void Solver::reduceDB() {
+  obs::TraceSpan Span("reduce_db", {{"learnts", LearntClauses.size()}});
   // Collect learned, non-reason clauses and drop the less retained half.
   // The caller has already checked the live-learnt trigger (locked
   // clauses included — see NumLiveLearnts).
@@ -654,6 +657,13 @@ void Solver::checkGarbage() {
 }
 
 void Solver::garbageCollect() {
+  obs::TraceSpan Span(
+      "arena_gc", {{"wasted_bytes", Arena.wastedWords() * sizeof(uint32_t)}});
+  if (obs::metricsEnabled()) {
+    static obs::Histogram &WasteHist =
+        obs::Registry::global().histogram("sat.arena_waste_bytes");
+    WasteHist.observe(Arena.wastedWords() * sizeof(uint32_t));
+  }
   ClauseArena To;
   To.reserveWords(Arena.sizeWords() - Arena.wastedWords());
   relocAll(To);

@@ -9,6 +9,7 @@
 
 #include "smt/CubeSolver.h"
 
+#include "obs/Trace.h"
 #include "proof/ProofLog.h"
 #include "support/Assert.h"
 #include "support/Timer.h"
@@ -33,7 +34,10 @@ VerificationProblem::VerificationProblem(const BoolContext &Ctx_, ExprRef Root,
     PO.KeepVarIds.push_back(Ctx_.varIdOf(Name));
   PO.KeepUsedExprs = Opts.BudgetTerms;
   PO.CaptureOriginalRows = Opts.CaptureProofData;
-  PreprocessedFormula P = preprocess(Ctx_, Root, PO);
+  PreprocessedFormula P = [&] {
+    obs::TraceSpan Span("gf2_preprocess", {{"vars", Ctx_.numVariables()}});
+    return preprocess(Ctx_, Root, PO);
+  }();
   Prep = P.Stats;
   TriviallyUnsat = P.TriviallyUnsat;
   OriginalRows = std::move(P.OriginalRows);
@@ -41,6 +45,9 @@ VerificationProblem::VerificationProblem(const BoolContext &Ctx_, ExprRef Root,
   Pruner = ParityPropagator(P.Rows);
   PruneByElimination = Opts.NativeXor;
 
+  // Everything below is CNF materialization; the span's clause count is
+  // attached on the normal exit (a trivially-UNSAT formula encodes none).
+  obs::TraceSpan EncodeSpan("cnf_encode");
   CnfEncoder Encoder(Ctx_, Cnf, Opts.CardEnc);
   if (Opts.CounterCap)
     Encoder.setBudgetTruncation(Opts.CounterCap, Opts.BudgetTerms);
@@ -94,6 +101,7 @@ VerificationProblem::VerificationProblem(const BoolContext &Ctx_, ExprRef Root,
     BudgetCounter = Encoder.counterOver(Terms, Opts.CounterCap);
     NumBudgetTerms = Terms.size();
   }
+  EncodeSpan.arg("clauses", Cnf.Clauses.size());
 }
 
 sat::Solver VerificationProblem::makeSolver() const {

@@ -5,13 +5,15 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The string escaping shared by every tool that emits --json output.
+/// The string escaping and number formatting shared by every tool that
+/// emits --json output (and by the obs trace/metrics writers).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef VERIQEC_SUPPORT_JSON_H
 #define VERIQEC_SUPPORT_JSON_H
 
+#include <cmath>
 #include <cstdio>
 #include <string>
 
@@ -36,6 +38,20 @@ inline std::string jsonEscape(const std::string &S) {
     }
   }
   return Out;
+}
+
+/// Formats a double as a JSON number. JSON has no NaN/Infinity tokens,
+/// so non-finite values render as "null" — a reader sees an explicit
+/// hole instead of a parse error. Finite values use %.12g: enough
+/// digits for every quantity the tools emit (timings, ratios, means),
+/// and never scientific-notation forms JSON rejects ("1e+05" is valid
+/// JSON; "nan"/"inf" are not and are caught by the finite check).
+inline std::string jsonNumber(double V) {
+  if (!std::isfinite(V))
+    return "null";
+  char Buf[40];
+  std::snprintf(Buf, sizeof(Buf), "%.12g", V);
+  return Buf;
 }
 
 } // namespace veriqec

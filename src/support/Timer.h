@@ -6,7 +6,12 @@
 ///
 /// \file
 /// Minimal wall-clock stopwatch used by the verification drivers and the
-/// experiment harnesses.
+/// experiment harnesses. Pinned to std::chrono::steady_clock: every
+/// timed section in the stack (bench, engine, dist, obs) must be
+/// monotonic — a wall-clock (system_clock) source can jump backwards
+/// under NTP adjustment and report negative elapsed time. The clock is
+/// a template parameter only so the clamp below is testable against a
+/// simulated skewing clock; production code uses the `Timer` alias.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -18,24 +23,28 @@
 namespace veriqec {
 
 /// Wall-clock stopwatch started at construction.
-class Timer {
+template <typename ClockT> class BasicTimer {
 public:
-  Timer() : Start(Clock::now()) {}
+  BasicTimer() : Start(ClockT::now()) {}
 
-  /// Seconds elapsed since construction or the last restart().
+  /// Seconds elapsed since construction or the last restart(), clamped
+  /// to >= 0. steady_clock makes negative readings impossible; the
+  /// clamp is defense in depth for non-monotonic ClockT substitutes.
   double seconds() const {
-    return std::chrono::duration<double>(Clock::now() - Start).count();
+    double S = std::chrono::duration<double>(ClockT::now() - Start).count();
+    return S < 0 ? 0 : S;
   }
 
   /// Milliseconds elapsed.
   double millis() const { return seconds() * 1e3; }
 
-  void restart() { Start = Clock::now(); }
+  void restart() { Start = ClockT::now(); }
 
 private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point Start;
+  typename ClockT::time_point Start;
 };
+
+using Timer = BasicTimer<std::chrono::steady_clock>;
 
 } // namespace veriqec
 

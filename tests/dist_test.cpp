@@ -171,6 +171,38 @@ TEST(DistCodec, RoundTripsBatchResultsModelsAndCores) {
   EXPECT_EQ(D->NewCores, R.NewCores);
 }
 
+TEST(DistCodec, RoundTripsHeartbeatAndEvictedFrames) {
+  HeartbeatMsg H;
+  H.BatchesInFlight = 3;
+  H.CubesDelta = 123456789ull;
+  H.ConflictsDelta = 9876543210123ull;
+  std::vector<uint8_t> HF = encodeMessage(H);
+  Message M;
+  ASSERT_TRUE(decodeMessage(HF, M));
+  HeartbeatMsg *DH = std::get_if<HeartbeatMsg>(&M);
+  ASSERT_NE(DH, nullptr);
+  EXPECT_EQ(DH->BatchesInFlight, 3u);
+  EXPECT_EQ(DH->CubesDelta, 123456789ull);
+  EXPECT_EQ(DH->ConflictsDelta, 9876543210123ull);
+
+  EvictedMsg E;
+  E.Reason = "silence timeout (600 ms)";
+  std::vector<uint8_t> EF = encodeMessage(E);
+  ASSERT_TRUE(decodeMessage(EF, M));
+  EvictedMsg *DE = std::get_if<EvictedMsg>(&M);
+  ASSERT_NE(DE, nullptr);
+  EXPECT_EQ(DE->Reason, E.Reason);
+
+  // Strict decoding extends to the v5 frames: every proper prefix (and
+  // trailing garbage) must be rejected.
+  for (size_t Len = 0; Len != HF.size(); ++Len)
+    EXPECT_FALSE(decodeMessage({HF.data(), Len}, M)) << "prefix " << Len;
+  for (size_t Len = 0; Len != EF.size(); ++Len)
+    EXPECT_FALSE(decodeMessage({EF.data(), Len}, M)) << "prefix " << Len;
+  HF.push_back(0);
+  EXPECT_FALSE(decodeMessage(HF, M));
+}
+
 TEST(DistCodec, RejectsTruncatedFrames) {
   // Every proper prefix of a small message must be rejected.
   CubeBatchMsg B;
@@ -385,6 +417,82 @@ TEST(DistLoopback, TimedOutWorkerIsDroppedAndItsBatchesRequeued) {
   Coord.shutdownWorkers();
   T.join();
   Mute.B->close();
+}
+
+TEST(DistLoopback, HeartbeatingGrinderOutlivesTheSilenceTimeout) {
+  CoordinatorOptions CO;
+  CO.WorkerTimeoutMs = 600;
+  Coordinator Coord(CO);
+  // The fleet's only worker sits on its first batch for >3x the silence
+  // timeout. With heartbeats flowing well inside the timeout, the
+  // coordinator must treat it as grinding, not dead — evicting it would
+  // strand the whole run (there is nobody else to requeue to).
+  WorkerOptions WO;
+  WO.HeartbeatMs = 25;
+  WO.GrindFirstBatchMs = 2000;
+  std::vector<std::thread> Threads =
+      spawnLoopbackWorkers(Coord, std::vector<WorkerOptions>{WO});
+  ASSERT_TRUE(Coord.waitForWorkers(1, 10000));
+
+  StabilizerCode Steane = makeSteaneCode();
+  Scenario S = makeMemoryScenario(Steane, PauliKind::Y, LogicalBasis::Z, 1);
+  VerifyOptions VO;
+  VO.Parallel = true;
+  engine::VerificationEngine Engine(1);
+  std::vector<VerificationResult> R = Engine.verifyAll({&S, 1}, VO, Coord);
+  EXPECT_TRUE(R[0].Verified);
+  EXPECT_FALSE(R[0].Aborted);
+  EXPECT_EQ(Coord.stats().WorkersDropped, 0u);
+  EXPECT_EQ(Coord.stats().BatchesRequeued, 0u);
+  EXPECT_GT(Coord.stats().HeartbeatsReceived, 0u);
+  Coord.shutdownWorkers();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+TEST(DistLoopback, SilentGrinderIsEvictedAndItsBatchesRequeued) {
+  CoordinatorOptions CO;
+  CO.WorkerTimeoutMs = 600;
+  Coordinator Coord(CO);
+  // The grinder: heartbeats off, and its first batch "runs" far past
+  // the timeout — by silence alone it is indistinguishable from a dead
+  // worker, so the coordinator must evict it and requeue its batches.
+  LoopbackPair Grinder = makeLoopbackPair();
+  Coord.addWorker(std::move(Grinder.A));
+  int GrinderExit = -1;
+  std::thread GT([&GrinderExit, End = std::move(Grinder.B)]() mutable {
+    WorkerOptions WO;
+    WO.GrindFirstBatchMs = 60000;
+    GrinderExit = runWorker(std::move(End), WO);
+  });
+  // The grinder must be the whole fleet when batches shard, so its
+  // first grant arrives (and starts grinding) before anyone else can
+  // absorb the work; the healthy worker joins during the run — its
+  // handshake completes inside the solve pumps — steals the grinder's
+  // queued batches, and finishes the requeued in-flight one after the
+  // eviction.
+  ASSERT_TRUE(Coord.waitForWorkers(1, 10000));
+  LoopbackPair Live = makeLoopbackPair();
+  Coord.addWorker(std::move(Live.A));
+  std::thread LT(
+      [End = std::move(Live.B)]() mutable { runWorker(std::move(End)); });
+
+  StabilizerCode Steane = makeSteaneCode();
+  Scenario S = makeMemoryScenario(Steane, PauliKind::Y, LogicalBasis::Z, 1);
+  VerifyOptions VO;
+  VO.Parallel = true;
+  engine::VerificationEngine Engine(1);
+  std::vector<VerificationResult> R = Engine.verifyAll({&S, 1}, VO, Coord);
+  EXPECT_TRUE(R[0].Verified);
+  EXPECT_FALSE(R[0].Aborted);
+  EXPECT_EQ(Coord.stats().WorkersDropped, 1u);
+  EXPECT_GE(Coord.stats().BatchesRequeued, 1u);
+  Coord.shutdownWorkers();
+  GT.join();
+  LT.join();
+  // The Evicted frame reached the grinder before its link closed: it
+  // exited through the eviction path, not a bare link error.
+  EXPECT_EQ(GrinderExit, 3);
 }
 
 TEST(DistLoopback, DistanceHandleApiMatchesLocalSearch) {

@@ -1,15 +1,19 @@
-//===- tests/support_test.cpp - BitVector / Rng / Timer unit tests --------===//
+//===- tests/support_test.cpp - BitVector / Rng / Timer / Json unit tests -===//
 //
 // Part of the veriqec project.
 //
 //===----------------------------------------------------------------------===//
 
 #include "support/BitVector.h"
+#include "support/Json.h"
 #include "support/Rng.h"
 #include "support/Timer.h"
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cmath>
+#include <limits>
 #include <set>
 
 using namespace veriqec;
@@ -151,4 +155,70 @@ TEST(Timer, MonotonicNonNegative) {
   double B = T.seconds();
   EXPECT_GE(A, 0.0);
   EXPECT_GE(B, A);
+}
+
+namespace {
+
+/// A controllable clock that can jump backwards — the NTP-adjustment
+/// hazard the steady_clock pin in support/Timer.h exists to rule out.
+struct SkewClock {
+  using duration = std::chrono::nanoseconds;
+  using rep = duration::rep;
+  using period = duration::period;
+  using time_point = std::chrono::time_point<SkewClock>;
+  static constexpr bool is_steady = false;
+  static inline time_point Current{};
+  static time_point now() { return Current; }
+};
+
+} // namespace
+
+TEST(Timer, ClampsNegativeElapsedUnderClockSkew) {
+  SkewClock::Current = SkewClock::time_point(std::chrono::seconds(100));
+  BasicTimer<SkewClock> T;
+  // The clock jumps backwards mid-measurement: elapsed time must clamp
+  // to zero, never go negative.
+  SkewClock::Current -= std::chrono::seconds(30);
+  EXPECT_EQ(T.seconds(), 0.0);
+  EXPECT_EQ(T.millis(), 0.0);
+  // Once the clock passes the start point again, readings resume.
+  SkewClock::Current += std::chrono::seconds(32);
+  EXPECT_DOUBLE_EQ(T.seconds(), 2.0);
+  T.restart();
+  EXPECT_EQ(T.seconds(), 0.0);
+  SkewClock::Current -= std::chrono::milliseconds(1);
+  EXPECT_EQ(T.seconds(), 0.0);
+}
+
+TEST(Json, EscapesQuotesBackslashesAndControlCharacters) {
+  EXPECT_EQ(jsonEscape("plain ascii 123"), "plain ascii 123");
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(jsonEscape("tab\there"), "tab\\u0009here");
+  EXPECT_EQ(jsonEscape("cr\rhere"), "cr\\u000dhere");
+  EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+  EXPECT_EQ(jsonEscape(std::string(1, '\x1f')), "\\u001f");
+  // An embedded NUL escapes instead of truncating the string.
+  std::string Nul = "a";
+  Nul += '\0';
+  Nul += 'b';
+  EXPECT_EQ(jsonEscape(Nul), "a\\u0000b");
+  // High-bit bytes (UTF-8 sequences) pass through untouched.
+  EXPECT_EQ(jsonEscape("caf\xc3\xa9"), "caf\xc3\xa9");
+  // 0x20 itself (space) is the first unescaped code point.
+  EXPECT_EQ(jsonEscape(" "), " ");
+}
+
+TEST(Json, NumbersRenderFiniteValuesAndNullOtherwise) {
+  EXPECT_EQ(jsonNumber(0.0), "0");
+  EXPECT_EQ(jsonNumber(1.5), "1.5");
+  EXPECT_EQ(jsonNumber(-2.25), "-2.25");
+  EXPECT_EQ(jsonNumber(1e100), "1e+100");
+  // %.12g keeps timing-scale precision without float noise.
+  EXPECT_EQ(jsonNumber(0.123456789), "0.123456789");
+  // JSON has no NaN/Infinity tokens: non-finite renders as null.
+  EXPECT_EQ(jsonNumber(std::nan("")), "null");
+  EXPECT_EQ(jsonNumber(std::numeric_limits<double>::infinity()), "null");
+  EXPECT_EQ(jsonNumber(-std::numeric_limits<double>::infinity()), "null");
 }

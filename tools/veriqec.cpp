@@ -20,6 +20,9 @@
 #include "dist/Transport.h"
 #include "dist/Worker.h"
 #include "engine/VerificationEngine.h"
+#include "obs/Metrics.h"
+#include "obs/Progress.h"
+#include "obs/Trace.h"
 #include "prog/Parser.h"
 #include "proof/ProofCheck.h"
 #include "qec/Codes.h"
@@ -83,6 +86,12 @@ struct CliOptions {
   size_t ExpectWorkers = 1;    ///< serve: wait for this many workers
   std::string Connect;         ///< worker: coordinator host:port
   uint64_t MaxBatches = 0;     ///< worker: crash-after-N test hook
+  /// Worker heartbeat period (worker command and loopback fleets); keeps
+  /// a grinding worker off the coordinator's silence timer. 0 = off.
+  int HeartbeatMs = 500;
+  std::string TraceOut;   ///< --trace: Chrome trace-event JSON file
+  std::string MetricsOut; ///< --metrics-out: metrics snapshot JSON file
+  bool Progress = false;  ///< --progress: live stderr status line
 };
 
 void printUsage(std::FILE *To) {
@@ -150,12 +159,24 @@ void printUsage(std::FILE *To) {
       "  --connect HOST:PORT   worker: coordinator address\n"
       "  --max-batches N       worker: drop the link after N batches\n"
       "                        (crash-recovery testing)\n"
+      "  --heartbeat-ms N      worker/loopback: progress heartbeat period\n"
+      "                        (0 disables; default 500). Heartbeats let\n"
+      "                        the coordinator tell a grinding worker\n"
+      "                        from a dead one\n"
       "\n"
       "output:\n"
       "  --json                machine-readable results on stdout\n"
       "  --bench-out FILE      write per-scenario benchmark records\n"
       "                        (wall-clock, conflicts, cubes, encoder and\n"
       "                        preprocessor stats) as JSON to FILE\n"
+      "  --trace FILE          record phase spans (encode, preprocess,\n"
+      "                        per-cube solve, GC, wire codec) and write\n"
+      "                        Chrome trace-event JSON to FILE — open in\n"
+      "                        chrome://tracing or Perfetto\n"
+      "  --metrics-out FILE    write the metrics-registry snapshot\n"
+      "                        (counters, gauges, histograms) to FILE\n"
+      "  --progress            live one-line status on stderr while\n"
+      "                        cubes are in flight\n"
       "\n"
       "proofs (verify and distance):\n"
       "  --check-proofs        log machine-checkable clause proofs and\n"
@@ -297,6 +318,7 @@ bool setupDist(const CliOptions &Cli, DistContext &Ctx) {
   Ctx.Coord = std::make_unique<dist::Coordinator>();
   dist::WorkerOptions WO;
   WO.Jobs = Cli.Jobs ? Cli.Jobs : 1;
+  WO.HeartbeatMs = Cli.HeartbeatMs;
   Ctx.LoopbackThreads = dist::spawnLoopbackWorkers(*Ctx.Coord, N, WO);
   if (!Ctx.Coord->waitForWorkers(N, 10000)) {
     std::fprintf(stderr, "veriqec: loopback workers failed to register\n");
@@ -335,6 +357,9 @@ int handleProof(const CliOptions &Cli, const std::string &Name,
   }
   if (!Cli.CheckProofs)
     return 0;
+  // The span lives here, not in checkProof itself: veriqec-check links
+  // ProofCheck.cpp standalone and stays observability-free.
+  obs::TraceSpan Span("proof_check", {{"bytes", Proof.size()}});
   proof::CheckResult CR = proof::checkProof(Proof);
   if (!CR.Ok) {
     std::fprintf(stderr, "veriqec: %s: proof REJECTED: %s\n", Name.c_str(),
@@ -585,7 +610,8 @@ bool writeBenchOut(const CliOptions &Cli, const std::vector<RunRecord> &Records,
     }
     Out << (I + 1 == Records.size() ? "\n" : ",\n");
   }
-  Out << "  ]\n}\n";
+  Out << "  ],\n  \"metrics\": " << obs::Registry::global().snapshotJson()
+      << "\n}\n";
   return static_cast<bool>(Out);
 }
 
@@ -661,7 +687,8 @@ bool writeDistanceBenchOut(const CliOptions &Cli,
         D.CnfVars, D.CnfClauses);
     Out << Buf << (I + 1 == Records.size() ? "\n" : ",\n");
   }
-  Out << "  ]\n}\n";
+  Out << "  ],\n  \"metrics\": " << obs::Registry::global().snapshotJson()
+      << "\n}\n";
   return static_cast<bool>(Out);
 }
 
@@ -814,6 +841,36 @@ int runVerify(const CliOptions &Cli) {
     TotalSeconds += R.Result.Seconds;
   }
 
+  // Publish the end-of-run totals into the metrics registry so
+  // --bench-out and --metrics-out surface SolverStats and scheduler
+  // counters through one named catalog alongside the hot-path
+  // histograms.
+  if (obs::metricsEnabled()) {
+    obs::Registry &Reg = obs::Registry::global();
+    Reg.counter("solver.conflicts").set(Total.Conflicts);
+    Reg.counter("solver.decisions").set(Total.Decisions);
+    Reg.counter("solver.propagations").set(Total.propagations());
+    uint64_t Cubes = 0, Solved = 0, Pruned = 0;
+    for (const RunRecord &R : Records) {
+      Cubes += R.Result.NumCubes;
+      Solved += R.Result.CubesSolved;
+      Pruned += R.Result.CubesPruned;
+    }
+    Reg.counter("engine.cubes").set(Cubes);
+    Reg.counter("engine.cubes_solved").set(Solved);
+    Reg.counter("engine.cubes_pruned").set(Pruned);
+    Reg.gauge("run.wall_ms").set(
+        static_cast<uint64_t>(TotalSeconds * 1e3));
+    if (DC.Coord) {
+      const dist::CoordinatorStats &DS = DC.Coord->stats();
+      Reg.counter("dist.batches_stolen").set(DS.BatchesStolen);
+      Reg.counter("dist.batches_requeued").set(DS.BatchesRequeued);
+      Reg.counter("dist.workers_dropped").set(DS.WorkersDropped);
+      Reg.counter("dist.core_broadcasts").set(DS.CoreBroadcasts);
+      Reg.counter("dist.heartbeats").set(DS.HeartbeatsReceived);
+    }
+  }
+
   size_t Workers = DC.Coord ? DC.Coord->numSlots() : Engine.numWorkers();
   if (Cli.Json) {
     std::printf("{\"seed\": %llu, \"results\": [\n",
@@ -833,12 +890,14 @@ int runVerify(const CliOptions &Cli) {
     if (DC.Coord) {
       const dist::CoordinatorStats &DS = DC.Coord->stats();
       std::printf("dist: %zu workers, %zu slots, %llu stolen, %llu "
-                  "requeued, %llu dropped, %llu core broadcasts\n",
+                  "requeued, %llu dropped, %llu core broadcasts, "
+                  "%llu heartbeats\n",
                   DC.Coord->numWorkers(), DC.Coord->numSlots(),
                   static_cast<unsigned long long>(DS.BatchesStolen),
                   static_cast<unsigned long long>(DS.BatchesRequeued),
                   static_cast<unsigned long long>(DS.WorkersDropped),
-                  static_cast<unsigned long long>(DS.CoreBroadcasts));
+                  static_cast<unsigned long long>(DS.CoreBroadcasts),
+                  static_cast<unsigned long long>(DS.HeartbeatsReceived));
     }
   }
   if (!Cli.BenchOut.empty() && !writeBenchOut(Cli, Records, Workers))
@@ -1056,12 +1115,17 @@ int runWorkerCommand(const CliOptions &Cli) {
   dist::WorkerOptions WO;
   WO.Jobs = Cli.Jobs ? Cli.Jobs : 1;
   WO.MaxBatches = Cli.MaxBatches;
+  WO.HeartbeatMs = Cli.HeartbeatMs;
   std::fprintf(stderr, "veriqec: worker connected to %s (%zu slot%s)\n",
                Cli.Connect.c_str(), WO.Jobs, WO.Jobs == 1 ? "" : "s");
   int R = dist::runWorker(std::move(L), WO);
   // The MaxBatches crash hook (R == 2) did exactly what was asked; a
-  // handshake/link failure (R == 1) is a real error.
-  return R == 1 ? 1 : 0;
+  // handshake/link failure (R == 1) is a real error. An eviction (R ==
+  // 3) keeps its distinct code: the run continued elsewhere, but an
+  // operator (or CI) may want to know this node was written off.
+  if (R == 3)
+    std::fprintf(stderr, "veriqec: worker evicted by coordinator\n");
+  return R == 1 ? 1 : R == 3 ? 3 : 0;
 }
 
 } // namespace
@@ -1150,6 +1214,25 @@ int main(int Argc, char **Argv) {
       if (!(V = needValue(I)))
         return 2;
       Cli.MaxBatches = std::strtoull(V->c_str(), nullptr, 10);
+    } else if (A == "--heartbeat-ms") {
+      if (!(V = needValue(I)))
+        return 2;
+      Cli.HeartbeatMs =
+          static_cast<int>(std::strtol(V->c_str(), nullptr, 10));
+      if (Cli.HeartbeatMs < 0) {
+        std::fprintf(stderr, "veriqec: --heartbeat-ms must be >= 0\n");
+        return 2;
+      }
+    } else if (A == "--trace") {
+      if (!(V = needValue(I)))
+        return 2;
+      Cli.TraceOut = *V;
+    } else if (A == "--metrics-out") {
+      if (!(V = needValue(I)))
+        return 2;
+      Cli.MetricsOut = *V;
+    } else if (A == "--progress") {
+      Cli.Progress = true;
     } else if (A == "--code") {
       if (!(V = needValue(I)))
         return 2;
@@ -1285,26 +1368,55 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  // Observability switches gate the instrumentation for the whole run:
+  // tracing records phase spans, metrics feed --metrics-out and the
+  // bench-out metrics block, progress renders the live stderr line.
+  if (!Cli.TraceOut.empty())
+    obs::beginTrace();
+  if (!Cli.MetricsOut.empty() || !Cli.BenchOut.empty())
+    obs::setMetricsEnabled(true);
+  if (Cli.Progress)
+    obs::setProgressEnabled(true);
+
+  int Code = 2;
   if (Cli.Command == "verify" || Cli.Command == "serve")
-    return runVerify(Cli);
-  if (Cli.Command == "worker")
-    return runWorkerCommand(Cli);
-  if (Cli.Command == "detect") {
+    Code = runVerify(Cli);
+  else if (Cli.Command == "worker")
+    Code = runWorkerCommand(Cli);
+  else if (Cli.Command == "detect") {
     if (Cli.Codes.empty()) {
       std::fprintf(stderr, "veriqec: detect needs --code\n");
       return 2;
     }
-    return runDetect(Cli);
-  }
-  if (Cli.Command == "distance") {
+    Code = runDetect(Cli);
+  } else if (Cli.Command == "distance") {
     if (Cli.Codes.empty()) {
       std::fprintf(stderr, "veriqec: distance needs --code\n");
       return 2;
     }
-    return runDistance(Cli);
+    Code = runDistance(Cli);
+  } else {
+    std::fprintf(stderr, "veriqec: unknown command '%s'\n",
+                 Cli.Command.c_str());
+    printUsage(stderr);
+    return 2;
   }
-  std::fprintf(stderr, "veriqec: unknown command '%s'\n",
-               Cli.Command.c_str());
-  printUsage(stderr);
-  return 2;
+
+  if (!Cli.TraceOut.empty()) {
+    std::string Err;
+    if (!obs::endTrace(Cli.TraceOut, Err)) {
+      std::fprintf(stderr, "veriqec: %s\n", Err.c_str());
+      Code = Code ? Code : 2;
+    }
+  }
+  if (!Cli.MetricsOut.empty()) {
+    std::ofstream MOut(Cli.MetricsOut);
+    MOut << obs::Registry::global().snapshotJson() << "\n";
+    if (!MOut) {
+      std::fprintf(stderr, "veriqec: cannot write %s\n",
+                   Cli.MetricsOut.c_str());
+      Code = Code ? Code : 2;
+    }
+  }
+  return Code;
 }
